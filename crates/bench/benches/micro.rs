@@ -1,0 +1,203 @@
+//! Micro-benchmarks of the SW Leveler primitives: the operations a firmware
+//! controller runs on every erase (SWL-BETUpdate) and on every leveling
+//! pass (the cyclic BET scan), plus snapshot codec and trace generation.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use flash_trace::{SyntheticTrace, WorkloadSpec, Zipf};
+use hotid::{HotDataConfig, MultiHashIdentifier};
+use nand::{CellKind, Geometry, NandDevice, PageAddr, SpareArea};
+use swl_core::counting::CountingLeveler;
+use swl_core::persist::{DualBuffer, Snapshot};
+use swl_core::{SwLeveler, SwlCleaner, SwlConfig};
+
+const BLOCKS: u32 = 4096; // the paper's 1 GiB MLC×2 chip
+
+struct NoCopyCleaner;
+impl SwlCleaner for NoCopyCleaner {
+    type Error = std::convert::Infallible;
+    fn erase_block_set(
+        &mut self,
+        first_block: u32,
+        count: u32,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), Self::Error> {
+        erased.extend(first_block..first_block + count);
+        Ok(())
+    }
+}
+
+fn bench_bet_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swl");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("note_erase (SWL-BETUpdate)", |b| {
+        let mut leveler = SwLeveler::new(BLOCKS, SwlConfig::new(u64::MAX / 2, 0)).unwrap();
+        let mut block = 0u32;
+        b.iter(|| {
+            block = (block + 1) % BLOCKS;
+            black_box(leveler.note_erase(block));
+        });
+    });
+    group.finish();
+}
+
+fn bench_cyclic_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swl");
+    // Worst case for the scan: almost every flag set, one clear flag far
+    // from findex.
+    group.bench_function("next_clear scan (4095/4096 set)", |b| {
+        let mut leveler = SwLeveler::new(BLOCKS, SwlConfig::new(u64::MAX / 2, 0)).unwrap();
+        for block in 0..BLOCKS - 1 {
+            leveler.note_erase(block);
+        }
+        b.iter(|| black_box(leveler.bet().next_clear(black_box(0))));
+    });
+    group.finish();
+}
+
+fn bench_level_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swl");
+    group.bench_function("level pass (one hot block)", |b| {
+        b.iter_batched(
+            || {
+                let mut leveler = SwLeveler::new(BLOCKS, SwlConfig::new(4, 0)).unwrap();
+                for _ in 0..64 {
+                    leveler.note_erase(0);
+                }
+                leveler
+            },
+            |mut leveler| {
+                leveler.level(&mut NoCopyCleaner).unwrap();
+                leveler
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_snapshot_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("persist");
+    let mut leveler = SwLeveler::new(BLOCKS, SwlConfig::new(100, 0)).unwrap();
+    for block in (0..BLOCKS).step_by(3) {
+        leveler.note_erase(block);
+    }
+    let encoded = Snapshot::capture(&leveler, 1).encode();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("snapshot encode", |b| {
+        b.iter(|| black_box(Snapshot::capture(&leveler, 1).encode()));
+    });
+    group.bench_function("snapshot decode", |b| {
+        b.iter(|| black_box(Snapshot::decode(&encoded).unwrap()));
+    });
+    group.bench_function("dual-buffer save+recover", |b| {
+        b.iter(|| {
+            let mut nvram = DualBuffer::new();
+            nvram.save(&leveler);
+            black_box(nvram.recover().unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("synthetic 10k events", |b| {
+        let spec = WorkloadSpec::paper(524_288).with_seed(1);
+        b.iter(|| {
+            let trace = SyntheticTrace::new(spec.clone());
+            black_box(trace.take(10_000).count())
+        });
+    });
+    group.bench_function("zipf sample", |b| {
+        let zipf = Zipf::new(24_000, 0.95);
+        let mut u = 0.0f64;
+        b.iter(|| {
+            u = (u + 0.618_034) % 1.0;
+            black_box(zipf.sample(u))
+        });
+    });
+    group.finish();
+}
+
+fn bench_hot_data(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotid");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("record_write", |b| {
+        let mut id = MultiHashIdentifier::new(HotDataConfig::default()).unwrap();
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = lba.wrapping_add(0x9E37_79B9) % 500_000;
+            black_box(id.record_write(lba));
+        });
+    });
+    group.bench_function("is_hot", |b| {
+        let mut id = MultiHashIdentifier::new(HotDataConfig::default()).unwrap();
+        for lba in 0..10_000u64 {
+            id.record_write(lba % 64);
+        }
+        let mut lba = 0u64;
+        b.iter(|| {
+            lba = (lba + 1) % 128;
+            black_box(id.is_hot(lba));
+        });
+    });
+    group.bench_function("decay (8192 counters)", |b| {
+        let mut id = MultiHashIdentifier::new(HotDataConfig::default()).unwrap();
+        b.iter(|| id.decay());
+    });
+    group.finish();
+}
+
+fn bench_counting_leveler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("counting-wl");
+    // The cost the BET avoids: a full-table scan per leveling decision.
+    group.bench_function("pick_victim (4096 blocks)", |b| {
+        let mut wl = CountingLeveler::new(BLOCKS, 2);
+        for block in 0..BLOCKS {
+            for _ in 0..(block % 7) {
+                wl.note_erase(block);
+            }
+        }
+        b.iter(|| black_box(wl.pick_victim()));
+    });
+    group.finish();
+}
+
+fn bench_device_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nand");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("program+invalidate+erase cycle", |b| {
+        let mut device = NandDevice::new(
+            Geometry::new(4, 64, 2048),
+            CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        );
+        b.iter(|| {
+            for page in 0..64 {
+                device
+                    .program(PageAddr::new(0, page), u64::from(page), SpareArea::valid(0))
+                    .unwrap();
+                device.invalidate(PageAddr::new(0, page)).unwrap();
+            }
+            device.erase(0).unwrap();
+        });
+    });
+    group.bench_function("erase_stats (4096 blocks)", |b| {
+        let device = NandDevice::new(Geometry::mlc2_1gib(), CellKind::Mlc2.spec());
+        b.iter(|| black_box(device.erase_stats()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_bet_update,
+    bench_cyclic_scan,
+    bench_level_pass,
+    bench_snapshot_codec,
+    bench_trace_generation,
+    bench_hot_data,
+    bench_counting_leveler,
+    bench_device_ops
+);
+criterion_main!(benches);

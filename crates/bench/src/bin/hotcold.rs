@@ -1,0 +1,79 @@
+//! Extension study: hot/cold data separation in the FTL.
+//!
+//! The paper's Figure 7 notes the FTL's baseline live-copy count is tiny
+//! because bursty hot writes cluster naturally. A hot-data identifier
+//! (multi-hash counting filter, `hotid`) makes this deliberate: hot and
+//! cold writes go to different active blocks, so blocks die together and
+//! the Cleaner copies even less. This binary measures the interaction of
+//! that technique with static wear leveling.
+//!
+//! Usage: `hotcold [quick|scaled|paper]`
+
+use flash_bench::{print_table, scale_from_args};
+use flash_sim::experiments::paper_workload;
+use flash_sim::{Simulator, StopCondition, TranslationLayer};
+use flash_trace::SegmentResampler;
+use ftl::{FtlConfig, PageMappedFtl};
+use hotid::HotDataConfig;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Hot/cold separation study on FTL (scale: {} blocks x {} pages,\n\
+         endurance {})\n",
+        scale.blocks, scale.pages_per_block, scale.endurance
+    );
+
+    let mut rows = Vec::new();
+    for (label, hot, swl) in [
+        ("plain", false, None),
+        ("+hot/cold", true, None),
+        ("+SWL", false, Some(scale.swl_config(100, 0))),
+        ("+hot/cold +SWL", true, Some(scale.swl_config(100, 0))),
+    ] {
+        let mut config = FtlConfig::default();
+        if hot {
+            config = config.with_hot_data(HotDataConfig::default());
+        }
+        let device = scale.device();
+        let mut ftl = match swl {
+            Some(s) => PageMappedFtl::with_swl(device, config, s).expect("ftl builds"),
+            None => PageMappedFtl::new(device, config).expect("ftl builds"),
+        };
+        let spec = paper_workload(TranslationLayer::logical_pages(&ftl), scale.seed);
+        let trace = spec
+            .fill_events()
+            .chain(SegmentResampler::from_spec(spec.clone(), 1234));
+        let report = Simulator::new()
+            .run(&mut ftl, trace, StopCondition::first_failure())
+            .expect("simulation runs");
+        let ff = report.first_failure.expect("device wears out");
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.4}", ff.years()),
+            format!("{:.2}", report.counters.avg_live_copies_per_gc_erase()),
+            format!(
+                "{:.3}",
+                (report.counters.host_writes + report.counters.total_live_copies()) as f64
+                    / report.counters.host_writes as f64
+            ),
+            format!("{:.1}", report.erase_stats.std_dev),
+        ]);
+    }
+    print_table(
+        &[
+            "configuration",
+            "first failure (y)",
+            "L",
+            "write amp",
+            "erase dev",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: separation groups data of similar lifetime, which lowers\n\
+         L under mixed streams (clearest at quick scale) and composes with\n\
+         SWL on first-failure time; under heavy SWL churn the cold stream's\n\
+         packed blocks can raise L even as lifetime still improves."
+    );
+}

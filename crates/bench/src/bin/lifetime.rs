@@ -1,0 +1,54 @@
+//! Device-lifetime study (extension beyond the paper): with bad-block
+//! management, a worn block is retired and the device keeps serving until
+//! writes can no longer be absorbed. How much *usable lifetime* does static
+//! wear leveling add, compared to the first-failure metric of Figure 5?
+//!
+//! Usage: `lifetime [quick|scaled|paper]`
+
+use flash_bench::{print_table, scale_from_args};
+use flash_sim::experiments::lifetime_run;
+use flash_sim::LayerKind;
+
+fn main() {
+    let scale = scale_from_args();
+    println!(
+        "Device lifetime with bad-block management\n\
+         (scale: {} blocks x {} pages, endurance {})\n",
+        scale.blocks, scale.pages_per_block, scale.endurance
+    );
+    let mut rows = Vec::new();
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for (label, swl) in [
+            ("baseline", None),
+            ("+SWL (T=100, k=0)", Some(scale.swl_config(100, 0))),
+        ] {
+            let report = lifetime_run(kind, swl, &scale).expect("simulation failed");
+            rows.push(vec![
+                format!("{kind} {label}"),
+                format!("{:.4}", report.years),
+                report
+                    .first_failure_years
+                    .map(|y| format!("{y:.4}"))
+                    .unwrap_or_else(|| "-".into()),
+                report.retired_blocks.to_string(),
+                report.host_writes.to_string(),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "configuration",
+            "lifetime (y)",
+            "first failure (y)",
+            "retired",
+            "host writes",
+        ],
+        &rows,
+    );
+    println!(
+        "\nexpected: first failure is pessimistic — the device survives many\n\
+         retirements; SWL extends both metrics, and evens wear so that when\n\
+         blocks finally start dying, they die together (more retirements in\n\
+         a shorter tail)."
+    );
+}

@@ -1,0 +1,35 @@
+//! Regenerates **Table 1**: BET RAM size for SLC flash of 128 MB – 4 GB at
+//! `k = 0..3`.
+//!
+//! Pure arithmetic — runs instantly at any scale.
+
+use flash_bench::print_table;
+use nand::Geometry;
+use swl_core::Bet;
+
+fn main() {
+    println!("Table 1: BET size for (large-block) SLC flash memory\n");
+    let capacities: [(u64, &str); 6] = [
+        (128 << 20, "128MB"),
+        (256 << 20, "256MB"),
+        (512 << 20, "512MB"),
+        (1 << 30, "1GB"),
+        (2 << 30, "2GB"),
+        (4u64 << 30, "4GB"),
+    ];
+    let mut rows = Vec::new();
+    for k in 0..=3u32 {
+        let mut row = vec![format!("k = {k}")];
+        for (bytes, _) in capacities {
+            let geometry = Geometry::large_block_slc(bytes);
+            let bet = Bet::new(geometry.blocks(), k);
+            row.push(format!("{}B", bet.ram_bytes()));
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> = std::iter::once("")
+        .chain(capacities.iter().map(|(_, label)| *label))
+        .collect();
+    print_table(&headers, &rows);
+    println!("\npaper: 128B..4096B at k=0, halving per k step (matches)");
+}

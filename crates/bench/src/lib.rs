@@ -1,0 +1,99 @@
+//! # `flash-bench` — table/figure regeneration and micro-benchmarks
+//!
+//! One binary per table and figure of the paper:
+//!
+//! | artifact | binary | kind |
+//! |---|---|---|
+//! | Table 1 (BET RAM size) | `table1` | closed-form |
+//! | Table 2 (worst-case extra erases) | `table2` | closed-form |
+//! | Table 3 (worst-case extra copies) | `table3` | closed-form |
+//! | Table 4 (erase-count statistics) | `table4` | simulation |
+//! | Figure 5 (first failure time) | `fig5` | simulation |
+//! | Figure 6 (extra block erases) | `fig6` | simulation |
+//! | Figure 7 (extra live-page copies) | `fig7` | simulation |
+//!
+//! Simulation binaries accept a scale argument: `quick` (CI smoke),
+//! `scaled` (default; minutes) or `paper` (full size; very long). Run e.g.
+//!
+//! ```text
+//! cargo run --release -p flash-bench --bin fig5 -- scaled
+//! ```
+//!
+//! Criterion micro-benchmarks live in `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use flash_sim::experiments::ExperimentScale;
+
+/// Parses the scale argument (`quick` / `scaled` / `paper`) from the
+/// command line, defaulting to `scaled`.
+///
+/// # Panics
+///
+/// Panics with a usage message on an unknown argument.
+pub fn scale_from_args() -> ExperimentScale {
+    match std::env::args().nth(1).as_deref() {
+        None | Some("scaled") => ExperimentScale::scaled(),
+        Some("quick") => ExperimentScale::quick(),
+        Some("paper") => ExperimentScale::paper(),
+        Some(other) => panic!("unknown scale {other:?}; expected quick|scaled|paper"),
+    }
+}
+
+/// Default simulation horizon for a scale: the paper's 10 years, shrunk by
+/// the same factor as the endurance so the device reaches a comparable
+/// wear state.
+pub fn default_horizon_ns(scale: &ExperimentScale) -> u64 {
+    let years = 10.0 * f64::from(scale.endurance) / 10_000.0;
+    (years * flash_sim::experiments::NANOS_PER_YEAR) as u64
+}
+
+/// Renders rows as a fixed-width text table with a header rule.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let fields: Vec<String> = cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        println!("{}", fields.join("  "));
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_scales_with_endurance() {
+        let paper = ExperimentScale::paper();
+        let scaled = ExperimentScale::scaled();
+        let ratio = default_horizon_ns(&paper) as f64 / default_horizon_ns(&scaled) as f64;
+        assert!((ratio - 10_000.0 / 512.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
+        );
+    }
+}

@@ -1,0 +1,234 @@
+//! Closed-form worst-case overhead analysis (§4 of the paper).
+//!
+//! The worst case for static wear leveling arises when the chip holds
+//! `H − 1` blocks of hot data, `C` blocks of cold data, and a single free
+//! block (`H + C` blocks in total, Figure 4): hot updates hammer the hot
+//! blocks while SWL-Procedure must pry each cold block loose exactly once
+//! per resetting interval. Sections 4.2 and 4.3 derive the resulting bounds
+//! on extra block erases and extra live-page copyings, reproduced here and
+//! checked against the paper's Tables 2 and 3.
+
+/// One (H, C, T) configuration from Table 2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EraseOverheadRow {
+    /// Hot-data blocks (including the free block), the paper's `H`.
+    pub hot_blocks: u64,
+    /// Cold-data blocks, the paper's `C`.
+    pub cold_blocks: u64,
+    /// Unevenness threshold `T`.
+    pub threshold: u64,
+    /// Worst-case increased ratio of block erases, as a fraction (0.00946 ⇒
+    /// 0.946 %).
+    pub increased_ratio: f64,
+}
+
+/// One (H, C, T, L) configuration from Table 3.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyOverheadRow {
+    /// Hot-data blocks, the paper's `H`.
+    pub hot_blocks: u64,
+    /// Cold-data blocks, the paper's `C`.
+    pub cold_blocks: u64,
+    /// Unevenness threshold `T`.
+    pub threshold: u64,
+    /// Average live pages copied per regular GC erase, the paper's `L`.
+    pub avg_live_copies: f64,
+    /// Pages per block, the paper's `N`.
+    pub pages_per_block: u64,
+    /// Worst-case increased ratio of live-page copyings, as a fraction.
+    pub increased_ratio: f64,
+}
+
+/// Worst-case increased ratio of block erases due to static wear leveling
+/// (§4.2): `C / (T·(H+C) − C)`.
+///
+/// # Panics
+///
+/// Panics if the denominator is not positive (i.e. `T·(H+C) ≤ C`, which
+/// cannot occur for `T ≥ 1`).
+///
+/// # Example
+///
+/// ```
+/// use swl_core::analysis::worst_case_erase_ratio;
+///
+/// // First row of Table 2: H=256, C=3840, T=100 → 0.946 %.
+/// let ratio = worst_case_erase_ratio(256, 3840, 100);
+/// assert!((ratio * 100.0 - 0.946).abs() < 5e-4);
+/// ```
+pub fn worst_case_erase_ratio(hot_blocks: u64, cold_blocks: u64, threshold: u64) -> f64 {
+    let interval_erases = threshold * (hot_blocks + cold_blocks);
+    assert!(
+        interval_erases > cold_blocks,
+        "degenerate configuration: T*(H+C) must exceed C"
+    );
+    cold_blocks as f64 / (interval_erases - cold_blocks) as f64
+}
+
+/// Worst-case increased ratio of live-page copyings due to static wear
+/// leveling (§4.3): `C·N / ((T·(H+C) − C)·L)`.
+///
+/// `avg_live_copies` is `L`, the average number of live pages copied when
+/// the Cleaner erases a block of hot data; `pages_per_block` is `N`, the
+/// pages moved when SWL evicts a cold block (all of them, since cold data is
+/// fully live).
+///
+/// # Panics
+///
+/// Panics if `avg_live_copies` is not positive or the erase denominator is
+/// degenerate (see [`worst_case_erase_ratio`]).
+///
+/// # Example
+///
+/// ```
+/// use swl_core::analysis::worst_case_copy_ratio;
+///
+/// // First row of Table 3: H=256, C=3840, T=100, L=16, N=128 → 7.572 %.
+/// let ratio = worst_case_copy_ratio(256, 3840, 100, 16.0, 128);
+/// assert!((ratio * 100.0 - 7.572).abs() < 5e-3);
+/// ```
+pub fn worst_case_copy_ratio(
+    hot_blocks: u64,
+    cold_blocks: u64,
+    threshold: u64,
+    avg_live_copies: f64,
+    pages_per_block: u64,
+) -> f64 {
+    assert!(avg_live_copies > 0.0, "L must be positive");
+    let interval_erases = threshold * (hot_blocks + cold_blocks);
+    assert!(
+        interval_erases > cold_blocks,
+        "degenerate configuration: T*(H+C) must exceed C"
+    );
+    (cold_blocks * pages_per_block) as f64
+        / ((interval_erases - cold_blocks) as f64 * avg_live_copies)
+}
+
+/// The four configurations of Table 2 (1 GB MLC×2 chip, 4096 blocks).
+pub fn table2_rows() -> Vec<EraseOverheadRow> {
+    [
+        (256u64, 3840u64, 100u64),
+        (2048, 2048, 100),
+        (256, 3840, 1000),
+        (2048, 2048, 1000),
+    ]
+    .into_iter()
+    .map(|(h, c, t)| EraseOverheadRow {
+        hot_blocks: h,
+        cold_blocks: c,
+        threshold: t,
+        increased_ratio: worst_case_erase_ratio(h, c, t),
+    })
+    .collect()
+}
+
+/// The eight configurations of Table 3 (`N = 128` pages per block).
+pub fn table3_rows() -> Vec<CopyOverheadRow> {
+    let configs: [(u64, u64, u64, f64); 8] = [
+        (256, 3840, 100, 16.0),
+        (2048, 2048, 100, 16.0),
+        (256, 3840, 100, 32.0),
+        (2048, 2048, 100, 32.0),
+        (256, 3840, 1000, 16.0),
+        (2048, 2048, 1000, 16.0),
+        (256, 3840, 1000, 32.0),
+        (2048, 2048, 1000, 32.0),
+    ];
+    configs
+        .into_iter()
+        .map(|(h, c, t, l)| CopyOverheadRow {
+            hot_blocks: h,
+            cold_blocks: c,
+            threshold: t,
+            avg_live_copies: l,
+            pages_per_block: 128,
+            increased_ratio: worst_case_copy_ratio(h, c, t, l, 128),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Expected percentages from Table 2 of the paper.
+    const TABLE2_EXPECTED: [f64; 4] = [0.946, 0.503, 0.094, 0.050];
+
+    /// Exact-formula percentages for the Table 3 configurations.
+    ///
+    /// The paper's printed numbers deviate slightly from the exact formula
+    /// it derives: rows 2 and 4 print 4.002 % / 2.001 % where the formula
+    /// gives 4.020 % / 2.010 % (digit transpositions), and the T = 1000
+    /// rows are simply the T = 100 rows divided by ten (the paper's own
+    /// `T(H+C) ≫ C` approximation). We assert the exact values; the paper's
+    /// figures agree within 0.01 percentage points everywhere else.
+    const TABLE3_EXPECTED: [f64; 8] = [7.571, 4.020, 3.786, 2.010, 0.751, 0.400, 0.375, 0.200];
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2_rows();
+        assert_eq!(rows.len(), 4);
+        for (row, expected) in rows.iter().zip(TABLE2_EXPECTED) {
+            let pct = row.increased_ratio * 100.0;
+            assert!(
+                (pct - expected).abs() < 5e-3,
+                "H={} C={} T={}: got {pct:.3}%, paper says {expected}%",
+                row.hot_blocks,
+                row.cold_blocks,
+                row.threshold
+            );
+        }
+    }
+
+    #[test]
+    fn table3_matches_paper() {
+        let rows = table3_rows();
+        assert_eq!(rows.len(), 8);
+        for (row, expected) in rows.iter().zip(TABLE3_EXPECTED) {
+            let pct = row.increased_ratio * 100.0;
+            assert!(
+                (pct - expected).abs() < 5e-3,
+                "H={} C={} T={} L={}: got {pct:.3}%, paper says {expected}%",
+                row.hot_blocks,
+                row.cold_blocks,
+                row.threshold,
+                row.avg_live_copies
+            );
+        }
+    }
+
+    #[test]
+    fn erase_ratio_decreases_with_threshold() {
+        let low_t = worst_case_erase_ratio(256, 3840, 100);
+        let high_t = worst_case_erase_ratio(256, 3840, 1000);
+        assert!(high_t < low_t, "larger T triggers SWL less often");
+    }
+
+    #[test]
+    fn copy_ratio_scales_inversely_with_l() {
+        let l16 = worst_case_copy_ratio(256, 3840, 100, 16.0, 128);
+        let l32 = worst_case_copy_ratio(256, 3840, 100, 32.0, 128);
+        assert!((l16 / l32 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn approximation_in_paper_is_close() {
+        // The paper approximates C/(T(H+C)−C) ≈ C/(T(H+C)) when T(H+C) ≫ C.
+        let exact = worst_case_erase_ratio(256, 3840, 1000);
+        let approx = 3840.0 / (1000.0 * 4096.0);
+        assert!((exact - approx).abs() / exact < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate")]
+    fn degenerate_configuration_rejected() {
+        // T=1, H=0 ⇒ T(H+C) == C.
+        worst_case_erase_ratio(0, 10, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "L must be positive")]
+    fn zero_l_rejected() {
+        worst_case_copy_ratio(10, 10, 10, 0.0, 128);
+    }
+}

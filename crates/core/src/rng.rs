@@ -1,0 +1,85 @@
+//! A tiny deterministic PRNG for `findex` randomisation.
+//!
+//! The paper only needs "a randomly selected block set" after each BET reset
+//! (Algorithm 1, step 6). A SplitMix64 keeps the crate dependency-free and
+//! bit-for-bit reproducible across platforms — exactly what a firmware
+//! implementation would ship.
+
+/// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 pseudo-random bits.
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)` via rejection-free Lemire reduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub(crate) fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for bound in [1u64, 2, 3, 10, 1000] {
+            for _ in 0..200 {
+                assert!(rng.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut rng = SplitMix64::new(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.next_below(4) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn zero_bound_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

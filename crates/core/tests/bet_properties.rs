@@ -1,0 +1,76 @@
+//! Property tests of the Block Erasing Table.
+
+use proptest::prelude::*;
+use swl_core::Bet;
+
+proptest! {
+    /// `fcnt` always equals the number of distinct flags marked, for any
+    /// block count, group factor and mark sequence.
+    #[test]
+    fn fcnt_counts_distinct_flags(
+        blocks in 1u32..2000,
+        k in 0u32..8,
+        marks in prop::collection::vec(any::<u32>(), 0..300),
+    ) {
+        let mut bet = Bet::new(blocks, k);
+        let mut distinct = std::collections::HashSet::new();
+        for m in marks {
+            let block = m % blocks;
+            let newly = bet.mark(block);
+            let first_time = distinct.insert(block >> k);
+            prop_assert_eq!(newly, first_time);
+        }
+        prop_assert_eq!(bet.fcnt(), distinct.len());
+        prop_assert_eq!(bet.all_set(), distinct.len() == bet.flags());
+    }
+
+    /// `next_clear` returns the first clear flag in cyclic order, matching
+    /// a naive linear reference implementation.
+    #[test]
+    fn next_clear_matches_reference(
+        blocks in 1u32..300,
+        k in 0u32..4,
+        marks in prop::collection::vec(any::<u32>(), 0..200),
+        from in any::<usize>(),
+    ) {
+        let mut bet = Bet::new(blocks, k);
+        for m in marks {
+            bet.mark(m % blocks);
+        }
+        let flags = bet.flags();
+        let from = from % flags;
+        let reference = (0..flags)
+            .map(|i| (from + i) % flags)
+            .find(|&f| !bet.test(f));
+        prop_assert_eq!(bet.next_clear(from), reference);
+    }
+
+    /// Reset restores the pristine state.
+    #[test]
+    fn reset_is_complete(
+        blocks in 1u32..500,
+        k in 0u32..6,
+        marks in prop::collection::vec(any::<u32>(), 0..100),
+    ) {
+        let mut bet = Bet::new(blocks, k);
+        for m in marks {
+            bet.mark(m % blocks);
+        }
+        bet.reset();
+        prop_assert_eq!(bet.fcnt(), 0);
+        for f in 0..bet.flags() {
+            prop_assert!(!bet.test(f));
+        }
+        prop_assert_eq!(bet.next_clear(0), Some(0));
+    }
+
+    /// The RAM footprint is exactly ceil(flags / 8) bytes and halves (up to
+    /// rounding) per k increment.
+    #[test]
+    fn ram_footprint_formula(blocks in 1u32..100_000, k in 0u32..10) {
+        let bet = Bet::new(blocks, k);
+        let expected_flags = ((u64::from(blocks) + (1 << k) - 1) >> k) as usize;
+        prop_assert_eq!(bet.flags(), expected_flags);
+        prop_assert_eq!(bet.ram_bytes(), expected_flags.div_ceil(8));
+    }
+}

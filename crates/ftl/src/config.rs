@@ -1,0 +1,120 @@
+//! FTL configuration.
+
+use hotid::HotDataConfig;
+
+/// Tunables of the page-mapping FTL.
+///
+/// # Example
+///
+/// ```
+/// use ftl::FtlConfig;
+///
+/// let config = FtlConfig::default().with_overprovision_blocks(4);
+/// assert_eq!(config.overprovision_blocks, 4);
+/// assert_eq!(config.gc_free_fraction, 0.002);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtlConfig {
+    /// Physical blocks withheld from the logical capacity. The paper exports
+    /// the full chip (0), which works because its workload writes only
+    /// 36.62 % of the LBA space; raise this when running near-full
+    /// workloads.
+    pub overprovision_blocks: u32,
+    /// Garbage collection triggers when free blocks fall below this fraction
+    /// of all blocks (paper: 0.2 %).
+    pub gc_free_fraction: f64,
+    /// Hard floor of free blocks the Cleaner maintains regardless of the
+    /// fraction (safety margin for relocation during GC).
+    pub min_free_blocks: u32,
+    /// Enables hot/cold data separation: writes classified hot by a
+    /// [`hotid::MultiHashIdentifier`] go to their own active block, so
+    /// blocks fill with data of similar lifetime and the garbage collector
+    /// copies fewer live pages.
+    pub hot_data: Option<HotDataConfig>,
+}
+
+impl FtlConfig {
+    /// The paper's configuration: no overprovisioning, 0.2 % GC trigger.
+    pub fn new() -> Self {
+        Self {
+            overprovision_blocks: 0,
+            gc_free_fraction: 0.002,
+            min_free_blocks: 2,
+            hot_data: None,
+        }
+    }
+
+    /// Replaces the overprovisioning reserve.
+    pub fn with_overprovision_blocks(mut self, blocks: u32) -> Self {
+        self.overprovision_blocks = blocks;
+        self
+    }
+
+    /// Replaces the GC trigger fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction < 1.0`.
+    pub fn with_gc_free_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "gc fraction must be in [0, 1)"
+        );
+        self.gc_free_fraction = fraction;
+        self
+    }
+
+    /// Enables hot/cold separation with the given identifier settings.
+    pub fn with_hot_data(mut self, hot_data: HotDataConfig) -> Self {
+        self.hot_data = Some(hot_data);
+        self
+    }
+
+    /// Free blocks the Cleaner must maintain for a chip of `blocks` blocks.
+    /// One extra block is reserved when hot/cold separation runs two active
+    /// blocks.
+    pub fn free_target(&self, blocks: u32) -> u32 {
+        let frac = (f64::from(blocks) * self.gc_free_fraction).ceil() as u32;
+        let floor = if self.hot_data.is_some() {
+            self.min_free_blocks + 1
+        } else {
+            self.min_free_blocks
+        };
+        frac.max(floor)
+    }
+}
+
+impl Default for FtlConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = FtlConfig::default();
+        assert_eq!(c.overprovision_blocks, 0);
+        assert_eq!(c.gc_free_fraction, 0.002);
+    }
+
+    #[test]
+    fn free_target_matches_paper_scale() {
+        // 4096 blocks × 0.2 % = 8.192 → 9 blocks.
+        assert_eq!(FtlConfig::default().free_target(4096), 9);
+    }
+
+    #[test]
+    fn free_target_floors_at_min() {
+        assert_eq!(FtlConfig::default().free_target(16), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gc fraction")]
+    fn bad_fraction_rejected() {
+        FtlConfig::default().with_gc_free_fraction(1.0);
+    }
+}

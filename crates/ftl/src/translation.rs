@@ -1,0 +1,988 @@
+//! The page-mapping translation layer: allocator, cleaner, SWL hook.
+
+use hotid::MultiHashIdentifier;
+use nand::{NandDevice, PageAddr, SpareArea};
+use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
+
+use crate::config::FtlConfig;
+use crate::counters::FtlCounters;
+use crate::error::FtlError;
+
+/// Sentinel for "logical page unmapped" in the translation table.
+const UNMAPPED: u32 = u32::MAX;
+
+/// Which active block a write is steered to under hot/cold separation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stream {
+    Cold,
+    Hot,
+}
+
+/// Core FTL state. Split from [`PageMappedFtl`] so the SW Leveler can borrow
+/// it as a [`SwlCleaner`] while the leveler itself lives next to it.
+#[derive(Debug)]
+pub(crate) struct Inner {
+    device: NandDevice,
+    config: FtlConfig,
+    logical_pages: u64,
+    /// Logical page → flat physical page index (`UNMAPPED` when unmapped).
+    map: Vec<u32>,
+    /// Log-structured write frontier: `(block, next free page)`.
+    frontier: Option<(u32, u32)>,
+    /// Second frontier for hot data under hot/cold separation.
+    hot_frontier: Option<(u32, u32)>,
+    /// On-line hot-data identifier, when separation is enabled.
+    hot: Option<MultiHashIdentifier>,
+    /// Free (erased) blocks, unordered; allocation picks the lowest wear.
+    free: Vec<u32>,
+    is_free: Vec<bool>,
+    /// Cyclic cursor of the greedy victim scan.
+    gc_scan: u32,
+    free_target: u32,
+    counters: FtlCounters,
+    /// While set, erases and copies are attributed to static wear leveling.
+    in_swl: bool,
+    /// Blocks retired by bad-block management (wear-out under
+    /// `WearPolicy::FailWornBlocks`); never allocated or collected again.
+    retired: Vec<bool>,
+}
+
+impl Inner {
+    fn new(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        let geometry = device.geometry();
+        let blocks = geometry.blocks();
+        assert!(
+            geometry.total_pages() < u64::from(u32::MAX),
+            "device too large for the u32 translation table"
+        );
+        let overprovision = config.overprovision_blocks.min(blocks.saturating_sub(1));
+        let logical_pages =
+            u64::from(blocks - overprovision) * u64::from(geometry.pages_per_block());
+        let free_target = config.free_target(blocks);
+        let hot = match config.hot_data {
+            Some(hd) => Some(MultiHashIdentifier::new(hd).map_err(FtlError::HotData)?),
+            None => None,
+        };
+        Ok(Self {
+            map: vec![UNMAPPED; logical_pages as usize],
+            free: (0..blocks).collect(),
+            is_free: vec![true; blocks as usize],
+            frontier: None,
+            hot_frontier: None,
+            hot,
+            gc_scan: 0,
+            free_target,
+            counters: FtlCounters::default(),
+            logical_pages,
+            retired: vec![false; blocks as usize],
+            device,
+            config,
+            in_swl: false,
+        })
+    }
+
+    /// Rebuilds the translation table from the spare areas of an existing
+    /// chip — the firmware mount path. Partially written blocks are left
+    /// closed (their free pages are reclaimed when GC erases them); the
+    /// write frontier restarts on a fresh block.
+    fn mount(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        let mut inner = Self::new(device, config)?;
+        inner.free.clear();
+        let geometry = inner.device.geometry();
+        for b in 0..geometry.blocks() {
+            let block = inner.device.block(b);
+            if block.valid_pages() == 0 && block.invalid_pages() == 0 {
+                inner.is_free[b as usize] = true;
+                inner.free.push(b);
+                continue;
+            }
+            inner.is_free[b as usize] = false;
+            for (page, state) in block.page_states() {
+                if !state.is_valid() {
+                    continue;
+                }
+                let addr = PageAddr::new(b, page);
+                let lba = block
+                    .spare(page)
+                    .lba()
+                    .ok_or(FtlError::CorruptSpare { addr })?;
+                if lba >= inner.logical_pages {
+                    return Err(FtlError::CorruptSpare { addr });
+                }
+                if inner.map[lba as usize] != UNMAPPED {
+                    return Err(FtlError::MountConflict { lba });
+                }
+                inner.map[lba as usize] = addr.flat_index(&geometry) as u32;
+            }
+        }
+        Ok(inner)
+    }
+
+    fn host_write(&mut self, lba: u64, data: u64, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        if lba >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.logical_pages,
+            });
+        }
+        match self.ensure_space(erased) {
+            Ok(()) => {}
+            // Below the free target with nothing reclaimable yet: keep
+            // writing into the reserve and fail only when allocation is
+            // truly impossible.
+            Err(FtlError::NoReclaimableSpace) => {
+                let pages_per_block = self.device.geometry().pages_per_block();
+                let frontier_has_room = matches!(self.frontier, Some((_, p)) if p < pages_per_block)
+                    || matches!(self.hot_frontier, Some((_, p)) if p < pages_per_block);
+                if !frontier_has_room && self.free.is_empty() {
+                    return Err(FtlError::NoReclaimableSpace);
+                }
+            }
+            Err(other) => return Err(other),
+        }
+        let stream = match self.hot.as_mut() {
+            Some(identifier) => {
+                if identifier.record_write(lba) {
+                    Stream::Hot
+                } else {
+                    Stream::Cold
+                }
+            }
+            None => Stream::Cold,
+        };
+        let dst = self.alloc_page(stream)?;
+        self.device.program(dst, data, SpareArea::valid(lba))?;
+        let old = self.map[lba as usize];
+        if old != UNMAPPED {
+            let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(old));
+            self.device.invalidate(addr)?;
+        }
+        self.map[lba as usize] = dst.flat_index(&self.device.geometry()) as u32;
+        self.counters.host_writes += 1;
+        Ok(())
+    }
+
+    fn host_read(&mut self, lba: u64) -> Result<Option<u64>, FtlError> {
+        if lba >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.logical_pages,
+            });
+        }
+        self.counters.host_reads += 1;
+        let entry = self.map[lba as usize];
+        if entry == UNMAPPED {
+            return Ok(None);
+        }
+        let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(entry));
+        Ok(Some(self.device.read(addr)?.data))
+    }
+
+    fn host_trim(&mut self, lba: u64) -> Result<(), FtlError> {
+        if lba >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.logical_pages,
+            });
+        }
+        let entry = self.map[lba as usize];
+        if entry != UNMAPPED {
+            let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(entry));
+            self.device.invalidate(addr)?;
+            self.map[lba as usize] = UNMAPPED;
+        }
+        self.counters.trims += 1;
+        Ok(())
+    }
+
+    /// Runs the Cleaner until the free pool meets its target (the paper's
+    /// "free blocks under 0.2 %" trigger).
+    fn ensure_space(&mut self, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        let mut guard = 0u32;
+        while (self.free.len() as u32) < self.free_target {
+            self.collect_one(erased)?;
+            guard += 1;
+            if guard > self.device.geometry().blocks() * 2 {
+                return Err(FtlError::FreeExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Next free page of the stream's frontier, opening a fresh block when
+    /// needed. Hot/cold separation keeps two active blocks; without it
+    /// everything flows through the cold frontier.
+    fn alloc_page(&mut self, stream: Stream) -> Result<PageAddr, FtlError> {
+        let pages_per_block = self.device.geometry().pages_per_block();
+        let frontier = match stream {
+            Stream::Cold => &mut self.frontier,
+            Stream::Hot => &mut self.hot_frontier,
+        };
+        match *frontier {
+            Some((block, page)) if page < pages_per_block => {
+                *frontier = Some((block, page + 1));
+                Ok(PageAddr::new(block, page))
+            }
+            _ => {
+                let block = self.pop_freshest_free()?;
+                let frontier = match stream {
+                    Stream::Cold => &mut self.frontier,
+                    Stream::Hot => &mut self.hot_frontier,
+                };
+                *frontier = Some((block, 1));
+                Ok(PageAddr::new(block, 0))
+            }
+        }
+    }
+
+    /// Pops the free block with the lowest erase count — the dynamic wear
+    /// leveling policy of the paper's Cleaner.
+    fn pop_freshest_free(&mut self) -> Result<u32, FtlError> {
+        if self.free.is_empty() {
+            return Err(FtlError::FreeExhausted);
+        }
+        let mut best = 0usize;
+        let mut best_wear = u64::MAX;
+        for (i, &b) in self.free.iter().enumerate() {
+            let wear = self.device.block(b).erase_count();
+            if wear < best_wear {
+                best_wear = wear;
+                best = i;
+            }
+        }
+        let block = self.free.swap_remove(best);
+        self.is_free[block as usize] = false;
+        Ok(block)
+    }
+
+    /// Greedy cost/benefit victim selection by cyclic scan: the first block
+    /// whose invalid pages (benefit) outnumber its valid pages (cost); if
+    /// none qualifies, the block with the most invalid pages.
+    fn select_victim(&mut self) -> Result<u32, FtlError> {
+        let blocks = self.device.geometry().blocks();
+        let frontier_block = self.frontier.map(|(b, _)| b);
+        let hot_frontier_block = self.hot_frontier.map(|(b, _)| b);
+        let mut fallback: Option<(u32, u32)> = None; // (invalid, block)
+        for step in 0..blocks {
+            let b = (self.gc_scan + step) % blocks;
+            if self.is_free[b as usize]
+                || self.retired[b as usize]
+                || Some(b) == frontier_block
+                || Some(b) == hot_frontier_block
+            {
+                continue;
+            }
+            let blk = self.device.block(b);
+            let invalid = blk.invalid_pages();
+            if invalid == 0 {
+                continue;
+            }
+            if invalid > blk.valid_pages() {
+                self.gc_scan = (b + 1) % blocks;
+                return Ok(b);
+            }
+            if fallback.is_none_or(|(best, _)| invalid > best) {
+                fallback = Some((invalid, b));
+            }
+        }
+        if let Some((_, b)) = fallback {
+            self.gc_scan = (b + 1) % blocks;
+            return Ok(b);
+        }
+        // Last resort: a frontier itself may be the only block holding
+        // invalid pages (tiny chips, trim-heavy workloads). Close it and
+        // recycle it.
+        if let Some(b) = frontier_block {
+            if self.device.block(b).invalid_pages() > 0 {
+                self.frontier = None;
+                self.gc_scan = (b + 1) % blocks;
+                return Ok(b);
+            }
+        }
+        if let Some(b) = hot_frontier_block {
+            if self.device.block(b).invalid_pages() > 0 {
+                self.hot_frontier = None;
+                self.gc_scan = (b + 1) % blocks;
+                return Ok(b);
+            }
+        }
+        Err(FtlError::NoReclaimableSpace)
+    }
+
+    fn collect_one(&mut self, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        let victim = self.select_victim()?;
+        self.counters.gc_collections += 1;
+        self.relocate_and_erase(victim, erased)
+    }
+
+    /// Copies every valid page out of `victim`, erases it and returns it to
+    /// the free pool. Erases are appended to `erased` for SWL-BETUpdate.
+    fn relocate_and_erase(&mut self, victim: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        if self.frontier.map(|(b, _)| b) == Some(victim) {
+            // Only reachable through the SW Leveler (regular GC skips the
+            // frontiers); abandon the remaining free pages of the frontier.
+            self.frontier = None;
+        }
+        if self.hot_frontier.map(|(b, _)| b) == Some(victim) {
+            self.hot_frontier = None;
+        }
+        let geometry = self.device.geometry();
+        for page in 0..geometry.pages_per_block() {
+            if !self.device.block(victim).page_state(page).is_valid() {
+                continue;
+            }
+            let src = PageAddr::new(victim, page);
+            let content = self.device.read(src)?;
+            let lba = content
+                .spare
+                .lba()
+                .ok_or(FtlError::CorruptSpare { addr: src })?;
+            // GC survivors are cold by construction: they outlived their
+            // whole block.
+            let dst = self.alloc_page(Stream::Cold)?;
+            self.device
+                .program(dst, content.data, SpareArea::valid(lba))?;
+            self.device.invalidate(src)?;
+            self.map[lba as usize] = dst.flat_index(&geometry) as u32;
+            if self.in_swl {
+                self.counters.swl_live_copies += 1;
+            } else {
+                self.counters.gc_live_copies += 1;
+            }
+        }
+        self.erase_and_free(victim, erased)
+    }
+
+    /// Erases `block` (which must hold no valid pages) and returns it to the
+    /// free pool. A block that refuses to erase because it is worn out
+    /// (under [`nand::WearPolicy::FailWornBlocks`]) is retired instead —
+    /// removed from circulation with its stale contents left in place.
+    fn erase_and_free(&mut self, block: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        debug_assert_eq!(self.device.block(block).valid_pages(), 0);
+        match self.device.erase(block) {
+            Ok(()) => {}
+            Err(nand::NandError::BlockWornOut { .. }) => {
+                self.retire(block);
+                return Ok(());
+            }
+            Err(other) => return Err(other.into()),
+        }
+        if self.in_swl {
+            self.counters.swl_erases += 1;
+        } else {
+            self.counters.gc_erases += 1;
+        }
+        if !self.is_free[block as usize] {
+            self.is_free[block as usize] = true;
+            self.free.push(block);
+        }
+        erased.push(block);
+        Ok(())
+    }
+
+    fn retire(&mut self, block: u32) {
+        self.retired[block as usize] = true;
+        if self.is_free[block as usize] {
+            self.is_free[block as usize] = false;
+            self.free.retain(|&b| b != block);
+        }
+        self.counters.retired_blocks += 1;
+    }
+
+    /// Debug audit: every mapped page is valid on-device with a matching
+    /// spare-area LBA, and no two LBAs share a physical page.
+    #[cfg(test)]
+    fn check_consistency(&mut self) {
+        let geometry = self.device.geometry();
+        let mut seen = std::collections::HashSet::new();
+        for (lba, &entry) in self.map.iter().enumerate() {
+            if entry == UNMAPPED {
+                continue;
+            }
+            assert!(seen.insert(entry), "two lbas map to flat page {entry}");
+            let addr = PageAddr::from_flat_index(&geometry, u64::from(entry));
+            assert!(
+                self.device
+                    .block(addr.block)
+                    .page_state(addr.page)
+                    .is_valid(),
+                "lba {lba} maps to non-valid page {addr}"
+            );
+            let spare = self.device.block(addr.block).spare(addr.page);
+            assert_eq!(spare.lba(), Some(lba as u64), "spare mismatch at {addr}");
+        }
+    }
+}
+
+impl SwlCleaner for Inner {
+    type Error = FtlError;
+
+    /// Garbage-collects the requested block set for the SW Leveler: data
+    /// blocks are relocated and erased, free blocks are erased in place
+    /// (touching them both levels their wear and sets their BET flag).
+    fn erase_block_set(
+        &mut self,
+        first_block: u32,
+        count: u32,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), FtlError> {
+        self.in_swl = true;
+        let result = (|| {
+            let blocks = self.device.geometry().blocks();
+            for b in first_block..(first_block + count).min(blocks) {
+                if self.retired[b as usize] {
+                    continue;
+                }
+                if self.frontier.map(|(fb, _)| fb) == Some(b) {
+                    self.frontier = None;
+                }
+                if self.hot_frontier.map(|(fb, _)| fb) == Some(b) {
+                    self.hot_frontier = None;
+                }
+                if !self.is_free[b as usize] {
+                    // Relocation needs at least one free block to copy into.
+                    if self.free.is_empty() {
+                        self.collect_one(erased)?;
+                    }
+                    if !self.is_free[b as usize] {
+                        self.relocate_and_erase(b, erased)?;
+                        continue;
+                    }
+                }
+                // Free block: erase in place.
+                self.erase_and_free(b, erased)?;
+            }
+            Ok(())
+        })();
+        self.in_swl = false;
+        result
+    }
+}
+
+/// A page-mapping FTL with an optional static wear leveler.
+///
+/// See the [crate-level documentation](crate) for the design and an example.
+#[derive(Debug)]
+pub struct PageMappedFtl {
+    inner: Inner,
+    swl: Option<SwLeveler>,
+    erased_buf: Vec<u32>,
+}
+
+impl PageMappedFtl {
+    /// Builds an FTL over `device` without static wear leveling.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice, but reserved for configuration
+    /// validation.
+    pub fn new(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        Ok(Self {
+            inner: Inner::new(device, config)?,
+            swl: None,
+            erased_buf: Vec::new(),
+        })
+    }
+
+    /// Builds an FTL with the SW Leveler attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::Swl`] when the leveler configuration is invalid.
+    pub fn with_swl(
+        device: NandDevice,
+        config: FtlConfig,
+        swl_config: SwlConfig,
+    ) -> Result<Self, FtlError> {
+        let blocks = device.geometry().blocks();
+        let swl = SwLeveler::new(blocks, swl_config)?;
+        let mut ftl = Self::new(device, config)?;
+        ftl.swl = Some(swl);
+        Ok(ftl)
+    }
+
+    /// Re-attaches a previously used chip, rebuilding the translation table
+    /// from the spare areas on flash — the firmware mount path. Pair with
+    /// [`PageMappedFtl::into_device`] to simulate power cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::CorruptSpare`] or [`FtlError::MountConflict`]
+    /// when the on-flash state is not a consistent FTL layout.
+    pub fn mount(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+        Ok(Self {
+            inner: Inner::mount(device, config)?,
+            swl: None,
+            erased_buf: Vec::new(),
+        })
+    }
+
+    /// Shuts the layer down, returning the chip (with all its data and
+    /// wear) for a later [`PageMappedFtl::mount`].
+    pub fn into_device(self) -> NandDevice {
+        self.inner.device
+    }
+
+    /// Attaches (or replaces) a pre-built SW Leveler, e.g. one restored from
+    /// a [`swl_core::persist::DualBuffer`] snapshot.
+    pub fn attach_swl(&mut self, swl: SwLeveler) {
+        self.swl = Some(swl);
+    }
+
+    /// Writes `data` to logical page `lba` (out-of-place), then gives the
+    /// SW Leveler a chance to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] for bad addresses and propagates
+    /// garbage-collection failures ([`FtlError::NoReclaimableSpace`] when
+    /// the logical space is over-committed).
+    pub fn write(&mut self, lba: u64, data: u64) -> Result<(), FtlError> {
+        let mut erased = std::mem::take(&mut self.erased_buf);
+        erased.clear();
+        let result = self.inner.host_write(lba, data, &mut erased);
+        let follow_up = self.notify_swl(&erased);
+        self.erased_buf = erased;
+        result.and(follow_up)
+    }
+
+    /// Reads logical page `lba`; `None` when it has never been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] for bad addresses.
+    pub fn read(&mut self, lba: u64) -> Result<Option<u64>, FtlError> {
+        self.inner.host_read(lba)
+    }
+
+    /// Discards logical page `lba` (TRIM): subsequent reads return `None`
+    /// and the physical page becomes reclaimable without a copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FtlError::LbaOutOfRange`] for bad addresses.
+    pub fn trim(&mut self, lba: u64) -> Result<(), FtlError> {
+        self.inner.host_trim(lba)
+    }
+
+    /// Feeds erases to SWL-BETUpdate and invokes SWL-Procedure when needed.
+    fn notify_swl(&mut self, erased: &[u32]) -> Result<(), FtlError> {
+        let Some(swl) = self.swl.as_mut() else {
+            return Ok(());
+        };
+        for &b in erased {
+            swl.note_erase(b);
+        }
+        if swl.needs_leveling() {
+            swl.level(&mut self.inner)?;
+        }
+        Ok(())
+    }
+
+    /// Forces garbage collection over a block range, as an external wear
+    /// leveling policy (e.g. [`swl_core::counting::CountingLeveler`]) would:
+    /// live data is relocated, the blocks are erased, and any attached SW
+    /// Leveler is notified of the erases. Returns the number of blocks
+    /// erased.
+    ///
+    /// # Errors
+    ///
+    /// Propagates garbage-collection failures.
+    pub fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, FtlError> {
+        let mut erased = std::mem::take(&mut self.erased_buf);
+        erased.clear();
+        let result = self.inner.erase_block_set(first_block, count, &mut erased);
+        let erase_count = erased.len() as u64;
+        let follow_up = self.notify_swl(&erased);
+        self.erased_buf = erased;
+        result.and(follow_up)?;
+        Ok(erase_count)
+    }
+
+    /// Manually invokes SWL-Procedure (e.g. from a timer), returning what it
+    /// did. A no-op returning [`LevelOutcome::Idle`] without a leveler.
+    ///
+    /// # Errors
+    ///
+    /// Propagates garbage-collection failures.
+    pub fn run_swl(&mut self) -> Result<LevelOutcome, FtlError> {
+        match self.swl.as_mut() {
+            Some(swl) => swl.level(&mut self.inner),
+            None => Ok(LevelOutcome::Idle),
+        }
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.inner.logical_pages
+    }
+
+    /// The underlying device (erase counts, busy time, failure record).
+    pub fn device(&self) -> &NandDevice {
+        &self.inner.device
+    }
+
+    /// Attribution counters.
+    pub fn counters(&self) -> FtlCounters {
+        self.inner.counters
+    }
+
+    /// The attached SW Leveler, if any.
+    pub fn swl(&self) -> Option<&SwLeveler> {
+        self.swl.as_ref()
+    }
+
+    /// The hot-data identifier, when hot/cold separation is enabled.
+    pub fn hot_data(&self) -> Option<&MultiHashIdentifier> {
+        self.inner.hot.as_ref()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> FtlConfig {
+        self.inner.config
+    }
+
+    /// Fraction of physical pages currently holding valid data.
+    pub fn utilization(&self) -> f64 {
+        let geometry = self.inner.device.geometry();
+        let valid: u64 = (0..geometry.blocks())
+            .map(|b| u64::from(self.inner.device.block(b).valid_pages()))
+            .sum();
+        valid as f64 / geometry.total_pages() as f64
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_consistency(&mut self) {
+        self.inner.check_consistency();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand::{CellKind, Geometry};
+
+    fn device(blocks: u32, pages: u32) -> NandDevice {
+        NandDevice::new(
+            Geometry::new(blocks, pages, 2048),
+            CellKind::Mlc2.spec().with_endurance(1_000_000),
+        )
+    }
+
+    fn plain_ftl(blocks: u32, pages: u32) -> PageMappedFtl {
+        PageMappedFtl::new(device(blocks, pages), FtlConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn read_your_writes() {
+        let mut ftl = plain_ftl(8, 4);
+        ftl.write(3, 111).unwrap();
+        ftl.write(5, 222).unwrap();
+        assert_eq!(ftl.read(3).unwrap(), Some(111));
+        assert_eq!(ftl.read(5).unwrap(), Some(222));
+        assert_eq!(ftl.read(0).unwrap(), None);
+    }
+
+    #[test]
+    fn updates_are_out_of_place() {
+        let mut ftl = plain_ftl(8, 4);
+        ftl.write(1, 1).unwrap();
+        ftl.write(1, 2).unwrap();
+        ftl.write(1, 3).unwrap();
+        assert_eq!(ftl.read(1).unwrap(), Some(3));
+        // Three programs happened; two pages are now invalid.
+        let invalid: u32 = (0..8).map(|b| ftl.device().block(b).invalid_pages()).sum();
+        assert_eq!(invalid, 2);
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn lba_bounds_enforced() {
+        let mut ftl = plain_ftl(4, 4);
+        let max = ftl.logical_pages();
+        assert!(matches!(
+            ftl.write(max, 0),
+            Err(FtlError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(ftl.read(max), Err(FtlError::LbaOutOfRange { .. })));
+        assert!(matches!(ftl.trim(max), Err(FtlError::LbaOutOfRange { .. })));
+    }
+
+    #[test]
+    fn overprovisioning_shrinks_logical_space() {
+        let ftl = PageMappedFtl::new(
+            device(8, 4),
+            FtlConfig::default().with_overprovision_blocks(2),
+        )
+        .unwrap();
+        assert_eq!(ftl.logical_pages(), 6 * 4);
+    }
+
+    #[test]
+    fn gc_reclaims_invalid_pages_under_pressure() {
+        // 8 blocks × 4 pages = 32 physical pages; hammer 4 LBAs so GC must
+        // run many times.
+        let mut ftl = plain_ftl(8, 4);
+        for round in 0..100u64 {
+            for lba in 0..4u64 {
+                ftl.write(lba, round * 10 + lba).unwrap();
+            }
+        }
+        for lba in 0..4u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(99 * 10 + lba));
+        }
+        assert!(ftl.counters().gc_erases > 0, "gc must have produced space");
+        assert!(ftl.counters().gc_collections > 0);
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn gc_copies_live_data_intact() {
+        // Fill cold data once, then hammer one hot LBA; GC must preserve the
+        // cold data when it relocates blocks.
+        let mut ftl = plain_ftl(8, 4);
+        for lba in 0..16u64 {
+            ftl.write(lba, 1000 + lba).unwrap();
+        }
+        for round in 0..200u64 {
+            ftl.write(20, round).unwrap();
+        }
+        for lba in 0..16u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(1000 + lba), "lba {lba}");
+        }
+        assert_eq!(ftl.read(20).unwrap(), Some(199));
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn full_logical_space_rewrites_succeed() {
+        // Writing every LBA repeatedly is the worst case for a 0-overprovision
+        // FTL; the free-target reserve must keep GC alive.
+        let g = Geometry::new(16, 4, 2048);
+        let d = NandDevice::new(g, CellKind::Mlc2.spec().with_endurance(1_000_000));
+        let mut ftl =
+            PageMappedFtl::new(d, FtlConfig::default().with_overprovision_blocks(3)).unwrap();
+        let n = ftl.logical_pages();
+        for round in 0..6u64 {
+            for lba in 0..n {
+                ftl.write(lba, round * 1000 + lba).unwrap();
+            }
+        }
+        for lba in 0..n {
+            assert_eq!(ftl.read(lba).unwrap(), Some(5000 + lba));
+        }
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn over_committed_space_reports_no_reclaimable() {
+        // 4 blocks × 4 pages, no overprovision: 16 logical pages cannot all
+        // stay valid while GC needs room to breathe.
+        let mut ftl = plain_ftl(4, 4);
+        let mut failed = false;
+        'outer: for round in 0..4u64 {
+            for lba in 0..16u64 {
+                match ftl.write(lba, round) {
+                    Ok(()) => {}
+                    Err(FtlError::NoReclaimableSpace) => {
+                        failed = true;
+                        break 'outer;
+                    }
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+        }
+        assert!(failed, "over-committed ftl must fail cleanly");
+    }
+
+    #[test]
+    fn trim_releases_space() {
+        let mut ftl = plain_ftl(4, 4);
+        for lba in 0..10u64 {
+            ftl.write(lba, lba).unwrap();
+        }
+        for lba in 0..10u64 {
+            ftl.trim(lba).unwrap();
+        }
+        assert_eq!(ftl.read(3).unwrap(), None);
+        assert_eq!(ftl.counters().trims, 10);
+        // Trimmed pages are invalid, so heavy rewriting now succeeds.
+        for round in 0..20u64 {
+            for lba in 0..8u64 {
+                ftl.write(lba, round).unwrap();
+            }
+        }
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn allocation_prefers_low_wear_blocks() {
+        let mut ftl = plain_ftl(8, 4);
+        // Cycle a small working set; dynamic wear leveling should keep the
+        // spread of erase counts tight across used blocks.
+        for round in 0..400u64 {
+            for lba in 0..8u64 {
+                ftl.write(lba, round).unwrap();
+            }
+        }
+        let stats = ftl.device().erase_stats();
+        assert!(
+            stats.max_over_mean() < 3.0,
+            "dynamic WL keeps recycled blocks even: {stats}"
+        );
+    }
+
+    #[test]
+    fn swl_attaches_and_levels() {
+        let d = device(16, 4);
+        let mut ftl =
+            PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(4, 0)).unwrap();
+        // Static workload: 8 cold LBAs written once...
+        for lba in 0..8u64 {
+            ftl.write(lba, 7000 + lba).unwrap();
+        }
+        // ...then one hot LBA hammered.
+        for round in 0..600u64 {
+            ftl.write(40, round).unwrap();
+        }
+        let counters = ftl.counters();
+        assert!(
+            counters.swl_erases > 0,
+            "SWL must have triggered: {counters:?}"
+        );
+        let swl = ftl.swl().unwrap();
+        assert!(swl.stats().interval_resets > 0 || swl.stats().sets_cleaned > 0);
+        // Cold data survived the forced moves.
+        for lba in 0..8u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(7000 + lba));
+        }
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn swl_spreads_wear_onto_cold_blocks() {
+        let run = |swl: bool| -> (f64, u64) {
+            let d = device(16, 8);
+            let mut ftl = if swl {
+                PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(8, 0)).unwrap()
+            } else {
+                PageMappedFtl::new(d, FtlConfig::default()).unwrap()
+            };
+            // Cold data occupying half the logical space.
+            for lba in 0..56u64 {
+                ftl.write(lba, lba).unwrap();
+            }
+            for round in 0..3000u64 {
+                ftl.write(100 + (round % 4), round).unwrap();
+            }
+            let stats = ftl.device().erase_stats();
+            (stats.std_dev, stats.max)
+        };
+        let (dev_plain, _) = run(false);
+        let (dev_swl, _) = run(true);
+        assert!(
+            dev_swl < dev_plain,
+            "SWL must flatten the erase distribution: {dev_swl:.2} vs {dev_plain:.2}"
+        );
+    }
+
+    #[test]
+    fn run_swl_without_leveler_is_idle() {
+        let mut ftl = plain_ftl(4, 4);
+        assert_eq!(ftl.run_swl().unwrap(), LevelOutcome::Idle);
+    }
+
+    #[test]
+    fn attach_swl_after_recovery() {
+        let d = device(8, 4);
+        let mut ftl = PageMappedFtl::new(d, FtlConfig::default()).unwrap();
+        let leveler = SwLeveler::new(8, SwlConfig::new(10, 0)).unwrap();
+        ftl.attach_swl(leveler);
+        assert!(ftl.swl().is_some());
+        ftl.write(0, 1).unwrap();
+        assert_eq!(ftl.read(0).unwrap(), Some(1));
+    }
+
+    #[test]
+    fn utilization_tracks_valid_pages() {
+        let mut ftl = plain_ftl(4, 4);
+        assert_eq!(ftl.utilization(), 0.0);
+        for lba in 0..8u64 {
+            ftl.write(lba, 0).unwrap();
+        }
+        assert!((ftl.utilization() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hot_cold_separation_reduces_live_copies() {
+        let run = |hot: bool| -> (f64, u64) {
+            let config = if hot {
+                FtlConfig::default().with_hot_data(hotid::HotDataConfig::default())
+            } else {
+                FtlConfig::default()
+            };
+            let mut ftl = PageMappedFtl::new(device(32, 16), config).unwrap();
+            // Mixed stream: cold sweep interleaved with hot hammering, the
+            // worst case for an unseparated log.
+            for round in 0..6000u64 {
+                let lba = if round % 4 == 0 {
+                    160 + (round / 4) % 160 // slowly cycling cold-ish data
+                } else {
+                    round % 8 // hot set
+                };
+                ftl.write(lba, round).unwrap();
+            }
+            let c = ftl.counters();
+            (c.avg_live_copies_per_gc_erase(), c.total_live_copies())
+        };
+        let (l_plain, copies_plain) = run(false);
+        let (l_hot, copies_hot) = run(true);
+        assert!(
+            l_hot < l_plain,
+            "separation must reduce L: {l_hot:.2} vs {l_plain:.2}"
+        );
+        assert!(
+            copies_hot < copies_plain,
+            "separation must reduce total copies: {copies_hot} vs {copies_plain}"
+        );
+    }
+
+    #[test]
+    fn hot_cold_separation_preserves_correctness() {
+        let config = FtlConfig::default().with_hot_data(hotid::HotDataConfig::default());
+        let mut ftl =
+            PageMappedFtl::with_swl(device(32, 16), config, SwlConfig::new(6, 0)).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        for round in 0..5000u64 {
+            let lba = (round * 31 + round / 7) % 300;
+            ftl.write(lba, round).unwrap();
+            shadow.insert(lba, round);
+        }
+        for (lba, data) in shadow {
+            assert_eq!(ftl.read(lba).unwrap(), Some(data));
+        }
+        assert!(ftl.hot_data().unwrap().writes_recorded() == 5000);
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn counters_attribute_swl_separately() {
+        let d = device(16, 4);
+        let mut ftl =
+            PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(2, 0)).unwrap();
+        for lba in 0..8u64 {
+            ftl.write(lba, lba).unwrap();
+        }
+        for round in 0..400u64 {
+            ftl.write(30, round).unwrap();
+        }
+        let c = ftl.counters();
+        let device_erases = ftl.device().counters().erases;
+        assert_eq!(
+            c.total_erases(),
+            device_erases,
+            "attribution must cover every device erase"
+        );
+        assert!(c.swl_erases > 0);
+    }
+}

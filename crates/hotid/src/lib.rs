@@ -1,0 +1,445 @@
+//! # `hotid` — on-line hot-data identification
+//!
+//! The wear-leveling paper leans on the notion of *hot* (frequently
+//! updated) versus *cold* data, citing the hot-data identifier of Hsieh,
+//! Chang and Kuo (ACM SAC 2005) as the practical way to tell them apart
+//! with firmware-grade memory budgets. This crate implements that design:
+//! a **multi-hash counting filter** —
+//!
+//! - a table of `M` small saturating counters (4 bits each, packed two per
+//!   byte);
+//! - each write hashes its LBA with `K` independent hash functions and
+//!   increments the `K` counters;
+//! - an LBA is *hot* when **all** `K` of its counters meet the threshold
+//!   `H` (the minimum over the hash positions approximates the true write
+//!   count, exactly like a counting Bloom filter);
+//! - every `decay_interval` writes, all counters are halved (exponential
+//!   aging), so data that stops being written cools off.
+//!
+//! The identifier is used by the `ftl` crate's hot/cold data separation
+//! (steering hot and cold writes to different active blocks, which lowers
+//! the garbage collector's live-copy cost `L`), and is useful on its own
+//! for any flash-management policy that needs cheap hotness estimates.
+//!
+//! ## Example
+//!
+//! ```
+//! use hotid::{HotDataConfig, MultiHashIdentifier};
+//!
+//! # fn main() -> Result<(), hotid::BuildIdentifierError> {
+//! let mut hot = MultiHashIdentifier::new(HotDataConfig::default())?;
+//! for _ in 0..8 {
+//!     hot.record_write(42);
+//! }
+//! hot.record_write(1000);
+//! assert!(hot.is_hot(42));
+//! assert!(!hot.is_hot(1000));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+
+/// Configuration of the multi-hash identifier.
+///
+/// The defaults follow the cited paper's evaluation: a 4 KiB counter table
+/// (8192 4-bit counters), two hash functions, hotness threshold 4, decay
+/// every 5117 writes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HotDataConfig {
+    /// Number of 4-bit counters (must be a power of two).
+    pub counters: usize,
+    /// Independent hash functions per LBA (1–8).
+    pub hash_count: u32,
+    /// Write count at which data is considered hot (1–15).
+    pub hot_threshold: u8,
+    /// Writes between exponential-decay passes (0 disables decay).
+    pub decay_interval: u64,
+    /// Seed for the hash family.
+    pub seed: u64,
+}
+
+impl Default for HotDataConfig {
+    fn default() -> Self {
+        Self {
+            counters: 8192,
+            hash_count: 2,
+            hot_threshold: 4,
+            decay_interval: 5117,
+            seed: 0,
+        }
+    }
+}
+
+impl HotDataConfig {
+    /// RAM needed for the counter table, in bytes.
+    pub fn ram_bytes(&self) -> usize {
+        self.counters.div_ceil(2)
+    }
+}
+
+/// Errors from building a [`MultiHashIdentifier`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BuildIdentifierError {
+    /// `counters` must be a non-zero power of two.
+    BadTableSize {
+        /// The offending size.
+        counters: usize,
+    },
+    /// `hash_count` must be between 1 and 8.
+    BadHashCount {
+        /// The offending count.
+        hash_count: u32,
+    },
+    /// `hot_threshold` must be between 1 and 15 (4-bit counters).
+    BadThreshold {
+        /// The offending threshold.
+        hot_threshold: u8,
+    },
+}
+
+impl fmt::Display for BuildIdentifierError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildIdentifierError::BadTableSize { counters } => {
+                write!(f, "counter table size {counters} is not a power of two")
+            }
+            BuildIdentifierError::BadHashCount { hash_count } => {
+                write!(f, "hash count {hash_count} outside 1..=8")
+            }
+            BuildIdentifierError::BadThreshold { hot_threshold } => {
+                write!(f, "hot threshold {hot_threshold} outside 1..=15")
+            }
+        }
+    }
+}
+
+impl Error for BuildIdentifierError {}
+
+/// The multi-hash counting filter.
+///
+/// See the [crate-level documentation](crate) for the scheme and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct MultiHashIdentifier {
+    config: HotDataConfig,
+    /// Two 4-bit counters per byte; even index in the low nibble.
+    table: Vec<u8>,
+    mask: u64,
+    hash_seeds: [u64; 8],
+    writes: u64,
+    decays: u64,
+}
+
+impl MultiHashIdentifier {
+    /// Builds an identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildIdentifierError`] when the configuration is out of
+    /// range.
+    pub fn new(config: HotDataConfig) -> Result<Self, BuildIdentifierError> {
+        if config.counters == 0 || !config.counters.is_power_of_two() {
+            return Err(BuildIdentifierError::BadTableSize {
+                counters: config.counters,
+            });
+        }
+        if !(1..=8).contains(&config.hash_count) {
+            return Err(BuildIdentifierError::BadHashCount {
+                hash_count: config.hash_count,
+            });
+        }
+        if !(1..=15).contains(&config.hot_threshold) {
+            return Err(BuildIdentifierError::BadThreshold {
+                hot_threshold: config.hot_threshold,
+            });
+        }
+        let mut hash_seeds = [0u64; 8];
+        let mut state = config.seed ^ 0x9E37_79B9_7F4A_7C15;
+        for seed in &mut hash_seeds {
+            // SplitMix64 step to derive independent hash seeds.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            *seed = z ^ (z >> 31);
+        }
+        Ok(Self {
+            table: vec![0; config.counters.div_ceil(2)],
+            mask: (config.counters - 1) as u64,
+            hash_seeds,
+            writes: 0,
+            decays: 0,
+            config,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> HotDataConfig {
+        self.config
+    }
+
+    /// RAM held by the counter table.
+    pub fn ram_bytes(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Writes recorded since construction.
+    pub fn writes_recorded(&self) -> u64 {
+        self.writes
+    }
+
+    /// Decay passes performed.
+    pub fn decays(&self) -> u64 {
+        self.decays
+    }
+
+    fn slot(&self, lba: u64, hash: u32) -> usize {
+        // xmxmx mixer keyed per hash function.
+        let mut x = lba ^ self.hash_seeds[hash as usize];
+        x = (x ^ (x >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        x = (x ^ (x >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+        x ^= x >> 33;
+        (x & self.mask) as usize
+    }
+
+    fn counter(&self, slot: usize) -> u8 {
+        let byte = self.table[slot / 2];
+        if slot.is_multiple_of(2) {
+            byte & 0x0F
+        } else {
+            byte >> 4
+        }
+    }
+
+    fn bump(&mut self, slot: usize) {
+        let byte = &mut self.table[slot / 2];
+        if slot.is_multiple_of(2) {
+            let value = *byte & 0x0F;
+            if value < 0x0F {
+                *byte = (*byte & 0xF0) | (value + 1);
+            }
+        } else {
+            let value = *byte >> 4;
+            if value < 0x0F {
+                *byte = (*byte & 0x0F) | ((value + 1) << 4);
+            }
+        }
+    }
+
+    /// Records a write to `lba` and reports whether it now counts as hot.
+    pub fn record_write(&mut self, lba: u64) -> bool {
+        for hash in 0..self.config.hash_count {
+            let slot = self.slot(lba, hash);
+            self.bump(slot);
+        }
+        self.writes += 1;
+        if self.config.decay_interval > 0 && self.writes.is_multiple_of(self.config.decay_interval)
+        {
+            self.decay();
+        }
+        self.is_hot(lba)
+    }
+
+    /// Whether `lba` currently counts as hot: all `K` counters at or above
+    /// the threshold.
+    pub fn is_hot(&self, lba: u64) -> bool {
+        (0..self.config.hash_count)
+            .all(|hash| self.counter(self.slot(lba, hash)) >= self.config.hot_threshold)
+    }
+
+    /// The estimated write count of `lba` (the minimum over its counters —
+    /// an upper bound on the truth, as in any counting Bloom filter).
+    pub fn estimate(&self, lba: u64) -> u8 {
+        (0..self.config.hash_count)
+            .map(|hash| self.counter(self.slot(lba, hash)))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Halves every counter (exponential aging). Called automatically every
+    /// `decay_interval` writes; callable manually for timer-driven decay.
+    pub fn decay(&mut self) {
+        for byte in &mut self.table {
+            // Halve both nibbles at once: the 0x77 mask strips the bit that
+            // would bleed from the high nibble into the low one.
+            *byte = (*byte >> 1) & 0x77;
+        }
+        self.decays += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identifier() -> MultiHashIdentifier {
+        MultiHashIdentifier::new(HotDataConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn defaults_match_cited_design() {
+        let config = HotDataConfig::default();
+        assert_eq!(config.ram_bytes(), 4096);
+        assert_eq!(config.hash_count, 2);
+        assert_eq!(config.hot_threshold, 4);
+    }
+
+    #[test]
+    fn construction_validates() {
+        let c = HotDataConfig {
+            counters: 1000,
+            ..HotDataConfig::default()
+        };
+        assert!(matches!(
+            MultiHashIdentifier::new(c),
+            Err(BuildIdentifierError::BadTableSize { .. })
+        ));
+        let c = HotDataConfig {
+            hash_count: 0,
+            ..HotDataConfig::default()
+        };
+        assert!(matches!(
+            MultiHashIdentifier::new(c),
+            Err(BuildIdentifierError::BadHashCount { .. })
+        ));
+        let c = HotDataConfig {
+            hot_threshold: 16,
+            ..HotDataConfig::default()
+        };
+        assert!(matches!(
+            MultiHashIdentifier::new(c),
+            Err(BuildIdentifierError::BadThreshold { .. })
+        ));
+    }
+
+    #[test]
+    fn repeated_writes_become_hot() {
+        let mut id = identifier();
+        assert!(!id.is_hot(7));
+        for i in 0..4 {
+            let hot = id.record_write(7);
+            assert_eq!(hot, i == 3, "hot exactly at the threshold");
+        }
+        assert!(id.is_hot(7));
+        assert!(id.estimate(7) >= 4);
+    }
+
+    #[test]
+    fn single_writes_stay_cold() {
+        let mut id = identifier();
+        for lba in 0..1000u64 {
+            id.record_write(lba);
+        }
+        let false_hot = (0..1000u64).filter(|&lba| id.is_hot(lba)).count();
+        assert!(
+            false_hot < 20,
+            "false-positive rate too high: {false_hot}/1000"
+        );
+    }
+
+    #[test]
+    fn counters_saturate_without_wrapping() {
+        let mut id = identifier();
+        for _ in 0..100 {
+            id.record_write(3);
+        }
+        assert_eq!(id.estimate(3), 15);
+        assert!(id.is_hot(3));
+    }
+
+    #[test]
+    fn decay_cools_idle_data() {
+        let config = HotDataConfig {
+            decay_interval: 0, // manual decay
+            ..HotDataConfig::default()
+        };
+        let mut id = MultiHashIdentifier::new(config).unwrap();
+        for _ in 0..8 {
+            id.record_write(9);
+        }
+        assert!(id.is_hot(9));
+        id.decay(); // 8 → 4: still at threshold
+        assert!(id.is_hot(9));
+        id.decay(); // 4 → 2
+        assert!(!id.is_hot(9));
+        assert_eq!(id.decays(), 2);
+    }
+
+    #[test]
+    fn automatic_decay_fires_on_interval() {
+        let config = HotDataConfig {
+            decay_interval: 10,
+            ..HotDataConfig::default()
+        };
+        let mut id = MultiHashIdentifier::new(config).unwrap();
+        for lba in 0..25u64 {
+            id.record_write(lba % 5);
+        }
+        assert_eq!(id.decays(), 2);
+    }
+
+    #[test]
+    fn estimate_upper_bounds_truth() {
+        let mut id = identifier();
+        for _ in 0..5 {
+            id.record_write(11);
+        }
+        assert!(id.estimate(11) >= 5);
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_hash_families() {
+        let a = HotDataConfig {
+            seed: 1,
+            ..HotDataConfig::default()
+        };
+        let b = HotDataConfig {
+            seed: 2,
+            ..HotDataConfig::default()
+        };
+        let a = MultiHashIdentifier::new(a).unwrap();
+        let b = MultiHashIdentifier::new(b).unwrap();
+        let collisions = (0..64u64)
+            .filter(|&lba| a.slot(lba, 0) == b.slot(lba, 0))
+            .count();
+        assert!(collisions < 8, "hash families should differ: {collisions}");
+    }
+
+    #[test]
+    fn nibble_packing_is_isolated() {
+        // Adjacent counters must not bleed into each other.
+        let config = HotDataConfig {
+            counters: 16,
+            hash_count: 1,
+            ..HotDataConfig::default()
+        };
+        let mut id = MultiHashIdentifier::new(config).unwrap();
+        // Find two LBAs in adjacent slots of the same byte.
+        let mut pairs = None;
+        'outer: for a in 0..1000u64 {
+            for b in 0..1000u64 {
+                if a != b
+                    && id.slot(a, 0) / 2 == id.slot(b, 0) / 2
+                    && id.slot(a, 0) != id.slot(b, 0)
+                {
+                    pairs = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = pairs.expect("adjacent-slot pair exists in a tiny table");
+        for _ in 0..15 {
+            id.record_write(a);
+        }
+        assert_eq!(id.estimate(b), 0, "neighbour counter untouched");
+        id.record_write(b);
+        assert_eq!(id.estimate(b), 1);
+        assert_eq!(id.estimate(a), 15);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests of the multi-hash hot-data identifier.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use hotid::{HotDataConfig, MultiHashIdentifier};
+
+fn config(counters_pow: u32, hashes: u32, threshold: u8) -> HotDataConfig {
+    HotDataConfig {
+        counters: 1 << counters_pow,
+        hash_count: hashes,
+        hot_threshold: threshold,
+        decay_interval: 0,
+        seed: 7,
+    }
+}
+
+proptest! {
+    /// The counting-Bloom bound: the estimate never *under*-counts (up to
+    /// counter saturation at 15).
+    #[test]
+    fn estimate_never_undercounts(
+        writes in prop::collection::vec(0u64..500, 0..400),
+        counters_pow in 8u32..13,
+        hashes in 1u32..4,
+    ) {
+        let mut id = MultiHashIdentifier::new(config(counters_pow, hashes, 4)).unwrap();
+        let mut truth: HashMap<u64, u32> = HashMap::new();
+        for &lba in &writes {
+            id.record_write(lba);
+            *truth.entry(lba).or_insert(0) += 1;
+        }
+        for (lba, count) in truth {
+            let estimate = u32::from(id.estimate(lba));
+            prop_assert!(
+                estimate >= count.min(15),
+                "estimate {estimate} < true count {count} for lba {lba}"
+            );
+        }
+    }
+
+    /// Anything written at least `threshold` times is classified hot.
+    #[test]
+    fn true_hot_data_is_never_missed(
+        hot_lbas in prop::collection::hash_set(0u64..100, 1..8),
+        threshold in 1u8..8,
+    ) {
+        let mut id = MultiHashIdentifier::new(config(13, 2, threshold)).unwrap();
+        for &lba in &hot_lbas {
+            for _ in 0..threshold {
+                id.record_write(lba);
+            }
+        }
+        for &lba in &hot_lbas {
+            prop_assert!(id.is_hot(lba), "lba {lba} written {threshold}x must be hot");
+        }
+    }
+
+    /// Decay is monotone: no LBA's estimate grows across a decay pass.
+    #[test]
+    fn decay_is_monotone(writes in prop::collection::vec(0u64..200, 0..300)) {
+        let mut id = MultiHashIdentifier::new(config(10, 2, 4)).unwrap();
+        for &lba in &writes {
+            id.record_write(lba);
+        }
+        let before: Vec<u8> = (0..200).map(|lba| id.estimate(lba)).collect();
+        id.decay();
+        for (lba, &b) in before.iter().enumerate() {
+            let after = id.estimate(lba as u64);
+            prop_assert!(after <= b, "estimate grew across decay at lba {lba}");
+            prop_assert_eq!(after, b / 2, "decay must halve (lba {})", lba);
+        }
+    }
+
+    /// Deterministic: the same write sequence produces identical
+    /// classification.
+    #[test]
+    fn deterministic(writes in prop::collection::vec(0u64..300, 0..200)) {
+        let run = || {
+            let mut id = MultiHashIdentifier::new(HotDataConfig::default()).unwrap();
+            for &lba in &writes {
+                id.record_write(lba);
+            }
+            (0..300u64).map(|lba| id.is_hot(lba)).collect::<Vec<bool>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,180 @@
+//! Erase blocks: page payloads, per-page state, and wear.
+
+use crate::page::{PageState, SpareArea};
+
+/// Wear status of a block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BlockState {
+    /// Within its rated endurance.
+    #[default]
+    Healthy,
+    /// Erase count has reached or passed the rated endurance.
+    WornOut,
+}
+
+/// One erase block: payload + spare area per page, page states, erase count.
+///
+/// Page *data* is modelled as a `u64` token rather than a byte buffer — the
+/// wear-leveling study never inspects page contents, only their identity, and
+/// a token keeps a 4096-block chip affordable in RAM while still letting
+/// tests assert exact read-your-writes behaviour.
+#[derive(Debug, Clone)]
+pub struct Block {
+    states: Vec<PageState>,
+    data: Vec<u64>,
+    spare: Vec<SpareArea>,
+    erase_count: u64,
+    valid_pages: u32,
+    invalid_pages: u32,
+}
+
+impl Block {
+    /// A fresh (erased, never-worn) block with `pages` pages.
+    pub(crate) fn new(pages: u32) -> Self {
+        Self {
+            states: vec![PageState::Free; pages as usize],
+            data: vec![0; pages as usize],
+            spare: vec![SpareArea::default(); pages as usize],
+            erase_count: 0,
+            valid_pages: 0,
+            invalid_pages: 0,
+        }
+    }
+
+    /// Number of times this block has been erased.
+    pub fn erase_count(&self) -> u64 {
+        self.erase_count
+    }
+
+    /// Count of pages currently holding live data.
+    pub fn valid_pages(&self) -> u32 {
+        self.valid_pages
+    }
+
+    /// Count of pages holding superseded data.
+    pub fn invalid_pages(&self) -> u32 {
+        self.invalid_pages
+    }
+
+    /// Count of erased, programmable pages.
+    pub fn free_pages(&self) -> u32 {
+        self.states.len() as u32 - self.valid_pages - self.invalid_pages
+    }
+
+    /// State of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn page_state(&self, page: u32) -> PageState {
+        self.states[page as usize]
+    }
+
+    /// Spare-area contents of page `page`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page` is out of range.
+    pub fn spare(&self, page: u32) -> SpareArea {
+        self.spare[page as usize]
+    }
+
+    pub(crate) fn data(&self, page: u32) -> u64 {
+        self.data[page as usize]
+    }
+
+    pub(crate) fn program(&mut self, page: u32, data: u64, spare: SpareArea) {
+        debug_assert!(self.states[page as usize].is_free());
+        self.states[page as usize] = PageState::Valid;
+        self.data[page as usize] = data;
+        self.spare[page as usize] = spare;
+        self.valid_pages += 1;
+    }
+
+    pub(crate) fn invalidate(&mut self, page: u32) {
+        debug_assert!(self.states[page as usize].is_valid());
+        self.states[page as usize] = PageState::Invalid;
+        self.valid_pages -= 1;
+        self.invalid_pages += 1;
+    }
+
+    pub(crate) fn erase(&mut self) {
+        for state in &mut self.states {
+            *state = PageState::Free;
+        }
+        for spare in &mut self.spare {
+            *spare = SpareArea::default();
+        }
+        self.erase_count += 1;
+        self.valid_pages = 0;
+        self.invalid_pages = 0;
+    }
+
+    /// Wear status relative to `endurance` rated cycles.
+    pub fn state(&self, endurance: u32) -> BlockState {
+        if self.erase_count >= u64::from(endurance) {
+            BlockState::WornOut
+        } else {
+            BlockState::Healthy
+        }
+    }
+
+    /// Iterates over `(page_index, state)` pairs.
+    pub fn page_states(&self) -> impl Iterator<Item = (u32, PageState)> + '_ {
+        self.states.iter().enumerate().map(|(i, s)| (i as u32, *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_block_is_all_free() {
+        let b = Block::new(8);
+        assert_eq!(b.free_pages(), 8);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.invalid_pages(), 0);
+        assert_eq!(b.erase_count(), 0);
+        assert!(b.page_states().all(|(_, s)| s.is_free()));
+    }
+
+    #[test]
+    fn program_then_invalidate_tracks_counts() {
+        let mut b = Block::new(4);
+        b.program(1, 0xAA, SpareArea::valid(9));
+        assert_eq!(b.valid_pages(), 1);
+        assert_eq!(b.free_pages(), 3);
+        assert_eq!(b.spare(1).lba(), Some(9));
+        assert_eq!(b.data(1), 0xAA);
+
+        b.invalidate(1);
+        assert_eq!(b.valid_pages(), 0);
+        assert_eq!(b.invalid_pages(), 1);
+        assert!(b.page_state(1).is_invalid());
+    }
+
+    #[test]
+    fn erase_resets_pages_and_bumps_count() {
+        let mut b = Block::new(4);
+        b.program(0, 1, SpareArea::valid(0));
+        b.program(1, 2, SpareArea::valid(1));
+        b.invalidate(0);
+        b.erase();
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.free_pages(), 4);
+        assert!(b.page_states().all(|(_, s)| s.is_free()));
+        assert_eq!(b.spare(0).lba(), None);
+    }
+
+    #[test]
+    fn wear_state_transitions_at_endurance() {
+        let mut b = Block::new(1);
+        for _ in 0..3 {
+            b.erase();
+        }
+        assert_eq!(b.state(4), BlockState::Healthy);
+        assert_eq!(b.state(3), BlockState::WornOut);
+        assert_eq!(b.state(2), BlockState::WornOut);
+    }
+}

@@ -1,0 +1,171 @@
+//! Cell technology: endurance limits and operation timing.
+
+use std::fmt;
+
+/// NAND cell technology.
+///
+/// Endurance figures follow the paper: SLC blocks survive ~100 000
+/// program/erase cycles, MLC×2 blocks only ~10 000.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Single-level cell: one bit per cell, 100 000-cycle endurance.
+    Slc,
+    /// Two-bit multi-level cell: 10 000-cycle endurance, slower erases.
+    Mlc2,
+}
+
+impl CellKind {
+    /// Rated program/erase cycles before a block wears out.
+    pub fn endurance(&self) -> u32 {
+        match self {
+            CellKind::Slc => 100_000,
+            CellKind::Mlc2 => 10_000,
+        }
+    }
+
+    /// Default operation latencies for this technology.
+    ///
+    /// SLC figures follow typical large-block SLC datasheets; the MLC×2
+    /// erase time of 1.5 ms is quoted in the paper (§4.2, from the
+    /// STMicroelectronics NAND08G part).
+    pub fn timing(&self) -> Timing {
+        match self {
+            CellKind::Slc => Timing {
+                read_ns: 25_000,
+                program_ns: 200_000,
+                erase_ns: 1_000_000,
+            },
+            CellKind::Mlc2 => Timing {
+                read_ns: 50_000,
+                program_ns: 600_000,
+                erase_ns: 1_500_000,
+            },
+        }
+    }
+
+    /// Bundles endurance and timing into a [`CellSpec`].
+    pub fn spec(&self) -> CellSpec {
+        CellSpec {
+            kind: *self,
+            endurance: self.endurance(),
+            timing: self.timing(),
+        }
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Slc => f.write_str("SLC"),
+            CellKind::Mlc2 => f.write_str("MLCx2"),
+        }
+    }
+}
+
+/// Per-operation latencies in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Timing {
+    /// Page read latency.
+    pub read_ns: u64,
+    /// Page program latency.
+    pub program_ns: u64,
+    /// Block erase latency.
+    pub erase_ns: u64,
+}
+
+impl Default for Timing {
+    fn default() -> Self {
+        CellKind::Mlc2.timing()
+    }
+}
+
+/// Full cell behaviour: technology, endurance, and timing.
+///
+/// Experiments that need to finish quickly can scale down `endurance`
+/// (see `CellSpec::with_endurance`); the first-failure *ratio* between two
+/// translation layers is preserved because wear accumulates linearly.
+///
+/// # Example
+///
+/// ```
+/// use nand::CellKind;
+///
+/// let spec = CellKind::Mlc2.spec().with_endurance(512);
+/// assert_eq!(spec.endurance, 512);
+/// assert_eq!(spec.kind, CellKind::Mlc2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CellSpec {
+    /// Cell technology.
+    pub kind: CellKind,
+    /// Program/erase cycles before wear-out.
+    pub endurance: u32,
+    /// Operation latencies.
+    pub timing: Timing,
+}
+
+impl CellSpec {
+    /// Replaces the endurance rating (for scaled-down experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `endurance` is zero.
+    pub fn with_endurance(mut self, endurance: u32) -> Self {
+        assert!(endurance > 0, "endurance must be positive");
+        self.endurance = endurance;
+        self
+    }
+
+    /// Replaces the timing model.
+    pub fn with_timing(mut self, timing: Timing) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
+impl Default for CellSpec {
+    fn default() -> Self {
+        CellKind::Mlc2.spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endurance_matches_paper() {
+        assert_eq!(CellKind::Slc.endurance(), 100_000);
+        assert_eq!(CellKind::Mlc2.endurance(), 10_000);
+    }
+
+    #[test]
+    fn mlc_erase_time_matches_paper() {
+        assert_eq!(CellKind::Mlc2.timing().erase_ns, 1_500_000);
+    }
+
+    #[test]
+    fn spec_bundles_kind() {
+        let spec = CellKind::Slc.spec();
+        assert_eq!(spec.kind, CellKind::Slc);
+        assert_eq!(spec.endurance, 100_000);
+    }
+
+    #[test]
+    fn with_endurance_scales() {
+        let spec = CellKind::Mlc2.spec().with_endurance(100);
+        assert_eq!(spec.endurance, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_endurance_rejected() {
+        let _ = CellKind::Mlc2.spec().with_endurance(0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(CellKind::Slc.to_string(), "SLC");
+        assert_eq!(CellKind::Mlc2.to_string(), "MLCx2");
+    }
+}

@@ -1,0 +1,428 @@
+//! The simulated NAND chip.
+
+use crate::block::{Block, BlockState};
+use crate::cell::CellSpec;
+use crate::error::NandError;
+use crate::geometry::Geometry;
+use crate::page::{PageAddr, SpareArea};
+use crate::stats::EraseStats;
+use crate::DeviceNanos;
+
+/// What the device does when a block is erased past its rated endurance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WearPolicy {
+    /// Record the first failure and keep operating (the paper's Table 4
+    /// simulations run for 10 years "even though some blocks were worn
+    /// out").
+    #[default]
+    RecordAndContinue,
+    /// Refuse to erase worn-out blocks with [`NandError::BlockWornOut`].
+    FailWornBlocks,
+}
+
+/// The first wear-out event observed on the chip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureRecord {
+    /// Block that first reached its endurance limit.
+    pub block: u32,
+    /// Total erases across the chip at that moment.
+    pub total_erases: u64,
+    /// Device busy time at that moment.
+    pub at_ns: DeviceNanos,
+}
+
+/// Monotonic operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceCounters {
+    /// Page reads served.
+    pub reads: u64,
+    /// Page programs performed.
+    pub programs: u64,
+    /// Block erases performed.
+    pub erases: u64,
+}
+
+/// Result of a page read: payload token plus the spare area.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult {
+    /// The data token written by the last program of this page.
+    pub data: u64,
+    /// Spare-area metadata written alongside it.
+    pub spare: SpareArea,
+}
+
+/// A simulated NAND chip.
+///
+/// See the [crate-level documentation](crate) for the model and an example.
+#[derive(Debug, Clone)]
+pub struct NandDevice {
+    geometry: Geometry,
+    spec: CellSpec,
+    policy: WearPolicy,
+    blocks: Vec<Block>,
+    counters: DeviceCounters,
+    busy_ns: DeviceNanos,
+    first_failure: Option<FailureRecord>,
+    worn_blocks: u32,
+}
+
+impl NandDevice {
+    /// A fresh chip with every page erased and zero wear.
+    pub fn new(geometry: Geometry, spec: CellSpec) -> Self {
+        let blocks = (0..geometry.blocks())
+            .map(|_| Block::new(geometry.pages_per_block()))
+            .collect();
+        Self {
+            geometry,
+            spec,
+            policy: WearPolicy::default(),
+            blocks,
+            counters: DeviceCounters::default(),
+            busy_ns: 0,
+            first_failure: None,
+            worn_blocks: 0,
+        }
+    }
+
+    /// Sets the wear policy (builder style).
+    pub fn with_wear_policy(mut self, policy: WearPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Chip geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geometry
+    }
+
+    /// Cell behaviour (endurance, timing).
+    pub fn spec(&self) -> CellSpec {
+        self.spec
+    }
+
+    /// Immutable view of a block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range; use [`Geometry::contains_block`]
+    /// to check first.
+    pub fn block(&self, block: u32) -> &Block {
+        &self.blocks[block as usize]
+    }
+
+    /// Operation counters so far.
+    pub fn counters(&self) -> DeviceCounters {
+        self.counters
+    }
+
+    /// Accumulated device busy time.
+    pub fn busy_ns(&self) -> DeviceNanos {
+        self.busy_ns
+    }
+
+    /// The first wear-out event, if any block has reached its endurance.
+    pub fn first_failure(&self) -> Option<FailureRecord> {
+        self.first_failure
+    }
+
+    /// Number of blocks currently past their endurance rating.
+    pub fn worn_blocks(&self) -> u32 {
+        self.worn_blocks
+    }
+
+    /// Erase-count statistics across all blocks (Table 4 metrics).
+    pub fn erase_stats(&self) -> EraseStats {
+        EraseStats::from_counts(self.blocks.iter().map(|b| b.erase_count()))
+    }
+
+    /// Per-block erase counts, indexed by block.
+    pub fn erase_counts(&self) -> Vec<u64> {
+        self.blocks.iter().map(|b| b.erase_count()).collect()
+    }
+
+    fn check_addr(&self, addr: PageAddr) -> Result<(), NandError> {
+        if !self.geometry.contains_block(addr.block) {
+            return Err(NandError::BlockOutOfRange {
+                block: addr.block,
+                blocks: self.geometry.blocks(),
+            });
+        }
+        if addr.page >= self.geometry.pages_per_block() {
+            return Err(NandError::PageOutOfRange {
+                addr,
+                pages_per_block: self.geometry.pages_per_block(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Reads a page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BlockOutOfRange`] / [`NandError::PageOutOfRange`]
+    /// for bad addresses and [`NandError::ReadOfFreePage`] when the page has
+    /// not been programmed since its last erase.
+    pub fn read(&mut self, addr: PageAddr) -> Result<ReadResult, NandError> {
+        self.check_addr(addr)?;
+        let block = &self.blocks[addr.block as usize];
+        if block.page_state(addr.page).is_free() {
+            return Err(NandError::ReadOfFreePage { addr });
+        }
+        self.counters.reads += 1;
+        self.busy_ns += self.spec.timing.read_ns;
+        Ok(ReadResult {
+            data: block.data(addr.page),
+            spare: block.spare(addr.page),
+        })
+    }
+
+    /// Programs a free page with a data token and spare-area metadata.
+    ///
+    /// # Errors
+    ///
+    /// Returns an address error for bad addresses and
+    /// [`NandError::ProgramOnUsedPage`] if the page is not free.
+    pub fn program(
+        &mut self,
+        addr: PageAddr,
+        data: u64,
+        spare: SpareArea,
+    ) -> Result<(), NandError> {
+        self.check_addr(addr)?;
+        let block = &mut self.blocks[addr.block as usize];
+        if !block.page_state(addr.page).is_free() {
+            return Err(NandError::ProgramOnUsedPage { addr });
+        }
+        block.program(addr.page, data, spare);
+        self.counters.programs += 1;
+        self.busy_ns += self.spec.timing.program_ns;
+        Ok(())
+    }
+
+    /// Marks a valid page as invalid (out-place update bookkeeping).
+    ///
+    /// Real chips implement this as a status-byte program in the spare area;
+    /// we charge no latency for it.
+    ///
+    /// # Errors
+    ///
+    /// Returns an address error for bad addresses and
+    /// [`NandError::InvalidateNonValidPage`] if the page is not valid.
+    pub fn invalidate(&mut self, addr: PageAddr) -> Result<(), NandError> {
+        self.check_addr(addr)?;
+        let block = &mut self.blocks[addr.block as usize];
+        if !block.page_state(addr.page).is_valid() {
+            return Err(NandError::InvalidateNonValidPage { addr });
+        }
+        block.invalidate(addr.page);
+        Ok(())
+    }
+
+    /// Erases a block, freeing all of its pages and incrementing its wear.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BlockOutOfRange`] for a bad index. Under
+    /// [`WearPolicy::FailWornBlocks`], returns [`NandError::BlockWornOut`]
+    /// once the block has reached its endurance.
+    pub fn erase(&mut self, block: u32) -> Result<(), NandError> {
+        if !self.geometry.contains_block(block) {
+            return Err(NandError::BlockOutOfRange {
+                block,
+                blocks: self.geometry.blocks(),
+            });
+        }
+        let endurance = self.spec.endurance;
+        let blk = &mut self.blocks[block as usize];
+        if self.policy == WearPolicy::FailWornBlocks && blk.state(endurance) == BlockState::WornOut
+        {
+            return Err(NandError::BlockWornOut {
+                block,
+                erase_count: blk.erase_count(),
+            });
+        }
+        let was_healthy = blk.state(endurance) == BlockState::Healthy;
+        blk.erase();
+        self.counters.erases += 1;
+        self.busy_ns += self.spec.timing.erase_ns;
+        if was_healthy && blk.state(endurance) == BlockState::WornOut {
+            self.worn_blocks += 1;
+            if self.first_failure.is_none() {
+                self.first_failure = Some(FailureRecord {
+                    block,
+                    total_erases: self.counters.erases,
+                    at_ns: self.busy_ns,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::CellKind;
+
+    fn tiny_device(endurance: u32) -> NandDevice {
+        let g = Geometry::new(4, 4, 512);
+        NandDevice::new(g, CellKind::Mlc2.spec().with_endurance(endurance))
+    }
+
+    #[test]
+    fn program_read_round_trip() {
+        let mut d = tiny_device(10);
+        let addr = PageAddr::new(1, 2);
+        d.program(addr, 99, SpareArea::valid(5)).unwrap();
+        let r = d.read(addr).unwrap();
+        assert_eq!(r.data, 99);
+        assert_eq!(r.spare.lba(), Some(5));
+        assert_eq!(d.counters().programs, 1);
+        assert_eq!(d.counters().reads, 1);
+    }
+
+    #[test]
+    fn double_program_rejected() {
+        let mut d = tiny_device(10);
+        let addr = PageAddr::new(0, 0);
+        d.program(addr, 1, SpareArea::valid(0)).unwrap();
+        assert_eq!(
+            d.program(addr, 2, SpareArea::valid(0)),
+            Err(NandError::ProgramOnUsedPage { addr })
+        );
+        // Even an invalidated page cannot be re-programmed without erase.
+        d.invalidate(addr).unwrap();
+        assert!(matches!(
+            d.program(addr, 2, SpareArea::valid(0)),
+            Err(NandError::ProgramOnUsedPage { .. })
+        ));
+    }
+
+    #[test]
+    fn erase_frees_pages_for_reprogramming() {
+        let mut d = tiny_device(10);
+        let addr = PageAddr::new(0, 0);
+        d.program(addr, 1, SpareArea::valid(0)).unwrap();
+        d.invalidate(addr).unwrap();
+        d.erase(0).unwrap();
+        d.program(addr, 2, SpareArea::valid(0)).unwrap();
+        assert_eq!(d.read(addr).unwrap().data, 2);
+        assert_eq!(d.block(0).erase_count(), 1);
+    }
+
+    #[test]
+    fn read_of_free_page_rejected() {
+        let mut d = tiny_device(10);
+        assert_eq!(
+            d.read(PageAddr::new(0, 0)),
+            Err(NandError::ReadOfFreePage {
+                addr: PageAddr::new(0, 0)
+            })
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut d = tiny_device(10);
+        assert!(matches!(
+            d.read(PageAddr::new(99, 0)),
+            Err(NandError::BlockOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.program(PageAddr::new(0, 99), 0, SpareArea::valid(0)),
+            Err(NandError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.erase(99),
+            Err(NandError::BlockOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn invalidate_requires_valid_page() {
+        let mut d = tiny_device(10);
+        let addr = PageAddr::new(0, 0);
+        assert!(matches!(
+            d.invalidate(addr),
+            Err(NandError::InvalidateNonValidPage { .. })
+        ));
+        d.program(addr, 0, SpareArea::valid(0)).unwrap();
+        d.invalidate(addr).unwrap();
+        assert!(matches!(
+            d.invalidate(addr),
+            Err(NandError::InvalidateNonValidPage { .. })
+        ));
+    }
+
+    #[test]
+    fn first_failure_recorded_at_endurance() {
+        let mut d = tiny_device(3);
+        assert!(d.first_failure().is_none());
+        d.erase(2).unwrap();
+        d.erase(2).unwrap();
+        assert!(d.first_failure().is_none());
+        d.erase(2).unwrap();
+        let f = d.first_failure().expect("failure after third erase");
+        assert_eq!(f.block, 2);
+        assert_eq!(f.total_erases, 3);
+        assert_eq!(d.worn_blocks(), 1);
+        // A later wear-out does not displace the first record.
+        for _ in 0..3 {
+            d.erase(1).unwrap();
+        }
+        assert_eq!(d.first_failure().unwrap().block, 2);
+        assert_eq!(d.worn_blocks(), 2);
+    }
+
+    #[test]
+    fn record_and_continue_allows_erasing_worn_blocks() {
+        let mut d = tiny_device(1);
+        d.erase(0).unwrap();
+        d.erase(0).unwrap(); // worn, but still permitted
+        assert_eq!(d.block(0).erase_count(), 2);
+    }
+
+    #[test]
+    fn fail_worn_blocks_policy_rejects() {
+        let mut d = tiny_device(1).with_wear_policy(WearPolicy::FailWornBlocks);
+        d.erase(0).unwrap();
+        assert_eq!(
+            d.erase(0),
+            Err(NandError::BlockWornOut {
+                block: 0,
+                erase_count: 1
+            })
+        );
+    }
+
+    #[test]
+    fn busy_time_accumulates_per_op() {
+        let timing = crate::Timing {
+            read_ns: 1,
+            program_ns: 10,
+            erase_ns: 100,
+        };
+        let g = Geometry::new(1, 2, 512);
+        let mut d = NandDevice::new(g, CellKind::Slc.spec().with_timing(timing));
+        d.program(PageAddr::new(0, 0), 0, SpareArea::valid(0))
+            .unwrap();
+        d.read(PageAddr::new(0, 0)).unwrap();
+        d.erase(0).unwrap();
+        assert_eq!(d.busy_ns(), 111);
+    }
+
+    #[test]
+    fn erase_stats_reflect_wear() {
+        let mut d = tiny_device(100);
+        d.erase(0).unwrap();
+        d.erase(0).unwrap();
+        d.erase(1).unwrap();
+        let s = d.erase_stats();
+        assert_eq!(s.total, 3);
+        assert_eq!(s.max, 2);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.blocks, 4);
+        assert_eq!(d.erase_counts(), vec![2, 1, 0, 0]);
+    }
+}

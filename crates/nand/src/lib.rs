@@ -1,0 +1,78 @@
+//! # `nand` — a NAND flash memory device simulator
+//!
+//! This crate models the raw NAND flash chip that a flash translation layer
+//! (FTL/NFTL) manages: blocks made of pages, program/erase semantics,
+//! per-block wear, cell endurance, and operation timing. It is the substrate
+//! for the DAC 2007 static wear leveling reproduction, but it is a
+//! general-purpose simulator usable for any FTL research.
+//!
+//! ## Model
+//!
+//! - A chip is a [`Geometry`]: `blocks × pages_per_block × page_size` bytes.
+//! - Reads and programs operate on single pages; erases operate on blocks
+//!   (the smallest erasable unit), exactly as in real NAND.
+//! - A page can be programmed **once** between erases; re-programming a page
+//!   without an intervening block erase is rejected (out-place update is
+//!   therefore forced onto the layer above).
+//! - Each page carries a small **spare area** ([`SpareArea`]) in which the
+//!   translation layer stores the owning LBA and a status word, mirroring the
+//!   out-of-band region of real chips.
+//! - Every block counts its erases. When a block exceeds the endurance of its
+//!   [`CellKind`] (100 000 cycles for SLC, 10 000 for MLC×2), the device
+//!   records the **first failure** — the primary endurance metric of the
+//!   paper — and, depending on [`WearPolicy`], either keeps simulating or
+//!   starts failing erases.
+//! - The device accumulates busy time from per-op latencies ([`Timing`]), so
+//!   experiments can report simulated device time without wall-clock cost.
+//!
+//! ## Example
+//!
+//! ```
+//! use nand::{CellKind, Geometry, NandDevice, PageAddr, SpareArea};
+//!
+//! # fn main() -> Result<(), nand::NandError> {
+//! let geometry = Geometry::mlc2_1gib().with_blocks(16);
+//! let mut device = NandDevice::new(geometry, CellKind::Mlc2.spec());
+//!
+//! let page = PageAddr::new(0, 0);
+//! device.program(page, 0xDEAD_BEEF, SpareArea::valid(42))?;
+//! let read = device.read(page)?;
+//! assert_eq!(read.data, 0xDEAD_BEEF);
+//! assert_eq!(read.spare.lba(), Some(42));
+//!
+//! device.erase(0)?;
+//! assert_eq!(device.block(0).erase_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod block;
+mod cell;
+mod device;
+mod error;
+mod geometry;
+mod page;
+mod stats;
+mod wearmap;
+
+pub use block::{Block, BlockState};
+pub use cell::{CellKind, CellSpec, Timing};
+pub use device::{DeviceCounters, FailureRecord, NandDevice, ReadResult, WearPolicy};
+pub use error::NandError;
+pub use geometry::Geometry;
+pub use page::{PageAddr, PageState, SpareArea};
+pub use stats::EraseStats;
+pub use wearmap::WearMap;
+
+/// Simulated time in nanoseconds since the device was powered on.
+///
+/// The device advances this clock by the latency of every operation it
+/// performs, so it measures *device busy time*, not host wall-clock time.
+pub type DeviceNanos = u64;
+
+/// A logical block address as seen by the host (a 512 B–4 KiB sector index,
+/// depending on the page size of the underlying geometry).
+pub type Lba = u64;

@@ -1,0 +1,138 @@
+//! Erase-count statistics across the chip (Table 4 of the paper).
+
+use std::fmt;
+
+/// Summary statistics of per-block erase counts.
+///
+/// This is the quantity Table 4 of the paper reports: average, standard
+/// deviation, and maximum erase counts after a long simulation — the
+/// footprint of (un)even wear.
+///
+/// # Example
+///
+/// ```
+/// use nand::EraseStats;
+///
+/// let stats = EraseStats::from_counts([2, 4, 6].iter().copied());
+/// assert_eq!(stats.mean, 4.0);
+/// assert_eq!(stats.max, 6);
+/// assert_eq!(stats.min, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EraseStats {
+    /// Mean erase count.
+    pub mean: f64,
+    /// Population standard deviation of erase counts.
+    pub std_dev: f64,
+    /// Largest per-block erase count.
+    pub max: u64,
+    /// Smallest per-block erase count.
+    pub min: u64,
+    /// Number of blocks sampled.
+    pub blocks: usize,
+    /// Sum of all erase counts.
+    pub total: u64,
+}
+
+impl EraseStats {
+    /// Computes statistics from an iterator of per-block erase counts.
+    ///
+    /// Returns an all-zero summary when the iterator is empty.
+    pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0u64;
+        let mut sum_sq = 0f64;
+        let mut max = 0u64;
+        let mut min = u64::MAX;
+        for c in counts {
+            n += 1;
+            sum += c;
+            sum_sq += (c as f64) * (c as f64);
+            max = max.max(c);
+            min = min.min(c);
+        }
+        if n == 0 {
+            return Self {
+                mean: 0.0,
+                std_dev: 0.0,
+                max: 0,
+                min: 0,
+                blocks: 0,
+                total: 0,
+            };
+        }
+        let mean = sum as f64 / n as f64;
+        let variance = (sum_sq / n as f64 - mean * mean).max(0.0);
+        Self {
+            mean,
+            std_dev: variance.sqrt(),
+            max,
+            min,
+            blocks: n,
+            total: sum,
+        }
+    }
+
+    /// Unevenness indicator: `max / mean` (1.0 is perfectly even).
+    ///
+    /// Returns 0.0 when no erase has happened.
+    pub fn max_over_mean(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.max as f64 / self.mean
+        }
+    }
+}
+
+impl fmt::Display for EraseStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "avg {:.1}, dev {:.1}, max {}, min {} over {} blocks",
+            self.mean, self.std_dev, self.max, self.min, self.blocks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_all_zero() {
+        let s = EraseStats::from_counts(std::iter::empty());
+        assert_eq!(s.blocks, 0);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.max_over_mean(), 0.0);
+    }
+
+    #[test]
+    fn uniform_counts_have_zero_deviation() {
+        let s = EraseStats::from_counts([5, 5, 5, 5].iter().copied());
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.min, 5);
+        assert_eq!(s.total, 20);
+        assert!((s.max_over_mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_deviation() {
+        // counts 2, 4, 4, 4, 5, 5, 7, 9 → mean 5, population std dev 2.
+        let s = EraseStats::from_counts([2, 4, 4, 4, 5, 5, 7, 9].iter().copied());
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!(s.max, 9);
+        assert_eq!(s.min, 2);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let s = EraseStats::from_counts([1, 3].iter().copied());
+        let msg = s.to_string();
+        assert!(msg.contains("avg 2.0"));
+        assert!(msg.contains("2 blocks"));
+    }
+}

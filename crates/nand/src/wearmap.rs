@@ -1,0 +1,163 @@
+//! Visualising wear: textual per-block wear maps and histograms.
+//!
+//! Endurance studies live and die by seeing *where* the wear sits. This
+//! module renders the per-block erase counts of a chip as a compact ASCII
+//! map (one glyph per block) and as a bucketed histogram — the terminal
+//! equivalent of the heat maps flash vendors print in endurance reports.
+
+use std::fmt;
+
+use crate::stats::EraseStats;
+
+/// Glyph ramp from no wear to heavy wear.
+const RAMP: [char; 6] = ['.', '-', '=', '+', '#', '@'];
+
+/// A textual rendering of a chip's wear distribution.
+///
+/// # Example
+///
+/// ```
+/// use nand::WearMap;
+///
+/// let map = WearMap::from_counts(&[0, 3, 3, 12, 1, 0, 7, 3]);
+/// let text = map.to_string();
+/// assert!(text.contains('@'), "hottest block renders as @: {text}");
+/// assert!(text.contains('.'), "untouched blocks render as .: {text}");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearMap {
+    counts: Vec<u64>,
+    stats: EraseStats,
+    row_width: usize,
+}
+
+impl WearMap {
+    /// Builds a map from per-block erase counts.
+    pub fn from_counts(counts: &[u64]) -> Self {
+        Self {
+            counts: counts.to_vec(),
+            stats: EraseStats::from_counts(counts.iter().copied()),
+            row_width: 64,
+        }
+    }
+
+    /// Changes the number of blocks rendered per row (default 64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_width` is zero.
+    pub fn with_row_width(mut self, row_width: usize) -> Self {
+        assert!(row_width > 0, "rows must hold at least one block");
+        self.row_width = row_width;
+        self
+    }
+
+    /// The summary statistics behind the map.
+    pub fn stats(&self) -> EraseStats {
+        self.stats
+    }
+
+    /// Glyph for one block, scaled against the maximum count.
+    pub fn glyph(&self, block: usize) -> char {
+        let count = self.counts[block];
+        if count == 0 {
+            return RAMP[0];
+        }
+        if self.stats.max == 0 {
+            return RAMP[0];
+        }
+        let bucket = (count * (RAMP.len() as u64 - 1)).div_ceil(self.stats.max) as usize;
+        RAMP[bucket.min(RAMP.len() - 1)]
+    }
+
+    /// A bucketed histogram: how many blocks fall into each of `buckets`
+    /// equal-width erase-count ranges `[0, max]`.
+    pub fn histogram(&self, buckets: usize) -> Vec<usize> {
+        assert!(buckets > 0, "need at least one bucket");
+        let mut histogram = vec![0usize; buckets];
+        if self.stats.max == 0 {
+            histogram[0] = self.counts.len();
+            return histogram;
+        }
+        for &count in &self.counts {
+            let bucket = (count * buckets as u64 / (self.stats.max + 1)) as usize;
+            histogram[bucket.min(buckets - 1)] += 1;
+        }
+        histogram
+    }
+}
+
+impl fmt::Display for WearMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.stats)?;
+        for (i, _) in self.counts.iter().enumerate() {
+            if i > 0 && i % self.row_width == 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}", self.glyph(i))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_chip_is_all_dots() {
+        let map = WearMap::from_counts(&[0; 16]);
+        assert!(map
+            .to_string()
+            .lines()
+            .last()
+            .unwrap()
+            .chars()
+            .all(|c| c == '.'));
+    }
+
+    #[test]
+    fn hottest_block_gets_heaviest_glyph() {
+        let map = WearMap::from_counts(&[1, 2, 10]);
+        assert_eq!(map.glyph(2), '@');
+        assert_ne!(map.glyph(0), '@');
+        assert_eq!(map.glyph(0), map.glyph(0));
+    }
+
+    #[test]
+    fn zero_count_always_renders_dot() {
+        let map = WearMap::from_counts(&[0, 100]);
+        assert_eq!(map.glyph(0), '.');
+    }
+
+    #[test]
+    fn rows_wrap_at_width() {
+        let map = WearMap::from_counts(&[1; 10]).with_row_width(4);
+        let rendered = map.to_string();
+        let body: Vec<&str> = rendered.lines().skip(1).collect();
+        assert_eq!(body.len(), 3);
+        assert_eq!(body[0].len(), 4);
+        assert_eq!(body[2].len(), 2);
+    }
+
+    #[test]
+    fn histogram_counts_blocks() {
+        let map = WearMap::from_counts(&[0, 0, 5, 9]);
+        let h = map.histogram(2);
+        assert_eq!(h.iter().sum::<usize>(), 4);
+        assert_eq!(h[0], 2, "the two zeros land in the low bucket: {h:?}");
+        assert_eq!(h[1], 2);
+    }
+
+    #[test]
+    fn histogram_of_pristine_chip() {
+        let map = WearMap::from_counts(&[0; 8]);
+        assert_eq!(map.histogram(4), vec![8, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_row_width_rejected() {
+        let _ = WearMap::from_counts(&[0]).with_row_width(0);
+    }
+}

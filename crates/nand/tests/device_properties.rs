@@ -1,0 +1,140 @@
+//! Property tests of the NAND device state machine.
+
+use proptest::prelude::*;
+
+use nand::{CellKind, Geometry, NandDevice, NandError, PageAddr, PageState, SpareArea};
+
+#[derive(Debug, Clone)]
+enum DeviceOp {
+    Program { block: u32, page: u32, data: u64 },
+    Invalidate { block: u32, page: u32 },
+    Erase { block: u32 },
+    Read { block: u32, page: u32 },
+}
+
+fn ops(blocks: u32, pages: u32, len: usize) -> impl Strategy<Value = Vec<DeviceOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..blocks, 0..pages, any::<u64>())
+                .prop_map(|(block, page, data)| DeviceOp::Program { block, page, data }),
+            2 => (0..blocks, 0..pages)
+                .prop_map(|(block, page)| DeviceOp::Invalidate { block, page }),
+            1 => (0..blocks).prop_map(|block| DeviceOp::Erase { block }),
+            2 => (0..blocks, 0..pages).prop_map(|(block, page)| DeviceOp::Read { block, page }),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    /// The device agrees with a naive shadow state machine on every
+    /// operation outcome, and per-block valid/invalid counters always match
+    /// a recount.
+    #[test]
+    fn device_matches_shadow_state_machine(ops in ops(6, 4, 400)) {
+        let geometry = Geometry::new(6, 4, 512);
+        let mut device = NandDevice::new(geometry, CellKind::Slc.spec());
+        let mut shadow = vec![vec![(PageState::Free, 0u64); 4]; 6];
+        let mut shadow_erases = [0u64; 6];
+
+        for op in ops {
+            match op {
+                DeviceOp::Program { block, page, data } => {
+                    let addr = PageAddr::new(block, page);
+                    let result = device.program(addr, data, SpareArea::valid(data));
+                    let cell = &mut shadow[block as usize][page as usize];
+                    if cell.0 == PageState::Free {
+                        prop_assert!(result.is_ok());
+                        *cell = (PageState::Valid, data);
+                    } else {
+                        prop_assert_eq!(result, Err(NandError::ProgramOnUsedPage { addr }));
+                    }
+                }
+                DeviceOp::Invalidate { block, page } => {
+                    let addr = PageAddr::new(block, page);
+                    let result = device.invalidate(addr);
+                    let cell = &mut shadow[block as usize][page as usize];
+                    if cell.0 == PageState::Valid {
+                        prop_assert!(result.is_ok());
+                        cell.0 = PageState::Invalid;
+                    } else {
+                        prop_assert!(result.is_err());
+                    }
+                }
+                DeviceOp::Erase { block } => {
+                    prop_assert!(device.erase(block).is_ok());
+                    for cell in &mut shadow[block as usize] {
+                        *cell = (PageState::Free, 0);
+                    }
+                    shadow_erases[block as usize] += 1;
+                }
+                DeviceOp::Read { block, page } => {
+                    let addr = PageAddr::new(block, page);
+                    let result = device.read(addr);
+                    let cell = shadow[block as usize][page as usize];
+                    if cell.0 == PageState::Free {
+                        prop_assert_eq!(result, Err(NandError::ReadOfFreePage { addr }));
+                    } else {
+                        prop_assert_eq!(result.unwrap().data, cell.1);
+                    }
+                }
+            }
+        }
+
+        for b in 0..6u32 {
+            let blk = device.block(b);
+            let valid = shadow[b as usize]
+                .iter()
+                .filter(|(s, _)| *s == PageState::Valid)
+                .count() as u32;
+            let invalid = shadow[b as usize]
+                .iter()
+                .filter(|(s, _)| *s == PageState::Invalid)
+                .count() as u32;
+            prop_assert_eq!(blk.valid_pages(), valid);
+            prop_assert_eq!(blk.invalid_pages(), invalid);
+            prop_assert_eq!(blk.erase_count(), shadow_erases[b as usize]);
+        }
+        let total: u64 = shadow_erases.iter().sum();
+        prop_assert_eq!(device.counters().erases, total);
+    }
+
+    /// The first-failure record points at the first block to reach the
+    /// endurance limit and is never displaced.
+    #[test]
+    fn first_failure_is_earliest(erase_seq in prop::collection::vec(0u32..4, 1..200)) {
+        let endurance = 5u32;
+        let geometry = Geometry::new(4, 2, 512);
+        let mut device =
+            NandDevice::new(geometry, CellKind::Mlc2.spec().with_endurance(endurance));
+        let mut counts = [0u64; 4];
+        let mut expected: Option<u32> = None;
+        for block in erase_seq {
+            device.erase(block).unwrap();
+            counts[block as usize] += 1;
+            if counts[block as usize] == u64::from(endurance) && expected.is_none() {
+                expected = Some(block);
+            }
+        }
+        prop_assert_eq!(device.first_failure().map(|f| f.block), expected);
+    }
+
+    /// Busy time equals the sum of per-op latencies.
+    #[test]
+    fn busy_time_is_additive(programs in 0u32..8, erases in 0u32..5) {
+        let geometry = Geometry::new(2, 8, 512);
+        let spec = CellKind::Slc.spec();
+        let mut device = NandDevice::new(geometry, spec);
+        for p in 0..programs {
+            device
+                .program(PageAddr::new(0, p), 0, SpareArea::valid(0))
+                .unwrap();
+        }
+        for _ in 0..erases {
+            device.erase(1).unwrap();
+        }
+        let expected = u64::from(programs) * spec.timing.program_ns
+            + u64::from(erases) * spec.timing.erase_ns;
+        prop_assert_eq!(device.busy_ns(), expected);
+    }
+}

@@ -1,0 +1,87 @@
+//! NFTL configuration.
+
+/// Tunables of the block-mapping NFTL.
+///
+/// # Example
+///
+/// ```
+/// use nftl::NftlConfig;
+///
+/// let config = NftlConfig::default().with_reserved_blocks(8);
+/// assert_eq!(config.reserved_blocks, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NftlConfig {
+    /// Physical blocks withheld from the virtual-block space (room for
+    /// replacement blocks). The paper exports the full chip (0), viable
+    /// because its workload touches only part of the space.
+    pub reserved_blocks: u32,
+    /// Garbage collection (forced merging) triggers when free blocks fall
+    /// below this fraction of all blocks (paper: 0.2 %).
+    pub gc_free_fraction: f64,
+    /// Hard floor of free blocks maintained regardless of the fraction.
+    pub min_free_blocks: u32,
+}
+
+impl NftlConfig {
+    /// The paper's configuration.
+    pub fn new() -> Self {
+        Self {
+            reserved_blocks: 0,
+            gc_free_fraction: 0.002,
+            min_free_blocks: 2,
+        }
+    }
+
+    /// Replaces the reserved-block count.
+    pub fn with_reserved_blocks(mut self, blocks: u32) -> Self {
+        self.reserved_blocks = blocks;
+        self
+    }
+
+    /// Replaces the GC trigger fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction < 1.0`.
+    pub fn with_gc_free_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&fraction),
+            "gc fraction must be in [0, 1)"
+        );
+        self.gc_free_fraction = fraction;
+        self
+    }
+
+    /// Free blocks the garbage collector must maintain on a chip of
+    /// `blocks` blocks.
+    pub fn free_target(&self, blocks: u32) -> u32 {
+        let frac = (f64::from(blocks) * self.gc_free_fraction).ceil() as u32;
+        frac.max(self.min_free_blocks)
+    }
+}
+
+impl Default for NftlConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = NftlConfig::default();
+        assert_eq!(c.reserved_blocks, 0);
+        assert_eq!(c.gc_free_fraction, 0.002);
+        assert_eq!(c.free_target(4096), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "gc fraction")]
+    fn bad_fraction_rejected() {
+        NftlConfig::default().with_gc_free_fraction(-0.1);
+    }
+}

@@ -1,0 +1,975 @@
+//! The block-mapping translation layer: primary/replacement blocks, merges.
+
+use std::collections::BTreeMap;
+
+use nand::{NandDevice, PageAddr, SpareArea};
+use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
+
+use crate::config::NftlConfig;
+use crate::counters::NftlCounters;
+use crate::error::NftlError;
+
+/// Sentinel for "no physical block assigned".
+const NO_BLOCK: u32 = u32::MAX;
+
+/// Spare-area status marker for pages written into a primary block.
+pub(crate) const STATUS_PRIMARY: u32 = 1;
+/// Spare-area status marker for pages appended to a replacement block.
+pub(crate) const STATUS_REPL: u32 = 2;
+
+/// What a physical block is currently used for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BlockRole {
+    Free,
+    Primary(u32),
+    Replacement(u32),
+    /// Worn out and withdrawn from circulation (bad-block management).
+    Retired,
+}
+
+/// RAM state of an open replacement block (a real NFTL rebuilds this from
+/// spare areas at mount time).
+#[derive(Debug, Clone)]
+struct ReplState {
+    block: u32,
+    /// Next append position.
+    next: u32,
+    /// Per offset: newest replacement page + 1; 0 = offset not in this block.
+    latest: Box<[u32]>,
+}
+
+/// Why a merge ran, for counter attribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MergeCause {
+    ReplacementFull,
+    GarbageCollection,
+    WearLeveling,
+}
+
+#[derive(Debug)]
+pub(crate) struct Inner {
+    device: NandDevice,
+    config: NftlConfig,
+    virtual_blocks: u32,
+    logical_pages: u64,
+    /// Per VBA: primary physical block (`NO_BLOCK` when unassigned).
+    primary: Vec<u32>,
+    /// Open replacement blocks, keyed by VBA (ordered for determinism).
+    repl: BTreeMap<u32, ReplState>,
+    role: Vec<BlockRole>,
+    free: Vec<u32>,
+    /// Cyclic cursor for GC victim selection over VBAs.
+    gc_scan_vba: u32,
+    free_target: u32,
+    counters: NftlCounters,
+    in_swl: bool,
+}
+
+impl Inner {
+    fn new(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+        let geometry = device.geometry();
+        let blocks = geometry.blocks();
+        let reserved = config.reserved_blocks.min(blocks.saturating_sub(1));
+        let virtual_blocks = blocks - reserved;
+        let logical_pages = u64::from(virtual_blocks) * u64::from(geometry.pages_per_block());
+        let free_target = config.free_target(blocks);
+        Ok(Self {
+            virtual_blocks,
+            logical_pages,
+            primary: vec![NO_BLOCK; virtual_blocks as usize],
+            repl: BTreeMap::new(),
+            role: vec![BlockRole::Free; blocks as usize],
+            free: (0..blocks).collect(),
+            gc_scan_vba: 0,
+            free_target,
+            counters: NftlCounters::default(),
+            device,
+            config,
+            in_swl: false,
+        })
+    }
+
+    /// Rebuilds all RAM tables from the spare areas of an existing chip —
+    /// what real NFTL firmware does at attach time.
+    fn mount(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+        let mut inner = Self::new(device, config)?;
+        inner.free.clear();
+        let blocks = inner.device.geometry().blocks();
+        let pages_per_block = inner.device.geometry().pages_per_block();
+
+        for b in 0..blocks {
+            // Classify the block from its first programmed page's marker.
+            let mut marker: Option<(u32, u64)> = None; // (status, lba)
+            for (page, state) in inner.device.block(b).page_states() {
+                if state.is_free() {
+                    continue;
+                }
+                let spare = inner.device.block(b).spare(page);
+                let lba = spare.lba().ok_or(NftlError::MountCorrupt { block: b })?;
+                marker = Some((spare.status(), lba));
+                break;
+            }
+            let Some((status, lba)) = marker else {
+                inner.role[b as usize] = BlockRole::Free;
+                inner.free.push(b);
+                continue;
+            };
+            if lba >= inner.logical_pages {
+                return Err(NftlError::MountCorrupt { block: b });
+            }
+            let (vba, _) = inner.split(lba);
+            match status {
+                STATUS_PRIMARY => {
+                    if inner.primary[vba as usize] != NO_BLOCK {
+                        return Err(NftlError::MountCorrupt { block: b });
+                    }
+                    inner.primary[vba as usize] = b;
+                    inner.role[b as usize] = BlockRole::Primary(vba);
+                }
+                STATUS_REPL => {
+                    let mut latest = vec![0u32; pages_per_block as usize].into_boxed_slice();
+                    let mut next = 0u32;
+                    for (page, state) in inner.device.block(b).page_states() {
+                        if state.is_free() {
+                            break; // appends are contiguous from page 0
+                        }
+                        next = page + 1;
+                        if !state.is_valid() {
+                            continue;
+                        }
+                        let spare = inner.device.block(b).spare(page);
+                        let page_lba = spare.lba().ok_or(NftlError::MountCorrupt { block: b })?;
+                        let (page_vba, offset) = inner.split(page_lba);
+                        if page_vba != vba {
+                            return Err(NftlError::MountCorrupt { block: b });
+                        }
+                        latest[offset as usize] = page + 1;
+                    }
+                    let previous = inner.repl.insert(
+                        vba,
+                        ReplState {
+                            block: b,
+                            next,
+                            latest,
+                        },
+                    );
+                    if previous.is_some() {
+                        return Err(NftlError::MountCorrupt { block: b });
+                    }
+                    inner.role[b as usize] = BlockRole::Replacement(vba);
+                }
+                _ => return Err(NftlError::MountCorrupt { block: b }),
+            }
+        }
+
+        // Every replacement must hang off an assigned primary.
+        for (&vba, rs) in &inner.repl {
+            if inner.primary[vba as usize] == NO_BLOCK {
+                return Err(NftlError::MountCorrupt { block: rs.block });
+            }
+        }
+        Ok(inner)
+    }
+
+    fn split(&self, lba: u64) -> (u32, u32) {
+        let ppb = u64::from(self.device.geometry().pages_per_block());
+        ((lba / ppb) as u32, (lba % ppb) as u32)
+    }
+
+    fn lba_of(&self, vba: u32, offset: u32) -> u64 {
+        u64::from(vba) * u64::from(self.device.geometry().pages_per_block()) + u64::from(offset)
+    }
+
+    fn check_lba(&self, lba: u64) -> Result<(), NftlError> {
+        if lba >= self.logical_pages {
+            return Err(NftlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.logical_pages,
+            });
+        }
+        Ok(())
+    }
+
+    /// Whether serving a write to `(vba, offset)` would need a fresh block.
+    fn write_needs_alloc(&self, vba: u32, offset: u32) -> bool {
+        let p = self.primary[vba as usize];
+        if p == NO_BLOCK {
+            return true;
+        }
+        if self.device.block(p).page_state(offset).is_free() {
+            return false;
+        }
+        !self.repl.contains_key(&vba)
+    }
+
+    fn host_write(&mut self, lba: u64, data: u64, erased: &mut Vec<u32>) -> Result<(), NftlError> {
+        self.check_lba(lba)?;
+        let (vba, offset) = self.split(lba);
+
+        match self.ensure_free(erased) {
+            Ok(()) => {}
+            Err(NftlError::NoReclaimableSpace) => {
+                // Nothing mergeable yet. Proceed while a merge reserve
+                // remains, or when this write allocates nothing.
+                let safe = self.free.len() >= 2 || !self.write_needs_alloc(vba, offset);
+                if !safe {
+                    return Err(NftlError::NoReclaimableSpace);
+                }
+            }
+            Err(other) => return Err(other),
+        }
+
+        if self.primary[vba as usize] == NO_BLOCK {
+            let p = self.pop_freshest_free()?;
+            self.role[p as usize] = BlockRole::Primary(vba);
+            self.primary[vba as usize] = p;
+        }
+        let p = self.primary[vba as usize];
+
+        if self.device.block(p).page_state(offset).is_free() {
+            // In-place slot still available in the primary block.
+            debug_assert!(self
+                .repl
+                .get(&vba)
+                .is_none_or(|rs| rs.latest[offset as usize] == 0));
+            self.device.program(
+                PageAddr::new(p, offset),
+                data,
+                SpareArea::with_status(lba, STATUS_PRIMARY),
+            )?;
+            self.counters.host_writes += 1;
+            return Ok(());
+        }
+
+        // Overwrite: goes to the replacement block.
+        if !self.repl.contains_key(&vba) {
+            let r = self.pop_freshest_free()?;
+            self.role[r as usize] = BlockRole::Replacement(vba);
+            let pages = self.device.geometry().pages_per_block() as usize;
+            self.repl.insert(
+                vba,
+                ReplState {
+                    block: r,
+                    next: 0,
+                    latest: vec![0; pages].into_boxed_slice(),
+                },
+            );
+        }
+
+        let pages_per_block = self.device.geometry().pages_per_block();
+        if self.repl[&vba].next == pages_per_block {
+            // Replacement full: merge, skipping the offset being rewritten,
+            // then the fresh primary has a free slot at `offset`.
+            self.counters.full_merges += 1;
+            self.merge(vba, Some(offset), MergeCause::ReplacementFull, erased)?;
+            let p = self.primary[vba as usize];
+            self.device.program(
+                PageAddr::new(p, offset),
+                data,
+                SpareArea::with_status(lba, STATUS_PRIMARY),
+            )?;
+            self.counters.host_writes += 1;
+            return Ok(());
+        }
+
+        let rs = self.repl.get_mut(&vba).expect("replacement just ensured");
+        let slot = rs.next;
+        let block = rs.block;
+        let prev = rs.latest[offset as usize];
+        rs.latest[offset as usize] = slot + 1;
+        rs.next += 1;
+        self.device.program(
+            PageAddr::new(block, slot),
+            data,
+            SpareArea::with_status(lba, STATUS_REPL),
+        )?;
+        // Invalidate the superseded copy (replacement page or primary slot).
+        if prev != 0 {
+            self.device.invalidate(PageAddr::new(block, prev - 1))?;
+        } else {
+            self.device.invalidate(PageAddr::new(p, offset))?;
+        }
+        self.counters.host_writes += 1;
+        Ok(())
+    }
+
+    fn host_read(&mut self, lba: u64) -> Result<Option<u64>, NftlError> {
+        self.check_lba(lba)?;
+        let (vba, offset) = self.split(lba);
+        self.counters.host_reads += 1;
+        if let Some(rs) = self.repl.get(&vba) {
+            let latest = rs.latest[offset as usize];
+            if latest != 0 {
+                let addr = PageAddr::new(rs.block, latest - 1);
+                return Ok(Some(self.device.read(addr)?.data));
+            }
+        }
+        let p = self.primary[vba as usize];
+        if p != NO_BLOCK && self.device.block(p).page_state(offset).is_valid() {
+            return Ok(Some(self.device.read(PageAddr::new(p, offset))?.data));
+        }
+        Ok(None)
+    }
+
+    /// Keeps the free pool at its target by merging replacement pairs.
+    fn ensure_free(&mut self, erased: &mut Vec<u32>) -> Result<(), NftlError> {
+        let mut guard = 0u32;
+        while (self.free.len() as u32) < self.free_target {
+            self.gc_merge_one(erased)?;
+            guard += 1;
+            if guard > self.device.geometry().blocks() * 2 {
+                return Err(NftlError::FreeExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Greedy victim selection over open replacements (cyclic over VBAs):
+    /// first pair whose invalid pages outnumber their valid pages, falling
+    /// back to the pair with the most invalid pages.
+    fn gc_merge_one(&mut self, erased: &mut Vec<u32>) -> Result<(), NftlError> {
+        if self.repl.is_empty() {
+            return Err(NftlError::NoReclaimableSpace);
+        }
+        let start = self.gc_scan_vba;
+        let mut fallback: Option<(u64, u32)> = None; // (invalid, vba)
+        let mut chosen: Option<u32> = None;
+        let keys: Vec<u32> = self
+            .repl
+            .range(start..)
+            .map(|(&v, _)| v)
+            .chain(self.repl.range(..start).map(|(&v, _)| v))
+            .collect();
+        for vba in keys {
+            let rs = &self.repl[&vba];
+            let p = self.primary[vba as usize];
+            let pb = self.device.block(p);
+            let rb = self.device.block(rs.block);
+            let invalid = u64::from(pb.invalid_pages()) + u64::from(rb.invalid_pages());
+            let valid = u64::from(pb.valid_pages()) + u64::from(rb.valid_pages());
+            if invalid > valid {
+                chosen = Some(vba);
+                break;
+            }
+            if invalid > 0 && fallback.is_none_or(|(best, _)| invalid > best) {
+                fallback = Some((invalid, vba));
+            }
+        }
+        let vba = chosen
+            .or(fallback.map(|(_, v)| v))
+            .ok_or(NftlError::NoReclaimableSpace)?;
+        self.gc_scan_vba = vba.wrapping_add(1) % self.virtual_blocks.max(1);
+        self.counters.gc_merges += 1;
+        self.merge(vba, None, MergeCause::GarbageCollection, erased)
+    }
+
+    /// Folds a VBA's newest data into a fresh primary block and erases the
+    /// old primary (and replacement, if open). `skip_offset` omits an offset
+    /// that the caller is about to overwrite anyway.
+    fn merge(
+        &mut self,
+        vba: u32,
+        skip_offset: Option<u32>,
+        cause: MergeCause,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), NftlError> {
+        let old_primary = self.primary[vba as usize];
+        debug_assert_ne!(old_primary, NO_BLOCK, "merge requires a primary");
+        let rs = self.repl.remove(&vba);
+        let fresh = self.pop_freshest_free()?;
+
+        let pages_per_block = self.device.geometry().pages_per_block();
+        for offset in 0..pages_per_block {
+            if skip_offset == Some(offset) {
+                continue;
+            }
+            let src = match &rs {
+                Some(rs) if rs.latest[offset as usize] != 0 => {
+                    Some(PageAddr::new(rs.block, rs.latest[offset as usize] - 1))
+                }
+                _ => {
+                    let state = self.device.block(old_primary).page_state(offset);
+                    state
+                        .is_valid()
+                        .then_some(PageAddr::new(old_primary, offset))
+                }
+            };
+            let Some(src) = src else { continue };
+            let content = self.device.read(src)?;
+            let lba = self.lba_of(vba, offset);
+            self.device.program(
+                PageAddr::new(fresh, offset),
+                content.data,
+                SpareArea::with_status(lba, STATUS_PRIMARY),
+            )?;
+            match cause {
+                MergeCause::WearLeveling => self.counters.swl_live_copies += 1,
+                _ => self.counters.gc_live_copies += 1,
+            }
+        }
+
+        self.primary[vba as usize] = fresh;
+        self.role[fresh as usize] = BlockRole::Primary(vba);
+        self.erase_and_free(old_primary, cause, erased)?;
+        if let Some(rs) = rs {
+            self.erase_and_free(rs.block, cause, erased)?;
+        }
+        Ok(())
+    }
+
+    /// Relocates a primary block that has no replacement (SWL eviction of
+    /// fully cold data): offset-aligned copy into a fresh block.
+    fn relocate_primary(&mut self, vba: u32, erased: &mut Vec<u32>) -> Result<(), NftlError> {
+        debug_assert!(!self.repl.contains_key(&vba));
+        self.merge(vba, None, MergeCause::WearLeveling, erased)
+    }
+
+    fn erase_and_free(
+        &mut self,
+        block: u32,
+        cause: MergeCause,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), NftlError> {
+        match self.device.erase(block) {
+            Ok(()) => {}
+            Err(nand::NandError::BlockWornOut { .. }) => {
+                // Bad-block management: withdraw the block, stale contents
+                // and all.
+                self.free.retain(|&b| b != block);
+                self.role[block as usize] = BlockRole::Retired;
+                self.counters.retired_blocks += 1;
+                return Ok(());
+            }
+            Err(other) => return Err(other.into()),
+        }
+        match cause {
+            MergeCause::WearLeveling => self.counters.swl_erases += 1,
+            _ => self.counters.gc_erases += 1,
+        }
+        if self.role[block as usize] != BlockRole::Free {
+            self.role[block as usize] = BlockRole::Free;
+            self.free.push(block);
+        }
+        erased.push(block);
+        Ok(())
+    }
+
+    /// Pops the free block with the lowest erase count (dynamic wear
+    /// leveling).
+    fn pop_freshest_free(&mut self) -> Result<u32, NftlError> {
+        if self.free.is_empty() {
+            return Err(NftlError::FreeExhausted);
+        }
+        let mut best = 0usize;
+        let mut best_wear = u64::MAX;
+        for (i, &b) in self.free.iter().enumerate() {
+            let wear = self.device.block(b).erase_count();
+            if wear < best_wear {
+                best_wear = wear;
+                best = i;
+            }
+        }
+        let block = self.free.swap_remove(best);
+        self.role[block as usize] = BlockRole::Free; // refined by the caller
+        Ok(block)
+    }
+
+    /// Debug audit: roles, free list and replacement maps are consistent
+    /// with device page states.
+    #[cfg(test)]
+    fn check_consistency(&self) {
+        let blocks = self.device.geometry().blocks();
+        let mut free_set = std::collections::HashSet::new();
+        for &b in &self.free {
+            assert!(free_set.insert(b), "block {b} twice in free list");
+            assert_eq!(self.role[b as usize], BlockRole::Free);
+        }
+        for b in 0..blocks {
+            match self.role[b as usize] {
+                BlockRole::Free => assert!(
+                    free_set.contains(&b),
+                    "free-role block {b} missing from free list"
+                ),
+                BlockRole::Primary(v) => {
+                    assert_eq!(self.primary[v as usize], b, "primary map mismatch")
+                }
+                BlockRole::Replacement(v) => {
+                    assert_eq!(self.repl[&v].block, b, "replacement map mismatch")
+                }
+                BlockRole::Retired => {
+                    assert!(!free_set.contains(&b), "retired block {b} in free list")
+                }
+            }
+        }
+        for (&vba, rs) in &self.repl {
+            assert_eq!(self.role[rs.block as usize], BlockRole::Replacement(vba));
+            for (offset, &latest) in rs.latest.iter().enumerate() {
+                if latest != 0 {
+                    assert!(
+                        self.device
+                            .block(rs.block)
+                            .page_state(latest - 1)
+                            .is_valid(),
+                        "latest pointer of vba {vba} offset {offset} is stale"
+                    );
+                }
+            }
+        }
+    }
+}
+
+impl SwlCleaner for Inner {
+    type Error = NftlError;
+
+    /// Recycles the requested block set for the SW Leveler: primaries are
+    /// merged (or relocated when no replacement is open), replacements are
+    /// merged with their primary, free blocks are erased in place.
+    fn erase_block_set(
+        &mut self,
+        first_block: u32,
+        count: u32,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), NftlError> {
+        self.in_swl = true;
+        let result = (|| {
+            let blocks = self.device.geometry().blocks();
+            for b in first_block..(first_block + count).min(blocks) {
+                if matches!(
+                    self.role[b as usize],
+                    BlockRole::Primary(_) | BlockRole::Replacement(_)
+                ) && self.free.is_empty()
+                {
+                    self.gc_merge_one(erased)?;
+                }
+                match self.role[b as usize] {
+                    BlockRole::Retired => {}
+                    BlockRole::Free => {
+                        self.erase_and_free(b, MergeCause::WearLeveling, erased)?;
+                    }
+                    BlockRole::Primary(vba) => {
+                        self.counters.swl_merges += 1;
+                        if self.repl.contains_key(&vba) {
+                            self.merge(vba, None, MergeCause::WearLeveling, erased)?;
+                        } else {
+                            self.relocate_primary(vba, erased)?;
+                        }
+                    }
+                    BlockRole::Replacement(vba) => {
+                        self.counters.swl_merges += 1;
+                        self.merge(vba, None, MergeCause::WearLeveling, erased)?;
+                    }
+                }
+            }
+            Ok(())
+        })();
+        self.in_swl = false;
+        result
+    }
+}
+
+/// A block-mapping NFTL with an optional static wear leveler.
+///
+/// See the [crate-level documentation](crate) for the design and an example.
+#[derive(Debug)]
+pub struct BlockMappedNftl {
+    inner: Inner,
+    swl: Option<SwLeveler>,
+    erased_buf: Vec<u32>,
+}
+
+impl BlockMappedNftl {
+    /// Builds an NFTL over `device` without static wear leveling.
+    ///
+    /// # Errors
+    ///
+    /// Reserved for configuration validation.
+    pub fn new(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+        Ok(Self {
+            inner: Inner::new(device, config)?,
+            swl: None,
+            erased_buf: Vec::new(),
+        })
+    }
+
+    /// Builds an NFTL with the SW Leveler attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NftlError::Swl`] when the leveler configuration is invalid.
+    pub fn with_swl(
+        device: NandDevice,
+        config: NftlConfig,
+        swl_config: SwlConfig,
+    ) -> Result<Self, NftlError> {
+        let blocks = device.geometry().blocks();
+        let swl = SwLeveler::new(blocks, swl_config)?;
+        let mut nftl = Self::new(device, config)?;
+        nftl.swl = Some(swl);
+        Ok(nftl)
+    }
+
+    /// Re-attaches a previously used chip, rebuilding the translation
+    /// tables from the spare areas on flash — the firmware mount path.
+    /// Pair with [`BlockMappedNftl::into_device`] to simulate power cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NftlError::MountCorrupt`] when the on-flash state is not a
+    /// consistent NFTL layout (torn roles, duplicate primaries, foreign
+    /// data).
+    pub fn mount(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+        Ok(Self {
+            inner: Inner::mount(device, config)?,
+            swl: None,
+            erased_buf: Vec::new(),
+        })
+    }
+
+    /// Shuts the layer down, returning the chip (with all its data and
+    /// wear) for a later [`BlockMappedNftl::mount`].
+    pub fn into_device(self) -> NandDevice {
+        self.inner.device
+    }
+
+    /// Attaches (or replaces) a pre-built SW Leveler.
+    pub fn attach_swl(&mut self, swl: SwLeveler) {
+        self.swl = Some(swl);
+    }
+
+    /// Writes `data` to logical page `lba`, then gives the SW Leveler a
+    /// chance to run.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NftlError::LbaOutOfRange`] for bad addresses and surfaces
+    /// reclamation failures when the space is over-committed.
+    pub fn write(&mut self, lba: u64, data: u64) -> Result<(), NftlError> {
+        let mut erased = std::mem::take(&mut self.erased_buf);
+        erased.clear();
+        let result = self.inner.host_write(lba, data, &mut erased);
+        let follow_up = self.notify_swl(&erased);
+        self.erased_buf = erased;
+        result.and(follow_up)
+    }
+
+    /// Reads logical page `lba`; `None` when it has never been written.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NftlError::LbaOutOfRange`] for bad addresses.
+    pub fn read(&mut self, lba: u64) -> Result<Option<u64>, NftlError> {
+        self.inner.host_read(lba)
+    }
+
+    fn notify_swl(&mut self, erased: &[u32]) -> Result<(), NftlError> {
+        let Some(swl) = self.swl.as_mut() else {
+            return Ok(());
+        };
+        for &b in erased {
+            swl.note_erase(b);
+        }
+        if swl.needs_leveling() {
+            swl.level(&mut self.inner)?;
+        }
+        Ok(())
+    }
+
+    /// Forces recycling of a block range, as an external wear leveling
+    /// policy would: primaries/replacements are merged into fresh blocks,
+    /// free blocks are erased in place, and any attached SW Leveler is
+    /// notified. Returns the number of blocks erased.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures.
+    pub fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, NftlError> {
+        let mut erased = std::mem::take(&mut self.erased_buf);
+        erased.clear();
+        let result = self.inner.erase_block_set(first_block, count, &mut erased);
+        let erase_count = erased.len() as u64;
+        let follow_up = self.notify_swl(&erased);
+        self.erased_buf = erased;
+        result.and(follow_up)?;
+        Ok(erase_count)
+    }
+
+    /// Manually invokes SWL-Procedure (e.g. from a timer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures.
+    pub fn run_swl(&mut self) -> Result<LevelOutcome, NftlError> {
+        match self.swl.as_mut() {
+            Some(swl) => swl.level(&mut self.inner),
+            None => Ok(LevelOutcome::Idle),
+        }
+    }
+
+    /// Exported logical capacity in pages.
+    pub fn logical_pages(&self) -> u64 {
+        self.inner.logical_pages
+    }
+
+    /// The underlying device.
+    pub fn device(&self) -> &NandDevice {
+        &self.inner.device
+    }
+
+    /// Attribution counters.
+    pub fn counters(&self) -> NftlCounters {
+        self.inner.counters
+    }
+
+    /// The attached SW Leveler, if any.
+    pub fn swl(&self) -> Option<&SwLeveler> {
+        self.swl.as_ref()
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> NftlConfig {
+        self.inner.config
+    }
+
+    /// Number of currently open replacement blocks.
+    pub fn open_replacements(&self) -> usize {
+        self.inner.repl.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn check_consistency(&self) {
+        self.inner.check_consistency();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand::{CellKind, Geometry};
+
+    fn device(blocks: u32, pages: u32) -> NandDevice {
+        NandDevice::new(
+            Geometry::new(blocks, pages, 2048),
+            CellKind::Mlc2.spec().with_endurance(1_000_000),
+        )
+    }
+
+    fn nftl(blocks: u32, pages: u32) -> BlockMappedNftl {
+        BlockMappedNftl::new(device(blocks, pages), NftlConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn read_your_writes_in_primary() {
+        let mut n = nftl(8, 4);
+        n.write(0, 10).unwrap();
+        n.write(1, 11).unwrap();
+        n.write(5, 15).unwrap(); // second virtual block
+        assert_eq!(n.read(0).unwrap(), Some(10));
+        assert_eq!(n.read(1).unwrap(), Some(11));
+        assert_eq!(n.read(5).unwrap(), Some(15));
+        assert_eq!(n.read(2).unwrap(), None);
+        n.check_consistency();
+    }
+
+    #[test]
+    fn overwrites_go_to_replacement() {
+        let mut n = nftl(8, 4);
+        n.write(0, 1).unwrap();
+        n.write(0, 2).unwrap();
+        n.write(0, 3).unwrap();
+        assert_eq!(n.read(0).unwrap(), Some(3));
+        assert_eq!(n.open_replacements(), 1);
+        n.check_consistency();
+    }
+
+    #[test]
+    fn paper_figure_2b_scenario() {
+        // Figure 2(b): LBAs A=8, B=10, C=14 written 3, 7 and 1 times into a
+        // primary + replacement pair (8 pages per block → all in VBA 1).
+        let mut n = nftl(8, 8);
+        for i in 0..3u64 {
+            n.write(8, 100 + i).unwrap();
+        }
+        for i in 0..7u64 {
+            n.write(10, 200 + i).unwrap();
+        }
+        n.write(14, 300).unwrap();
+        assert_eq!(n.read(8).unwrap(), Some(102));
+        assert_eq!(n.read(10).unwrap(), Some(206));
+        assert_eq!(n.read(14).unwrap(), Some(300));
+        n.check_consistency();
+    }
+
+    #[test]
+    fn full_replacement_triggers_merge() {
+        let mut n = nftl(8, 4);
+        // 4-page replacement fills after 4 overwrites of offsets in VBA 0.
+        n.write(0, 0).unwrap();
+        for i in 1..=10u64 {
+            n.write(0, i).unwrap();
+        }
+        assert_eq!(n.read(0).unwrap(), Some(10));
+        assert!(n.counters().full_merges > 0, "{:?}", n.counters());
+        n.check_consistency();
+    }
+
+    #[test]
+    fn merge_preserves_sibling_offsets() {
+        let mut n = nftl(8, 4);
+        // Fill VBA 0 offsets 0..4 with distinct data.
+        for off in 0..4u64 {
+            n.write(off, 50 + off).unwrap();
+        }
+        // Hammer offset 1 until merges happen.
+        for i in 0..20u64 {
+            n.write(1, 1000 + i).unwrap();
+        }
+        assert_eq!(n.read(0).unwrap(), Some(50));
+        assert_eq!(n.read(1).unwrap(), Some(1019));
+        assert_eq!(n.read(2).unwrap(), Some(52));
+        assert_eq!(n.read(3).unwrap(), Some(53));
+        assert!(n.counters().full_merges >= 4);
+        n.check_consistency();
+    }
+
+    #[test]
+    fn lba_bounds_enforced() {
+        let mut n = nftl(4, 4);
+        let max = n.logical_pages();
+        assert!(matches!(
+            n.write(max, 0),
+            Err(NftlError::LbaOutOfRange { .. })
+        ));
+        assert!(matches!(n.read(max), Err(NftlError::LbaOutOfRange { .. })));
+    }
+
+    #[test]
+    fn reserved_blocks_shrink_logical_space() {
+        let n = BlockMappedNftl::new(device(8, 4), NftlConfig::default().with_reserved_blocks(3))
+            .unwrap();
+        assert_eq!(n.logical_pages(), 5 * 4);
+    }
+
+    #[test]
+    fn gc_merges_under_free_pressure() {
+        // 8 blocks, 4 pages; write over several VBAs with overwrites so
+        // replacements pile up and GC must merge to stay afloat.
+        let mut n =
+            BlockMappedNftl::new(device(8, 4), NftlConfig::default().with_reserved_blocks(4))
+                .unwrap();
+        for round in 0..30u64 {
+            for lba in 0..n.logical_pages() {
+                n.write(lba, round * 100 + lba).unwrap();
+            }
+        }
+        for lba in 0..n.logical_pages() {
+            assert_eq!(n.read(lba).unwrap(), Some(29 * 100 + lba));
+        }
+        assert!(n.counters().gc_merges + n.counters().full_merges > 0);
+        n.check_consistency();
+    }
+
+    #[test]
+    fn erase_attribution_covers_device() {
+        let mut n = nftl(16, 4);
+        for round in 0..40u64 {
+            for lba in 0..12u64 {
+                n.write(lba, round).unwrap();
+            }
+        }
+        assert_eq!(
+            n.counters().total_erases(),
+            n.device().counters().erases,
+            "every device erase must be attributed"
+        );
+    }
+
+    #[test]
+    fn swl_levels_cold_primaries() {
+        let d = device(16, 4);
+        let mut n =
+            BlockMappedNftl::with_swl(d, NftlConfig::default(), SwlConfig::new(4, 0)).unwrap();
+        // Cold data in VBAs 0..4 (write once).
+        for lba in 0..16u64 {
+            n.write(lba, 9000 + lba).unwrap();
+        }
+        // Hot updates on one LBA of VBA 5.
+        for i in 0..400u64 {
+            n.write(20, i).unwrap();
+        }
+        assert!(n.counters().swl_erases > 0, "{:?}", n.counters());
+        for lba in 0..16u64 {
+            assert_eq!(n.read(lba).unwrap(), Some(9000 + lba), "cold lba {lba}");
+        }
+        assert_eq!(n.read(20).unwrap(), Some(399));
+        n.check_consistency();
+    }
+
+    #[test]
+    fn swl_flattens_wear_distribution() {
+        let run = |swl: bool| -> f64 {
+            let d = device(16, 8);
+            let mut n = if swl {
+                BlockMappedNftl::with_swl(d, NftlConfig::default(), SwlConfig::new(8, 0)).unwrap()
+            } else {
+                BlockMappedNftl::new(d, NftlConfig::default()).unwrap()
+            };
+            for lba in 0..64u64 {
+                n.write(lba, lba).unwrap();
+            }
+            for i in 0..4000u64 {
+                n.write(64 + (i % 2), i).unwrap();
+            }
+            n.device().erase_stats().std_dev
+        };
+        let plain = run(false);
+        let leveled = run(true);
+        assert!(
+            leveled < plain,
+            "SWL must flatten NFTL wear: {leveled:.2} vs {plain:.2}"
+        );
+    }
+
+    #[test]
+    fn run_swl_without_leveler_is_idle() {
+        let mut n = nftl(4, 4);
+        assert_eq!(n.run_swl().unwrap(), LevelOutcome::Idle);
+    }
+
+    #[test]
+    fn deterministic_behaviour() {
+        let run = || {
+            let mut n = nftl(16, 4);
+            for round in 0..25u64 {
+                for lba in 0..20u64 {
+                    n.write(lba, round * 31 + lba).unwrap();
+                }
+            }
+            (n.device().erase_counts(), n.counters())
+        };
+        let (a_counts, a_c) = run();
+        let (b_counts, b_c) = run();
+        assert_eq!(a_counts, b_counts);
+        assert_eq!(a_c, b_c);
+    }
+
+    #[test]
+    fn over_committed_space_fails_cleanly() {
+        // 4 blocks × 4 pages: using all 4 VBAs with overwrites needs more
+        // blocks than exist.
+        let mut n = nftl(4, 4);
+        let mut hit_error = false;
+        'outer: for round in 0..4u64 {
+            for lba in 0..16u64 {
+                match n.write(lba, round) {
+                    Ok(()) => {}
+                    Err(NftlError::NoReclaimableSpace | NftlError::FreeExhausted) => {
+                        hit_error = true;
+                        break 'outer;
+                    }
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+        }
+        assert!(hit_error, "over-committed nftl must fail cleanly");
+    }
+}

@@ -1,0 +1,210 @@
+//! `swlsim` — command-line front end to the flash endurance simulator.
+//!
+//! ```text
+//! swlsim [OPTIONS]
+//!
+//!   --layer ftl|nftl        translation layer           (default ftl)
+//!   --blocks N              erase blocks on the chip    (default 1024)
+//!   --pages N               pages per block             (default 128)
+//!   --endurance N           erase cycles per block      (default 512)
+//!   --swl T:K               attach the SW Leveler       (default off)
+//!   --seed N                workload/leveler seed       (default 42)
+//!   --years F               stop after F simulated years
+//!   --events N              stop after N trace events
+//!   --failure               stop at the first wear-out  (default)
+//!   --rates W:R             write/read ops per second   (default 1.82:1.97)
+//!   --frozen F              frozen fraction of footprint (default 0.75)
+//!   --trace FILE            replay a text trace instead of the synthetic
+//!                           workload (format: "at_ns R|W lba len" lines)
+//! ```
+//!
+//! Example: compare NFTL with and without leveling in one minute —
+//!
+//! ```text
+//! swlsim --layer nftl --blocks 256 --endurance 256 --failure
+//! swlsim --layer nftl --blocks 256 --endurance 256 --failure --swl 13:0
+//! ```
+
+use std::process::ExitCode;
+
+use flash_sim::{Layer, LayerKind, SimConfig, Simulator, StopCondition, TranslationLayer};
+use flash_trace::{parse_trace, SegmentResampler, TraceEvent, WorkloadSpec};
+use nand::{CellKind, Geometry, NandDevice};
+use swl_core::SwlConfig;
+
+const NANOS_PER_YEAR: f64 = 365.25 * 86_400.0 * 1e9;
+
+#[derive(Debug)]
+struct Options {
+    layer: LayerKind,
+    blocks: u32,
+    pages: u32,
+    endurance: u32,
+    swl: Option<(u64, u32)>,
+    seed: u64,
+    stop: StopCondition,
+    rates: (f64, f64),
+    frozen: f64,
+    trace_file: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            layer: LayerKind::Ftl,
+            blocks: 1024,
+            pages: 128,
+            endurance: 512,
+            swl: None,
+            seed: 42,
+            stop: StopCondition::first_failure(),
+            rates: (1.82, 1.97),
+            frozen: 0.75,
+            trace_file: None,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--layer" => {
+                options.layer = match value("--layer")?.as_str() {
+                    "ftl" => LayerKind::Ftl,
+                    "nftl" => LayerKind::Nftl,
+                    other => return Err(format!("unknown layer {other:?}")),
+                }
+            }
+            "--blocks" => {
+                options.blocks = value("--blocks")?
+                    .parse()
+                    .map_err(|e| format!("--blocks: {e}"))?
+            }
+            "--pages" => {
+                options.pages = value("--pages")?
+                    .parse()
+                    .map_err(|e| format!("--pages: {e}"))?
+            }
+            "--endurance" => {
+                options.endurance = value("--endurance")?
+                    .parse()
+                    .map_err(|e| format!("--endurance: {e}"))?
+            }
+            "--swl" => {
+                let spec = value("--swl")?;
+                let (t, k) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--swl expects T:K, got {spec:?}"))?;
+                options.swl = Some((
+                    t.parse().map_err(|e| format!("--swl threshold: {e}"))?,
+                    k.parse().map_err(|e| format!("--swl k: {e}"))?,
+                ));
+            }
+            "--seed" => {
+                options.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--years" => {
+                let years: f64 = value("--years")?
+                    .parse()
+                    .map_err(|e| format!("--years: {e}"))?;
+                options.stop = StopCondition::horizon((years * NANOS_PER_YEAR) as u64);
+            }
+            "--events" => {
+                let events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?;
+                options.stop = StopCondition::events(events);
+            }
+            "--failure" => options.stop = StopCondition::first_failure(),
+            "--rates" => {
+                let spec = value("--rates")?;
+                let (w, r) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--rates expects W:R, got {spec:?}"))?;
+                options.rates = (
+                    w.parse().map_err(|e| format!("--rates writes: {e}"))?,
+                    r.parse().map_err(|e| format!("--rates reads: {e}"))?,
+                );
+            }
+            "--frozen" => {
+                options.frozen = value("--frozen")?
+                    .parse()
+                    .map_err(|e| format!("--frozen: {e}"))?
+            }
+            "--trace" => options.trace_file = Some(value("--trace")?),
+            "--help" | "-h" => {
+                return Err("usage: swlsim [--layer ftl|nftl] [--blocks N] [--pages N] \
+                            [--endurance N] [--swl T:K] [--seed N] [--years F | --events N | \
+                            --failure] [--rates W:R] [--frozen F] [--trace FILE]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let device = NandDevice::new(
+        Geometry::new(options.blocks, options.pages, 2048),
+        CellKind::Mlc2.spec().with_endurance(options.endurance),
+    );
+    let swl = options
+        .swl
+        .map(|(t, k)| SwlConfig::new(t, k).with_seed(options.seed));
+    let mut layer = Layer::build(options.layer, device, swl, &SimConfig::default())
+        .map_err(|e| e.to_string())?;
+
+    let report = if let Some(path) = &options.trace_file {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let events: Vec<TraceEvent> = parse_trace(&text).map_err(|e| e.to_string())?;
+        println!("replaying {} events from {path}", events.len());
+        Simulator::new()
+            .run(&mut layer, events, options.stop)
+            .map_err(|e| e.to_string())?
+    } else {
+        let spec = WorkloadSpec::paper(layer.logical_pages())
+            .with_seed(options.seed)
+            .with_rates(options.rates.0, options.rates.1)
+            .with_frozen_fraction(options.frozen);
+        let trace = spec.fill_events().chain(SegmentResampler::from_spec(
+            spec.clone(),
+            options.seed ^ 0xABCD,
+        ));
+        Simulator::new()
+            .run(&mut layer, trace, options.stop)
+            .map_err(|e| e.to_string())?
+    };
+
+    println!("{report}");
+    println!(
+        "  device: {} reads, {} programs, {} erases; busy {:.2} s",
+        report.device.reads,
+        report.device.programs,
+        report.device.erases,
+        report.device_busy_ns as f64 / 1e9
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("swlsim: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Unified error type over both translation layers.
+
+use std::error::Error;
+use std::fmt;
+
+use ftl::FtlError;
+use nftl::NftlError;
+
+/// Errors surfaced while simulating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The page-mapping FTL failed.
+    Ftl(FtlError),
+    /// The block-mapping NFTL failed.
+    Nftl(NftlError),
+    /// A trace event addressed a page outside the layer's logical space.
+    TraceOutOfRange {
+        /// Offending logical page.
+        lba: u64,
+        /// The layer's logical capacity.
+        logical_pages: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Ftl(e) => write!(f, "ftl: {e}"),
+            SimError::Nftl(e) => write!(f, "nftl: {e}"),
+            SimError::TraceOutOfRange { lba, logical_pages } => write!(
+                f,
+                "trace event lba {lba} outside logical space of {logical_pages} pages"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Ftl(e) => Some(e),
+            SimError::Nftl(e) => Some(e),
+            SimError::TraceOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<FtlError> for SimError {
+    fn from(e: FtlError) -> Self {
+        SimError::Ftl(e)
+    }
+}
+
+impl From<NftlError> for SimError {
+    fn from(e: NftlError) -> Self {
+        SimError::Nftl(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_layer_errors() {
+        let e: SimError = FtlError::NoReclaimableSpace.into();
+        assert!(matches!(e, SimError::Ftl(_)));
+        assert!(e.source().is_some());
+        let e: SimError = NftlError::FreeExhausted.into();
+        assert!(e.to_string().starts_with("nftl:"));
+    }
+}

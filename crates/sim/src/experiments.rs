@@ -1,0 +1,664 @@
+//! Preset experiments reproducing the paper's figures and tables.
+//!
+//! Each experiment is parameterised by an [`ExperimentScale`]. The paper's
+//! full setup (`ExperimentScale::paper`: 1 GiB MLC×2, 10 000-cycle
+//! endurance) takes hours of CPU per sweep point because first failures
+//! occur only after hundreds of millions of host writes; the scaled presets
+//! shrink the chip and the endurance proportionally, which preserves the
+//! *ratios* the paper's figures compare (wear accumulates linearly in both
+//! dimensions) while finishing in seconds to minutes. `EXPERIMENTS.md` in
+//! the repository root records scaled-vs-paper numbers side by side.
+
+use flash_trace::{Op, SegmentResampler, WorkloadSpec};
+use nand::{CellKind, Geometry, NandDevice, WearPolicy};
+use swl_core::counting::CountingLeveler;
+use swl_core::SwlConfig;
+
+use crate::error::SimError;
+use crate::layer::{Layer, LayerKind, SimConfig, TranslationLayer};
+use crate::report::SimReport;
+use crate::simulator::{Simulator, StopCondition};
+
+/// Nanoseconds per year (re-exported for bench binaries).
+pub const NANOS_PER_YEAR: f64 = crate::report::NANOS_PER_YEAR;
+
+/// The unevenness thresholds swept in Figures 5–7.
+pub const PAPER_THRESHOLDS: [u64; 4] = [100, 400, 700, 1000];
+
+/// The BET group factors swept in Figures 5–7.
+pub const PAPER_KS: [u32; 4] = [0, 1, 2, 3];
+
+/// Chip size / endurance / seed of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Blocks on the chip.
+    pub blocks: u32,
+    /// Pages per block.
+    pub pages_per_block: u32,
+    /// Erase cycles before a block wears out.
+    pub endurance: u32,
+    /// Master seed for workload generation.
+    pub seed: u64,
+}
+
+impl ExperimentScale {
+    /// Tiny setup for unit tests and smoke runs (seconds).
+    pub fn quick() -> Self {
+        Self {
+            blocks: 64,
+            pages_per_block: 32,
+            endurance: 256,
+            seed: 42,
+        }
+    }
+
+    /// Default bench setup: 1/4-size chip, 1/20 endurance — minutes per
+    /// sweep, same qualitative shape as the paper.
+    pub fn scaled() -> Self {
+        Self {
+            blocks: 1024,
+            pages_per_block: 128,
+            endurance: 512,
+            seed: 42,
+        }
+    }
+
+    /// The paper's full setup: 1 GiB MLC×2 (4096 × 128 × 2 KiB), 10 000
+    /// cycles. Expect very long runtimes.
+    pub fn paper() -> Self {
+        Self {
+            blocks: 4096,
+            pages_per_block: 128,
+            endurance: 10_000,
+            seed: 42,
+        }
+    }
+
+    /// Builds the chip for this scale.
+    pub fn device(&self) -> NandDevice {
+        NandDevice::new(
+            Geometry::new(self.blocks, self.pages_per_block, 2048),
+            CellKind::Mlc2.spec().with_endurance(self.endurance),
+        )
+    }
+
+    /// Hard event cap used as a safety net in first-failure runs: enough
+    /// writes to erase every block to its endurance several times over.
+    fn event_cap(&self) -> u64 {
+        u64::from(self.blocks) * u64::from(self.pages_per_block) * u64::from(self.endurance) * 4
+    }
+
+    /// Maps one of the paper's threshold values onto this scale.
+    ///
+    /// The unevenness threshold `T` fires SWL-Procedure when the average
+    /// erase count per touched block set reaches `T`, so its meaningful
+    /// range is relative to the endurance: the paper sweeps
+    /// `T ∈ [100, 1000]` against 10 000 cycles (1–10 % of a lifetime).
+    /// Scaled runs must shrink `T` by the same factor as the endurance or
+    /// SWL would first trigger when blocks are already nearly dead.
+    pub fn scaled_threshold(&self, paper_t: u64) -> u64 {
+        let ratio = f64::from(self.endurance) / 10_000.0;
+        (((paper_t as f64) * ratio).round() as u64).max(1)
+    }
+
+    /// Builds the SWL configuration for a paper `(T, k)` grid point.
+    ///
+    /// Besides [`ExperimentScale::scaled_threshold`], the threshold is
+    /// clamped to `2^k + 1`: SWL-Procedure is only stable when `T` exceeds
+    /// the blocks-per-flag, because each cleaned set adds `2^k` to `ecnt`
+    /// but at most 1 to `fcnt` — with `T ≤ 2^k` every activation cascades
+    /// into a full-chip sweep. The paper's own sweep (`T ≥ 100`, `k ≤ 3`)
+    /// always satisfies the condition; aggressive down-scaling must
+    /// preserve it.
+    pub fn swl_config(&self, paper_t: u64, k: u32) -> SwlConfig {
+        let threshold = self.scaled_threshold(paper_t).max((1u64 << k) + 1);
+        SwlConfig::new(threshold, k).with_seed(self.seed)
+    }
+}
+
+/// The paper-calibrated workload over a layer's logical space.
+pub fn paper_workload(logical_pages: u64, seed: u64) -> WorkloadSpec {
+    WorkloadSpec::paper(logical_pages).with_seed(seed)
+}
+
+fn build(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+) -> Result<Layer, SimError> {
+    Layer::build(kind, scale.device(), swl, &SimConfig::default())
+}
+
+/// The full experiment input: a one-time fill of the footprint (ageing the
+/// device as a month of use would) followed by the unlimited resampled
+/// steady-state trace.
+fn unlimited_trace(
+    layer: &Layer,
+    scale: &ExperimentScale,
+) -> impl Iterator<Item = flash_trace::TraceEvent> {
+    let spec = paper_workload(layer.logical_pages(), scale.seed);
+    let fill = spec.fill_events();
+    fill.chain(SegmentResampler::from_spec(
+        spec,
+        scale.seed.wrapping_mul(0x9E37_79B9),
+    ))
+}
+
+/// Runs one configuration until the first block wears out (Figure 5).
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn first_failure_run(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+) -> Result<SimReport, SimError> {
+    first_failure_run_with(kind, swl, scale, |spec| spec)
+}
+
+/// Like [`first_failure_run`], with a hook to adjust the workload — the
+/// entry point for ablation and robustness studies (different frozen
+/// fractions, placement granularities, hot-set shapes, ...).
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn first_failure_run_with(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+    tweak: impl FnOnce(WorkloadSpec) -> WorkloadSpec,
+) -> Result<SimReport, SimError> {
+    let mut layer = build(kind, swl, scale)?;
+    let spec = tweak(paper_workload(layer.logical_pages(), scale.seed));
+    let trace = spec.fill_events().chain(SegmentResampler::from_spec(
+        spec.clone(),
+        scale.seed.wrapping_mul(0x9E37_79B9),
+    ));
+    let stop = StopCondition {
+        at_first_failure: true,
+        horizon_ns: None,
+        max_events: Some(scale.event_cap()),
+    };
+    Simulator::new().run(&mut layer, trace, stop)
+}
+
+/// One point of the Figure 5 sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailurePoint {
+    /// `None` for the baseline (no SWL).
+    pub threshold: Option<u64>,
+    /// BET group factor (0 for the baseline).
+    pub k: u32,
+    /// First-failure time in host years (`None` if the event cap was hit).
+    pub years: Option<f64>,
+    /// The full report.
+    pub report: SimReport,
+}
+
+/// The Figure 5 sweep for one layer: baseline plus every `(T, k)` pair.
+///
+/// `thresholds` are the *paper's* `T` values; each is mapped through
+/// [`ExperimentScale::scaled_threshold`] before running, and reported back
+/// unscaled in [`FailurePoint::threshold`].
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn first_failure_sweep(
+    kind: LayerKind,
+    scale: &ExperimentScale,
+    thresholds: &[u64],
+    ks: &[u32],
+) -> Result<Vec<FailurePoint>, SimError> {
+    let mut points = Vec::new();
+    let baseline = first_failure_run(kind, None, scale)?;
+    points.push(FailurePoint {
+        threshold: None,
+        k: 0,
+        years: baseline.first_failure.map(|f| f.years()),
+        report: baseline,
+    });
+    for &t in thresholds {
+        for &k in ks {
+            let config = scale.swl_config(t, k);
+            let report = first_failure_run(kind, Some(config), scale)?;
+            points.push(FailurePoint {
+                threshold: Some(t),
+                k,
+                years: report.first_failure.map(|f| f.years()),
+                report,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Runs one configuration to a fixed host-time horizon (Table 4 and the
+/// Figure 6/7 overhead measurements).
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn horizon_run(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+    horizon_ns: u64,
+) -> Result<SimReport, SimError> {
+    let mut layer = build(kind, swl, scale)?;
+    let trace = unlimited_trace(&layer, scale);
+    Simulator::new().run(&mut layer, trace, StopCondition::horizon(horizon_ns))
+}
+
+/// One point of the Figure 6/7 sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverheadPoint {
+    /// Unevenness threshold `T`.
+    pub threshold: u64,
+    /// BET group factor `k`.
+    pub k: u32,
+    /// Increased ratio of block erases over the baseline (Figure 6),
+    /// e.g. `0.012` for +1.2 %.
+    pub erase_overhead: f64,
+    /// Increased ratio of live-page copies over the baseline (Figure 7).
+    pub copy_overhead: f64,
+    /// The full report of the `+SWL` run.
+    pub report: SimReport,
+}
+
+/// The Figure 6/7 sweep for one layer: every `(T, k)` pair measured against
+/// a shared baseline run of the same horizon. `thresholds` are the paper's
+/// values, mapped through [`ExperimentScale::scaled_threshold`].
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn overhead_sweep(
+    kind: LayerKind,
+    scale: &ExperimentScale,
+    thresholds: &[u64],
+    ks: &[u32],
+    horizon_ns: u64,
+) -> Result<(SimReport, Vec<OverheadPoint>), SimError> {
+    let baseline = horizon_run(kind, None, scale, horizon_ns)?;
+    let mut points = Vec::new();
+    for &t in thresholds {
+        for &k in ks {
+            let config = scale.swl_config(t, k);
+            let report = horizon_run(kind, Some(config), scale, horizon_ns)?;
+            let erase_overhead = report.erase_overhead_vs(&baseline).unwrap_or(0.0);
+            let copy_overhead = report.copy_overhead_vs(&baseline).unwrap_or(0.0);
+            points.push(OverheadPoint {
+                threshold: t,
+                k,
+                erase_overhead,
+                copy_overhead,
+                report,
+            });
+        }
+    }
+    Ok((baseline, points))
+}
+
+/// Result of a device-lifetime run (an extension beyond the paper, enabled
+/// by bad-block management): blocks that wear out are retired and the run
+/// continues until the layer can no longer absorb writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeReport {
+    /// Host years until the first write was refused.
+    pub years: f64,
+    /// Host writes absorbed over the whole device life.
+    pub host_writes: u64,
+    /// Blocks retired by bad-block management by end of life.
+    pub retired_blocks: u64,
+    /// When the *first* block wore out, for comparison with Figure 5.
+    pub first_failure_years: Option<f64>,
+    /// Total erases absorbed.
+    pub total_erases: u64,
+}
+
+/// Runs one configuration with bad-block management until the device can
+/// no longer serve writes, measuring usable lifetime instead of
+/// first-failure time.
+///
+/// # Errors
+///
+/// Propagates unexpected layer failures (end-of-life conditions —
+/// reclamation failure or an exhausted free pool — terminate the run
+/// normally).
+pub fn lifetime_run(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+) -> Result<LifetimeReport, SimError> {
+    let device = scale.device().with_wear_policy(WearPolicy::FailWornBlocks);
+    let mut layer = Layer::build(kind, device, swl, &SimConfig::default())?;
+    let spec = paper_workload(layer.logical_pages(), scale.seed);
+    let trace = spec.fill_events().chain(SegmentResampler::from_spec(
+        spec.clone(),
+        scale.seed.wrapping_mul(0x9E37_79B9),
+    ));
+
+    let mut token = 0u64;
+    let mut end_ns = 0u64;
+    let mut first_failure_ns: Option<u64> = None;
+    let cap = scale.event_cap();
+    let mut events = 0u64;
+    'run: for event in trace {
+        events += 1;
+        if events > cap {
+            break;
+        }
+        end_ns = end_ns.max(event.at_ns);
+        for lba in event.pages() {
+            match event.op {
+                Op::Write => {
+                    token += 1;
+                    match layer.write(lba, token) {
+                        Ok(()) => {}
+                        Err(
+                            SimError::Ftl(
+                                ftl::FtlError::NoReclaimableSpace | ftl::FtlError::FreeExhausted,
+                            )
+                            | SimError::Nftl(
+                                nftl::NftlError::NoReclaimableSpace
+                                | nftl::NftlError::FreeExhausted,
+                            ),
+                        ) => break 'run,
+                        Err(other) => return Err(other),
+                    }
+                }
+                Op::Read => {
+                    let _ = layer.read(lba)?;
+                }
+            }
+        }
+        if first_failure_ns.is_none() {
+            if let Some(f) = layer.device().first_failure() {
+                let _ = f;
+                first_failure_ns = Some(event.at_ns);
+            }
+        }
+    }
+
+    let counters = layer.counters();
+    Ok(LifetimeReport {
+        years: end_ns as f64 / NANOS_PER_YEAR,
+        host_writes: counters.host_writes,
+        retired_blocks: counters.retired_blocks,
+        first_failure_years: first_failure_ns.map(|ns| ns as f64 / NANOS_PER_YEAR),
+        total_erases: counters.total_erases(),
+    })
+}
+
+/// Runs a first-failure experiment under the *counting* wear leveler — the
+/// full-erase-count-table strawman ([`CountingLeveler`]) the BET design
+/// competes against. Every `check_every` host writes the leveler inspects
+/// the spread and force-recycles the least-worn block while it exceeds
+/// `margin`.
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn counting_wl_run(
+    kind: LayerKind,
+    margin: u32,
+    check_every: u64,
+    scale: &ExperimentScale,
+) -> Result<SimReport, SimError> {
+    let mut layer = build(kind, None, scale)?;
+    let spec = paper_workload(layer.logical_pages(), scale.seed);
+    let trace = spec.fill_events().chain(SegmentResampler::from_spec(
+        spec.clone(),
+        scale.seed.wrapping_mul(0x9E37_79B9),
+    ));
+
+    let mut token = 0u64;
+    let mut events = 0u64;
+    let mut host_span_ns = 0u64;
+    let mut writes_since_check = 0u64;
+    let cap = scale.event_cap();
+    let mut first_failure = None;
+
+    for event in trace {
+        events += 1;
+        if events > cap {
+            break;
+        }
+        host_span_ns = host_span_ns.max(event.at_ns);
+        for lba in event.pages() {
+            match event.op {
+                Op::Write => {
+                    token += 1;
+                    layer.write(lba, token)?;
+                    writes_since_check += 1;
+                }
+                Op::Read => {
+                    let _ = layer.read(lba)?;
+                }
+            }
+        }
+        if writes_since_check >= check_every {
+            writes_since_check = 0;
+            let mut wl = CountingLeveler::from_counts(&layer.device().erase_counts(), margin);
+            // Level fully: recycle least-worn blocks until the spread drops
+            // under the margin (bounded by the block count per check).
+            let mut guard = 0u32;
+            while let Some(victim) = wl.pick_victim() {
+                let erased = layer.force_recycle(victim, 1)?;
+                guard += 1;
+                if erased == 0 || guard > scale.blocks {
+                    break;
+                }
+                wl = CountingLeveler::from_counts(&layer.device().erase_counts(), margin);
+            }
+        }
+        if first_failure.is_none() {
+            if let Some(f) = layer.device().first_failure() {
+                first_failure = Some(crate::report::FirstFailure {
+                    block: f.block,
+                    host_ns: event.at_ns,
+                    total_erases: f.total_erases,
+                });
+                break;
+            }
+        }
+    }
+
+    let device = layer.device();
+    Ok(SimReport {
+        layer: layer.kind(),
+        swl: None,
+        events,
+        host_span_ns,
+        first_failure,
+        erase_stats: device.erase_stats(),
+        counters: layer.counters(),
+        device: device.counters(),
+        device_busy_ns: device.busy_ns(),
+        write_latency: crate::LatencyStats::new(),
+        read_latency: crate::LatencyStats::new(),
+    })
+}
+
+/// One row of Table 4.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Row label, e.g. `"FTL + SWL + k=0 + T=100"`.
+    pub label: String,
+    /// Average per-block erase count.
+    pub avg: f64,
+    /// Standard deviation of per-block erase counts.
+    pub dev: f64,
+    /// Maximum per-block erase count.
+    pub max: u64,
+}
+
+/// Regenerates Table 4: erase-count statistics for FTL and NFTL, baseline
+/// and the four `(k, T)` corner configurations, over a fixed horizon.
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn table4(
+    scale: &ExperimentScale,
+    horizon_ns: u64,
+    configs: &[(u32, u64)],
+) -> Result<Vec<Table4Row>, SimError> {
+    let mut rows = Vec::new();
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let baseline = horizon_run(kind, None, scale, horizon_ns)?;
+        rows.push(Table4Row {
+            label: kind.to_string(),
+            avg: baseline.erase_stats.mean,
+            dev: baseline.erase_stats.std_dev,
+            max: baseline.erase_stats.max,
+        });
+        for &(k, t) in configs {
+            let config = scale.swl_config(t, k);
+            let report = horizon_run(kind, Some(config), scale, horizon_ns)?;
+            rows.push(Table4Row {
+                label: format!("{kind} + SWL + k={k} + T={t}"),
+                avg: report.erase_stats.mean,
+                dev: report.erase_stats.std_dev,
+                max: report.erase_stats.max,
+            });
+        }
+    }
+    Ok(rows)
+}
+
+/// The `(k, T)` corner configurations of Table 4.
+pub const TABLE4_CONFIGS: [(u32, u64); 4] = [(0, 100), (0, 1000), (3, 100), (3, 1000)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> ExperimentScale {
+        ExperimentScale::quick()
+    }
+
+    #[test]
+    fn first_failure_baseline_vs_swl_ftl() {
+        let scale = quick();
+        let base = first_failure_run(LayerKind::Ftl, None, &scale).unwrap();
+        let swl = first_failure_run(
+            LayerKind::Ftl,
+            Some(SwlConfig::new(scale.scaled_threshold(100), 0).with_seed(scale.seed)),
+            &scale,
+        )
+        .unwrap();
+        let base_years = base.first_failure.expect("baseline must fail").years();
+        let swl_years = swl
+            .first_failure
+            .expect("+SWL must fail eventually")
+            .years();
+        assert!(
+            swl_years > base_years,
+            "SWL must extend first failure: {swl_years:.3} vs {base_years:.3} years"
+        );
+    }
+
+    #[test]
+    fn first_failure_baseline_vs_swl_nftl() {
+        let scale = quick();
+        let base = first_failure_run(LayerKind::Nftl, None, &scale).unwrap();
+        let swl = first_failure_run(
+            LayerKind::Nftl,
+            Some(SwlConfig::new(scale.scaled_threshold(100), 0).with_seed(scale.seed)),
+            &scale,
+        )
+        .unwrap();
+        let base_years = base.first_failure.expect("baseline must fail").years();
+        let swl_years = swl
+            .first_failure
+            .expect("+SWL must fail eventually")
+            .years();
+        assert!(
+            swl_years > base_years,
+            "SWL must extend NFTL first failure: {swl_years:.3} vs {base_years:.3} years"
+        );
+    }
+
+    #[test]
+    fn overhead_is_small_and_positive_in_erases() {
+        let scale = quick();
+        let horizon = (0.02 * NANOS_PER_YEAR) as u64;
+        let (baseline, points) =
+            overhead_sweep(LayerKind::Nftl, &scale, &[100], &[0], horizon).unwrap();
+        assert!(baseline.counters.host_writes > 0);
+        let p = &points[0];
+        assert!(
+            p.erase_overhead > -0.05 && p.erase_overhead < 0.5,
+            "erase overhead out of plausible band: {}",
+            p.erase_overhead
+        );
+    }
+
+    #[test]
+    fn table4_shows_dev_reduction() {
+        let scale = quick();
+        let horizon = (0.05 * NANOS_PER_YEAR) as u64;
+        let rows = table4(&scale, horizon, &[(0, 100)]).unwrap();
+        assert_eq!(rows.len(), 4); // (FTL, NFTL) × (baseline, one config)
+        let ftl_base = &rows[0];
+        let ftl_swl = &rows[1];
+        assert!(
+            ftl_swl.dev <= ftl_base.dev,
+            "SWL must not worsen FTL erase deviation: {} vs {}",
+            ftl_swl.dev,
+            ftl_base.dev
+        );
+    }
+
+    #[test]
+    fn swl_config_clamps_to_stability_condition() {
+        let scale = ExperimentScale {
+            blocks: 64,
+            pages_per_block: 16,
+            endurance: 256, // scaled_threshold(100) = 3
+            seed: 1,
+        };
+        assert_eq!(scale.swl_config(100, 0).threshold, 3);
+        assert_eq!(scale.swl_config(100, 1).threshold, 3);
+        assert_eq!(scale.swl_config(100, 2).threshold, 5); // clamped to 2^2+1
+        assert_eq!(scale.swl_config(100, 3).threshold, 9); // clamped to 2^3+1
+        assert_eq!(scale.swl_config(1000, 3).threshold, 26); // unclamped
+    }
+
+    #[test]
+    fn counting_wl_levels_and_extends_life() {
+        let scale = quick();
+        let base = first_failure_run(LayerKind::Ftl, None, &scale).unwrap();
+        let counting = counting_wl_run(LayerKind::Ftl, 32, 500, &scale).unwrap();
+        assert!(
+            counting.erase_stats.std_dev < base.erase_stats.std_dev,
+            "counting WL must flatten wear: {} vs {}",
+            counting.erase_stats.std_dev,
+            base.erase_stats.std_dev
+        );
+        let base_years = base.first_failure.unwrap().years();
+        let counting_years = counting.first_failure.unwrap().years();
+        assert!(
+            counting_years > base_years,
+            "counting WL must extend life: {counting_years:.4} vs {base_years:.4}"
+        );
+    }
+
+    #[test]
+    fn sweep_covers_grid() {
+        let scale = ExperimentScale {
+            blocks: 64,
+            pages_per_block: 16,
+            endurance: 24,
+            seed: 1,
+        };
+        let points = first_failure_sweep(LayerKind::Ftl, &scale, &[50], &[0, 1]).unwrap();
+        assert_eq!(points.len(), 3); // baseline + 2 grid points
+        assert_eq!(points[0].threshold, None);
+        assert!(points.iter().all(|p| p.years.is_some()));
+    }
+}

@@ -1,0 +1,355 @@
+//! A unified interface over the two translation layers.
+
+use std::fmt;
+
+use ftl::{FtlConfig, PageMappedFtl};
+use nand::NandDevice;
+use nftl::{BlockMappedNftl, NftlConfig};
+use swl_core::{SwLeveler, SwlConfig};
+
+use crate::error::SimError;
+
+/// Which translation layer to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Page-mapping FTL (fine-grained).
+    Ftl,
+    /// Block-mapping NFTL (coarse-grained).
+    Nftl,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayerKind::Ftl => f.write_str("FTL"),
+            LayerKind::Nftl => f.write_str("NFTL"),
+        }
+    }
+}
+
+/// Shared layer configuration used when building a [`Layer`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SimConfig {
+    /// FTL-specific settings.
+    pub ftl: FtlConfig,
+    /// NFTL-specific settings.
+    pub nftl: NftlConfig,
+}
+
+/// Cause-attributed counters, unified across layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerCounters {
+    /// Host page writes accepted.
+    pub host_writes: u64,
+    /// Host page reads served.
+    pub host_reads: u64,
+    /// Block erases from regular operation (GC, merges).
+    pub gc_erases: u64,
+    /// Block erases on behalf of the SW Leveler.
+    pub swl_erases: u64,
+    /// Live-page copies from regular operation.
+    pub gc_live_copies: u64,
+    /// Live-page copies on behalf of the SW Leveler.
+    pub swl_live_copies: u64,
+    /// Blocks retired by bad-block management.
+    pub retired_blocks: u64,
+}
+
+impl LayerCounters {
+    /// All block erases.
+    pub fn total_erases(&self) -> u64 {
+        self.gc_erases + self.swl_erases
+    }
+
+    /// All live-page copies.
+    pub fn total_live_copies(&self) -> u64 {
+        self.gc_live_copies + self.swl_live_copies
+    }
+
+    /// Average live copies per regular erase (the paper's `L`).
+    pub fn avg_live_copies_per_gc_erase(&self) -> f64 {
+        if self.gc_erases == 0 {
+            0.0
+        } else {
+            self.gc_live_copies as f64 / self.gc_erases as f64
+        }
+    }
+}
+
+/// Object-safe view of a translation layer for the simulator.
+pub trait TranslationLayer {
+    /// Writes one logical page.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer failures as [`SimError`].
+    fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError>;
+
+    /// Reads one logical page (`None` if never written).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer failures as [`SimError`].
+    fn read(&mut self, lba: u64) -> Result<Option<u64>, SimError>;
+
+    /// Exported logical capacity in pages.
+    fn logical_pages(&self) -> u64;
+
+    /// The underlying simulated chip.
+    fn device(&self) -> &NandDevice;
+
+    /// Unified counters.
+    fn counters(&self) -> LayerCounters;
+
+    /// The attached SW Leveler, if any.
+    fn swl(&self) -> Option<&SwLeveler>;
+
+    /// Display name ("FTL" / "NFTL").
+    fn kind(&self) -> LayerKind;
+
+    /// Forces recycling of a block range (external wear-leveling hook);
+    /// returns the number of blocks erased.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures as [`SimError`].
+    fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, SimError>;
+}
+
+impl TranslationLayer for PageMappedFtl {
+    fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
+        PageMappedFtl::write(self, lba, data).map_err(SimError::from)
+    }
+
+    fn read(&mut self, lba: u64) -> Result<Option<u64>, SimError> {
+        PageMappedFtl::read(self, lba).map_err(SimError::from)
+    }
+
+    fn logical_pages(&self) -> u64 {
+        PageMappedFtl::logical_pages(self)
+    }
+
+    fn device(&self) -> &NandDevice {
+        PageMappedFtl::device(self)
+    }
+
+    fn counters(&self) -> LayerCounters {
+        let c = PageMappedFtl::counters(self);
+        LayerCounters {
+            host_writes: c.host_writes,
+            host_reads: c.host_reads,
+            gc_erases: c.gc_erases,
+            swl_erases: c.swl_erases,
+            gc_live_copies: c.gc_live_copies,
+            swl_live_copies: c.swl_live_copies,
+            retired_blocks: c.retired_blocks,
+        }
+    }
+
+    fn swl(&self) -> Option<&SwLeveler> {
+        PageMappedFtl::swl(self)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Ftl
+    }
+
+    fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, SimError> {
+        PageMappedFtl::force_recycle(self, first_block, count).map_err(SimError::from)
+    }
+}
+
+impl TranslationLayer for BlockMappedNftl {
+    fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
+        BlockMappedNftl::write(self, lba, data).map_err(SimError::from)
+    }
+
+    fn read(&mut self, lba: u64) -> Result<Option<u64>, SimError> {
+        BlockMappedNftl::read(self, lba).map_err(SimError::from)
+    }
+
+    fn logical_pages(&self) -> u64 {
+        BlockMappedNftl::logical_pages(self)
+    }
+
+    fn device(&self) -> &NandDevice {
+        BlockMappedNftl::device(self)
+    }
+
+    fn counters(&self) -> LayerCounters {
+        let c = BlockMappedNftl::counters(self);
+        LayerCounters {
+            host_writes: c.host_writes,
+            host_reads: c.host_reads,
+            gc_erases: c.gc_erases,
+            swl_erases: c.swl_erases,
+            gc_live_copies: c.gc_live_copies,
+            swl_live_copies: c.swl_live_copies,
+            retired_blocks: c.retired_blocks,
+        }
+    }
+
+    fn swl(&self) -> Option<&SwLeveler> {
+        BlockMappedNftl::swl(self)
+    }
+
+    fn kind(&self) -> LayerKind {
+        LayerKind::Nftl
+    }
+
+    fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, SimError> {
+        BlockMappedNftl::force_recycle(self, first_block, count).map_err(SimError::from)
+    }
+}
+
+/// Either translation layer, statically dispatched.
+#[derive(Debug)]
+pub enum Layer {
+    /// Page-mapping FTL.
+    Ftl(PageMappedFtl),
+    /// Block-mapping NFTL.
+    Nftl(BlockMappedNftl),
+}
+
+impl Layer {
+    /// Builds a layer of `kind` over `device`, attaching a SW Leveler when
+    /// `swl` is given.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer construction failures.
+    pub fn build(
+        kind: LayerKind,
+        device: NandDevice,
+        swl: Option<SwlConfig>,
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        Ok(match (kind, swl) {
+            (LayerKind::Ftl, None) => Layer::Ftl(PageMappedFtl::new(device, config.ftl)?),
+            (LayerKind::Ftl, Some(s)) => {
+                Layer::Ftl(PageMappedFtl::with_swl(device, config.ftl, s)?)
+            }
+            (LayerKind::Nftl, None) => Layer::Nftl(BlockMappedNftl::new(device, config.nftl)?),
+            (LayerKind::Nftl, Some(s)) => {
+                Layer::Nftl(BlockMappedNftl::with_swl(device, config.nftl, s)?)
+            }
+        })
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $inner:ident => $body:expr) => {
+        match $self {
+            Layer::Ftl($inner) => $body,
+            Layer::Nftl($inner) => $body,
+        }
+    };
+}
+
+impl TranslationLayer for Layer {
+    fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
+        delegate!(self, l => TranslationLayer::write(l, lba, data))
+    }
+
+    fn read(&mut self, lba: u64) -> Result<Option<u64>, SimError> {
+        delegate!(self, l => TranslationLayer::read(l, lba))
+    }
+
+    fn logical_pages(&self) -> u64 {
+        delegate!(self, l => TranslationLayer::logical_pages(l))
+    }
+
+    fn device(&self) -> &NandDevice {
+        delegate!(self, l => TranslationLayer::device(l))
+    }
+
+    fn counters(&self) -> LayerCounters {
+        delegate!(self, l => TranslationLayer::counters(l))
+    }
+
+    fn swl(&self) -> Option<&SwLeveler> {
+        delegate!(self, l => TranslationLayer::swl(l))
+    }
+
+    fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, SimError> {
+        delegate!(self, l => TranslationLayer::force_recycle(l, first_block, count))
+    }
+
+    fn kind(&self) -> LayerKind {
+        delegate!(self, l => TranslationLayer::kind(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nand::{CellKind, Geometry};
+
+    fn device() -> NandDevice {
+        NandDevice::new(Geometry::new(16, 4, 2048), CellKind::Mlc2.spec())
+    }
+
+    #[test]
+    fn builds_all_variants() {
+        let cfg = SimConfig::default();
+        for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+            for swl in [None, Some(SwlConfig::new(100, 0))] {
+                let layer = Layer::build(kind, device(), swl, &cfg).unwrap();
+                assert_eq!(layer.kind(), kind);
+                assert_eq!(layer.swl().is_some(), swl.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn layer_round_trips_data() {
+        let mut layer =
+            Layer::build(LayerKind::Nftl, device(), None, &SimConfig::default()).unwrap();
+        layer.write(5, 77).unwrap();
+        assert_eq!(layer.read(5).unwrap(), Some(77));
+        assert_eq!(layer.counters().host_writes, 1);
+    }
+
+    #[test]
+    fn counters_unify_across_layers() {
+        for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+            let mut layer = Layer::build(kind, device(), None, &SimConfig::default()).unwrap();
+            for round in 0..30u64 {
+                for lba in 0..8u64 {
+                    layer.write(lba, round).unwrap();
+                }
+            }
+            let c = layer.counters();
+            assert_eq!(c.host_writes, 240);
+            assert_eq!(
+                c.total_erases(),
+                layer.device().counters().erases,
+                "{kind}: unified counters must cover device erases"
+            );
+        }
+    }
+
+    #[test]
+    fn force_recycle_reports_erases_and_keeps_data() {
+        for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+            let mut layer = Layer::build(kind, device(), None, &SimConfig::default()).unwrap();
+            for lba in 0..24u64 {
+                layer.write(lba, 500 + lba).unwrap();
+            }
+            let mut recycled = 0u64;
+            for b in 0..16u32 {
+                recycled += layer.force_recycle(b, 1).unwrap();
+            }
+            assert!(recycled > 0, "{kind}: forced recycling must erase");
+            for lba in 0..24u64 {
+                assert_eq!(layer.read(lba).unwrap(), Some(500 + lba), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(LayerKind::Ftl.to_string(), "FTL");
+        assert_eq!(LayerKind::Nftl.to_string(), "NFTL");
+    }
+}

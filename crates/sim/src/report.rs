@@ -1,0 +1,208 @@
+//! Simulation results.
+
+use std::fmt;
+
+use nand::{DeviceCounters, EraseStats};
+
+use crate::latency::LatencyStats;
+use crate::layer::{LayerCounters, LayerKind};
+
+/// Nanoseconds per (Julian) year, for first-failure-time conversion.
+pub(crate) const NANOS_PER_YEAR: f64 = 365.25 * 86_400.0 * 1e9;
+
+/// The first wear-out event, in host time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirstFailure {
+    /// Block that wore out first.
+    pub block: u32,
+    /// Host time of the erase that crossed the endurance limit.
+    pub host_ns: u64,
+    /// Total block erases across the chip at that point.
+    pub total_erases: u64,
+}
+
+impl FirstFailure {
+    /// Host time of the failure in years — the paper's Figure 5 metric.
+    pub fn years(&self) -> f64 {
+        self.host_ns as f64 / NANOS_PER_YEAR
+    }
+}
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Which layer ran.
+    pub layer: LayerKind,
+    /// Whether a SW Leveler was attached, with its `(T, k)` when so.
+    pub swl: Option<(u64, u32)>,
+    /// Trace events processed.
+    pub events: u64,
+    /// Host time span covered by the processed events.
+    pub host_span_ns: u64,
+    /// First wear-out, if it happened before the run ended.
+    pub first_failure: Option<FirstFailure>,
+    /// Per-block erase-count distribution at the end of the run.
+    pub erase_stats: EraseStats,
+    /// Cause-attributed layer counters.
+    pub counters: LayerCounters,
+    /// Raw device operation counters.
+    pub device: DeviceCounters,
+    /// Simulated device busy time in nanoseconds.
+    pub device_busy_ns: u64,
+    /// Device-time latency of each host write (includes any GC and SWL
+    /// work done synchronously under it).
+    pub write_latency: LatencyStats,
+    /// Device-time latency of each host read.
+    pub read_latency: LatencyStats,
+}
+
+impl SimReport {
+    /// Host span in simulated years.
+    pub fn span_years(&self) -> f64 {
+        self.host_span_ns as f64 / NANOS_PER_YEAR
+    }
+
+    /// Increased ratio of block erases of this run over `baseline`,
+    /// normalised per host write (the runs may have processed different
+    /// spans): `(erases/write) / (baseline erases/write) − 1`.
+    ///
+    /// This is the Figure 6 metric. Returns `None` when either run did no
+    /// host write or the baseline did no erase.
+    pub fn erase_overhead_vs(&self, baseline: &SimReport) -> Option<f64> {
+        let ours = per_write(self.counters.total_erases(), self.counters.host_writes)?;
+        let theirs = per_write(
+            baseline.counters.total_erases(),
+            baseline.counters.host_writes,
+        )?;
+        (theirs > 0.0).then(|| ours / theirs - 1.0)
+    }
+
+    /// Increased ratio of live-page copies over `baseline`, per host write
+    /// (the Figure 7 metric).
+    pub fn copy_overhead_vs(&self, baseline: &SimReport) -> Option<f64> {
+        let ours = per_write(self.counters.total_live_copies(), self.counters.host_writes)?;
+        let theirs = per_write(
+            baseline.counters.total_live_copies(),
+            baseline.counters.host_writes,
+        )?;
+        (theirs > 0.0).then(|| ours / theirs - 1.0)
+    }
+
+    /// Short label like `"FTL+SWL(T=100,k=0)"`.
+    pub fn label(&self) -> String {
+        match self.swl {
+            Some((t, k)) => format!("{}+SWL(T={t},k={k})", self.layer),
+            None => self.layer.to_string(),
+        }
+    }
+}
+
+fn per_write(amount: u64, writes: u64) -> Option<f64> {
+    (writes > 0).then(|| amount as f64 / writes as f64)
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{}: {} events over {:.3} simulated years",
+            self.label(),
+            self.events,
+            self.span_years()
+        )?;
+        writeln!(f, "  erase counts: {}", self.erase_stats)?;
+        match &self.first_failure {
+            Some(ff) => writeln!(
+                f,
+                "  first failure: block {} at {:.3} years ({} erases)",
+                ff.block,
+                ff.years(),
+                ff.total_erases
+            )?,
+            None => writeln!(f, "  first failure: none")?,
+        }
+        writeln!(
+            f,
+            "  erases: {} gc + {} swl; copies: {} gc + {} swl",
+            self.counters.gc_erases,
+            self.counters.swl_erases,
+            self.counters.gc_live_copies,
+            self.counters.swl_live_copies
+        )?;
+        write!(f, "  write latency: {}", self.write_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(host_writes: u64, gc_erases: u64, swl_erases: u64) -> SimReport {
+        SimReport {
+            layer: LayerKind::Ftl,
+            swl: None,
+            events: 0,
+            host_span_ns: NANOS_PER_YEAR as u64,
+            first_failure: None,
+            erase_stats: EraseStats::from_counts(std::iter::empty()),
+            counters: LayerCounters {
+                host_writes,
+                gc_erases,
+                swl_erases,
+                ..LayerCounters::default()
+            },
+            device: DeviceCounters::default(),
+            device_busy_ns: 0,
+            write_latency: LatencyStats::new(),
+            read_latency: LatencyStats::new(),
+        }
+    }
+
+    #[test]
+    fn years_conversion() {
+        let ff = FirstFailure {
+            block: 0,
+            host_ns: (2.0 * NANOS_PER_YEAR) as u64,
+            total_erases: 10,
+        };
+        assert!((ff.years() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn erase_overhead_ratio() {
+        let baseline = report(1000, 100, 0);
+        let with_swl = report(1000, 100, 5);
+        let ratio = with_swl.erase_overhead_vs(&baseline).unwrap();
+        assert!((ratio - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_normalises_per_write() {
+        // Same per-write erase rate over a longer run ⇒ zero overhead.
+        let baseline = report(1000, 100, 0);
+        let longer = report(2000, 200, 0);
+        assert!(longer.erase_overhead_vs(&baseline).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn overhead_none_when_degenerate() {
+        let baseline = report(0, 0, 0);
+        let run = report(100, 10, 0);
+        assert_eq!(run.erase_overhead_vs(&baseline), None);
+    }
+
+    #[test]
+    fn labels() {
+        let mut r = report(1, 1, 0);
+        assert_eq!(r.label(), "FTL");
+        r.swl = Some((100, 3));
+        assert_eq!(r.label(), "FTL+SWL(T=100,k=3)");
+    }
+
+    #[test]
+    fn display_is_multi_line() {
+        let text = report(10, 5, 1).to_string();
+        assert!(text.contains("first failure: none"));
+        assert!(text.contains("5 gc + 1 swl"));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests of the latency histogram.
+
+use proptest::prelude::*;
+
+use flash_sim::LatencyStats;
+
+proptest! {
+    /// Exact aggregates match a reference computation for any sample set.
+    #[test]
+    fn aggregates_are_exact(samples in prop::collection::vec(0u64..1_000_000_000, 0..300)) {
+        let mut stats = LatencyStats::new();
+        for &s in &samples {
+            stats.record(s);
+        }
+        prop_assert_eq!(stats.count(), samples.len() as u64);
+        prop_assert_eq!(stats.max_ns(), samples.iter().copied().max().unwrap_or(0));
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<u64>() as f64 / samples.len() as f64
+        };
+        prop_assert!((stats.mean_ns() - mean).abs() < 1e-6);
+    }
+
+    /// Quantiles are monotone in q and bracket the data within bucket
+    /// resolution (one power of two).
+    #[test]
+    fn quantiles_are_monotone_and_bracketing(
+        samples in prop::collection::vec(1u64..1_000_000_000, 1..300),
+    ) {
+        let mut stats = LatencyStats::new();
+        for &s in &samples {
+            stats.record(s);
+        }
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| stats.quantile(q)).collect();
+        for pair in values.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "quantiles must be monotone: {values:?}");
+        }
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        // Bucket upper bounds: q=1.0 within one bucket above the true max,
+        // q→0 at least the bucket floor of the true min.
+        prop_assert!(stats.quantile(1.0) >= max);
+        prop_assert!(stats.quantile(1.0) <= max.next_power_of_two().max(1) * 2);
+        prop_assert!(stats.quantile(0.0) * 2 + 1 >= min);
+    }
+
+    /// Merging two histograms equals recording the concatenation.
+    #[test]
+    fn merge_equals_concatenation(
+        a in prop::collection::vec(0u64..1_000_000, 0..150),
+        b in prop::collection::vec(0u64..1_000_000, 0..150),
+    ) {
+        let mut left = LatencyStats::new();
+        for &s in &a {
+            left.record(s);
+        }
+        let mut right = LatencyStats::new();
+        for &s in &b {
+            right.record(s);
+        }
+        left.merge(&right);
+
+        let mut both = LatencyStats::new();
+        for &s in a.iter().chain(b.iter()) {
+            both.record(s);
+        }
+        prop_assert_eq!(left, both);
+    }
+}

@@ -1,0 +1,105 @@
+//! Trace events and host time.
+
+use std::fmt;
+
+/// Host wall-clock time in nanoseconds since the start of the trace.
+pub type HostNanos = u64;
+
+/// Nanoseconds per second, for rate conversions.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// Request direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Host read of a logical page.
+    Read,
+    /// Host write (update) of a logical page.
+    Write,
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read => f.write_str("R"),
+            Op::Write => f.write_str("W"),
+        }
+    }
+}
+
+/// One host request: a read or write of `len` consecutive logical pages
+/// starting at `lba`, issued at host time `at_ns`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceEvent {
+    /// Host time of the request.
+    pub at_ns: HostNanos,
+    /// Direction.
+    pub op: Op,
+    /// First logical page touched.
+    pub lba: u64,
+    /// Number of consecutive pages touched (≥ 1).
+    pub len: u32,
+}
+
+impl TraceEvent {
+    /// A single-page write at `at_ns`.
+    pub fn write(at_ns: HostNanos, lba: u64) -> Self {
+        Self {
+            at_ns,
+            op: Op::Write,
+            lba,
+            len: 1,
+        }
+    }
+
+    /// A single-page read at `at_ns`.
+    pub fn read(at_ns: HostNanos, lba: u64) -> Self {
+        Self {
+            at_ns,
+            op: Op::Read,
+            lba,
+            len: 1,
+        }
+    }
+
+    /// Iterates over every logical page this event touches.
+    pub fn pages(&self) -> impl Iterator<Item = u64> {
+        self.lba..self.lba + u64::from(self.len)
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {} {}", self.at_ns, self.op, self.lba, self.len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let w = TraceEvent::write(10, 5);
+        assert_eq!(w.op, Op::Write);
+        assert_eq!((w.at_ns, w.lba, w.len), (10, 5, 1));
+        let r = TraceEvent::read(20, 6);
+        assert_eq!(r.op, Op::Read);
+    }
+
+    #[test]
+    fn pages_covers_len() {
+        let e = TraceEvent {
+            at_ns: 0,
+            op: Op::Write,
+            lba: 10,
+            len: 3,
+        };
+        assert_eq!(e.pages().collect::<Vec<_>>(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn display_round_trips_visually() {
+        let e = TraceEvent::write(42, 7);
+        assert_eq!(e.to_string(), "42 W 7 1");
+    }
+}

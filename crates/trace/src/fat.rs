@@ -1,0 +1,655 @@
+//! FAT-filesystem traffic modelling.
+//!
+//! Figure 1 of the paper puts a file system ("e.g., DOS FAT") on top of the
+//! Flash Translation Layer, and FAT is the canonical generator of the
+//! hot/cold pattern static wear leveling exists for: every file operation
+//! rewrites a **file allocation table** page (hundreds of cluster entries
+//! share one page, so the same few LBAs absorb every metadata update),
+//! while file *contents* sit untouched until deleted.
+//!
+//! [`FatVolume`] lays out a volume (reserved page, FAT region, root
+//! directory, data clusters) and exposes file-level operations that emit
+//! the exact per-page [`TraceEvent`] stream the operation causes on a real
+//! FAT implementation; [`FatSession`] scripts a seeded, endless mix of
+//! creates, appends, rewrites and deletes over it. Feed the stream to any
+//! translation layer to study what a filesystem does to flash wear.
+//!
+//! # Example
+//!
+//! ```
+//! use flash_trace::fat::{FatSession, FatSessionSpec, FatVolume};
+//!
+//! # fn main() -> Result<(), flash_trace::fat::FatError> {
+//! let volume = FatVolume::new(4096)?;
+//! assert!(volume.fat_pages() > 0);
+//!
+//! let session = FatSession::new(volume, FatSessionSpec::default().with_seed(7));
+//! let events: Vec<_> = session.take(1000).collect();
+//! assert!(!events.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::{HostNanos, TraceEvent};
+
+/// Cluster entries per FAT page — FAT16 entries on a 2 KiB page.
+const ENTRIES_PER_FAT_PAGE: u64 = 1024;
+
+/// Directory entries per directory page (32-byte entries on 2 KiB).
+const DIR_ENTRIES_PER_PAGE: u64 = 64;
+
+/// Errors from building a [`FatVolume`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FatError {
+    /// The volume needs at least one data cluster after metadata regions.
+    TooSmall {
+        /// Pages offered.
+        pages: u64,
+    },
+}
+
+impl fmt::Display for FatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FatError::TooSmall { pages } => {
+                write!(
+                    f,
+                    "volume of {pages} pages leaves no room for data clusters"
+                )
+            }
+        }
+    }
+}
+
+impl Error for FatError {}
+
+/// A file handle inside a [`FatVolume`].
+pub type FileId = u64;
+
+#[derive(Debug, Clone)]
+struct File {
+    /// Cluster chain, in order.
+    clusters: Vec<u64>,
+    /// Directory page holding this file's entry.
+    dir_page: u64,
+}
+
+/// An in-RAM FAT volume that emits the page-level write traffic of its
+/// file operations.
+///
+/// The modelled layout over `pages` logical pages:
+///
+/// ```text
+/// [0]           boot/reserved page
+/// [1 .. f]      FAT region: one page per 1024 cluster entries
+/// [f .. f+d]    root directory (1 page per 64 entries, 4 pages)
+/// [f+d ..]      data clusters (one page each)
+/// ```
+#[derive(Debug, Clone)]
+pub struct FatVolume {
+    pages: u64,
+    fat_start: u64,
+    fat_pages: u64,
+    dir_start: u64,
+    dir_pages: u64,
+    data_start: u64,
+    /// Free data clusters (absolute page numbers), LIFO.
+    free: Vec<u64>,
+    files: HashMap<FileId, File>,
+    next_file: FileId,
+    next_dir_slot: u64,
+}
+
+impl FatVolume {
+    /// Lays out a volume over `pages` logical pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FatError::TooSmall`] when no data cluster remains after
+    /// the metadata regions.
+    pub fn new(pages: u64) -> Result<Self, FatError> {
+        let fat_start = 1;
+        let fat_pages = pages.div_ceil(ENTRIES_PER_FAT_PAGE).max(1);
+        let dir_start = fat_start + fat_pages;
+        let dir_pages = 4;
+        let data_start = dir_start + dir_pages;
+        if data_start >= pages {
+            return Err(FatError::TooSmall { pages });
+        }
+        Ok(Self {
+            pages,
+            fat_start,
+            fat_pages,
+            dir_start,
+            dir_pages,
+            data_start,
+            free: (data_start..pages).rev().collect(),
+            files: HashMap::new(),
+            next_file: 0,
+            next_dir_slot: 0,
+        })
+    }
+
+    /// Total pages of the volume.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// Pages occupied by the file allocation table.
+    pub fn fat_pages(&self) -> u64 {
+        self.fat_pages
+    }
+
+    /// First data-cluster page.
+    pub fn data_start(&self) -> u64 {
+        self.data_start
+    }
+
+    /// Free data clusters remaining.
+    pub fn free_clusters(&self) -> u64 {
+        self.free.len() as u64
+    }
+
+    /// Live files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// Whether `lba` lies in a metadata region (FAT or directory).
+    pub fn is_metadata(&self, lba: u64) -> bool {
+        lba < self.data_start
+    }
+
+    /// FAT page covering the entry of data cluster `cluster`.
+    fn fat_page_of(&self, cluster: u64) -> u64 {
+        self.fat_start + (cluster - self.data_start) / ENTRIES_PER_FAT_PAGE
+    }
+
+    fn dir_page_of_slot(&self, slot: u64) -> u64 {
+        self.dir_start + (slot / DIR_ENTRIES_PER_PAGE) % self.dir_pages
+    }
+
+    /// Creates a file of `clusters` data clusters, emitting its write
+    /// traffic (directory entry, FAT chain, data) into `out`. Returns the
+    /// file id, or `None` when the volume lacks space.
+    pub fn create(
+        &mut self,
+        clusters: u64,
+        at_ns: HostNanos,
+        out: &mut Vec<TraceEvent>,
+    ) -> Option<FileId> {
+        if clusters == 0 || (self.free.len() as u64) < clusters {
+            return None;
+        }
+        let id = self.next_file;
+        self.next_file += 1;
+        let dir_page = self.dir_page_of_slot(self.next_dir_slot);
+        self.next_dir_slot += 1;
+
+        let mut chain = Vec::with_capacity(clusters as usize);
+        for _ in 0..clusters {
+            let cluster = self.free.pop().expect("checked above");
+            chain.push(cluster);
+        }
+        // Directory entry (name, first cluster, size): one metadata write.
+        out.push(TraceEvent::write(at_ns, dir_page));
+        // FAT chain: one read-modify-write per touched FAT page.
+        let mut last_fat_page = u64::MAX;
+        for &cluster in &chain {
+            let fat_page = self.fat_page_of(cluster);
+            if fat_page != last_fat_page {
+                out.push(TraceEvent::write(at_ns, fat_page));
+                last_fat_page = fat_page;
+            }
+        }
+        // Data clusters.
+        for &cluster in &chain {
+            out.push(TraceEvent::write(at_ns, cluster));
+        }
+        self.files.insert(
+            id,
+            File {
+                clusters: chain,
+                dir_page,
+            },
+        );
+        Some(id)
+    }
+
+    /// Appends `clusters` data clusters to a file, emitting the traffic.
+    /// Returns `false` when the file does not exist or space ran out.
+    pub fn append(
+        &mut self,
+        id: FileId,
+        clusters: u64,
+        at_ns: HostNanos,
+        out: &mut Vec<TraceEvent>,
+    ) -> bool {
+        if clusters == 0 || (self.free.len() as u64) < clusters {
+            return false;
+        }
+        let Some(file) = self.files.get(&id) else {
+            return false;
+        };
+        let dir_page = file.dir_page;
+        let tail = *file.clusters.last().expect("files have ≥1 cluster");
+        let mut chain = Vec::with_capacity(clusters as usize);
+        for _ in 0..clusters {
+            chain.push(self.free.pop().expect("checked above"));
+        }
+        // Linking the old tail to the new chain rewrites the tail's FAT
+        // page, then each new cluster's page.
+        let mut last_fat_page = self.fat_page_of(tail);
+        out.push(TraceEvent::write(at_ns, last_fat_page));
+        for &cluster in &chain {
+            let fat_page = self.fat_page_of(cluster);
+            if fat_page != last_fat_page {
+                out.push(TraceEvent::write(at_ns, fat_page));
+                last_fat_page = fat_page;
+            }
+        }
+        for &cluster in &chain {
+            out.push(TraceEvent::write(at_ns, cluster));
+        }
+        // Size update in the directory entry.
+        out.push(TraceEvent::write(at_ns, dir_page));
+        self.files
+            .get_mut(&id)
+            .expect("checked above")
+            .clusters
+            .extend(chain);
+        true
+    }
+
+    /// Rewrites one existing cluster of a file in place (logical
+    /// overwrite): a data write plus the directory timestamp update.
+    /// Returns `false` when the file does not exist.
+    pub fn rewrite(
+        &mut self,
+        id: FileId,
+        cluster_index: u64,
+        at_ns: HostNanos,
+        out: &mut Vec<TraceEvent>,
+    ) -> bool {
+        let Some(file) = self.files.get(&id) else {
+            return false;
+        };
+        let cluster = file.clusters[(cluster_index as usize) % file.clusters.len()];
+        out.push(TraceEvent::write(at_ns, cluster));
+        out.push(TraceEvent::write(at_ns, file.dir_page));
+        true
+    }
+
+    /// Reads a whole file (per-cluster reads), if it exists.
+    pub fn read(&self, id: FileId, at_ns: HostNanos, out: &mut Vec<TraceEvent>) -> bool {
+        let Some(file) = self.files.get(&id) else {
+            return false;
+        };
+        for &cluster in &file.clusters {
+            out.push(TraceEvent::read(at_ns, cluster));
+        }
+        true
+    }
+
+    /// Deletes a file: frees its chain (FAT page rewrites) and clears the
+    /// directory entry. Data pages are *not* touched — exactly why deleted
+    /// file contents linger as invalid pages for the GC.
+    pub fn delete(&mut self, id: FileId, at_ns: HostNanos, out: &mut Vec<TraceEvent>) -> bool {
+        let Some(file) = self.files.remove(&id) else {
+            return false;
+        };
+        out.push(TraceEvent::write(at_ns, file.dir_page));
+        let mut last_fat_page = u64::MAX;
+        for &cluster in &file.clusters {
+            let fat_page = self.fat_page_of(cluster);
+            if fat_page != last_fat_page {
+                out.push(TraceEvent::write(at_ns, fat_page));
+                last_fat_page = fat_page;
+            }
+            self.free.push(cluster);
+        }
+        true
+    }
+
+    /// An arbitrary live file id (deterministic order), if any.
+    fn some_file(&self, nth: usize) -> Option<FileId> {
+        if self.files.is_empty() {
+            return None;
+        }
+        let mut ids: Vec<FileId> = self.files.keys().copied().collect();
+        ids.sort_unstable();
+        Some(ids[nth % ids.len()])
+    }
+}
+
+/// Parameters of a scripted FAT session.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FatSessionSpec {
+    /// Mean file size in clusters (geometric distribution).
+    pub mean_file_clusters: f64,
+    /// Target volume fullness; above it the session deletes, below it
+    /// creates.
+    pub target_utilization: f64,
+    /// Share of the data area filled at session start with *archive* files
+    /// that are never deleted or rewritten — the media library / installed
+    /// software of a real volume, and the cold data SWL exists for.
+    pub archive_utilization: f64,
+    /// Probability that an op on an existing file is a rewrite (vs read).
+    pub rewrite_prob: f64,
+    /// Host time between file operations, nanoseconds.
+    pub op_gap_ns: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FatSessionSpec {
+    fn default() -> Self {
+        Self {
+            mean_file_clusters: 12.0,
+            target_utilization: 0.6,
+            archive_utilization: 0.35,
+            rewrite_prob: 0.5,
+            op_gap_ns: 500_000_000, // one op per half second
+            seed: 0,
+        }
+    }
+}
+
+impl FatSessionSpec {
+    /// Replaces the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// An endless, seeded stream of FAT file operations rendered as page-level
+/// trace events. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct FatSession {
+    volume: FatVolume,
+    spec: FatSessionSpec,
+    rng: StdRng,
+    now_ns: HostNanos,
+    queue: Vec<TraceEvent>,
+    next: usize,
+    op_counter: usize,
+    /// Archive files: never deleted or rewritten.
+    protected: std::collections::HashSet<FileId>,
+}
+
+impl FatSession {
+    /// Starts a session on a freshly formatted volume, first loading the
+    /// configured archive (whose write traffic is part of the stream).
+    pub fn new(volume: FatVolume, spec: FatSessionSpec) -> Self {
+        let rng = StdRng::seed_from_u64(spec.seed);
+        let mut session = Self {
+            volume,
+            spec,
+            rng,
+            now_ns: 0,
+            queue: Vec::new(),
+            next: 0,
+            op_counter: 0,
+            protected: std::collections::HashSet::new(),
+        };
+        session.load_archive();
+        session
+    }
+
+    /// Fills `archive_utilization` of the data area with permanent files.
+    fn load_archive(&mut self) {
+        let data_pages = self.volume.pages - self.volume.data_start;
+        let target = (data_pages as f64 * self.spec.archive_utilization) as u64;
+        let mut queue = std::mem::take(&mut self.queue);
+        let mut loaded = 0u64;
+        while loaded < target {
+            let clusters = self.geometric_clusters().min(target - loaded).max(1);
+            self.now_ns += self.spec.op_gap_ns / 16; // bulk load is fast
+            match self.volume.create(clusters, self.now_ns, &mut queue) {
+                Some(id) => {
+                    self.protected.insert(id);
+                    loaded += clusters;
+                }
+                None => break,
+            }
+        }
+        self.queue = queue;
+    }
+
+    /// The volume being exercised.
+    pub fn volume(&self) -> &FatVolume {
+        &self.volume
+    }
+
+    fn geometric_clusters(&mut self) -> u64 {
+        let p = 1.0 / self.spec.mean_file_clusters.max(1.0);
+        let mut n = 1u64;
+        while self.rng.gen::<f64>() > p && n < 512 {
+            n += 1;
+        }
+        n
+    }
+
+    fn run_one_op(&mut self) {
+        self.queue.clear();
+        self.next = 0;
+        self.now_ns += self.spec.op_gap_ns;
+        self.op_counter += 1;
+
+        let data_pages = (self.volume.pages - self.volume.data_start) as f64;
+        let used = data_pages - self.volume.free_clusters() as f64;
+        let utilization = used / data_pages;
+
+        let mut queue = std::mem::take(&mut self.queue);
+        let churn_files = self.volume.file_count() - self.protected.len();
+        if utilization > self.spec.target_utilization && churn_files > 1 {
+            // Over target: delete an old (non-archive) file.
+            for attempt in 0..8 {
+                let nth = self.rng.gen_range(0..self.volume.file_count()) + attempt;
+                if let Some(id) = self.volume.some_file(nth) {
+                    if !self.protected.contains(&id) {
+                        self.volume.delete(id, self.now_ns, &mut queue);
+                        break;
+                    }
+                }
+            }
+        } else if utilization < self.spec.target_utilization * 0.9 || churn_files == 0 {
+            // Under target: create.
+            let clusters = self.geometric_clusters();
+            self.volume.create(clusters, self.now_ns, &mut queue);
+        } else {
+            // Near target: work on an existing file. Archive files are
+            // read but never rewritten.
+            let nth = self.rng.gen_range(0..self.volume.file_count().max(1));
+            if let Some(id) = self.volume.some_file(nth) {
+                if !self.protected.contains(&id) && self.rng.gen::<f64>() < self.spec.rewrite_prob {
+                    let index = self.rng.gen::<u64>();
+                    self.volume.rewrite(id, index, self.now_ns, &mut queue);
+                } else {
+                    self.volume.read(id, self.now_ns, &mut queue);
+                }
+            }
+        }
+        self.queue = queue;
+    }
+}
+
+impl Iterator for FatSession {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        loop {
+            if self.next < self.queue.len() {
+                let event = self.queue[self.next];
+                self.next += 1;
+                return Some(event);
+            }
+            self.run_one_op();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Op;
+
+    #[test]
+    fn layout_regions_are_ordered() {
+        let v = FatVolume::new(4096).unwrap();
+        assert_eq!(v.fat_pages(), 4);
+        assert!(v.data_start() > v.fat_pages());
+        assert_eq!(v.free_clusters(), 4096 - v.data_start());
+    }
+
+    #[test]
+    fn tiny_volume_rejected() {
+        assert!(matches!(FatVolume::new(4), Err(FatError::TooSmall { .. })));
+    }
+
+    #[test]
+    fn create_emits_dir_fat_and_data_writes() {
+        let mut v = FatVolume::new(4096).unwrap();
+        let mut out = Vec::new();
+        let id = v.create(5, 10, &mut out).expect("fits");
+        assert_eq!(v.file_count(), 1);
+        let metadata = out.iter().filter(|e| v.is_metadata(e.lba)).count();
+        let data = out.iter().filter(|e| !v.is_metadata(e.lba)).count();
+        assert_eq!(data, 5);
+        assert!(metadata >= 2, "dir + ≥1 fat page: {out:?}");
+        assert!(out.iter().all(|e| e.at_ns == 10));
+
+        let mut reads = Vec::new();
+        assert!(v.read(id, 20, &mut reads));
+        assert_eq!(reads.len(), 5);
+        assert!(reads.iter().all(|e| e.op == Op::Read));
+    }
+
+    #[test]
+    fn delete_frees_clusters_without_touching_data() {
+        let mut v = FatVolume::new(4096).unwrap();
+        let mut out = Vec::new();
+        let id = v.create(8, 0, &mut out).unwrap();
+        let free_before = v.free_clusters();
+        out.clear();
+        assert!(v.delete(id, 1, &mut out));
+        assert_eq!(v.free_clusters(), free_before + 8);
+        assert!(
+            out.iter().all(|e| v.is_metadata(e.lba)),
+            "delete touches only metadata: {out:?}"
+        );
+        assert_eq!(v.file_count(), 0);
+    }
+
+    #[test]
+    fn append_links_through_the_fat() {
+        let mut v = FatVolume::new(4096).unwrap();
+        let mut out = Vec::new();
+        let id = v.create(2, 0, &mut out).unwrap();
+        out.clear();
+        assert!(v.append(id, 3, 5, &mut out));
+        let data = out.iter().filter(|e| !v.is_metadata(e.lba)).count();
+        assert_eq!(data, 3);
+        let mut reads = Vec::new();
+        v.read(id, 6, &mut reads);
+        assert_eq!(reads.len(), 5);
+    }
+
+    #[test]
+    fn clusters_are_reused_after_delete() {
+        let mut v = FatVolume::new(64).unwrap();
+        let capacity = v.free_clusters();
+        let mut out = Vec::new();
+        for _ in 0..10 {
+            let id = v.create(capacity / 2, 0, &mut out).unwrap();
+            v.delete(id, 0, &mut out);
+        }
+        assert_eq!(v.free_clusters(), capacity);
+    }
+
+    #[test]
+    fn create_fails_cleanly_when_full() {
+        let mut v = FatVolume::new(64).unwrap();
+        let mut out = Vec::new();
+        assert!(v.create(v.free_clusters() + 1, 0, &mut out).is_none());
+        assert!(out.is_empty());
+        assert_eq!(v.file_count(), 0);
+    }
+
+    #[test]
+    fn session_concentrates_writes_on_metadata() {
+        let volume = FatVolume::new(4096).unwrap();
+        let metadata_limit = volume.data_start();
+        let session = FatSession::new(volume, FatSessionSpec::default().with_seed(3));
+        let events: Vec<_> = session.take(50_000).collect();
+        let writes: Vec<_> = events.iter().filter(|e| e.op == Op::Write).collect();
+        let metadata_writes = writes.iter().filter(|e| e.lba < metadata_limit).count();
+        let share = metadata_writes as f64 / writes.len() as f64;
+        // FAT + directory pages are ~0.2% of the volume but absorb a large
+        // share of all writes — the hot/cold pattern SWL exists for.
+        assert!(
+            share > 0.2,
+            "metadata hot spot expected, got {share:.3} over {} writes",
+            writes.len()
+        );
+        assert!(events.iter().all(|e| e.lba < 4096));
+        // Timestamps are monotone.
+        assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+    }
+
+    #[test]
+    fn archive_files_survive_the_whole_session() {
+        let volume = FatVolume::new(2048).unwrap();
+        let mut session = FatSession::new(volume, FatSessionSpec::default().with_seed(8));
+        let archive_ids: Vec<FileId> = session.protected.iter().copied().collect();
+        assert!(!archive_ids.is_empty(), "default spec loads an archive");
+        for _ in 0..150_000 {
+            session.next();
+        }
+        for id in archive_ids {
+            let mut out = Vec::new();
+            assert!(
+                session.volume.read(id, 0, &mut out),
+                "archive file {id} must still exist"
+            );
+        }
+    }
+
+    #[test]
+    fn session_is_deterministic() {
+        let run = || {
+            let volume = FatVolume::new(1024).unwrap();
+            FatSession::new(volume, FatSessionSpec::default().with_seed(9))
+                .take(5000)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn session_respects_target_utilization() {
+        let volume = FatVolume::new(2048).unwrap();
+        let data_pages = 2048 - volume.data_start();
+        let mut session = FatSession::new(volume, FatSessionSpec::default().with_seed(4));
+        for _ in 0..200_000 {
+            session.next();
+        }
+        let used = data_pages - session.volume().free_clusters();
+        let utilization = used as f64 / data_pages as f64;
+        assert!(
+            (0.35..=0.85).contains(&utilization),
+            "utilization should hover near the 0.6 target: {utilization:.2}"
+        );
+        // The archive persists untouched.
+        assert!(session.volume().file_count() > 0);
+    }
+}

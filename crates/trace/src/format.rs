@@ -1,0 +1,161 @@
+//! A simple line-oriented text format for trace interchange.
+//!
+//! Each line is `<at_ns> <R|W> <lba> <len>`; blank lines and lines starting
+//! with `#` are ignored. The format is intentionally trivial so external
+//! traces (e.g. converted DiskMon logs, as the paper used) can be fed to the
+//! simulator with a one-line awk script.
+
+use std::error::Error;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::event::{Op, TraceEvent};
+
+/// Error from [`parse_trace`], pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Parses a text trace.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed line (wrong field
+/// count, unknown op, unparsable number, zero length).
+///
+/// # Example
+///
+/// ```
+/// use flash_trace::{parse_trace, Op};
+///
+/// # fn main() -> Result<(), flash_trace::ParseTraceError> {
+/// let events = parse_trace("# a comment\n0 W 7 1\n1000 R 7 2\n")?;
+/// assert_eq!(events.len(), 2);
+/// assert_eq!(events[1].op, Op::Read);
+/// assert_eq!(events[1].len, 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, ParseTraceError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() != 4 {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: format!("expected 4 fields, found {}", fields.len()),
+            });
+        }
+        let at_ns = fields[0].parse::<u64>().map_err(|e| ParseTraceError {
+            line: line_no,
+            reason: format!("bad timestamp: {e}"),
+        })?;
+        let op = match fields[1] {
+            "R" | "r" => Op::Read,
+            "W" | "w" => Op::Write,
+            other => {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    reason: format!("unknown op {other:?} (expected R or W)"),
+                })
+            }
+        };
+        let lba = fields[2].parse::<u64>().map_err(|e| ParseTraceError {
+            line: line_no,
+            reason: format!("bad lba: {e}"),
+        })?;
+        let len = fields[3].parse::<u32>().map_err(|e| ParseTraceError {
+            line: line_no,
+            reason: format!("bad length: {e}"),
+        })?;
+        if len == 0 {
+            return Err(ParseTraceError {
+                line: line_no,
+                reason: "length must be at least 1".to_owned(),
+            });
+        }
+        events.push(TraceEvent {
+            at_ns,
+            op,
+            lba,
+            len,
+        });
+    }
+    Ok(events)
+}
+
+/// Renders events in the text format accepted by [`parse_trace`].
+pub fn write_trace<'a, I: IntoIterator<Item = &'a TraceEvent>>(events: I) -> String {
+    let mut out = String::new();
+    for e in events {
+        let _ = writeln!(out, "{e}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let events = vec![
+            TraceEvent::write(0, 3),
+            TraceEvent::read(1500, 9),
+            TraceEvent {
+                at_ns: 2000,
+                op: Op::Write,
+                lba: 100,
+                len: 8,
+            },
+        ];
+        let text = write_trace(&events);
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let events = parse_trace("# header\n\n  \n0 W 1 1\n").unwrap();
+        assert_eq!(events.len(), 1);
+    }
+
+    #[test]
+    fn lowercase_ops_accepted() {
+        let events = parse_trace("0 w 1 1\n1 r 2 1\n").unwrap();
+        assert_eq!(events[0].op, Op::Write);
+        assert_eq!(events[1].op, Op::Read);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_trace("0 W 1 1\nbogus\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+
+        let err = parse_trace("0 X 1 1\n").unwrap_err();
+        assert!(err.reason.contains("unknown op"));
+
+        let err = parse_trace("zzz W 1 1\n").unwrap_err();
+        assert!(err.reason.contains("timestamp"));
+
+        let err = parse_trace("0 W 1 0\n").unwrap_err();
+        assert!(err.reason.contains("at least 1"));
+    }
+}

@@ -1,0 +1,174 @@
+//! Sector-to-page address mapping.
+//!
+//! Host traces (like the paper's one-month NTFS trace with its 2,097,152
+//! LBAs on a 1 GiB chip) address 512-byte *sectors*, while NAND translation
+//! layers operate on flash *pages* (2 KiB for large-block chips). This
+//! module converts sector-granularity events into page-granularity events.
+
+use crate::event::TraceEvent;
+
+/// Converts sector-addressed trace events into page-addressed ones.
+///
+/// A sector event covering `[lba, lba + len)` maps to the page range that
+/// contains those sectors; partial-page writes become whole-page writes
+/// (read-modify-write, as an FTL without sub-page mapping must do).
+///
+/// # Example
+///
+/// ```
+/// use flash_trace::{SectorMapper, TraceEvent};
+///
+/// let mapper = SectorMapper::new(2048, 512); // 4 sectors per page
+/// let event = TraceEvent { at_ns: 0, op: flash_trace::Op::Write, lba: 6, len: 3 };
+/// let paged = mapper.map_event(event);
+/// assert_eq!(paged.lba, 1);  // sectors 6..9 live in pages 1..3
+/// assert_eq!(paged.len, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectorMapper {
+    sectors_per_page: u64,
+}
+
+impl SectorMapper {
+    /// Builds a mapper for `page_bytes`-sized pages and
+    /// `sector_bytes`-sized sectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero or the page size is not a multiple of
+    /// the sector size.
+    pub fn new(page_bytes: u32, sector_bytes: u32) -> Self {
+        assert!(page_bytes > 0 && sector_bytes > 0, "sizes must be positive");
+        assert!(
+            page_bytes.is_multiple_of(sector_bytes),
+            "page size must be a multiple of the sector size"
+        );
+        Self {
+            sectors_per_page: u64::from(page_bytes / sector_bytes),
+        }
+    }
+
+    /// Sectors per page.
+    pub fn sectors_per_page(&self) -> u64 {
+        self.sectors_per_page
+    }
+
+    /// Maps one sector event to the covering page event.
+    pub fn map_event(&self, event: TraceEvent) -> TraceEvent {
+        let first_page = event.lba / self.sectors_per_page;
+        let last_sector = event.lba + u64::from(event.len.max(1)) - 1;
+        let last_page = last_sector / self.sectors_per_page;
+        TraceEvent {
+            at_ns: event.at_ns,
+            op: event.op,
+            lba: first_page,
+            len: (last_page - first_page + 1) as u32,
+        }
+    }
+
+    /// Adapts a sector-event iterator into a page-event iterator.
+    pub fn map_trace<I>(self, events: I) -> MapTrace<I::IntoIter>
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        MapTrace {
+            mapper: self,
+            inner: events.into_iter(),
+        }
+    }
+
+    /// Page capacity corresponding to a sector capacity (rounded up).
+    pub fn pages_for_sectors(&self, sectors: u64) -> u64 {
+        sectors.div_ceil(self.sectors_per_page)
+    }
+}
+
+/// Iterator adapter returned by [`SectorMapper::map_trace`].
+#[derive(Debug, Clone)]
+pub struct MapTrace<I> {
+    mapper: SectorMapper,
+    inner: I,
+}
+
+impl<I: Iterator<Item = TraceEvent>> Iterator for MapTrace<I> {
+    type Item = TraceEvent;
+
+    fn next(&mut self) -> Option<TraceEvent> {
+        self.inner.next().map(|e| self.mapper.map_event(e))
+    }
+}
+
+/// Convenience: the paper's configuration — 512 B sectors on 2 KiB pages.
+impl Default for SectorMapper {
+    fn default() -> Self {
+        Self::new(2048, 512)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Op;
+
+    #[test]
+    fn single_sector_maps_to_its_page() {
+        let m = SectorMapper::new(2048, 512);
+        for sector in 0..8u64 {
+            let e = m.map_event(TraceEvent::write(0, sector));
+            assert_eq!(e.lba, sector / 4);
+            assert_eq!(e.len, 1);
+        }
+    }
+
+    #[test]
+    fn spanning_run_covers_both_pages() {
+        let m = SectorMapper::new(2048, 512);
+        let e = m.map_event(TraceEvent {
+            at_ns: 5,
+            op: Op::Write,
+            lba: 3,
+            len: 2, // sectors 3..5 → pages 0..2
+        });
+        assert_eq!((e.lba, e.len, e.at_ns), (0, 2, 5));
+    }
+
+    #[test]
+    fn aligned_full_page_run() {
+        let m = SectorMapper::new(2048, 512);
+        let e = m.map_event(TraceEvent {
+            at_ns: 0,
+            op: Op::Read,
+            lba: 8,
+            len: 4,
+        });
+        assert_eq!((e.lba, e.len), (2, 1));
+    }
+
+    #[test]
+    fn map_trace_adapts_iterators() {
+        let m = SectorMapper::default();
+        let sectors = vec![TraceEvent::write(0, 0), TraceEvent::write(1, 7)];
+        let pages: Vec<_> = m.map_trace(sectors).collect();
+        assert_eq!(pages[0].lba, 0);
+        assert_eq!(pages[1].lba, 1);
+    }
+
+    #[test]
+    fn paper_lba_count_converts() {
+        let m = SectorMapper::default();
+        assert_eq!(m.pages_for_sectors(2_097_152), 524_288);
+    }
+
+    #[test]
+    fn one_to_one_when_sizes_match() {
+        let m = SectorMapper::new(512, 512);
+        let e = m.map_event(TraceEvent::write(0, 99));
+        assert_eq!((e.lba, e.len), (99, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple")]
+    fn non_multiple_rejected() {
+        SectorMapper::new(2048, 500);
+    }
+}

@@ -1,0 +1,156 @@
+//! Summary statistics of a trace, for calibration checks.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::event::{Op, TraceEvent, NANOS_PER_SEC};
+
+/// Aggregate statistics over a trace prefix — the quantities the paper
+/// reports for its collected trace (fraction of LBAs written, average
+/// read/write rates).
+///
+/// # Example
+///
+/// ```
+/// use flash_trace::{SyntheticTrace, TraceStats, WorkloadSpec};
+///
+/// let spec = WorkloadSpec::paper(8192).with_seed(2);
+/// let stats = TraceStats::measure(SyntheticTrace::new(spec).take(50_000), 8192);
+/// assert!(stats.writes > 0 && stats.reads > 0);
+/// assert!(stats.written_fraction() < 0.3662 + 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Write events observed.
+    pub writes: u64,
+    /// Read events observed.
+    pub reads: u64,
+    /// Pages written (sum of lengths).
+    pub pages_written: u64,
+    /// Distinct LBAs written at least once.
+    pub distinct_lbas_written: u64,
+    /// Logical space size the trace addresses.
+    pub logical_pages: u64,
+    /// Host-time span covered, in nanoseconds.
+    pub span_ns: u64,
+}
+
+impl TraceStats {
+    /// Measures statistics over `events`.
+    pub fn measure<I: IntoIterator<Item = TraceEvent>>(events: I, logical_pages: u64) -> Self {
+        let mut writes = 0;
+        let mut reads = 0;
+        let mut pages_written = 0;
+        let mut span_ns = 0;
+        let mut written = HashSet::new();
+        for e in events {
+            span_ns = span_ns.max(e.at_ns);
+            match e.op {
+                Op::Write => {
+                    writes += 1;
+                    pages_written += u64::from(e.len);
+                    written.extend(e.pages());
+                }
+                Op::Read => reads += 1,
+            }
+        }
+        Self {
+            writes,
+            reads,
+            pages_written,
+            distinct_lbas_written: written.len() as u64,
+            logical_pages,
+            span_ns,
+        }
+    }
+
+    /// Fraction of the logical space ever written (paper: 36.62 %).
+    pub fn written_fraction(&self) -> f64 {
+        if self.logical_pages == 0 {
+            0.0
+        } else {
+            self.distinct_lbas_written as f64 / self.logical_pages as f64
+        }
+    }
+
+    /// Average write events per second.
+    pub fn writes_per_sec(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.writes as f64 * NANOS_PER_SEC as f64 / self.span_ns as f64
+        }
+    }
+
+    /// Average read events per second.
+    pub fn reads_per_sec(&self) -> f64 {
+        if self.span_ns == 0 {
+            0.0
+        } else {
+            self.reads as f64 * NANOS_PER_SEC as f64 / self.span_ns as f64
+        }
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} writes ({:.2}/s), {} reads ({:.2}/s), {:.2}% of LBAs written",
+            self.writes,
+            self.writes_per_sec(),
+            self.reads,
+            self.reads_per_sec(),
+            self.written_fraction() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_ops_and_footprint() {
+        let events = vec![
+            TraceEvent::write(0, 0),
+            TraceEvent::write(NANOS_PER_SEC, 0),
+            TraceEvent::write(2 * NANOS_PER_SEC, 1),
+            TraceEvent::read(3 * NANOS_PER_SEC, 5),
+        ];
+        let stats = TraceStats::measure(events, 10);
+        assert_eq!(stats.writes, 3);
+        assert_eq!(stats.reads, 1);
+        assert_eq!(stats.distinct_lbas_written, 2);
+        assert_eq!(stats.written_fraction(), 0.2);
+        assert_eq!(stats.writes_per_sec(), 1.0);
+    }
+
+    #[test]
+    fn multi_page_events_expand_footprint() {
+        let events = vec![TraceEvent {
+            at_ns: NANOS_PER_SEC,
+            op: Op::Write,
+            lba: 4,
+            len: 3,
+        }];
+        let stats = TraceStats::measure(events, 100);
+        assert_eq!(stats.distinct_lbas_written, 3);
+        assert_eq!(stats.pages_written, 3);
+    }
+
+    #[test]
+    fn empty_trace_is_zeroes() {
+        let stats = TraceStats::measure(Vec::new(), 100);
+        assert_eq!(stats.writes_per_sec(), 0.0);
+        assert_eq!(stats.written_fraction(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_rates() {
+        let events = vec![TraceEvent::write(NANOS_PER_SEC, 0)];
+        let text = TraceStats::measure(events, 10).to_string();
+        assert!(text.contains("writes"));
+        assert!(text.contains("% of LBAs"));
+    }
+}

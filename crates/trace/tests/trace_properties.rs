@@ -1,0 +1,117 @@
+//! Property tests of the workload model: calibration invariants hold for
+//! arbitrary (valid) specs, not just the paper preset.
+
+use proptest::prelude::*;
+
+use flash_trace::{parse_trace, write_trace, Op, SegmentResampler, SyntheticTrace, WorkloadSpec};
+
+fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
+    (
+        256u64..20_000, // logical pages
+        0.05f64..1.0,   // written fraction
+        0.2f64..50.0,   // writes/s
+        0.0f64..50.0,   // reads/s
+        0.01f64..0.5,   // hot fraction
+        0.0f64..1.0,    // frozen fraction
+        0.5f64..1.0,    // hot write probability
+        0.0f64..1.6,    // zipf exponent
+        1.0f64..32.0,   // mean burst
+        any::<bool>(),  // diurnal
+        any::<u64>(),   // seed
+    )
+        .prop_map(
+            |(pages, wf, w, r, hot, frozen, hwp, zipf, burst, diurnal, seed)| {
+                let mut spec = WorkloadSpec::paper(pages).with_seed(seed);
+                spec.written_fraction = wf;
+                spec.writes_per_sec = w;
+                spec.reads_per_sec = r;
+                spec.hot_fraction = hot;
+                spec.frozen_fraction = frozen;
+                spec.hot_write_prob = hwp;
+                spec.zipf_exponent = zipf;
+                spec.mean_burst_pages = burst;
+                spec.diurnal = diurnal;
+                spec
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Any valid spec yields monotone timestamps and in-range addresses.
+    #[test]
+    fn any_spec_is_well_formed(spec in arb_spec()) {
+        let events: Vec<_> = SyntheticTrace::new(spec.clone()).take(3_000).collect();
+        prop_assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        prop_assert!(events.iter().all(|e| e.lba < spec.logical_pages));
+    }
+
+    /// Steady-state writes never touch the frozen region (identified via
+    /// the fill sequence tail).
+    #[test]
+    fn frozen_region_is_immutable(spec in arb_spec()) {
+        let frozen: std::collections::HashSet<u64> = spec
+            .fill_events()
+            .skip(spec.updatable_pages() as usize)
+            .map(|e| e.lba)
+            .collect();
+        for e in SyntheticTrace::new(spec.clone()).take(3_000) {
+            if e.op == Op::Write {
+                prop_assert!(!frozen.contains(&e.lba));
+            }
+        }
+    }
+
+    /// The fill sequence is a bijection onto the footprint.
+    #[test]
+    fn fill_is_bijective(spec in arb_spec()) {
+        let mut seen = std::collections::HashSet::new();
+        for e in spec.fill_events() {
+            prop_assert!(e.lba < spec.logical_pages);
+            prop_assert!(seen.insert(e.lba), "duplicate fill lba {}", e.lba);
+        }
+        prop_assert_eq!(seen.len() as u64, spec.footprint_pages());
+    }
+
+    /// Same seed reproduces the trace; resampling with a different arrival
+    /// seed keeps the same footprint.
+    #[test]
+    fn determinism_and_footprint_stability(spec in arb_spec(), reseed in any::<u64>()) {
+        let a: Vec<_> = SyntheticTrace::new(spec.clone()).take(500).collect();
+        let b: Vec<_> = SyntheticTrace::new(spec.clone()).take(500).collect();
+        prop_assert_eq!(a, b);
+
+        let footprint: std::collections::HashSet<u64> =
+            spec.fill_events().map(|e| e.lba).collect();
+        let reseeded = spec.clone().with_arrival_seed(reseed);
+        for e in SyntheticTrace::new(reseeded).take(1_000) {
+            if e.op == Op::Write {
+                prop_assert!(footprint.contains(&e.lba));
+            }
+        }
+    }
+
+    /// Text round trip preserves any event sequence the generator emits.
+    #[test]
+    fn format_round_trips_generated_traces(spec in arb_spec()) {
+        let events: Vec<_> = SyntheticTrace::new(spec).take(200).collect();
+        let text = write_trace(&events);
+        prop_assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    /// The resampler never exceeds the logical space and stays monotone for
+    /// arbitrary segment lengths.
+    #[test]
+    fn resampler_well_formed(spec in arb_spec(), seg_s in 1u64..1200, seed in any::<u64>()) {
+        let resampler = SegmentResampler::from_spec_with_segment(
+            spec.clone(),
+            seed,
+            seg_s * 1_000_000_000,
+        );
+        let events: Vec<_> = resampler.take(2_000).collect();
+        prop_assert_eq!(events.len(), 2_000);
+        prop_assert!(events.windows(2).all(|w| w[0].at_ns <= w[1].at_ns));
+        prop_assert!(events.iter().all(|e| e.lba < spec.logical_pages));
+    }
+}

@@ -1,0 +1,46 @@
+//! Umbrella crate for the DAC 2007 static wear leveling reproduction.
+//!
+//! This crate re-exports the workspace members so that the examples in
+//! `examples/` and the integration tests in `tests/` can exercise the whole
+//! stack through one dependency. Library users should depend on the
+//! individual crates instead:
+//!
+//! - [`nand`] — NAND flash device simulator,
+//! - [`swl_core`] — the Block Erasing Table and SW Leveler (the paper's
+//!   contribution),
+//! - [`ftl`] — page-mapping FTL baseline,
+//! - [`nftl`] — block-mapping NFTL baseline,
+//! - [`flash_trace`] — workload model and trace generation,
+//! - [`flash_sim`] — simulation engine and experiment presets.
+//!
+//! # Example
+//!
+//! ```
+//! use swl_repro::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let geometry = Geometry::mlc2_1gib().with_blocks(256);
+//! let device = NandDevice::new(geometry, CellKind::Mlc2.spec());
+//! let mut ftl = PageMappedFtl::with_swl(device, FtlConfig::default(), SwlConfig::new(100, 0))?;
+//! ftl.write(42, 0xAB)?;
+//! assert_eq!(ftl.read(42)?, Some(0xAB));
+//! # Ok(())
+//! # }
+//! ```
+
+pub use flash_sim;
+pub use flash_trace;
+pub use ftl;
+pub use nand;
+pub use nftl;
+pub use swl_core;
+
+/// Convenient re-exports of the most frequently used types across the stack.
+pub mod prelude {
+    pub use flash_sim::{SimReport, Simulator};
+    pub use flash_trace::{Op, SyntheticTrace, TraceEvent, WorkloadSpec};
+    pub use ftl::{FtlConfig, PageMappedFtl};
+    pub use nand::{CellKind, Geometry, NandDevice};
+    pub use nftl::{BlockMappedNftl, NftlConfig};
+    pub use swl_core::{Bet, SwLeveler, SwlConfig};
+}

@@ -1,0 +1,190 @@
+//! Endurance-level integration checks: the headline claims of the paper
+//! hold on the scaled-down stack, and basic physics (monotonicity in
+//! endurance) holds in the simulator.
+
+use flash_sim::experiments::{
+    first_failure_run, horizon_run, lifetime_run, ExperimentScale, NANOS_PER_YEAR,
+};
+use flash_sim::LayerKind;
+use swl_core::SwlConfig;
+
+fn quick() -> ExperimentScale {
+    ExperimentScale::quick()
+}
+
+#[test]
+fn swl_extends_first_failure_of_both_layers() {
+    let scale = quick();
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let base = first_failure_run(kind, None, &scale).unwrap();
+        let swl = first_failure_run(
+            kind,
+            Some(SwlConfig::new(scale.scaled_threshold(100), 0).with_seed(scale.seed)),
+            &scale,
+        )
+        .unwrap();
+        let base_years = base.first_failure.expect("baseline fails").years();
+        let swl_years = swl.first_failure.expect("+SWL fails").years();
+        assert!(
+            swl_years > base_years * 1.05,
+            "{kind}: expected ≥5% extension, got {base_years:.4} → {swl_years:.4}"
+        );
+    }
+}
+
+#[test]
+fn ftl_outlives_nftl_baseline() {
+    // The paper's Figure 5: fine-grained mapping amortises erases far
+    // better, so baseline FTL lives much longer than baseline NFTL.
+    let scale = quick();
+    let ftl = first_failure_run(LayerKind::Ftl, None, &scale).unwrap();
+    let nftl = first_failure_run(LayerKind::Nftl, None, &scale).unwrap();
+    let ftl_years = ftl.first_failure.unwrap().years();
+    let nftl_years = nftl.first_failure.unwrap().years();
+    assert!(
+        ftl_years > nftl_years * 1.5,
+        "FTL should clearly outlive NFTL: {ftl_years:.4} vs {nftl_years:.4}"
+    );
+}
+
+#[test]
+fn first_failure_monotone_in_endurance() {
+    let mut scale = quick();
+    scale.endurance = 128;
+    let low = first_failure_run(LayerKind::Nftl, None, &scale).unwrap();
+    scale.endurance = 256;
+    let high = first_failure_run(LayerKind::Nftl, None, &scale).unwrap();
+    assert!(
+        high.first_failure.unwrap().years() > low.first_failure.unwrap().years(),
+        "more endurance must mean later failure"
+    );
+}
+
+#[test]
+fn swl_reduces_erase_deviation_over_horizon() {
+    let scale = quick();
+    let horizon = (0.05 * NANOS_PER_YEAR) as u64;
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let base = horizon_run(kind, None, &scale, horizon).unwrap();
+        let swl = horizon_run(
+            kind,
+            Some(SwlConfig::new(scale.scaled_threshold(100), 0).with_seed(scale.seed)),
+            &scale,
+            horizon,
+        )
+        .unwrap();
+        assert!(
+            swl.erase_stats.std_dev < base.erase_stats.std_dev,
+            "{kind}: dev must shrink ({:.1} → {:.1})",
+            base.erase_stats.std_dev,
+            swl.erase_stats.std_dev
+        );
+        assert!(
+            swl.erase_stats.max <= base.erase_stats.max,
+            "{kind}: max must not grow"
+        );
+    }
+}
+
+#[test]
+fn swl_overhead_stays_bounded() {
+    // Figures 6/7 shape: single-digit-percent extra erases; extra copies
+    // bounded (FTL pays more in relative terms than NFTL).
+    let scale = quick();
+    let horizon = (0.04 * NANOS_PER_YEAR) as u64;
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let base = horizon_run(kind, None, &scale, horizon).unwrap();
+        let swl = horizon_run(
+            kind,
+            Some(SwlConfig::new(scale.scaled_threshold(1000), 0).with_seed(scale.seed)),
+            &scale,
+            horizon,
+        )
+        .unwrap();
+        let erase_overhead = swl.erase_overhead_vs(&base).unwrap();
+        assert!(
+            erase_overhead < 0.25,
+            "{kind}: erase overhead at T=1000 should be modest, got {erase_overhead:.3}"
+        );
+    }
+}
+
+#[test]
+fn bad_block_management_extends_usable_life() {
+    // With retirement, the device outlives (or equals) its first failure,
+    // and SWL extends the usable lifetime too.
+    let scale = quick();
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let base = lifetime_run(kind, None, &scale).unwrap();
+        assert!(base.retired_blocks > 0, "{kind}: blocks must retire");
+        let ff = base.first_failure_years.expect("first failure recorded");
+        assert!(
+            base.years >= ff,
+            "{kind}: lifetime {:.4} must not precede first failure {ff:.4}",
+            base.years
+        );
+        let swl = lifetime_run(kind, Some(scale.swl_config(100, 0)), &scale).unwrap();
+        assert!(
+            swl.years > base.years,
+            "{kind}: SWL must extend usable lifetime ({:.4} vs {:.4})",
+            swl.years,
+            base.years
+        );
+        assert!(
+            swl.host_writes > base.host_writes,
+            "{kind}: SWL must absorb more writes over the device life"
+        );
+    }
+}
+
+#[test]
+fn swl_leaves_median_write_latency_alone() {
+    // The latency-dimension version of "limited overhead": the common-path
+    // write cost must not change; only the tail may grow.
+    let scale = quick();
+    let horizon = (0.01 * NANOS_PER_YEAR) as u64;
+    let base = horizon_run(LayerKind::Ftl, None, &scale, horizon).unwrap();
+    let swl = horizon_run(
+        LayerKind::Ftl,
+        Some(scale.swl_config(100, 0)),
+        &scale,
+        horizon,
+    )
+    .unwrap();
+    assert_eq!(
+        base.write_latency.quantile(0.5),
+        swl.write_latency.quantile(0.5),
+        "median write latency must be unaffected by SWL"
+    );
+    assert!(
+        swl.write_latency.max_ns() >= base.write_latency.max_ns(),
+        "the worst-case write absorbs a leveling pass"
+    );
+}
+
+#[test]
+fn larger_threshold_means_less_overhead() {
+    let scale = quick();
+    let horizon = (0.04 * NANOS_PER_YEAR) as u64;
+    let base = horizon_run(LayerKind::Nftl, None, &scale, horizon).unwrap();
+    let aggressive = horizon_run(
+        LayerKind::Nftl,
+        Some(SwlConfig::new(scale.scaled_threshold(100), 0).with_seed(scale.seed)),
+        &scale,
+        horizon,
+    )
+    .unwrap();
+    let relaxed = horizon_run(
+        LayerKind::Nftl,
+        Some(SwlConfig::new(scale.scaled_threshold(1000), 0).with_seed(scale.seed)),
+        &scale,
+        horizon,
+    )
+    .unwrap();
+    let agg = aggressive.erase_overhead_vs(&base).unwrap();
+    let rel = relaxed.erase_overhead_vs(&base).unwrap();
+    assert!(
+        rel <= agg + 1e-9,
+        "T=1000 must not cost more erases than T=100: {rel:.4} vs {agg:.4}"
+    );
+}

@@ -1,0 +1,83 @@
+//! Full-stack filesystem integration: FAT traffic (Figure 1 of the paper)
+//! through the translation layers, with and without static wear leveling.
+
+use flash_sim::{Layer, LayerKind, SimConfig, Simulator, StopCondition, TranslationLayer};
+use flash_trace::fat::{FatSession, FatSessionSpec, FatVolume};
+use flash_trace::Op;
+use nand::{CellKind, Geometry, NandDevice};
+use swl_core::SwlConfig;
+
+fn device(blocks: u32, pages: u32) -> NandDevice {
+    NandDevice::new(
+        Geometry::new(blocks, pages, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+fn run_fat(kind: LayerKind, swl: Option<SwlConfig>, events: u64) -> flash_sim::SimReport {
+    let mut layer = Layer::build(kind, device(64, 32), swl, &SimConfig::default()).unwrap();
+    let volume = FatVolume::new(layer.logical_pages()).unwrap();
+    let session = FatSession::new(volume, FatSessionSpec::default().with_seed(21));
+    Simulator::new()
+        .run(&mut layer, session, StopCondition::events(events))
+        .unwrap()
+}
+
+#[test]
+fn fat_traffic_runs_clean_on_both_layers() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let report = run_fat(kind, None, 150_000);
+        assert_eq!(report.events, 150_000);
+        assert!(report.counters.host_writes > 0, "{kind}");
+        assert!(report.counters.host_reads > 0, "{kind}");
+        assert_eq!(
+            report.counters.total_erases(),
+            report.device.erases,
+            "{kind}: attribution exact under filesystem traffic"
+        );
+    }
+}
+
+#[test]
+fn fat_baseline_pins_archive_blocks() {
+    let report = run_fat(LayerKind::Ftl, None, 600_000);
+    // The archive pins blocks at zero wear while the churn region burns:
+    // classic bimodal wear.
+    assert_eq!(report.erase_stats.min, 0, "archive blocks stay pristine");
+    assert!(
+        report.erase_stats.std_dev > report.erase_stats.mean * 0.5,
+        "filesystem wear must be strongly uneven: {}",
+        report.erase_stats
+    );
+}
+
+#[test]
+fn swl_flattens_filesystem_wear() {
+    let base = run_fat(LayerKind::Ftl, None, 600_000);
+    let swl = run_fat(
+        LayerKind::Ftl,
+        Some(SwlConfig::new(8, 0).with_seed(21)),
+        600_000,
+    );
+    assert!(
+        swl.erase_stats.std_dev < base.erase_stats.std_dev / 2.0,
+        "SWL must at least halve the wear deviation: {:.1} vs {:.1}",
+        swl.erase_stats.std_dev,
+        base.erase_stats.std_dev
+    );
+    assert!(
+        swl.erase_stats.min > 0,
+        "SWL must pull archive blocks into circulation"
+    );
+}
+
+#[test]
+fn fat_session_respects_logical_space() {
+    let layer = Layer::build(LayerKind::Ftl, device(32, 16), None, &SimConfig::default()).unwrap();
+    let volume = FatVolume::new(layer.logical_pages()).unwrap();
+    let session = FatSession::new(volume, FatSessionSpec::default().with_seed(2));
+    for event in session.take(100_000) {
+        assert!(event.lba < layer.logical_pages());
+        assert!(matches!(event.op, Op::Read | Op::Write));
+    }
+}

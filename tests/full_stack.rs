@@ -1,0 +1,208 @@
+//! Full-stack integration: trace generation → translation layer (± SWL) →
+//! simulated chip, audited against a shadow model.
+
+use std::collections::HashMap;
+
+use flash_sim::{Layer, LayerKind, SimConfig, TranslationLayer};
+use flash_trace::{Op, SegmentResampler, SyntheticTrace, WorkloadSpec};
+use nand::{CellKind, Geometry, NandDevice};
+use swl_core::SwlConfig;
+
+fn device(blocks: u32, pages: u32) -> NandDevice {
+    NandDevice::new(
+        Geometry::new(blocks, pages, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+/// Replays a trace into the layer while mirroring every write in a
+/// HashMap; every read must agree with the mirror.
+fn audit_against_shadow(mut layer: Layer, events: usize, seed: u64) {
+    let spec = WorkloadSpec::paper(layer.logical_pages()).with_seed(seed);
+    let trace = spec
+        .fill_events()
+        .chain(SyntheticTrace::new(spec.clone()))
+        .take(events);
+    let mut shadow: HashMap<u64, u64> = HashMap::new();
+    let mut token = 0u64;
+    for event in trace {
+        for lba in event.pages() {
+            match event.op {
+                Op::Write => {
+                    token += 1;
+                    layer.write(lba, token).unwrap();
+                    shadow.insert(lba, token);
+                }
+                Op::Read => {
+                    let got = layer.read(lba).unwrap();
+                    assert_eq!(
+                        got,
+                        shadow.get(&lba).copied(),
+                        "read mismatch at lba {lba} after {token} writes"
+                    );
+                }
+            }
+        }
+    }
+    // Post-run: every shadow entry is readable.
+    for (&lba, &expected) in &shadow {
+        assert_eq!(layer.read(lba).unwrap(), Some(expected), "final lba {lba}");
+    }
+}
+
+#[test]
+fn ftl_matches_shadow_model() {
+    let layer = Layer::build(LayerKind::Ftl, device(64, 16), None, &SimConfig::default()).unwrap();
+    audit_against_shadow(layer, 30_000, 1);
+}
+
+#[test]
+fn ftl_with_swl_matches_shadow_model() {
+    let layer = Layer::build(
+        LayerKind::Ftl,
+        device(64, 16),
+        Some(SwlConfig::new(8, 1)),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    audit_against_shadow(layer, 30_000, 2);
+}
+
+#[test]
+fn nftl_matches_shadow_model() {
+    let layer = Layer::build(LayerKind::Nftl, device(64, 16), None, &SimConfig::default()).unwrap();
+    audit_against_shadow(layer, 30_000, 3);
+}
+
+#[test]
+fn nftl_with_swl_matches_shadow_model() {
+    let layer = Layer::build(
+        LayerKind::Nftl,
+        device(64, 16),
+        Some(SwlConfig::new(8, 1)),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    audit_against_shadow(layer, 30_000, 4);
+}
+
+#[test]
+fn erase_attribution_is_exact_across_stack() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for swl in [None, Some(SwlConfig::new(6, 0))] {
+            let mut layer = Layer::build(kind, device(48, 16), swl, &SimConfig::default()).unwrap();
+            let spec = WorkloadSpec::paper(layer.logical_pages()).with_seed(9);
+            let mut token = 0u64;
+            for event in spec
+                .fill_events()
+                .chain(SyntheticTrace::new(spec.clone()))
+                .take(20_000)
+            {
+                if event.op == Op::Write {
+                    token += 1;
+                    layer.write(event.lba, token).unwrap();
+                }
+            }
+            let counters = layer.counters();
+            assert_eq!(
+                counters.total_erases(),
+                layer.device().counters().erases,
+                "{kind} swl={} attribution must cover every erase",
+                swl.is_some()
+            );
+        }
+    }
+}
+
+#[test]
+fn resampled_trace_runs_and_levels() {
+    let mut layer = Layer::build(
+        LayerKind::Nftl,
+        device(64, 16),
+        Some(SwlConfig::new(6, 0)),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    let spec = WorkloadSpec::paper(layer.logical_pages()).with_seed(5);
+    let trace = spec
+        .fill_events()
+        .chain(SegmentResampler::from_spec(spec.clone(), 6))
+        .take(60_000);
+    let mut token = 0u64;
+    for event in trace {
+        if event.op == Op::Write {
+            token += 1;
+            layer.write(event.lba, token).unwrap();
+        }
+    }
+    assert!(
+        layer.counters().swl_erases > 0,
+        "the leveler should have acted during a long resampled run"
+    );
+    let swl = layer.swl().unwrap();
+    assert!(swl.stats().erases_observed >= layer.counters().total_erases());
+}
+
+#[test]
+fn latency_accounting_covers_every_host_op() {
+    use flash_sim::{Simulator, StopCondition};
+    let mut layer = Layer::build(
+        LayerKind::Ftl,
+        device(48, 16),
+        Some(SwlConfig::new(8, 0)),
+        &SimConfig::default(),
+    )
+    .unwrap();
+    let spec = WorkloadSpec::paper(layer.logical_pages()).with_seed(6);
+    let trace = spec.fill_events().chain(SyntheticTrace::new(spec.clone()));
+    let report = Simulator::new()
+        .run(&mut layer, trace, StopCondition::events(20_000))
+        .unwrap();
+    assert_eq!(
+        report.write_latency.count(),
+        report.counters.host_writes,
+        "one latency sample per host write"
+    );
+    assert_eq!(report.read_latency.count(), report.counters.host_reads);
+    // Every write is at least one page program.
+    assert!(report.write_latency.quantile(0.0) == 0 || report.write_latency.mean_ns() > 0.0);
+    assert!(
+        report.write_latency.max_ns() >= layer.device().spec().timing.program_ns,
+        "slowest write must cost at least one program"
+    );
+}
+
+#[test]
+fn deterministic_end_to_end() {
+    let run = || {
+        let mut layer = Layer::build(
+            LayerKind::Ftl,
+            device(48, 16),
+            Some(SwlConfig::new(8, 0).with_seed(3)),
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let spec = WorkloadSpec::paper(layer.logical_pages()).with_seed(11);
+        let mut token = 0u64;
+        for event in spec
+            .fill_events()
+            .chain(SegmentResampler::from_spec(spec.clone(), 12))
+            .take(25_000)
+        {
+            if event.op == Op::Write {
+                token += 1;
+                layer.write(event.lba, token).unwrap();
+            }
+        }
+        (
+            layer.device().erase_counts(),
+            layer.counters(),
+            layer.swl().unwrap().stats(),
+        )
+    };
+    let (a_counts, a_counters, a_stats) = run();
+    let (b_counts, b_counters, b_stats) = run();
+    assert_eq!(a_counts, b_counts);
+    assert_eq!(a_counters, b_counters);
+    assert_eq!(a_stats, b_stats);
+}

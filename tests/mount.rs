@@ -1,0 +1,178 @@
+//! Power-cycle integration: run a workload, detach the chip, remount and
+//! verify the rebuilt translation state serves the same data.
+
+use std::collections::HashMap;
+
+use ftl::{FtlConfig, PageMappedFtl};
+use nand::{CellKind, Geometry, NandDevice};
+use nftl::{BlockMappedNftl, NftlConfig, NftlError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swl_core::SwlConfig;
+
+fn device() -> NandDevice {
+    NandDevice::new(
+        Geometry::new(48, 16, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+fn random_workload<E, W: FnMut(u64, u64) -> Result<(), E>>(
+    logical_pages: u64,
+    ops: usize,
+    seed: u64,
+    mut write: W,
+) -> HashMap<u64, u64>
+where
+    E: std::fmt::Debug,
+{
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = HashMap::new();
+    for i in 0..ops {
+        // Skewed towards a hot region so GC, merges and SWL all fire.
+        let lba = if rng.gen_bool(0.7) {
+            rng.gen_range(0..logical_pages / 8)
+        } else {
+            rng.gen_range(0..logical_pages / 2)
+        };
+        let data = i as u64;
+        write(lba, data).unwrap();
+        shadow.insert(lba, data);
+    }
+    shadow
+}
+
+#[test]
+fn ftl_remount_preserves_data_and_wear() {
+    let mut ftl = PageMappedFtl::new(device(), FtlConfig::default()).unwrap();
+    let shadow = random_workload(ftl.logical_pages(), 4_000, 1, |lba, data| {
+        ftl.write(lba, data)
+    });
+    let erase_counts = ftl.device().erase_counts();
+
+    // Power cycle.
+    let chip = ftl.into_device();
+    let mut remounted = PageMappedFtl::mount(chip, FtlConfig::default()).unwrap();
+
+    assert_eq!(remounted.device().erase_counts(), erase_counts);
+    for (&lba, &data) in &shadow {
+        assert_eq!(remounted.read(lba).unwrap(), Some(data), "lba {lba}");
+    }
+    // The remounted layer keeps working, GC included.
+    for round in 0..3_000u64 {
+        remounted.write(round % 64, round).unwrap();
+    }
+    assert_eq!(remounted.read(0).unwrap(), Some(2_944));
+}
+
+#[test]
+fn ftl_remount_after_swl_activity() {
+    let mut ftl =
+        PageMappedFtl::with_swl(device(), FtlConfig::default(), SwlConfig::new(5, 0)).unwrap();
+    // Pin cold data so the leveler has something to move.
+    let cold_base = ftl.logical_pages() / 2;
+    let mut shadow = HashMap::new();
+    for lba in cold_base..cold_base + 200 {
+        ftl.write(lba, 0xC01D + lba).unwrap();
+        shadow.insert(lba, 0xC01D + lba);
+    }
+    shadow.extend(random_workload(
+        ftl.logical_pages(),
+        5_000,
+        2,
+        |lba, data| ftl.write(lba, data),
+    ));
+    assert!(ftl.counters().swl_erases > 0, "SWL must have churned");
+    let chip = ftl.into_device();
+    let mut remounted = PageMappedFtl::mount(chip, FtlConfig::default()).unwrap();
+    for (&lba, &data) in &shadow {
+        assert_eq!(remounted.read(lba).unwrap(), Some(data));
+    }
+}
+
+#[test]
+fn nftl_remount_preserves_data_and_structures() {
+    let mut nftl = BlockMappedNftl::new(device(), NftlConfig::default()).unwrap();
+    let shadow = random_workload(nftl.logical_pages(), 4_000, 3, |lba, data| {
+        nftl.write(lba, data)
+    });
+    let open_replacements = nftl.open_replacements();
+    let chip = nftl.into_device();
+
+    let mut remounted = BlockMappedNftl::mount(chip, NftlConfig::default()).unwrap();
+    assert_eq!(remounted.open_replacements(), open_replacements);
+    for (&lba, &data) in &shadow {
+        assert_eq!(remounted.read(lba).unwrap(), Some(data), "lba {lba}");
+    }
+    // Keep writing: merges on rebuilt replacement state must stay correct.
+    for round in 0..3_000u64 {
+        remounted.write(round % 48, round).unwrap();
+    }
+    for lba in 0..48u64 {
+        // 3000 = 62*48 + 24: lbas 0..24 were last written in round 2976+lba,
+        // the rest in round 2928+lba.
+        let expected = if lba < 24 { 2_976 + lba } else { 2_928 + lba };
+        assert_eq!(remounted.read(lba).unwrap(), Some(expected));
+    }
+}
+
+#[test]
+fn nftl_remount_after_swl_activity() {
+    let mut nftl =
+        BlockMappedNftl::with_swl(device(), NftlConfig::default(), SwlConfig::new(5, 0)).unwrap();
+    let shadow = random_workload(nftl.logical_pages(), 5_000, 4, |lba, data| {
+        nftl.write(lba, data)
+    });
+    assert!(nftl.counters().swl_erases > 0);
+    let chip = nftl.into_device();
+    let mut remounted = BlockMappedNftl::mount(chip, NftlConfig::default()).unwrap();
+    for (&lba, &data) in &shadow {
+        assert_eq!(remounted.read(lba).unwrap(), Some(data));
+    }
+}
+
+#[test]
+fn fresh_chip_mounts_empty() {
+    let ftl = PageMappedFtl::mount(device(), FtlConfig::default()).unwrap();
+    assert_eq!(ftl.utilization(), 0.0);
+    let mut nftl = BlockMappedNftl::mount(device(), NftlConfig::default()).unwrap();
+    assert_eq!(nftl.read(0).unwrap(), None);
+}
+
+#[test]
+fn foreign_data_is_rejected_by_nftl_mount() {
+    // A chip written by the FTL (status=0 markers) is not a valid NFTL
+    // layout.
+    let mut ftl = PageMappedFtl::new(device(), FtlConfig::default()).unwrap();
+    for lba in 0..100u64 {
+        ftl.write(lba, lba).unwrap();
+    }
+    let chip = ftl.into_device();
+    assert!(matches!(
+        BlockMappedNftl::mount(chip, NftlConfig::default()),
+        Err(NftlError::MountCorrupt { .. })
+    ));
+}
+
+#[test]
+fn repeated_cycles_are_stable() {
+    let mut nftl = BlockMappedNftl::new(device(), NftlConfig::default()).unwrap();
+    let mut shadow = HashMap::new();
+    for cycle in 0..5u64 {
+        for i in 0..800u64 {
+            let lba = (i * 7 + cycle) % 96;
+            let data = cycle * 10_000 + i;
+            nftl.write(lba, data).unwrap();
+            shadow.insert(lba, data);
+        }
+        let chip = nftl.into_device();
+        nftl = BlockMappedNftl::mount(chip, NftlConfig::default()).unwrap();
+        for (&lba, &data) in &shadow {
+            assert_eq!(
+                nftl.read(lba).unwrap(),
+                Some(data),
+                "cycle {cycle} lba {lba}"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Cross-crate persistence integration: checkpointing the SW Leveler while
+//! a translation layer is running, crashing, and resuming.
+
+use ftl::{FtlConfig, PageMappedFtl};
+use nand::{CellKind, Geometry, NandDevice};
+use nftl::{BlockMappedNftl, NftlConfig};
+use swl_core::persist::{DualBuffer, PersistError};
+use swl_core::SwlConfig;
+
+fn device() -> NandDevice {
+    NandDevice::new(
+        Geometry::new(48, 16, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+#[test]
+fn ftl_leveler_survives_checkpoint_and_reattach() {
+    let mut ftl =
+        PageMappedFtl::with_swl(device(), FtlConfig::default(), SwlConfig::new(10, 0)).unwrap();
+    for lba in 0..200u64 {
+        ftl.write(lba, lba).unwrap();
+    }
+    for round in 0..5_000u64 {
+        ftl.write(400 + round % 4, round).unwrap();
+    }
+    let before = ftl.swl().unwrap();
+    let (ecnt, fcnt, findex) = (before.ecnt(), before.fcnt(), before.findex());
+
+    let mut nvram = DualBuffer::new();
+    nvram.save(before);
+
+    let restored = nvram.recover().unwrap().into_leveler().unwrap();
+    assert_eq!(restored.ecnt(), ecnt);
+    assert_eq!(restored.fcnt(), fcnt);
+    assert_eq!(restored.findex(), findex);
+
+    // Reattach to the same FTL and keep going: behaviour stays sane.
+    ftl.attach_swl(restored);
+    for round in 0..5_000u64 {
+        ftl.write(400 + round % 4, round).unwrap();
+    }
+    assert_eq!(
+        ftl.counters().total_erases(),
+        ftl.device().counters().erases
+    );
+}
+
+#[test]
+fn nftl_leveler_round_trips_through_nvram() {
+    let mut nftl =
+        BlockMappedNftl::with_swl(device(), NftlConfig::default(), SwlConfig::new(10, 2)).unwrap();
+    for lba in 0..300u64 {
+        nftl.write(lba, lba).unwrap();
+    }
+    for round in 0..4_000u64 {
+        nftl.write(500 + round % 3, round).unwrap();
+    }
+    let mut nvram = DualBuffer::new();
+    nvram.save(nftl.swl().unwrap());
+    let restored = nvram.recover().unwrap().into_leveler().unwrap();
+    assert_eq!(restored.config().k, 2);
+    assert_eq!(restored.fcnt(), nftl.swl().unwrap().fcnt());
+}
+
+#[test]
+fn torn_checkpoint_falls_back_one_generation() {
+    let mut ftl =
+        PageMappedFtl::with_swl(device(), FtlConfig::default(), SwlConfig::new(10, 0)).unwrap();
+    let mut nvram = DualBuffer::new();
+
+    for round in 0..2_000u64 {
+        ftl.write(round % 50, round).unwrap();
+    }
+    nvram.save(ftl.swl().unwrap()); // generation 1 → slot 1
+    let gen1_ecnt = ftl.swl().unwrap().ecnt();
+
+    for round in 0..2_000u64 {
+        ftl.write(round % 50, round).unwrap();
+    }
+    nvram.save(ftl.swl().unwrap()); // generation 2 → slot 0
+
+    // Crash mid-write of generation 2.
+    nvram.slot_mut(0).unwrap().truncate(7);
+
+    let recovered = nvram.recover().unwrap();
+    assert_eq!(recovered.sequence(), 1);
+    assert_eq!(recovered.into_leveler().unwrap().ecnt(), gen1_ecnt);
+}
+
+#[test]
+fn both_slots_corrupt_is_a_clean_error() {
+    let ftl =
+        PageMappedFtl::with_swl(device(), FtlConfig::default(), SwlConfig::new(10, 0)).unwrap();
+    let mut nvram = DualBuffer::new();
+    nvram.save(ftl.swl().unwrap());
+    nvram.save(ftl.swl().unwrap());
+    for slot in 0..2 {
+        for byte in nvram.slot_mut(slot).unwrap().iter_mut() {
+            *byte = !*byte;
+        }
+    }
+    assert_eq!(nvram.recover().unwrap_err(), PersistError::NoValidSnapshot);
+}
+
+#[test]
+fn recovered_leveler_with_wrong_chip_size_still_safe() {
+    // A snapshot from a 48-block chip attached to a larger chip: the
+    // restored leveler only covers its original range. Attaching is the
+    // integrator's decision; the leveler itself must stay internally
+    // consistent (we verify it by exercising note_erase in range).
+    let mut ftl =
+        PageMappedFtl::with_swl(device(), FtlConfig::default(), SwlConfig::new(10, 0)).unwrap();
+    for round in 0..3_000u64 {
+        ftl.write(round % 40, round).unwrap();
+    }
+    let mut nvram = DualBuffer::new();
+    nvram.save(ftl.swl().unwrap());
+    let mut restored = nvram.recover().unwrap().into_leveler().unwrap();
+    assert_eq!(restored.blocks(), 48);
+    restored.note_erase(47);
+    assert!(restored.ecnt() > 0);
+}

@@ -1,0 +1,214 @@
+//! Property-based integration tests: arbitrary operation sequences against
+//! shadow models, and SW Leveler invariants under arbitrary erase streams.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ftl::{FtlConfig, PageMappedFtl};
+use nand::{CellKind, Geometry, NandDevice};
+use nftl::{BlockMappedNftl, NftlConfig};
+use swl_core::persist::{DualBuffer, Snapshot};
+use swl_core::{SwLeveler, SwlCleaner, SwlConfig};
+
+fn device(blocks: u32, pages: u32) -> NandDevice {
+    NandDevice::new(
+        Geometry::new(blocks, pages, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+/// An abstract host operation for model-based testing.
+#[derive(Debug, Clone)]
+enum HostOp {
+    Write(u64, u64),
+    Read(u64),
+    Trim(u64),
+}
+
+fn host_ops(max_lba: u64, len: usize) -> impl Strategy<Value = Vec<HostOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            3 => (0..max_lba, any::<u64>()).prop_map(|(lba, data)| HostOp::Write(lba, data)),
+            2 => (0..max_lba).prop_map(HostOp::Read),
+            1 => (0..max_lba).prop_map(HostOp::Trim),
+        ],
+        0..len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// FTL behaves exactly like a HashMap under arbitrary op sequences
+    /// (with trims), including while SWL churns in the background.
+    #[test]
+    fn ftl_is_a_map(ops in host_ops(150, 400), with_swl in any::<bool>()) {
+        let mut ftl = if with_swl {
+            PageMappedFtl::with_swl(device(24, 8), FtlConfig::default(), SwlConfig::new(4, 0))
+                .unwrap()
+        } else {
+            PageMappedFtl::new(device(24, 8), FtlConfig::default()).unwrap()
+        };
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                HostOp::Write(lba, data) => {
+                    // Tiny chips can legitimately over-commit; stop there.
+                    if ftl.write(lba, data).is_err() { break; }
+                    shadow.insert(lba, data);
+                }
+                HostOp::Read(lba) => {
+                    prop_assert_eq!(ftl.read(lba).unwrap(), shadow.get(&lba).copied());
+                }
+                HostOp::Trim(lba) => {
+                    ftl.trim(lba).unwrap();
+                    shadow.remove(&lba);
+                }
+            }
+        }
+        for (lba, data) in &shadow {
+            prop_assert_eq!(ftl.read(*lba).unwrap(), Some(*data));
+        }
+    }
+
+    /// NFTL behaves exactly like a HashMap under arbitrary writes/reads.
+    #[test]
+    fn nftl_is_a_map(ops in host_ops(160, 300), with_swl in any::<bool>()) {
+        let mut nftl = if with_swl {
+            BlockMappedNftl::with_swl(device(32, 8), NftlConfig::default(), SwlConfig::new(4, 0))
+                .unwrap()
+        } else {
+            BlockMappedNftl::new(device(32, 8), NftlConfig::default()).unwrap()
+        };
+        let mut shadow: HashMap<u64, u64> = HashMap::new();
+        for op in ops {
+            match op {
+                HostOp::Write(lba, data) => {
+                    if nftl.write(lba, data).is_err() { break; }
+                    shadow.insert(lba, data);
+                }
+                HostOp::Read(lba) => {
+                    prop_assert_eq!(nftl.read(lba).unwrap(), shadow.get(&lba).copied());
+                }
+                // NFTL has no trim in this implementation; reads instead.
+                HostOp::Trim(lba) => {
+                    let _ = nftl.read(lba).unwrap();
+                }
+            }
+        }
+        for (lba, data) in &shadow {
+            prop_assert_eq!(nftl.read(*lba).unwrap(), Some(*data));
+        }
+    }
+
+    /// After any erase stream, a level() pass with a cooperative cleaner
+    /// leaves the unevenness below the threshold (or resets the interval).
+    #[test]
+    fn leveling_restores_evenness(
+        erases in prop::collection::vec(0u32..64, 1..500),
+        threshold in 1u64..50,
+        k in 0u32..4,
+    ) {
+        struct Eraser;
+        impl SwlCleaner for Eraser {
+            type Error = std::convert::Infallible;
+            fn erase_block_set(
+                &mut self,
+                first: u32,
+                count: u32,
+                erased: &mut Vec<u32>,
+            ) -> Result<(), Self::Error> {
+                erased.extend(first..first + count);
+                Ok(())
+            }
+        }
+        let mut leveler = SwLeveler::new(64, SwlConfig::new(threshold, k)).unwrap();
+        for block in erases {
+            leveler.note_erase(block);
+            leveler.level(&mut Eraser).unwrap();
+            prop_assert!(
+                !leveler.needs_leveling(),
+                "unevenness {:?} still over T={} after level()",
+                leveler.unevenness(),
+                threshold
+            );
+        }
+    }
+
+    /// ecnt/fcnt bookkeeping matches a recomputation from first principles.
+    #[test]
+    fn leveler_counters_match_recomputation(
+        erases in prop::collection::vec(0u32..256, 0..300),
+        k in 0u32..4,
+    ) {
+        let mut leveler = SwLeveler::new(256, SwlConfig::new(u64::MAX / 2, k)).unwrap();
+        for &block in &erases {
+            leveler.note_erase(block);
+        }
+        let expected_fcnt = {
+            let mut flags = std::collections::HashSet::new();
+            for &b in &erases {
+                flags.insert(b >> k);
+            }
+            flags.len()
+        };
+        prop_assert_eq!(leveler.ecnt(), erases.len() as u64);
+        prop_assert_eq!(leveler.fcnt(), expected_fcnt);
+        for &b in &erases {
+            prop_assert!(leveler.bet().test((b >> k) as usize));
+        }
+    }
+
+    /// Snapshots round-trip bit-exactly for arbitrary leveler states, and
+    /// any single flipped byte is detected.
+    #[test]
+    fn snapshot_roundtrip_and_corruption(
+        erases in prop::collection::vec(0u32..128, 0..200),
+        threshold in 1u64..1000,
+        k in 0u32..5,
+        flip in any::<prop::sample::Index>(),
+    ) {
+        let mut leveler = SwLeveler::new(128, SwlConfig::new(threshold, k)).unwrap();
+        for block in erases {
+            leveler.note_erase(block);
+        }
+        let snap = Snapshot::capture(&leveler, 42);
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(&decoded, &snap);
+        let restored = decoded.into_leveler().unwrap();
+        prop_assert_eq!(restored.ecnt(), leveler.ecnt());
+        prop_assert_eq!(restored.fcnt(), leveler.fcnt());
+
+        let mut corrupt = bytes.clone();
+        let at = flip.index(corrupt.len());
+        corrupt[at] ^= 0x5A;
+        prop_assert!(Snapshot::decode(&corrupt).is_err(), "flip at {} undetected", at);
+    }
+
+    /// The dual buffer always recovers the newest intact generation.
+    #[test]
+    fn dual_buffer_recovers_newest_intact(
+        generations in 1usize..6,
+        tear_newest in any::<bool>(),
+    ) {
+        let mut leveler = SwLeveler::new(32, SwlConfig::new(5, 0)).unwrap();
+        let mut nvram = DualBuffer::new();
+        for generation in 0..generations {
+            leveler.note_erase((generation % 32) as u32);
+            nvram.save(&leveler);
+        }
+        if tear_newest {
+            let newest_slot = generations % 2;
+            nvram.slot_mut(newest_slot).unwrap().truncate(4);
+        }
+        let recovered = nvram.recover();
+        if generations == 1 && tear_newest {
+            prop_assert!(recovered.is_err());
+        } else {
+            let expected = if tear_newest { generations - 1 } else { generations };
+            prop_assert_eq!(recovered.unwrap().sequence(), expected as u64);
+        }
+    }
+}
