@@ -1,8 +1,11 @@
 //! Benchmarks of the translation-layer hot paths: host writes (with and
 //! without the SW Leveler attached), garbage collection pressure, and the
 //! NFTL merge path.
+//!
+//! Uses the in-repo `flash_bench::timing` harness (the registry-less build
+//! cannot resolve Criterion). Run with `cargo bench -p flash-bench`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use flash_bench::timing::{black_box, BenchGroup};
 use ftl::{FtlConfig, PageMappedFtl};
 use nand::{CellKind, Geometry, NandDevice};
 use nftl::{BlockMappedNftl, NftlConfig};
@@ -16,113 +19,96 @@ fn device(blocks: u32, pages: u32) -> NandDevice {
 }
 
 /// Hot-update loop over a small working set: the GC-heavy steady state.
-fn bench_ftl_writes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ftl");
-    group.throughput(Throughput::Elements(1));
+fn bench_ftl_writes(g: &mut BenchGroup) {
     for (name, swl) in [
-        ("write (baseline)", None),
-        ("write (+SWL T=100)", Some(SwlConfig::new(100, 0))),
+        ("ftl/write (baseline)", None),
+        ("ftl/write (+SWL T=100)", Some(SwlConfig::new(100, 0))),
     ] {
-        group.bench_function(name, |b| {
-            let mut ftl = match swl {
-                None => PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap(),
-                Some(s) => {
-                    PageMappedFtl::with_swl(device(256, 64), FtlConfig::default(), s).unwrap()
-                }
-            };
-            // Age the device: fill a third of the space once.
-            let fill = ftl.logical_pages() / 3;
-            for lba in 0..fill {
-                ftl.write(lba, lba).unwrap();
-            }
-            let mut token = 0u64;
-            b.iter(|| {
-                token += 1;
-                ftl.write(black_box(token % 512), token).unwrap();
-            });
-        });
-    }
-    group.bench_function("read (mapped)", |b| {
-        let mut ftl = PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap();
-        for lba in 0..1024u64 {
+        let mut ftl = match swl {
+            None => PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap(),
+            Some(s) => PageMappedFtl::with_swl(device(256, 64), FtlConfig::default(), s).unwrap(),
+        };
+        // Age the device: fill a third of the space once.
+        let fill = ftl.logical_pages() / 3;
+        for lba in 0..fill {
             ftl.write(lba, lba).unwrap();
         }
-        let mut lba = 0u64;
-        b.iter(|| {
-            lba = (lba + 1) % 1024;
-            black_box(ftl.read(lba).unwrap());
+        let mut token = 0u64;
+        g.bench(name, || {
+            token += 1;
+            ftl.write(black_box(token % 512), token).unwrap();
         });
+    }
+    let mut ftl = PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap();
+    for lba in 0..1024u64 {
+        ftl.write(lba, lba).unwrap();
+    }
+    let mut lba = 0u64;
+    g.bench("ftl/read (mapped)", || {
+        lba = (lba + 1) % 1024;
+        black_box(ftl.read(lba).unwrap());
     });
-    group.finish();
 }
 
-fn bench_nftl_writes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("nftl");
-    group.throughput(Throughput::Elements(1));
+fn bench_nftl_writes(g: &mut BenchGroup) {
     for (name, swl) in [
-        ("write (baseline)", None),
-        ("write (+SWL T=100)", Some(SwlConfig::new(100, 0))),
+        ("nftl/write (baseline)", None),
+        ("nftl/write (+SWL T=100)", Some(SwlConfig::new(100, 0))),
     ] {
-        group.bench_function(name, |b| {
-            let mut nftl = match swl {
-                None => BlockMappedNftl::new(device(256, 64), NftlConfig::default()).unwrap(),
-                Some(s) => {
-                    BlockMappedNftl::with_swl(device(256, 64), NftlConfig::default(), s).unwrap()
-                }
-            };
-            let fill = nftl.logical_pages() / 3;
-            for lba in 0..fill {
-                nftl.write(lba, lba).unwrap();
+        let mut nftl = match swl {
+            None => BlockMappedNftl::new(device(256, 64), NftlConfig::default()).unwrap(),
+            Some(s) => {
+                BlockMappedNftl::with_swl(device(256, 64), NftlConfig::default(), s).unwrap()
             }
-            let mut token = 0u64;
-            b.iter(|| {
-                token += 1;
-                nftl.write(black_box(token % 512), token).unwrap();
-            });
+        };
+        let fill = nftl.logical_pages() / 3;
+        for lba in 0..fill {
+            nftl.write(lba, lba).unwrap();
+        }
+        let mut token = 0u64;
+        g.bench(name, || {
+            token += 1;
+            nftl.write(black_box(token % 512), token).unwrap();
         });
     }
     // Dedicated merge-path pressure: hammer a single offset so every
     // pages-per-block writes force a full merge.
-    group.bench_function("merge-heavy overwrite", |b| {
-        let mut nftl = BlockMappedNftl::new(device(64, 16), NftlConfig::default()).unwrap();
-        let mut token = 0u64;
-        b.iter(|| {
-            token += 1;
-            nftl.write(black_box(7), token).unwrap();
-        });
+    let mut nftl = BlockMappedNftl::new(device(64, 16), NftlConfig::default()).unwrap();
+    let mut token = 0u64;
+    g.bench("nftl/merge-heavy overwrite", || {
+        token += 1;
+        nftl.write(black_box(7), token).unwrap();
     });
-    group.finish();
 }
 
 /// Mount-time table rebuild from spare areas.
-fn bench_mount(c: &mut Criterion) {
-    let mut group = c.benchmark_group("mount");
-    group.bench_function("ftl mount (256 blocks, aged)", |b| {
-        let mut ftl = PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap();
-        for round in 0..20_000u64 {
-            ftl.write(round % 4_000, round).unwrap();
-        }
-        let chip = ftl.into_device();
-        b.iter_batched(
-            || chip.clone(),
-            |chip| PageMappedFtl::mount(chip, FtlConfig::default()).unwrap(),
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    group.bench_function("nftl mount (256 blocks, aged)", |b| {
-        let mut nftl = BlockMappedNftl::new(device(256, 64), NftlConfig::default()).unwrap();
-        for round in 0..20_000u64 {
-            nftl.write(round % 4_000, round).unwrap();
-        }
-        let chip = nftl.into_device();
-        b.iter_batched(
-            || chip.clone(),
-            |chip| BlockMappedNftl::mount(chip, NftlConfig::default()).unwrap(),
-            criterion::BatchSize::SmallInput,
-        );
-    });
-    group.finish();
+fn bench_mount(g: &mut BenchGroup) {
+    let mut ftl = PageMappedFtl::new(device(256, 64), FtlConfig::default()).unwrap();
+    for round in 0..20_000u64 {
+        ftl.write(round % 4_000, round).unwrap();
+    }
+    let chip = ftl.into_device();
+    g.bench_batched(
+        "mount/ftl mount (256 blocks, aged)",
+        || chip.clone(),
+        |chip| PageMappedFtl::mount(chip, FtlConfig::default()).unwrap(),
+    );
+    let mut nftl = BlockMappedNftl::new(device(256, 64), NftlConfig::default()).unwrap();
+    for round in 0..20_000u64 {
+        nftl.write(round % 4_000, round).unwrap();
+    }
+    let chip = nftl.into_device();
+    g.bench_batched(
+        "mount/nftl mount (256 blocks, aged)",
+        || chip.clone(),
+        |chip| BlockMappedNftl::mount(chip, NftlConfig::default()).unwrap(),
+    );
 }
 
-criterion_group!(benches, bench_ftl_writes, bench_nftl_writes, bench_mount);
-criterion_main!(benches);
+fn main() {
+    let mut g = BenchGroup::new();
+    bench_ftl_writes(&mut g);
+    bench_nftl_writes(&mut g);
+    bench_mount(&mut g);
+    g.report();
+}

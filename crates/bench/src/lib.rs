@@ -19,10 +19,13 @@
 //! cargo run --release -p flash-bench --bin fig5 -- scaled
 //! ```
 //!
-//! Criterion micro-benchmarks live in `benches/`.
+//! Micro-benchmarks live in `benches/` on the in-repo [`timing`]
+//! harness (`cargo bench -p flash-bench`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use flash_sim::experiments::ExperimentScale;
 

@@ -1,0 +1,133 @@
+//! A small self-calibrating wall-clock harness for the `benches/` targets.
+//!
+//! The registry-less build environment cannot resolve Criterion, so the
+//! micro-benchmarks use this instead: warm up, pick an iteration count that
+//! fills a measurement window, and report mean ns/iter. Results are printed
+//! as a table and can be exported as JSON lines for trend tracking.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the optimizer barrier, criterion-style.
+pub use std::hint::black_box;
+
+/// Target duration of one measurement window.
+const MEASURE_WINDOW: Duration = Duration::from_millis(120);
+/// Target duration of the calibration/warm-up window.
+const WARMUP_WINDOW: Duration = Duration::from_millis(30);
+
+/// One benchmark's measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// `group/name` label.
+    pub label: String,
+    /// Mean nanoseconds per iteration over the measurement window.
+    pub ns_per_iter: f64,
+    /// Iterations actually timed.
+    pub iters: u64,
+}
+
+/// A named collection of benchmarks sharing a report.
+#[derive(Debug, Default)]
+pub struct BenchGroup {
+    measurements: Vec<Measurement>,
+}
+
+impl BenchGroup {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `routine` called in a loop (state lives in the closure's
+    /// captures, as with criterion's `Bencher::iter`).
+    pub fn bench(&mut self, label: &str, mut routine: impl FnMut()) {
+        // Warm up and calibrate: how many calls fit in the warm-up window?
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_WINDOW {
+            routine();
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters = ((MEASURE_WINDOW.as_secs_f64() / per_iter) as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            routine();
+        }
+        let elapsed = start.elapsed();
+        self.measurements.push(Measurement {
+            label: label.to_string(),
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// Times `routine` on fresh state from `setup` each iteration; only the
+    /// `routine` portion is timed (criterion's `iter_batched`).
+    pub fn bench_batched<S, T>(
+        &mut self,
+        label: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> T,
+    ) {
+        let mut timed = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while timed < WARMUP_WINDOW {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            timed += start.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = timed.as_secs_f64() / warm_iters as f64;
+        let iters = ((MEASURE_WINDOW.as_secs_f64() / per_iter) as u64).max(1);
+
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iters {
+            let state = setup();
+            let start = Instant::now();
+            black_box(routine(state));
+            elapsed += start.elapsed();
+        }
+        self.measurements.push(Measurement {
+            label: label.to_string(),
+            ns_per_iter: elapsed.as_nanos() as f64 / iters as f64,
+            iters,
+        });
+    }
+
+    /// The measurements taken so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints all measurements as an aligned table.
+    pub fn report(&self) {
+        let width = self
+            .measurements
+            .iter()
+            .map(|m| m.label.len())
+            .max()
+            .unwrap_or(0);
+        for m in &self.measurements {
+            println!(
+                "{:width$}  {:>14}  ({} iters)",
+                m.label,
+                format_ns(m.ns_per_iter),
+                m.iters,
+            );
+        }
+    }
+}
+
+/// Formats nanoseconds human-readably (ns/µs/ms).
+pub fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}

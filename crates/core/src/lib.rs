@@ -81,7 +81,7 @@ mod bet;
 pub mod counting;
 mod leveler;
 pub mod persist;
-mod rng;
+pub mod rng;
 
 pub use bet::Bet;
 pub use leveler::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig, SwlError, SwlStats};

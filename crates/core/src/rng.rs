@@ -1,24 +1,39 @@
-//! A tiny deterministic PRNG for `findex` randomisation.
+//! A tiny deterministic PRNG shared by the whole workspace.
 //!
 //! The paper only needs "a randomly selected block set" after each BET reset
-//! (Algorithm 1, step 6). A SplitMix64 keeps the crate dependency-free and
+//! (Algorithm 1, step 6), and the trace generators need seeded arrival
+//! randomness. A SplitMix64 keeps every crate dependency-free and
 //! bit-for-bit reproducible across platforms — exactly what a firmware
-//! implementation would ship.
+//! implementation would ship, and what offline builds require (no external
+//! `rand` crate).
+
+use std::ops::Range;
 
 /// SplitMix64 PRNG (public-domain algorithm by Sebastiano Vigna).
+///
+/// # Example
+///
+/// ```
+/// use swl_core::rng::SplitMix64;
+///
+/// let mut rng = SplitMix64::new(42);
+/// let a = rng.next_u64();
+/// assert_ne!(a, rng.next_u64());
+/// assert!(rng.range_u64(10..20) < 20);
+/// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct SplitMix64 {
+pub struct SplitMix64 {
     state: u64,
 }
 
 impl SplitMix64 {
     /// Creates a generator from a seed.
-    pub(crate) fn new(seed: u64) -> Self {
+    pub fn new(seed: u64) -> Self {
         Self { state: seed }
     }
 
     /// Next 64 pseudo-random bits.
-    pub(crate) fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         let mut z = self.state;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -31,9 +46,52 @@ impl SplitMix64 {
     /// # Panics
     ///
     /// Panics if `bound` is zero.
-    pub(crate) fn next_below(&mut self, bound: u64) -> u64 {
+    pub fn next_below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "bound must be positive");
         ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_u64(&mut self, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "range must be non-empty");
+        range.start + self.next_below(range.end - range.start)
+    }
+
+    /// Uniform value in the closed range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_inclusive_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "range must be non-empty");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.next_below(span + 1)
+    }
+
+    /// Uniform `usize` in the half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    pub fn range_usize(&mut self, range: Range<usize>) -> usize {
+        self.range_u64(range.start as u64..range.end as u64) as usize
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
     }
 }
 
@@ -75,6 +133,40 @@ mod tests {
             seen[rng.next_below(4) as usize] = true;
         }
         assert!(seen.iter().all(|&s| s), "all residues reached");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::new(3);
+        for _ in 0..500 {
+            let v = rng.range_u64(10..14);
+            assert!((10..14).contains(&v));
+            let w = rng.range_inclusive_u64(5, 6);
+            assert!((5..=6).contains(&w));
+            let u = rng.range_usize(0..9);
+            assert!(u < 9);
+        }
+    }
+
+    #[test]
+    fn f64_is_a_unit_uniform() {
+        let mut rng = SplitMix64::new(17);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} drifted");
+    }
+
+    #[test]
+    fn chance_tracks_probability() {
+        let mut rng = SplitMix64::new(23);
+        let hits = (0..10_000).filter(|_| rng.chance(0.7)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.7).abs() < 0.03, "rate {rate} drifted");
     }
 
     #[test]

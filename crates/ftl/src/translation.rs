@@ -1,7 +1,7 @@
 //! The page-mapping translation layer: allocator, cleaner, SWL hook.
 
 use hotid::MultiHashIdentifier;
-use nand::{NandDevice, PageAddr, SpareArea};
+use nand::{FreeBlockLadder, NandDevice, PageAddr, SpareArea, VictimIndex};
 use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
 
 use crate::config::FtlConfig;
@@ -33,9 +33,11 @@ pub(crate) struct Inner {
     hot_frontier: Option<(u32, u32)>,
     /// On-line hot-data identifier, when separation is enabled.
     hot: Option<MultiHashIdentifier>,
-    /// Free (erased) blocks, unordered; allocation picks the lowest wear.
-    free: Vec<u32>,
+    /// Free (erased) blocks bucketed by wear; allocation pops the lowest.
+    free: FreeBlockLadder,
     is_free: Vec<bool>,
+    /// Incremental index behind the greedy victim scan.
+    victims: VictimIndex,
     /// Cyclic cursor of the greedy victim scan.
     gc_scan: u32,
     free_target: u32,
@@ -63,10 +65,15 @@ impl Inner {
             Some(hd) => Some(MultiHashIdentifier::new(hd).map_err(FtlError::HotData)?),
             None => None,
         };
+        let mut free = FreeBlockLadder::new();
+        for b in 0..blocks {
+            free.push(b, device.block(b).erase_count());
+        }
         Ok(Self {
             map: vec![UNMAPPED; logical_pages as usize],
-            free: (0..blocks).collect(),
+            free,
             is_free: vec![true; blocks as usize],
+            victims: VictimIndex::new(blocks),
             frontier: None,
             hot_frontier: None,
             hot,
@@ -92,8 +99,9 @@ impl Inner {
         for b in 0..geometry.blocks() {
             let block = inner.device.block(b);
             if block.valid_pages() == 0 && block.invalid_pages() == 0 {
+                let wear = block.erase_count();
                 inner.is_free[b as usize] = true;
-                inner.free.push(b);
+                inner.free.push(b, wear);
                 continue;
             }
             inner.is_free[b as usize] = false;
@@ -114,6 +122,9 @@ impl Inner {
                 }
                 inner.map[lba as usize] = addr.flat_index(&geometry) as u32;
             }
+        }
+        for b in 0..geometry.blocks() {
+            inner.refresh_victim(b);
         }
         Ok(inner)
     }
@@ -156,6 +167,7 @@ impl Inner {
         if old != UNMAPPED {
             let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(old));
             self.device.invalidate(addr)?;
+            self.refresh_victim(addr.block);
         }
         self.map[lba as usize] = dst.flat_index(&self.device.geometry()) as u32;
         self.counters.host_writes += 1;
@@ -190,6 +202,7 @@ impl Inner {
             let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(entry));
             self.device.invalidate(addr)?;
             self.map[lba as usize] = UNMAPPED;
+            self.refresh_victim(addr.block);
         }
         self.counters.trims += 1;
         Ok(())
@@ -224,41 +237,55 @@ impl Inner {
                 Ok(PageAddr::new(block, page))
             }
             _ => {
+                let closed = frontier.map(|(b, _)| b);
                 let block = self.pop_freshest_free()?;
                 let frontier = match stream {
                     Stream::Cold => &mut self.frontier,
                     Stream::Hot => &mut self.hot_frontier,
                 };
                 *frontier = Some((block, 1));
+                // The closed block becomes a GC candidate and the fresh one
+                // stops being one; keep the victim index in step.
+                if let Some(b) = closed {
+                    self.refresh_victim(b);
+                }
+                self.refresh_victim(block);
                 Ok(PageAddr::new(block, 0))
             }
         }
     }
 
     /// Pops the free block with the lowest erase count — the dynamic wear
-    /// leveling policy of the paper's Cleaner.
+    /// leveling policy of the paper's Cleaner. O(1) amortized via the wear
+    /// bucket ladder.
     fn pop_freshest_free(&mut self) -> Result<u32, FtlError> {
-        if self.free.is_empty() {
+        let Some(block) = self.free.pop_min() else {
             return Err(FtlError::FreeExhausted);
-        }
-        let mut best = 0usize;
-        let mut best_wear = u64::MAX;
-        for (i, &b) in self.free.iter().enumerate() {
-            let wear = self.device.block(b).erase_count();
-            if wear < best_wear {
-                best_wear = wear;
-                best = i;
-            }
-        }
-        let block = self.free.swap_remove(best);
+        };
         self.is_free[block as usize] = false;
         Ok(block)
     }
 
-    /// Greedy cost/benefit victim selection by cyclic scan: the first block
-    /// whose invalid pages (benefit) outnumber its valid pages (cost); if
-    /// none qualifies, the block with the most invalid pages.
-    fn select_victim(&mut self) -> Result<u32, FtlError> {
+    /// Re-reports one block to the victim index. Must be called after any
+    /// event that may change the block's GC stats or eligibility: page
+    /// invalidation, erase, retirement, or a frontier opening/closing on it.
+    fn refresh_victim(&mut self, block: u32) {
+        let eligible = !self.is_free[block as usize]
+            && !self.retired[block as usize]
+            && self.frontier.map(|(b, _)| b) != Some(block)
+            && self.hot_frontier.map(|(b, _)| b) != Some(block);
+        let (invalid, valid) = {
+            let blk = self.device.block(block);
+            (blk.invalid_pages(), blk.valid_pages())
+        };
+        self.victims.update(block, eligible, invalid, valid);
+    }
+
+    /// The pre-index linear victim scan, kept as the oracle the incremental
+    /// [`VictimIndex`] is checked against under `debug_assertions`. Pure:
+    /// does not advance `gc_scan`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn reference_select_victim(&self) -> Option<u32> {
         let blocks = self.device.geometry().blocks();
         let frontier_block = self.frontier.map(|(b, _)| b);
         let hot_frontier_block = self.hot_frontier.map(|(b, _)| b);
@@ -278,30 +305,46 @@ impl Inner {
                 continue;
             }
             if invalid > blk.valid_pages() {
-                self.gc_scan = (b + 1) % blocks;
-                return Ok(b);
+                return Some(b);
             }
             if fallback.is_none_or(|(best, _)| invalid > best) {
                 fallback = Some((invalid, b));
             }
         }
-        if let Some((_, b)) = fallback {
+        fallback.map(|(_, b)| b)
+    }
+
+    /// Greedy cost/benefit victim selection, cyclic from `gc_scan`: the
+    /// first block whose invalid pages (benefit) outnumber its valid pages
+    /// (cost); if none qualifies, the block with the most invalid pages.
+    /// Answered by the incremental [`VictimIndex`] instead of a linear scan.
+    fn select_victim(&mut self) -> Result<u32, FtlError> {
+        let blocks = self.device.geometry().blocks();
+        let choice = self.victims.select(self.gc_scan);
+        debug_assert_eq!(
+            choice,
+            self.reference_select_victim(),
+            "victim index diverged from the linear-scan oracle"
+        );
+        if let Some(b) = choice {
             self.gc_scan = (b + 1) % blocks;
             return Ok(b);
         }
         // Last resort: a frontier itself may be the only block holding
         // invalid pages (tiny chips, trim-heavy workloads). Close it and
         // recycle it.
-        if let Some(b) = frontier_block {
+        if let Some(b) = self.frontier.map(|(b, _)| b) {
             if self.device.block(b).invalid_pages() > 0 {
                 self.frontier = None;
+                self.refresh_victim(b);
                 self.gc_scan = (b + 1) % blocks;
                 return Ok(b);
             }
         }
-        if let Some(b) = hot_frontier_block {
+        if let Some(b) = self.hot_frontier.map(|(b, _)| b) {
             if self.device.block(b).invalid_pages() > 0 {
                 self.hot_frontier = None;
+                self.refresh_victim(b);
                 self.gc_scan = (b + 1) % blocks;
                 return Ok(b);
             }
@@ -359,6 +402,7 @@ impl Inner {
     /// removed from circulation with its stale contents left in place.
     fn erase_and_free(&mut self, block: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
         debug_assert_eq!(self.device.block(block).valid_pages(), 0);
+        let pre_wear = self.device.block(block).erase_count();
         match self.device.erase(block) {
             Ok(()) => {}
             Err(nand::NandError::BlockWornOut { .. }) => {
@@ -372,10 +416,16 @@ impl Inner {
         } else {
             self.counters.gc_erases += 1;
         }
+        let wear = self.device.block(block).erase_count();
         if !self.is_free[block as usize] {
             self.is_free[block as usize] = true;
-            self.free.push(block);
+            self.free.push(block, wear);
+        } else {
+            // SWL erased a block while it sat in the free pool; move it up
+            // the wear ladder in place.
+            self.free.reposition(block, pre_wear, wear);
         }
+        self.refresh_victim(block);
         erased.push(block);
         Ok(())
     }
@@ -384,9 +434,12 @@ impl Inner {
         self.retired[block as usize] = true;
         if self.is_free[block as usize] {
             self.is_free[block as usize] = false;
-            self.free.retain(|&b| b != block);
+            let wear = self.device.block(block).erase_count();
+            let removed = self.free.remove(block, wear);
+            debug_assert!(removed, "free block {block} missing from the ladder");
         }
         self.counters.retired_blocks += 1;
+        self.refresh_victim(block);
     }
 
     /// Debug audit: every mapped page is valid on-device with a matching
@@ -435,9 +488,11 @@ impl SwlCleaner for Inner {
                 }
                 if self.frontier.map(|(fb, _)| fb) == Some(b) {
                     self.frontier = None;
+                    self.refresh_victim(b);
                 }
                 if self.hot_frontier.map(|(fb, _)| fb) == Some(b) {
                     self.hot_frontier = None;
+                    self.refresh_victim(b);
                 }
                 if !self.is_free[b as usize] {
                     // Relocation needs at least one free block to copy into.

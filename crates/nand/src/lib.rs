@@ -53,18 +53,22 @@ mod block;
 mod cell;
 mod device;
 mod error;
+pub mod freelist;
 mod geometry;
 mod page;
 mod stats;
+pub mod victim;
 mod wearmap;
 
 pub use block::{Block, BlockState};
 pub use cell::{CellKind, CellSpec, Timing};
 pub use device::{DeviceCounters, FailureRecord, NandDevice, ReadResult, WearPolicy};
 pub use error::NandError;
+pub use freelist::FreeBlockLadder;
 pub use geometry::Geometry;
 pub use page::{PageAddr, PageState, SpareArea};
 pub use stats::EraseStats;
+pub use victim::VictimIndex;
 pub use wearmap::WearMap;
 
 /// Simulated time in nanoseconds since the device was powered on.

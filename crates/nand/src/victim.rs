@@ -1,0 +1,282 @@
+//! An incrementally maintained index for greedy GC victim selection.
+//!
+//! Both translation layers of this workspace pick garbage-collection
+//! victims the same way (the paper's greedy cost/benefit Cleaner): scan
+//! cyclically from a cursor, take the **first** candidate whose invalid
+//! pages outnumber its valid pages, and if none qualifies fall back to the
+//! **first candidate in cyclic order holding the maximum** invalid count.
+//! Done literally, that is an O(candidates) walk on *every* collection.
+//!
+//! [`VictimIndex`] maintains the same decision incrementally: a bitset of
+//! *qualifying* candidates (invalid > valid) answers the common case with
+//! one cyclic word scan, and per-invalid-count bucket bitsets (indexed by
+//! exact invalid count, which is bounded by pages per block) answer the
+//! fallback from the highest non-empty bucket. Updates on page
+//! invalidation, erase, or retirement are O(1); selection is O(words)
+//! word-level scanning — the same trick the BET's `next_clear` uses.
+//!
+//! The index is deliberately *choice-identical* to the linear scan, so the
+//! layers keep the old scan as a `debug_assert!` oracle.
+
+/// Fixed-capacity bitset with a cyclic first-set query.
+#[derive(Debug, Clone, Default)]
+struct CyclicBitSet {
+    words: Vec<u64>,
+}
+
+impl CyclicBitSet {
+    fn new(bits: u32) -> Self {
+        Self {
+            words: vec![0; bits.div_ceil(64) as usize],
+        }
+    }
+
+    fn set(&mut self, bit: u32) {
+        self.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+    }
+
+    fn clear(&mut self, bit: u32) {
+        self.words[(bit / 64) as usize] &= !(1u64 << (bit % 64));
+    }
+
+    /// First set bit at or after `from` in cyclic order, if any.
+    fn next_set_cyclic(&self, from: u32) -> Option<u32> {
+        let n = self.words.len();
+        if n == 0 {
+            return None;
+        }
+        let start_word = (from / 64) as usize % n;
+        let first = self.words[start_word] & (u64::MAX << (from % 64));
+        if first != 0 {
+            return Some(start_word as u32 * 64 + first.trailing_zeros());
+        }
+        // Wrapping back to start_word is deliberate: its low bits (before
+        // `from`) are cyclically last and were masked out above.
+        for step in 1..=n {
+            let w = (start_word + step) % n;
+            if self.words[w] != 0 {
+                return Some(w as u32 * 64 + self.words[w].trailing_zeros());
+            }
+        }
+        None
+    }
+}
+
+/// Per-candidate garbage-collection statistics, indexed for O(1) greedy
+/// victim selection. Candidates are dense `u32` keys: physical blocks for
+/// the page-mapping FTL, virtual block addresses for the NFTL.
+#[derive(Debug, Clone)]
+pub struct VictimIndex {
+    /// Last reported invalid count per key (meaningful while indexed).
+    invalid: Vec<u32>,
+    /// Last reported valid count per key (meaningful while indexed).
+    valid: Vec<u32>,
+    /// Whether the key currently participates (eligible and invalid > 0).
+    indexed: Vec<bool>,
+    /// Keys with invalid > valid: the immediate-win set.
+    qualifying: CyclicBitSet,
+    /// `buckets[i]` = indexed keys with exactly `i` invalid pages
+    /// (allocated lazily; bucket 0 is never populated).
+    buckets: Vec<Option<CyclicBitSet>>,
+    bucket_len: Vec<u32>,
+    /// No non-empty bucket exists above this index (lazily tightened).
+    max_bucket: usize,
+    keys: u32,
+}
+
+impl VictimIndex {
+    /// An index over candidates `0..keys`, all initially absent.
+    pub fn new(keys: u32) -> Self {
+        Self {
+            invalid: vec![0; keys as usize],
+            valid: vec![0; keys as usize],
+            indexed: vec![false; keys as usize],
+            qualifying: CyclicBitSet::new(keys),
+            buckets: Vec::new(),
+            bucket_len: Vec::new(),
+            max_bucket: 0,
+            keys,
+        }
+    }
+
+    /// Number of candidate keys the index covers.
+    pub fn keys(&self) -> u32 {
+        self.keys
+    }
+
+    /// Reports the current state of one candidate: whether it may be
+    /// collected at all, and its invalid/valid page counts. O(1).
+    ///
+    /// Ineligible candidates (free blocks, retired blocks, open write
+    /// frontiers, closed replacement pairs) and candidates with nothing to
+    /// reclaim (invalid = 0) leave the index.
+    pub fn update(&mut self, key: u32, eligible: bool, invalid: u32, valid: u32) {
+        let k = key as usize;
+        if self.indexed[k] {
+            let old_invalid = self.invalid[k];
+            let bucket = self.buckets[old_invalid as usize]
+                .as_mut()
+                .expect("indexed key has a bucket");
+            bucket.clear(key);
+            self.bucket_len[old_invalid as usize] -= 1;
+            if old_invalid > self.valid[k] {
+                self.qualifying.clear(key);
+            }
+        }
+        self.invalid[k] = invalid;
+        self.valid[k] = valid;
+        let now_indexed = eligible && invalid > 0;
+        self.indexed[k] = now_indexed;
+        if now_indexed {
+            let i = invalid as usize;
+            if i >= self.buckets.len() {
+                self.buckets.resize(i + 1, None);
+                self.bucket_len.resize(i + 1, 0);
+            }
+            let keys = self.keys;
+            self.buckets[i]
+                .get_or_insert_with(|| CyclicBitSet::new(keys))
+                .set(key);
+            self.bucket_len[i] += 1;
+            self.max_bucket = self.max_bucket.max(i);
+            if invalid > valid {
+                self.qualifying.set(key);
+            }
+        }
+    }
+
+    /// Greedy victim choice, cyclic from `cursor`: the first qualifying
+    /// candidate (invalid > valid), else the cyclically-first candidate
+    /// holding the maximum invalid count, else `None`.
+    ///
+    /// Takes `&mut self` only to tighten the lazy max-bucket cursor; the
+    /// choice itself is a pure function of the reported states and is
+    /// identical to a full linear scan from `cursor`.
+    pub fn select(&mut self, cursor: u32) -> Option<u32> {
+        debug_assert!(cursor < self.keys.max(1));
+        if let Some(key) = self.qualifying.next_set_cyclic(cursor) {
+            return Some(key);
+        }
+        while self.max_bucket > 0 && self.bucket_len[self.max_bucket] == 0 {
+            self.max_bucket -= 1;
+        }
+        if self.max_bucket == 0 {
+            return None;
+        }
+        self.buckets[self.max_bucket]
+            .as_ref()
+            .expect("non-empty bucket is allocated")
+            .next_set_cyclic(cursor)
+    }
+
+    /// Whether any candidate is currently selectable.
+    pub fn is_empty(&mut self) -> bool {
+        while self.max_bucket > 0 && self.bucket_len[self.max_bucket] == 0 {
+            self.max_bucket -= 1;
+        }
+        self.max_bucket == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The linear scan the index replaces, as an oracle.
+    fn reference_select(
+        states: &[(bool, u32, u32)], // (eligible, invalid, valid)
+        cursor: u32,
+    ) -> Option<u32> {
+        let n = states.len() as u32;
+        let mut fallback: Option<(u32, u32)> = None;
+        for step in 0..n {
+            let k = (cursor + step) % n;
+            let (eligible, invalid, valid) = states[k as usize];
+            if !eligible || invalid == 0 {
+                continue;
+            }
+            if invalid > valid {
+                return Some(k);
+            }
+            if fallback.is_none_or(|(best, _)| invalid > best) {
+                fallback = Some((invalid, k));
+            }
+        }
+        fallback.map(|(_, k)| k)
+    }
+
+    #[test]
+    fn qualifying_candidate_wins_in_cyclic_order() {
+        let mut index = VictimIndex::new(8);
+        index.update(2, true, 3, 1); // qualifies
+        index.update(5, true, 4, 1); // qualifies
+        assert_eq!(index.select(0), Some(2));
+        assert_eq!(index.select(3), Some(5));
+        assert_eq!(index.select(6), Some(2)); // wraps
+    }
+
+    #[test]
+    fn fallback_takes_cyclically_first_max_invalid() {
+        let mut index = VictimIndex::new(8);
+        index.update(1, true, 2, 6);
+        index.update(3, true, 3, 6); // max invalid
+        index.update(6, true, 3, 6); // tied max, later from cursor 0
+        assert_eq!(index.select(0), Some(3));
+        assert_eq!(index.select(4), Some(6)); // cyclic order flips the tie
+        index.update(3, true, 4, 6);
+        assert_eq!(index.select(4), Some(3)); // strictly larger wins again
+    }
+
+    #[test]
+    fn empty_and_ineligible_candidates_are_skipped() {
+        let mut index = VictimIndex::new(4);
+        assert_eq!(index.select(0), None);
+        index.update(1, true, 2, 5);
+        index.update(2, false, 9, 0); // ineligible despite high invalid
+        index.update(3, true, 0, 4); // nothing to reclaim
+        assert_eq!(index.select(0), Some(1));
+        index.update(1, false, 2, 5);
+        assert_eq!(index.select(0), None);
+        assert!(index.is_empty());
+    }
+
+    #[test]
+    fn agrees_with_linear_scan_under_random_churn() {
+        let mut state = 0x9E37_79B9u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let keys = 67u32; // crosses a word boundary
+        let mut index = VictimIndex::new(keys);
+        let mut shadow = vec![(false, 0u32, 0u32); keys as usize];
+        for _ in 0..20_000 {
+            let k = (next() % u64::from(keys)) as u32;
+            let eligible = next() % 4 != 0;
+            let invalid = (next() % 17) as u32;
+            let valid = (next() % 17) as u32;
+            index.update(k, eligible, invalid, valid);
+            shadow[k as usize] = (eligible, invalid, valid);
+            let cursor = (next() % u64::from(keys)) as u32;
+            assert_eq!(
+                index.select(cursor),
+                reference_select(&shadow, cursor),
+                "divergence at cursor {cursor}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_bitset_wraps_to_low_bits_of_start_word() {
+        let mut bits = CyclicBitSet::new(70);
+        bits.set(3);
+        assert_eq!(bits.next_set_cyclic(5), Some(3));
+        bits.set(65);
+        assert_eq!(bits.next_set_cyclic(5), Some(65));
+        bits.clear(65);
+        bits.clear(3);
+        assert_eq!(bits.next_set_cyclic(5), None);
+    }
+}

@@ -2,7 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use nand::{NandDevice, PageAddr, SpareArea};
+use nand::{FreeBlockLadder, NandDevice, PageAddr, SpareArea, VictimIndex};
 use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
 
 use crate::config::NftlConfig;
@@ -57,7 +57,11 @@ pub(crate) struct Inner {
     /// Open replacement blocks, keyed by VBA (ordered for determinism).
     repl: BTreeMap<u32, ReplState>,
     role: Vec<BlockRole>,
-    free: Vec<u32>,
+    /// Free blocks bucketed by wear; allocation pops the lowest.
+    free: FreeBlockLadder,
+    /// Incremental index of merge candidates (keyed by VBA; a VBA is a
+    /// candidate while it has an open replacement block).
+    victims: VictimIndex,
     /// Cyclic cursor for GC victim selection over VBAs.
     gc_scan_vba: u32,
     free_target: u32,
@@ -73,13 +77,18 @@ impl Inner {
         let virtual_blocks = blocks - reserved;
         let logical_pages = u64::from(virtual_blocks) * u64::from(geometry.pages_per_block());
         let free_target = config.free_target(blocks);
+        let mut free = FreeBlockLadder::new();
+        for b in 0..blocks {
+            free.push(b, device.block(b).erase_count());
+        }
         Ok(Self {
             virtual_blocks,
             logical_pages,
             primary: vec![NO_BLOCK; virtual_blocks as usize],
             repl: BTreeMap::new(),
             role: vec![BlockRole::Free; blocks as usize],
-            free: (0..blocks).collect(),
+            free,
+            victims: VictimIndex::new(virtual_blocks),
             gc_scan_vba: 0,
             free_target,
             counters: NftlCounters::default(),
@@ -110,8 +119,9 @@ impl Inner {
                 break;
             }
             let Some((status, lba)) = marker else {
+                let wear = inner.device.block(b).erase_count();
                 inner.role[b as usize] = BlockRole::Free;
-                inner.free.push(b);
+                inner.free.push(b, wear);
                 continue;
             };
             if lba >= inner.logical_pages {
@@ -167,6 +177,10 @@ impl Inner {
             if inner.primary[vba as usize] == NO_BLOCK {
                 return Err(NftlError::MountCorrupt { block: rs.block });
             }
+        }
+        let vbas: Vec<u32> = inner.repl.keys().copied().collect();
+        for vba in vbas {
+            inner.refresh_victim(vba);
         }
         Ok(inner)
     }
@@ -237,6 +251,9 @@ impl Inner {
                 data,
                 SpareArea::with_status(lba, STATUS_PRIMARY),
             )?;
+            // An open replacement makes this VBA a merge candidate whose
+            // valid count just grew.
+            self.refresh_victim(vba);
             self.counters.host_writes += 1;
             return Ok(());
         }
@@ -289,6 +306,7 @@ impl Inner {
         } else {
             self.device.invalidate(PageAddr::new(p, offset))?;
         }
+        self.refresh_victim(vba);
         self.counters.host_writes += 1;
         Ok(())
     }
@@ -324,22 +342,38 @@ impl Inner {
         Ok(())
     }
 
-    /// Greedy victim selection over open replacements (cyclic over VBAs):
-    /// first pair whose invalid pages outnumber their valid pages, falling
-    /// back to the pair with the most invalid pages.
-    fn gc_merge_one(&mut self, erased: &mut Vec<u32>) -> Result<(), NftlError> {
-        if self.repl.is_empty() {
-            return Err(NftlError::NoReclaimableSpace);
-        }
+    /// Re-reports one VBA to the victim index. Must be called after any
+    /// event that changes the VBA's merge stats or candidacy: opening or
+    /// closing its replacement block, or programming/invalidating pages in
+    /// either block of the pair.
+    fn refresh_victim(&mut self, vba: u32) {
+        let (eligible, invalid, valid) = match self.repl.get(&vba) {
+            Some(rs) => {
+                let pb = self.device.block(self.primary[vba as usize]);
+                let rb = self.device.block(rs.block);
+                (
+                    true,
+                    pb.invalid_pages() + rb.invalid_pages(),
+                    pb.valid_pages() + rb.valid_pages(),
+                )
+            }
+            None => (false, 0, 0),
+        };
+        self.victims.update(vba, eligible, invalid, valid);
+    }
+
+    /// The pre-index cyclic scan over open replacements, kept as the oracle
+    /// the incremental [`VictimIndex`] is checked against under
+    /// `debug_assertions`. Pure: does not advance `gc_scan_vba`.
+    #[cfg_attr(not(debug_assertions), allow(dead_code))]
+    fn reference_select_victim(&self) -> Option<u32> {
         let start = self.gc_scan_vba;
         let mut fallback: Option<(u64, u32)> = None; // (invalid, vba)
-        let mut chosen: Option<u32> = None;
-        let keys: Vec<u32> = self
+        let keys = self
             .repl
             .range(start..)
             .map(|(&v, _)| v)
-            .chain(self.repl.range(..start).map(|(&v, _)| v))
-            .collect();
+            .chain(self.repl.range(..start).map(|(&v, _)| v));
         for vba in keys {
             let rs = &self.repl[&vba];
             let p = self.primary[vba as usize];
@@ -348,16 +382,27 @@ impl Inner {
             let invalid = u64::from(pb.invalid_pages()) + u64::from(rb.invalid_pages());
             let valid = u64::from(pb.valid_pages()) + u64::from(rb.valid_pages());
             if invalid > valid {
-                chosen = Some(vba);
-                break;
+                return Some(vba);
             }
             if invalid > 0 && fallback.is_none_or(|(best, _)| invalid > best) {
                 fallback = Some((invalid, vba));
             }
         }
-        let vba = chosen
-            .or(fallback.map(|(_, v)| v))
-            .ok_or(NftlError::NoReclaimableSpace)?;
+        fallback.map(|(_, v)| v)
+    }
+
+    /// Greedy victim selection over open replacements (cyclic over VBAs):
+    /// first pair whose invalid pages outnumber their valid pages, falling
+    /// back to the pair with the most invalid pages. Answered by the
+    /// incremental [`VictimIndex`] instead of a linear scan.
+    fn gc_merge_one(&mut self, erased: &mut Vec<u32>) -> Result<(), NftlError> {
+        let choice = self.victims.select(self.gc_scan_vba);
+        debug_assert_eq!(
+            choice,
+            self.reference_select_victim(),
+            "victim index diverged from the linear-scan oracle"
+        );
+        let vba = choice.ok_or(NftlError::NoReclaimableSpace)?;
         self.gc_scan_vba = vba.wrapping_add(1) % self.virtual_blocks.max(1);
         self.counters.gc_merges += 1;
         self.merge(vba, None, MergeCause::GarbageCollection, erased)
@@ -414,6 +459,9 @@ impl Inner {
         if let Some(rs) = rs {
             self.erase_and_free(rs.block, cause, erased)?;
         }
+        // The replacement (if any) is gone: the VBA stops being a merge
+        // candidate.
+        self.refresh_victim(vba);
         Ok(())
     }
 
@@ -430,12 +478,16 @@ impl Inner {
         cause: MergeCause,
         erased: &mut Vec<u32>,
     ) -> Result<(), NftlError> {
+        let pre_wear = self.device.block(block).erase_count();
         match self.device.erase(block) {
             Ok(()) => {}
             Err(nand::NandError::BlockWornOut { .. }) => {
                 // Bad-block management: withdraw the block, stale contents
                 // and all.
-                self.free.retain(|&b| b != block);
+                if self.role[block as usize] == BlockRole::Free {
+                    let removed = self.free.remove(block, pre_wear);
+                    debug_assert!(removed, "free block {block} missing from the ladder");
+                }
                 self.role[block as usize] = BlockRole::Retired;
                 self.counters.retired_blocks += 1;
                 return Ok(());
@@ -446,30 +498,25 @@ impl Inner {
             MergeCause::WearLeveling => self.counters.swl_erases += 1,
             _ => self.counters.gc_erases += 1,
         }
+        let wear = self.device.block(block).erase_count();
         if self.role[block as usize] != BlockRole::Free {
             self.role[block as usize] = BlockRole::Free;
-            self.free.push(block);
+            self.free.push(block, wear);
+        } else {
+            // SWL erased a block while it sat in the free pool; move it up
+            // the wear ladder in place.
+            self.free.reposition(block, pre_wear, wear);
         }
         erased.push(block);
         Ok(())
     }
 
     /// Pops the free block with the lowest erase count (dynamic wear
-    /// leveling).
+    /// leveling). O(1) amortized via the wear bucket ladder.
     fn pop_freshest_free(&mut self) -> Result<u32, NftlError> {
-        if self.free.is_empty() {
+        let Some(block) = self.free.pop_min() else {
             return Err(NftlError::FreeExhausted);
-        }
-        let mut best = 0usize;
-        let mut best_wear = u64::MAX;
-        for (i, &b) in self.free.iter().enumerate() {
-            let wear = self.device.block(b).erase_count();
-            if wear < best_wear {
-                best_wear = wear;
-                best = i;
-            }
-        }
-        let block = self.free.swap_remove(best);
+        };
         self.role[block as usize] = BlockRole::Free; // refined by the caller
         Ok(block)
     }
@@ -480,7 +527,7 @@ impl Inner {
     fn check_consistency(&self) {
         let blocks = self.device.geometry().blocks();
         let mut free_set = std::collections::HashSet::new();
-        for &b in &self.free {
+        for b in self.free.iter() {
             assert!(free_set.insert(b), "block {b} twice in free list");
             assert_eq!(self.role[b as usize], BlockRole::Free);
         }

@@ -1,0 +1,160 @@
+//! A minimal, self-contained property-testing harness exposing the subset of
+//! the [`proptest`](https://docs.rs/proptest) API this workspace uses.
+//!
+//! The build environment has no access to a crates registry, so the real
+//! `proptest` crate cannot be resolved. Rather than give up the nine
+//! property-test suites in the workspace, this crate re-implements the small
+//! API surface they rely on:
+//!
+//! - the [`Strategy`](strategy::Strategy) trait with ranges, tuples,
+//!   [`prop_map`](strategy::Strategy::prop_map), [`Just`](strategy::Just)
+//!   and weighted unions ([`prop_oneof!`]);
+//! - [`collection::vec`] / [`collection::hash_set`];
+//! - [`any`](arbitrary::any) over primitive types and
+//!   [`sample::Index`];
+//! - the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//!   [`prop_assert_ne!`] macros backed by a deterministic seeded runner
+//!   ([`test_runner::run`]).
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case reports
+//! its fully-formatted inputs and deterministic seed instead, which is
+//! enough to reproduce (runs are seeded from the test name, so failures
+//! replay exactly under `cargo test`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod rng;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// The `proptest::prelude` equivalent: everything the test files import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Alias of the crate root, so `prop::collection::vec` and
+    /// `prop::sample::Index` resolve as they do with upstream proptest.
+    pub use crate as prop;
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the current case
+/// (with its inputs) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left == *right,
+                "assertion failed: `{:?}` == `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left == *right, $($fmt)+),
+        }
+    };
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(
+                *left != *right,
+                "assertion failed: `{:?}` != `{:?}`",
+                left,
+                right
+            ),
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (left, right) => $crate::prop_assert!(*left != *right, $($fmt)+),
+        }
+    };
+}
+
+/// Builds a [`Union`](strategy::Union) strategy choosing among alternatives,
+/// optionally weighted (`3 => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over many sampled inputs.
+///
+/// An optional leading `#![proptest_config(...)]` sets the case count.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    $config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                    |__rng, __inputs| {
+                        $(let $arg = $crate::strategy::Strategy::sample(&$strategy, __rng);)+
+                        *__inputs =
+                            format!(concat!($(stringify!($arg), " = {:?}; "),+), $(&$arg),+);
+                        let __result: ::std::result::Result<
+                            (),
+                            $crate::test_runner::TestCaseError,
+                        > = (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                        __result
+                    },
+                );
+            }
+        )*
+    };
+}

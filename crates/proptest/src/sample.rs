@@ -1,0 +1,26 @@
+//! Sampling helpers: [`Index`] picks a position in a runtime-sized
+//! collection.
+
+/// An abstract index resolved against a collection length at use time, so a
+/// strategy can pick "some element" before the collection size is known.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index {
+    raw: u64,
+}
+
+impl Index {
+    /// Wraps raw entropy; used by `any::<Index>()`.
+    pub fn from_raw(raw: u64) -> Self {
+        Self { raw }
+    }
+
+    /// Resolves to a concrete index in `[0, len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` is zero.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        ((u128::from(self.raw) * len as u128) >> 64) as usize
+    }
+}

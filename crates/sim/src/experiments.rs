@@ -203,34 +203,40 @@ pub struct FailurePoint {
 /// [`ExperimentScale::scaled_threshold`] before running, and reported back
 /// unscaled in [`FailurePoint::threshold`].
 ///
+/// Grid points are independent simulations, so they fan out over
+/// [`crate::parallel::sweep_threads`] workers; the returned points are
+/// bit-identical to a serial sweep (deterministic per-point seeds, results
+/// gathered in grid order).
+///
 /// # Errors
 ///
-/// Propagates layer failures.
+/// Propagates layer failures (the first failing grid point in grid order).
 pub fn first_failure_sweep(
     kind: LayerKind,
     scale: &ExperimentScale,
     thresholds: &[u64],
     ks: &[u32],
 ) -> Result<Vec<FailurePoint>, SimError> {
-    let mut points = Vec::new();
-    let baseline = first_failure_run(kind, None, scale)?;
-    points.push(FailurePoint {
-        threshold: None,
-        k: 0,
-        years: baseline.first_failure.map(|f| f.years()),
-        report: baseline,
-    });
+    let mut grid: Vec<(Option<u64>, u32)> = vec![(None, 0)];
     for &t in thresholds {
         for &k in ks {
-            let config = scale.swl_config(t, k);
-            let report = first_failure_run(kind, Some(config), scale)?;
-            points.push(FailurePoint {
-                threshold: Some(t),
-                k,
-                years: report.first_failure.map(|f| f.years()),
-                report,
-            });
+            grid.push((Some(t), k));
         }
+    }
+    let reports = crate::parallel::run_indexed(grid.len(), |i| {
+        let (t, k) = grid[i];
+        let config = t.map(|t| scale.swl_config(t, k));
+        first_failure_run(kind, config, scale)
+    });
+    let mut points = Vec::with_capacity(grid.len());
+    for ((threshold, k), report) in grid.into_iter().zip(reports) {
+        let report = report?;
+        points.push(FailurePoint {
+            threshold,
+            k,
+            years: report.first_failure.map(|f| f.years()),
+            report,
+        });
     }
     Ok(points)
 }
@@ -272,9 +278,13 @@ pub struct OverheadPoint {
 /// a shared baseline run of the same horizon. `thresholds` are the paper's
 /// values, mapped through [`ExperimentScale::scaled_threshold`].
 ///
+/// The baseline and all grid points fan out over
+/// [`crate::parallel::sweep_threads`] workers; results are bit-identical
+/// to a serial sweep.
+///
 /// # Errors
 ///
-/// Propagates layer failures.
+/// Propagates layer failures (baseline first, then grid order).
 pub fn overhead_sweep(
     kind: LayerKind,
     scale: &ExperimentScale,
@@ -282,22 +292,33 @@ pub fn overhead_sweep(
     ks: &[u32],
     horizon_ns: u64,
 ) -> Result<(SimReport, Vec<OverheadPoint>), SimError> {
-    let baseline = horizon_run(kind, None, scale, horizon_ns)?;
-    let mut points = Vec::new();
+    // Index 0 is the baseline; the overhead ratios are computed after the
+    // fan-out, once the baseline report is in hand.
+    let mut grid: Vec<Option<(u64, u32)>> = vec![None];
     for &t in thresholds {
         for &k in ks {
-            let config = scale.swl_config(t, k);
-            let report = horizon_run(kind, Some(config), scale, horizon_ns)?;
-            let erase_overhead = report.erase_overhead_vs(&baseline).unwrap_or(0.0);
-            let copy_overhead = report.copy_overhead_vs(&baseline).unwrap_or(0.0);
-            points.push(OverheadPoint {
-                threshold: t,
-                k,
-                erase_overhead,
-                copy_overhead,
-                report,
-            });
+            grid.push(Some((t, k)));
         }
+    }
+    let mut reports = crate::parallel::run_indexed(grid.len(), |i| match grid[i] {
+        None => horizon_run(kind, None, scale, horizon_ns),
+        Some((t, k)) => horizon_run(kind, Some(scale.swl_config(t, k)), scale, horizon_ns),
+    })
+    .into_iter();
+    let baseline = reports.next().expect("baseline slot")?;
+    let mut points = Vec::with_capacity(grid.len() - 1);
+    for (config, report) in grid[1..].iter().zip(reports) {
+        let (t, k) = config.expect("grid tail holds (T, k) pairs");
+        let report = report?;
+        let erase_overhead = report.erase_overhead_vs(&baseline).unwrap_or(0.0);
+        let copy_overhead = report.copy_overhead_vs(&baseline).unwrap_or(0.0);
+        points.push(OverheadPoint {
+            threshold: t,
+            k,
+            erase_overhead,
+            copy_overhead,
+            report,
+        });
     }
     Ok((baseline, points))
 }
@@ -499,33 +520,43 @@ pub struct Table4Row {
 /// Regenerates Table 4: erase-count statistics for FTL and NFTL, baseline
 /// and the four `(k, T)` corner configurations, over a fixed horizon.
 ///
+/// All rows (both layers, baselines included) fan out over
+/// [`crate::parallel::sweep_threads`] workers; the rows come back in the
+/// serial order.
+///
 /// # Errors
 ///
-/// Propagates layer failures.
+/// Propagates layer failures (the first failing row in row order).
 pub fn table4(
     scale: &ExperimentScale,
     horizon_ns: u64,
     configs: &[(u32, u64)],
 ) -> Result<Vec<Table4Row>, SimError> {
-    let mut rows = Vec::new();
+    let mut tasks: Vec<(LayerKind, Option<(u32, u64)>)> = Vec::new();
     for kind in [LayerKind::Ftl, LayerKind::Nftl] {
-        let baseline = horizon_run(kind, None, scale, horizon_ns)?;
-        rows.push(Table4Row {
-            label: kind.to_string(),
-            avg: baseline.erase_stats.mean,
-            dev: baseline.erase_stats.std_dev,
-            max: baseline.erase_stats.max,
-        });
+        tasks.push((kind, None));
         for &(k, t) in configs {
-            let config = scale.swl_config(t, k);
-            let report = horizon_run(kind, Some(config), scale, horizon_ns)?;
-            rows.push(Table4Row {
-                label: format!("{kind} + SWL + k={k} + T={t}"),
-                avg: report.erase_stats.mean,
-                dev: report.erase_stats.std_dev,
-                max: report.erase_stats.max,
-            });
+            tasks.push((kind, Some((k, t))));
         }
+    }
+    let reports = crate::parallel::run_indexed(tasks.len(), |i| {
+        let (kind, config) = tasks[i];
+        let swl = config.map(|(k, t)| scale.swl_config(t, k));
+        horizon_run(kind, swl, scale, horizon_ns)
+    });
+    let mut rows = Vec::with_capacity(tasks.len());
+    for ((kind, config), report) in tasks.into_iter().zip(reports) {
+        let report = report?;
+        let label = match config {
+            None => kind.to_string(),
+            Some((k, t)) => format!("{kind} + SWL + k={k} + T={t}"),
+        };
+        rows.push(Table4Row {
+            label,
+            avg: report.erase_stats.mean,
+            dev: report.erase_stats.std_dev,
+            max: report.erase_stats.max,
+        });
     }
     Ok(rows)
 }
@@ -646,6 +677,44 @@ mod tests {
             counting_years > base_years,
             "counting WL must extend life: {counting_years:.4} vs {base_years:.4}"
         );
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let scale = ExperimentScale {
+            blocks: 64,
+            pages_per_block: 16,
+            endurance: 24,
+            seed: 7,
+        };
+        // Parallel sweep (worker count from the environment/machine)...
+        let points = first_failure_sweep(LayerKind::Ftl, &scale, &[50, 100], &[0, 1]).unwrap();
+        // ...against the hand-rolled serial loop it replaced.
+        let mut serial = vec![first_failure_run(LayerKind::Ftl, None, &scale).unwrap()];
+        for t in [50u64, 100] {
+            for k in [0u32, 1] {
+                serial.push(
+                    first_failure_run(LayerKind::Ftl, Some(scale.swl_config(t, k)), &scale)
+                        .unwrap(),
+                );
+            }
+        }
+        assert_eq!(points.len(), serial.len());
+        for (point, report) in points.iter().zip(&serial) {
+            assert_eq!(&point.report, report, "sweep point diverged from serial");
+        }
+
+        let horizon = (0.02 * NANOS_PER_YEAR) as u64;
+        let (baseline, overhead) =
+            overhead_sweep(LayerKind::Nftl, &scale, &[100], &[0, 1], horizon).unwrap();
+        let serial_base = horizon_run(LayerKind::Nftl, None, &scale, horizon).unwrap();
+        assert_eq!(baseline, serial_base);
+        for (point, k) in overhead.iter().zip([0u32, 1]) {
+            let serial =
+                horizon_run(LayerKind::Nftl, Some(scale.swl_config(100, k)), &scale, horizon)
+                    .unwrap();
+            assert_eq!(point.report, serial, "overhead point k={k} diverged");
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ mod error;
 pub mod experiments;
 mod latency;
 mod layer;
+pub mod parallel;
 mod report;
 mod simulator;
 

@@ -34,8 +34,7 @@ use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swl_core::rng::SplitMix64;
 
 use crate::event::{HostNanos, TraceEvent};
 
@@ -377,7 +376,7 @@ impl FatSessionSpec {
 pub struct FatSession {
     volume: FatVolume,
     spec: FatSessionSpec,
-    rng: StdRng,
+    rng: SplitMix64,
     now_ns: HostNanos,
     queue: Vec<TraceEvent>,
     next: usize,
@@ -390,7 +389,7 @@ impl FatSession {
     /// Starts a session on a freshly formatted volume, first loading the
     /// configured archive (whose write traffic is part of the stream).
     pub fn new(volume: FatVolume, spec: FatSessionSpec) -> Self {
-        let rng = StdRng::seed_from_u64(spec.seed);
+        let rng = SplitMix64::new(spec.seed);
         let mut session = Self {
             volume,
             spec,
@@ -433,7 +432,7 @@ impl FatSession {
     fn geometric_clusters(&mut self) -> u64 {
         let p = 1.0 / self.spec.mean_file_clusters.max(1.0);
         let mut n = 1u64;
-        while self.rng.gen::<f64>() > p && n < 512 {
+        while self.rng.next_f64() > p && n < 512 {
             n += 1;
         }
         n
@@ -454,7 +453,7 @@ impl FatSession {
         if utilization > self.spec.target_utilization && churn_files > 1 {
             // Over target: delete an old (non-archive) file.
             for attempt in 0..8 {
-                let nth = self.rng.gen_range(0..self.volume.file_count()) + attempt;
+                let nth = self.rng.range_usize(0..self.volume.file_count()) + attempt;
                 if let Some(id) = self.volume.some_file(nth) {
                     if !self.protected.contains(&id) {
                         self.volume.delete(id, self.now_ns, &mut queue);
@@ -469,10 +468,10 @@ impl FatSession {
         } else {
             // Near target: work on an existing file. Archive files are
             // read but never rewritten.
-            let nth = self.rng.gen_range(0..self.volume.file_count().max(1));
+            let nth = self.rng.range_usize(0..self.volume.file_count().max(1));
             if let Some(id) = self.volume.some_file(nth) {
-                if !self.protected.contains(&id) && self.rng.gen::<f64>() < self.spec.rewrite_prob {
-                    let index = self.rng.gen::<u64>();
+                if !self.protected.contains(&id) && self.rng.next_f64() < self.spec.rewrite_prob {
+                    let index = self.rng.next_u64();
                     self.volume.rewrite(id, index, self.now_ns, &mut queue);
                 } else {
                     self.volume.read(id, self.now_ns, &mut queue);

@@ -1,7 +1,6 @@
 //! The paper's "virtually unlimited" trace: random 10-minute segments.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swl_core::rng::SplitMix64;
 
 use crate::event::{HostNanos, TraceEvent, NANOS_PER_SEC};
 use crate::synthetic::{SyntheticTrace, WorkloadSpec};
@@ -41,7 +40,7 @@ pub const DEFAULT_SEGMENT_NS: u64 = 600 * NANOS_PER_SEC;
 pub struct SegmentResampler {
     source: Source,
     segment_ns: u64,
-    rng: StdRng,
+    rng: SplitMix64,
     /// Host-time offset where the current segment begins in output time.
     epoch_ns: HostNanos,
     current: Segment,
@@ -87,7 +86,7 @@ impl SegmentResampler {
         let mut resampler = Self {
             source: Source::Spec(spec),
             segment_ns,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             epoch_ns: 0,
             current: Segment::Events {
                 next: 0,
@@ -120,7 +119,7 @@ impl SegmentResampler {
                 span_ns,
             },
             segment_ns,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SplitMix64::new(seed),
             epoch_ns: 0,
             current: Segment::Events {
                 next: 0,
@@ -137,7 +136,7 @@ impl SegmentResampler {
         self.epoch_ns += self.segment_ns;
         match &self.source {
             Source::Spec(spec) => {
-                let seg_seed = self.rng.gen::<u64>();
+                let seg_seed = self.rng.next_u64();
                 let seg_spec = spec.clone().with_arrival_seed(seg_seed);
                 self.current = Segment::Spec {
                     trace: Box::new(SyntheticTrace::new(seg_spec)),
@@ -149,7 +148,7 @@ impl SegmentResampler {
                 let window_start_ns = if max_start == 0 {
                     0
                 } else {
-                    self.rng.gen_range(0..=max_start)
+                    self.rng.range_inclusive_u64(0, max_start)
                 };
                 let window_end_ns = window_start_ns + self.segment_ns;
                 let next = events.partition_point(|e| e.at_ns < window_start_ns);

@@ -1,7 +1,6 @@
 //! Synthetic trace generation calibrated to the paper's workload statistics.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swl_core::rng::SplitMix64;
 
 use crate::event::{HostNanos, TraceEvent, NANOS_PER_SEC};
 use crate::zipf::Zipf;
@@ -288,7 +287,7 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
 #[derive(Debug, Clone)]
 pub struct SyntheticTrace {
     spec: WorkloadSpec,
-    rng: StdRng,
+    rng: SplitMix64,
     zipf: Zipf,
     scatter: ChunkScatter,
     next_burst_at: HostNanos,
@@ -307,7 +306,7 @@ impl SyntheticTrace {
     /// probabilities out of range).
     pub fn new(spec: WorkloadSpec) -> Self {
         spec.validate();
-        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut rng = SplitMix64::new(spec.seed);
         let zipf = Zipf::new(spec.hot_pages(), spec.zipf_exponent);
         let scatter = ChunkScatter::new(
             spec.logical_pages,
@@ -355,10 +354,11 @@ impl SyntheticTrace {
         // the fill sequence.
         let updatable = self.spec.updatable_pages();
         let hot_pages = self.spec.hot_pages();
-        if self.rng.gen::<f64>() < self.spec.hot_write_prob || hot_pages >= updatable {
-            self.zipf.sample(self.rng.gen::<f64>())
+        if self.rng.chance(self.spec.hot_write_prob) || hot_pages >= updatable {
+            let u = self.rng.next_f64();
+            self.zipf.sample(u)
         } else {
-            self.rng.gen_range(hot_pages..updatable)
+            self.rng.range_u64(hot_pages..updatable)
         }
     }
 
@@ -367,7 +367,7 @@ impl SyntheticTrace {
         // Geometric burst length with the configured mean.
         let p = 1.0 / self.spec.mean_burst_pages;
         let mut len = 1u32;
-        while self.rng.gen::<f64>() > p && len < 1024 {
+        while self.rng.next_f64() > p && len < 1024 {
             len += 1;
         }
         let event = self.emit_write(at_ns, pre);
@@ -385,9 +385,9 @@ impl SyntheticTrace {
 }
 
 /// Exponential inter-arrival time in nanoseconds for a `rate`/s process.
-fn exp_interval(rng: &mut StdRng, rate: f64) -> u64 {
+fn exp_interval(rng: &mut SplitMix64, rate: f64) -> u64 {
     debug_assert!(rate > 0.0);
-    let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
     let secs = -u.ln() / rate;
     (secs * NANOS_PER_SEC as f64) as u64
 }
@@ -452,7 +452,7 @@ impl Iterator for SyntheticTrace {
             self.next_read_at =
                 at + exp_interval(&mut self.rng, self.spec.reads_per_sec * activity);
             let footprint = self.spec.footprint_pages();
-            let pre = self.rng.gen_range(0..footprint);
+            let pre = self.rng.range_u64(0..footprint);
             let lba = self.scatter.place(pre, self.spec.logical_pages);
             Some(TraceEvent::read(at, lba))
         }

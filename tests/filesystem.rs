@@ -54,9 +54,11 @@ fn fat_baseline_pins_archive_blocks() {
 #[test]
 fn swl_flattens_filesystem_wear() {
     let base = run_fat(LayerKind::Ftl, None, 600_000);
+    // T=4 on a 64-block chip levels aggressively enough that the halving
+    // below holds with a wide margin across trace seeds.
     let swl = run_fat(
         LayerKind::Ftl,
-        Some(SwlConfig::new(8, 0).with_seed(21)),
+        Some(SwlConfig::new(4, 0).with_seed(21)),
         600_000,
     );
     assert!(

@@ -6,8 +6,7 @@ use std::collections::HashMap;
 use ftl::{FtlConfig, PageMappedFtl};
 use nand::{CellKind, Geometry, NandDevice};
 use nftl::{BlockMappedNftl, NftlConfig, NftlError};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swl_core::rng::SplitMix64;
 use swl_core::SwlConfig;
 
 fn device() -> NandDevice {
@@ -26,14 +25,14 @@ fn random_workload<E, W: FnMut(u64, u64) -> Result<(), E>>(
 where
     E: std::fmt::Debug,
 {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut shadow = HashMap::new();
     for i in 0..ops {
         // Skewed towards a hot region so GC, merges and SWL all fire.
-        let lba = if rng.gen_bool(0.7) {
-            rng.gen_range(0..logical_pages / 8)
+        let lba = if rng.chance(0.7) {
+            rng.range_u64(0..logical_pages / 8)
         } else {
-            rng.gen_range(0..logical_pages / 2)
+            rng.range_u64(0..logical_pages / 2)
         };
         let data = i as u64;
         write(lba, data).unwrap();

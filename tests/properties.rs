@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use proptest::prelude::*;
 
 use ftl::{FtlConfig, PageMappedFtl};
-use nand::{CellKind, Geometry, NandDevice};
+use nand::{CellKind, FreeBlockLadder, Geometry, NandDevice, VictimIndex};
 use nftl::{BlockMappedNftl, NftlConfig};
 use swl_core::persist::{DualBuffer, Snapshot};
 use swl_core::{SwLeveler, SwlCleaner, SwlConfig};
@@ -16,6 +16,29 @@ fn device(blocks: u32, pages: u32) -> NandDevice {
         Geometry::new(blocks, pages, 2048),
         CellKind::Mlc2.spec().with_endurance(u32::MAX),
     )
+}
+
+/// Brute-force replica of the greedy victim scan the incremental
+/// [`VictimIndex`] replaces: walk cyclically from `cursor`, return the
+/// first block with `invalid > valid`, else the first-in-cyclic-order
+/// block with the strictly greatest invalid count (> 0, eligible only).
+fn reference_victim(shadow: &[(bool, u32, u32)], cursor: u32) -> Option<u32> {
+    let n = shadow.len() as u32;
+    let mut fallback: Option<(u32, u32)> = None;
+    for step in 0..n {
+        let b = (cursor + step) % n;
+        let (eligible, invalid, valid) = shadow[b as usize];
+        if !eligible || invalid == 0 {
+            continue;
+        }
+        if invalid > valid {
+            return Some(b);
+        }
+        if fallback.is_none_or(|(best, _)| invalid > best) {
+            fallback = Some((invalid, b));
+        }
+    }
+    fallback.map(|(_, b)| b)
 }
 
 /// An abstract host operation for model-based testing.
@@ -185,6 +208,83 @@ proptest! {
         let at = flip.index(corrupt.len());
         corrupt[at] ^= 0x5A;
         prop_assert!(Snapshot::decode(&corrupt).is_err(), "flip at {} undetected", at);
+    }
+
+    /// The incremental GC victim index agrees with a brute-force linear
+    /// rescan after every update in an arbitrary churn sequence — the same
+    /// oracle the FTLs assert against in debug builds, here exercised
+    /// directly over the full (eligible, invalid, valid) state space.
+    #[test]
+    fn victim_index_matches_brute_force(
+        ops in prop::collection::vec(
+            (0u32..96, any::<bool>(), 0u32..24, 0u32..24, 0u32..96),
+            1..300,
+        ),
+    ) {
+        let mut index = VictimIndex::new(96);
+        let mut shadow = vec![(false, 0u32, 0u32); 96];
+        for (key, eligible, invalid, valid, cursor) in ops {
+            index.update(key, eligible, invalid, valid);
+            shadow[key as usize] = (eligible, invalid, valid);
+            prop_assert_eq!(
+                index.select(cursor),
+                reference_victim(&shadow, cursor),
+                "index diverged at cursor {}",
+                cursor
+            );
+        }
+    }
+
+    /// The wear-bucket free ladder always pops a block of minimum wear and
+    /// tracks membership exactly, under arbitrary push/pop/reposition
+    /// interleavings (the full free-pool lifecycle both FTLs drive).
+    #[test]
+    fn free_ladder_matches_brute_force(
+        ops in prop::collection::vec((0u32..4, 0u64..32), 1..300),
+    ) {
+        let mut ladder = FreeBlockLadder::new();
+        let mut shadow: Vec<(u32, u64)> = Vec::new();
+        let mut next_id = 0u32;
+        for (op, wear) in ops {
+            match op {
+                // push a fresh block at `wear`
+                0 | 1 => {
+                    ladder.push(next_id, wear);
+                    shadow.push((next_id, wear));
+                    next_id += 1;
+                }
+                // pop: must yield a block whose wear is the shadow minimum
+                2 => match ladder.pop_min() {
+                    None => prop_assert!(shadow.is_empty(), "ladder empty, shadow not"),
+                    Some(block) => {
+                        let min = shadow.iter().map(|&(_, w)| w).min();
+                        let pos = shadow.iter().position(|&(b, _)| b == block);
+                        prop_assert!(pos.is_some(), "popped {} not in shadow", block);
+                        let pos = pos.unwrap();
+                        prop_assert_eq!(Some(shadow[pos].1), min, "popped non-minimum wear");
+                        shadow.remove(pos);
+                    }
+                },
+                // reposition the oldest member to `wear` (SWL erasing a
+                // free block in place)
+                _ => {
+                    if let Some(&(block, old_wear)) = shadow.first() {
+                        ladder.reposition(block, old_wear, wear);
+                        shadow[0] = (block, wear);
+                    }
+                }
+            }
+            prop_assert_eq!(ladder.len(), shadow.len());
+        }
+        // Drain: what remains must come out in global min-wear order.
+        let mut prev = 0u64;
+        while let Some(block) = ladder.pop_min() {
+            let pos = shadow.iter().position(|&(b, _)| b == block).unwrap();
+            let (_, wear) = shadow.remove(pos);
+            prop_assert!(wear >= prev, "drain not sorted by wear");
+            prev = wear;
+        }
+        prop_assert!(shadow.is_empty());
     }
 
     /// The dual buffer always recovers the newest intact generation.
