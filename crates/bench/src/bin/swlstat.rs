@@ -1,0 +1,316 @@
+//! `swlstat` — replays a telemetry JSONL log (from `swltrace` or any
+//! [`flash_telemetry::JsonlSink`]) into a human-readable report: counter
+//! totals, wear-distribution percentiles, sparkline time series of the wear
+//! spread and unevenness level, and per-resetting-interval attribution.
+//!
+//! ```text
+//! swlstat [FILE] [--check] [--json]
+//!
+//!   FILE     the JSONL log; "-" or absent reads stdin
+//!   --check  validate only: exit 1 on any schema drift (unknown event
+//!            kinds, missing fields, version mismatch), print one OK line
+//!   --json   machine summary as a single JSON object (for BENCH_*.json)
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use flash_bench::print_table;
+use flash_telemetry::{
+    parse_line, Event, IntervalStats, MetricsAggregator, Sink, SCHEMA_VERSION,
+};
+
+const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+/// Sparklines are resampled down to at most this many cells.
+const SPARK_WIDTH: usize = 64;
+
+#[derive(Debug, Default)]
+struct Options {
+    file: Option<String>,
+    check: bool,
+    json: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => options.check = true,
+            "--json" => options.json = true,
+            "--help" | "-h" => return Err("usage: swlstat [FILE|-] [--check] [--json]".to_owned()),
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?} (try --help)"))
+            }
+            path => {
+                if options.file.is_some() {
+                    return Err("only one input file is accepted".to_owned());
+                }
+                options.file = Some(path.to_owned());
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn read_input(file: Option<&str>) -> Result<String, String> {
+    match file {
+        None | Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// Parses every line, enforcing the schema contract `--check` verifies:
+/// a leading `meta` event with the current version, and no undecodable line.
+///
+/// The snapshot cadence is sized to the log so the time-series sparklines
+/// get about one sample per cell regardless of run length.
+fn replay(text: &str) -> Result<MetricsAggregator, String> {
+    let erases = text
+        .lines()
+        .filter(|l| l.contains("\"e\":\"erase\""))
+        .count() as u64;
+    let mut agg = MetricsAggregator::with_snapshot_every((erases / SPARK_WIDTH as u64).max(1));
+    let mut first = true;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        if first {
+            first = false;
+            match event {
+                Event::Meta { version, .. } if version == SCHEMA_VERSION => {}
+                Event::Meta { version, .. } => {
+                    return Err(format!(
+                        "line {}: schema version {version}, this swlstat speaks {SCHEMA_VERSION}",
+                        n + 1
+                    ))
+                }
+                _ => return Err(format!("line {}: log must start with a meta event", n + 1)),
+            }
+        }
+        agg.event(event);
+    }
+    if first {
+        return Err("empty log".to_owned());
+    }
+    agg.snapshot_now();
+    Ok(agg)
+}
+
+/// Renders `values` as a sparkline, resampled to at most [`SPARK_WIDTH`]
+/// cells and scaled to the observed min..max band.
+fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let cells = values.len().min(SPARK_WIDTH);
+    let mut sampled = Vec::with_capacity(cells);
+    for c in 0..cells {
+        // Mean of the chunk this cell covers.
+        let lo = c * values.len() / cells;
+        let hi = ((c + 1) * values.len() / cells).max(lo + 1);
+        sampled.push(values[lo..hi].iter().sum::<f64>() / (hi - lo) as f64);
+    }
+    let min = sampled.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = sampled.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(f64::MIN_POSITIVE);
+    sampled
+        .iter()
+        .map(|&v| {
+            let idx = ((v - min) / span * (SPARK_LEVELS.len() - 1) as f64).round() as usize;
+            SPARK_LEVELS[idx.min(SPARK_LEVELS.len() - 1)]
+        })
+        .collect()
+}
+
+fn interval_row(stats: &IntervalStats) -> Vec<String> {
+    let unevenness = if stats.distinct_blocks == 0 {
+        0.0
+    } else {
+        stats.erases as f64 / stats.distinct_blocks as f64
+    };
+    vec![
+        stats.index.to_string(),
+        stats.erases.to_string(),
+        stats.distinct_blocks.to_string(),
+        format!("{unevenness:.2}"),
+        stats.gc_erases.to_string(),
+        stats.swl_erases.to_string(),
+        stats.gc_copies.to_string(),
+        stats.swl_copies.to_string(),
+        stats.swl_invokes.to_string(),
+    ]
+}
+
+fn print_report(agg: &MetricsAggregator) {
+    let c = agg.counters();
+    let (version, blocks, ppb) = agg.meta().expect("replay enforces a meta header");
+    println!(
+        "swlstat: {} events (schema v{version}, {blocks} blocks x {ppb} pages)\n",
+        agg.events()
+    );
+
+    print_table(
+        &["counter", "total"],
+        &[
+            vec!["host writes".into(), c.host_writes.to_string()],
+            vec!["host reads".into(), c.host_reads.to_string()],
+            vec!["trims".into(), c.trims.to_string()],
+            vec!["page programs".into(), agg.programs().to_string()],
+            vec!["GC collections".into(), c.gc_collections.to_string()],
+            vec!["full merges".into(), c.full_merges.to_string()],
+            vec!["GC merges".into(), c.gc_merges.to_string()],
+            vec!["SWL merges".into(), c.swl_merges.to_string()],
+            vec!["GC erases".into(), c.gc_erases.to_string()],
+            vec!["SWL erases".into(), c.swl_erases.to_string()],
+            vec!["external erases".into(), agg.external_erases().to_string()],
+            vec!["GC live copies".into(), c.gc_live_copies.to_string()],
+            vec!["SWL live copies".into(), c.swl_live_copies.to_string()],
+            vec!["SWL invocations".into(), agg.swl_invokes().to_string()],
+            vec!["retired blocks".into(), c.retired_blocks.to_string()],
+        ],
+    );
+
+    let w = agg.wear_summary();
+    println!(
+        "\nwear per block: mean {:.1}, sigma {:.2}, min {}, p50 {}, p90 {}, p99 {}, max {}",
+        w.mean, w.std_dev, w.min, w.p50, w.p90, w.p99, w.max
+    );
+    let (free_depth, candidates) = agg.gauges();
+    println!("gauges at last GC pick: free pool {free_depth}, victim candidates {candidates}");
+
+    let snaps = agg.snapshots();
+    if snaps.len() >= 2 {
+        let sigma: Vec<f64> = snaps.iter().map(|s| s.wear.std_dev).collect();
+        let max_wear: Vec<f64> = snaps.iter().map(|s| s.wear.max as f64).collect();
+        let unevenness: Vec<f64> = snaps.iter().map(|s| s.unevenness).collect();
+        println!("\ntime series over {} snapshots (first -> last):", snaps.len());
+        println!(
+            "  wear sigma   {}  [{:.2} .. {:.2}]",
+            sparkline(&sigma),
+            sigma.first().unwrap(),
+            sigma.last().unwrap()
+        );
+        println!(
+            "  max wear     {}  [{:.0} .. {:.0}]",
+            sparkline(&max_wear),
+            max_wear.first().unwrap(),
+            max_wear.last().unwrap()
+        );
+        println!(
+            "  unevenness   {}  [{:.2} .. {:.2}]",
+            sparkline(&unevenness),
+            unevenness.first().unwrap(),
+            unevenness.last().unwrap()
+        );
+    }
+
+    let mut intervals: Vec<IntervalStats> = agg.intervals().to_vec();
+    let current = agg.current_interval();
+    if current.erases > 0 {
+        intervals.push(current);
+    }
+    if !intervals.is_empty() {
+        println!("\nresetting intervals (block-granularity fcnt):");
+        let headers = [
+            "interval", "erases", "blocks", "ecnt/fcnt", "gc-er", "swl-er", "gc-cp", "swl-cp",
+            "invokes",
+        ];
+        // Keep the table bounded for long runs: first and last few intervals.
+        const HEAD: usize = 8;
+        const TAIL: usize = 4;
+        if intervals.len() <= HEAD + TAIL {
+            let rows: Vec<Vec<String>> = intervals.iter().map(interval_row).collect();
+            print_table(&headers, &rows);
+        } else {
+            let mut rows: Vec<Vec<String>> =
+                intervals[..HEAD].iter().map(interval_row).collect();
+            rows.push(vec![format!("... {} more", intervals.len() - HEAD - TAIL)]);
+            rows.extend(intervals[intervals.len() - TAIL..].iter().map(interval_row));
+            print_table(&headers, &rows);
+        }
+    }
+}
+
+fn print_json(agg: &MetricsAggregator) {
+    let c = agg.counters();
+    let (version, blocks, ppb) = agg.meta().expect("replay enforces a meta header");
+    let w = agg.wear_summary();
+    println!(
+        "{{\"schema\":{version},\"blocks\":{blocks},\"pages_per_block\":{ppb},\
+         \"events\":{},\"host_writes\":{},\"host_reads\":{},\"trims\":{},\
+         \"programs\":{},\"gc_collections\":{},\"full_merges\":{},\"gc_merges\":{},\
+         \"swl_merges\":{},\"gc_erases\":{},\"swl_erases\":{},\"external_erases\":{},\
+         \"gc_live_copies\":{},\"swl_live_copies\":{},\"swl_invokes\":{},\
+         \"retired_blocks\":{},\"intervals\":{},\"wear_mean\":{:.4},\
+         \"wear_sigma\":{:.4},\"wear_max\":{}}}",
+        agg.events(),
+        c.host_writes,
+        c.host_reads,
+        c.trims,
+        agg.programs(),
+        c.gc_collections,
+        c.full_merges,
+        c.gc_merges,
+        c.swl_merges,
+        c.gc_erases,
+        c.swl_erases,
+        agg.external_erases(),
+        c.gc_live_copies,
+        c.swl_live_copies,
+        agg.swl_invokes(),
+        c.retired_blocks,
+        agg.intervals().len(),
+        w.mean,
+        w.std_dev,
+        w.max,
+    );
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match read_input(options.file.as_deref()) {
+        Ok(text) => text,
+        Err(message) => {
+            eprintln!("swlstat: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let agg = match replay(&text) {
+        Ok(agg) => agg,
+        Err(message) => {
+            eprintln!("swlstat: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if options.check {
+        println!(
+            "swlstat: OK — {} events, schema v{}",
+            agg.events(),
+            SCHEMA_VERSION
+        );
+        if options.json {
+            print_json(&agg);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if options.json {
+        print_json(&agg);
+    } else {
+        print_report(&agg);
+    }
+    ExitCode::SUCCESS
+}

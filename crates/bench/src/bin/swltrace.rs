@@ -1,0 +1,140 @@
+//! `swltrace` — runs an instrumented simulation and streams the telemetry
+//! event log as JSONL (one event per line, schema in `flash-telemetry`).
+//!
+//! ```text
+//! swltrace [OPTIONS]
+//!
+//!   --scale quick|scaled|paper  experiment scale            (default quick)
+//!   --layer ftl|nftl            translation layer           (default ftl)
+//!   --swl T:K                   paper-value SWL grid point  (default 100:0)
+//!   --no-swl                    run the baseline without the SW Leveler
+//!   --events N                  stop after N trace events   (default 200000)
+//!   --out FILE                  output path, "-" for stdout (default swltrace.jsonl)
+//! ```
+//!
+//! The run summary goes to stderr so `--out -` can pipe a clean event
+//! stream into `swlstat`:
+//!
+//! ```text
+//! swltrace --scale quick --out - | swlstat -
+//! ```
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use flash_sim::experiments::{instrumented_run, ExperimentScale};
+use flash_sim::{LayerKind, StopCondition};
+use flash_telemetry::JsonlSink;
+
+#[derive(Debug)]
+struct Options {
+    scale: ExperimentScale,
+    layer: LayerKind,
+    swl: Option<(u64, u32)>,
+    events: u64,
+    out: String,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scale: ExperimentScale::quick(),
+            layer: LayerKind::Ftl,
+            swl: Some((100, 0)),
+            events: 200_000,
+            out: "swltrace.jsonl".to_owned(),
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--scale" => {
+                options.scale = match value("--scale")?.as_str() {
+                    "quick" => ExperimentScale::quick(),
+                    "scaled" => ExperimentScale::scaled(),
+                    "paper" => ExperimentScale::paper(),
+                    other => return Err(format!("unknown scale {other:?}")),
+                }
+            }
+            "--layer" => {
+                options.layer = match value("--layer")?.as_str() {
+                    "ftl" => LayerKind::Ftl,
+                    "nftl" => LayerKind::Nftl,
+                    other => return Err(format!("unknown layer {other:?}")),
+                }
+            }
+            "--swl" => {
+                let spec = value("--swl")?;
+                let (t, k) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--swl expects T:K, got {spec:?}"))?;
+                options.swl = Some((
+                    t.parse().map_err(|e| format!("--swl threshold: {e}"))?,
+                    k.parse().map_err(|e| format!("--swl k: {e}"))?,
+                ));
+            }
+            "--no-swl" => options.swl = None,
+            "--events" => {
+                options.events = value("--events")?
+                    .parse()
+                    .map_err(|e| format!("--events: {e}"))?
+            }
+            "--out" => options.out = value("--out")?,
+            "--help" | "-h" => {
+                return Err("usage: swltrace [--scale quick|scaled|paper] [--layer ftl|nftl] \
+                            [--swl T:K | --no-swl] [--events N] [--out FILE]"
+                    .to_owned())
+            }
+            other => return Err(format!("unknown flag {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let writer: Box<dyn Write> = if options.out == "-" {
+        Box::new(std::io::stdout().lock())
+    } else {
+        Box::new(std::fs::File::create(&options.out).map_err(|e| format!("{}: {e}", options.out))?)
+    };
+    let sink = JsonlSink::new(writer);
+    let swl = options.swl.map(|(t, k)| options.scale.swl_config(t, k));
+    let stop = StopCondition::events(options.events).or_first_failure();
+    let (report, sink) = instrumented_run(options.layer, swl, &options.scale, sink, stop)
+        .map_err(|e| e.to_string())?;
+    let lines = sink.lines();
+    let mut writer = sink.finish().map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())?;
+    drop(writer);
+
+    eprintln!("{report}");
+    let target = if options.out == "-" {
+        "stdout".to_owned()
+    } else {
+        options.out.clone()
+    };
+    eprintln!("  telemetry: {lines} events -> {target}");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&options) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("swltrace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! `telbench` — measures and asserts the zero-cost claim of the telemetry
+//! layer: a quick-scale first-failure run (the Figure 5 workload) through a
+//! [`flash_telemetry::NullSink`]-instrumented stack must cost the same as
+//! the uninstrumented path, because `NullSink` monomorphisation compiles
+//! every emission site out.
+//!
+//! Three arms, interleaved, min-of-reps wall time:
+//!
+//! - `plain` — [`first_failure_run`], the pre-telemetry default path;
+//! - `null` — [`instrumented_run`] with `NullSink` (must be free);
+//! - `count` — [`instrumented_run`] with a counting sink (the real cost of
+//!   instrumentation when a sink IS installed, reported for context).
+//!
+//! In release builds the `null` arm is asserted within 1% of `plain`, and
+//! all three arms must produce bit-identical simulation reports. The last
+//! stdout line is a machine-readable JSON summary.
+//!
+//! Usage: `telbench [reps]` (default 5).
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use flash_sim::experiments::{first_failure_run, instrumented_run, ExperimentScale};
+use flash_sim::{LayerKind, SimReport, StopCondition};
+use flash_telemetry::{CountSink, NullSink};
+
+/// Allowed `null` vs `plain` overhead in release mode.
+const MAX_OVERHEAD: f64 = 0.01;
+
+fn timed(run: impl FnOnce() -> SimReport) -> (f64, SimReport) {
+    let start = Instant::now();
+    let report = run();
+    (start.elapsed().as_secs_f64(), report)
+}
+
+fn main() -> ExitCode {
+    let reps: u32 = std::env::args()
+        .nth(1)
+        .map(|s| s.parse().expect("reps must be a positive integer"))
+        .unwrap_or(5)
+        .max(1);
+    let scale = ExperimentScale::quick();
+    let kind = LayerKind::Ftl;
+    let swl = Some(scale.swl_config(100, 0));
+    let stop = StopCondition::first_failure();
+
+    let mut plain_min = f64::INFINITY;
+    let mut null_min = f64::INFINITY;
+    let mut count_min = f64::INFINITY;
+    let mut reference: Option<SimReport> = None;
+    let mut events = 0u64;
+
+    for rep in 0..reps {
+        let (plain_s, plain) = timed(|| first_failure_run(kind, swl, &scale).expect("plain run"));
+        let (null_s, null) = timed(|| {
+            instrumented_run(kind, swl, &scale, NullSink, stop)
+                .expect("null-sink run")
+                .0
+        });
+        let (count_s, (count, sink)) =
+            timed_pair(|| instrumented_run(kind, swl, &scale, CountSink::default(), stop).expect("count-sink run"));
+        plain_min = plain_min.min(plain_s);
+        null_min = null_min.min(null_s);
+        count_min = count_min.min(count_s);
+        events = sink.events;
+
+        assert_eq!(plain, null, "NullSink run diverged from the plain path");
+        assert_eq!(plain, count, "CountSink run perturbed the simulation");
+        if let Some(reference) = &reference {
+            assert_eq!(reference, &plain, "rep {rep} not reproducible");
+        } else {
+            reference = Some(plain);
+        }
+    }
+
+    let null_overhead = null_min / plain_min - 1.0;
+    let count_overhead = count_min / plain_min - 1.0;
+    println!("telemetry overhead, quick-scale fig5 workload, min of {reps} reps:");
+    println!("  plain       {:>9.2} ms", plain_min * 1e3);
+    println!(
+        "  null sink   {:>9.2} ms  ({:+.2}%)",
+        null_min * 1e3,
+        null_overhead * 100.0
+    );
+    println!(
+        "  count sink  {:>9.2} ms  ({:+.2}%, {events} events)",
+        count_min * 1e3,
+        count_overhead * 100.0
+    );
+
+    let pass = cfg!(debug_assertions) || null_overhead <= MAX_OVERHEAD;
+    println!(
+        "{{\"bench\":\"telemetry_overhead\",\"reps\":{reps},\"plain_ms\":{:.3},\
+         \"null_sink_ms\":{:.3},\"count_sink_ms\":{:.3},\"null_overhead\":{:.4},\
+         \"count_overhead\":{:.4},\"events\":{events},\"pass\":{pass}}}",
+        plain_min * 1e3,
+        null_min * 1e3,
+        count_min * 1e3,
+        null_overhead,
+        count_overhead,
+    );
+    if !pass {
+        eprintln!(
+            "telbench: NullSink overhead {:.2}% exceeds the {:.0}% budget",
+            null_overhead * 100.0,
+            MAX_OVERHEAD * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    if cfg!(debug_assertions) {
+        eprintln!("telbench: debug build — overhead assertion skipped (run with --release)");
+    }
+    ExitCode::SUCCESS
+}
+
+fn timed_pair<T>(run: impl FnOnce() -> (SimReport, T)) -> (f64, (SimReport, T)) {
+    let start = Instant::now();
+    let out = run();
+    (start.elapsed().as_secs_f64(), out)
+}

@@ -5,6 +5,7 @@ use std::fmt;
 
 use crate::bet::Bet;
 use crate::rng::SplitMix64;
+use flash_telemetry::Event;
 
 /// Configuration of the SW Leveler.
 ///
@@ -121,6 +122,18 @@ pub trait SwlCleaner {
         count: u32,
         erased: &mut Vec<u32>,
     ) -> Result<(), Self::Error>;
+
+    /// Forwards a leveler telemetry event ([`Event::SwlInvoke`],
+    /// [`Event::IntervalReset`]) into the Cleaner's sink, if it has one.
+    ///
+    /// The leveler itself is not generic over a sink; routing its few events
+    /// through the Cleaner keeps the type parameter out of `SwLeveler` and
+    /// lets each translation layer merge them into its own event stream. The
+    /// default implementation drops the event, so plain Cleaners (tests,
+    /// custom integrations) need no changes.
+    fn emit_telemetry(&mut self, event: Event) {
+        let _ = event;
+    }
 }
 
 /// What a call to [`SwLeveler::level`] did.
@@ -320,6 +333,11 @@ impl SwLeveler {
             return Ok(LevelOutcome::Idle);
         }
         self.stats.activations += 1;
+        cleaner.emit_telemetry(Event::SwlInvoke {
+            ecnt: self.ecnt,
+            fcnt: self.bet.fcnt() as u64,
+            threshold: self.config.threshold,
+        });
 
         let mut sets_cleaned = 0u32;
         let mut erases_triggered = 0u64;
@@ -327,6 +345,11 @@ impl SwLeveler {
 
         while self.over_threshold() {
             if self.bet.all_set() {
+                cleaner.emit_telemetry(Event::IntervalReset {
+                    interval: self.stats.interval_resets,
+                    ecnt: self.ecnt,
+                    fcnt: self.bet.fcnt() as u64,
+                });
                 self.start_new_interval();
                 return Ok(LevelOutcome::IntervalReset {
                     sets_cleaned,
@@ -720,6 +743,56 @@ mod tests {
                 sets_cleaned: 3,
                 erases_triggered: 24
             }
+        );
+    }
+
+    #[test]
+    fn telemetry_routed_through_cleaner() {
+        /// Cleaner that erases everything and keeps the events it is handed.
+        struct TelemetryCleaner {
+            inner: RecordingCleaner,
+            events: Vec<Event>,
+        }
+        impl SwlCleaner for TelemetryCleaner {
+            type Error = Infallible;
+            fn erase_block_set(
+                &mut self,
+                first_block: u32,
+                count: u32,
+                erased: &mut Vec<u32>,
+            ) -> Result<(), Self::Error> {
+                self.inner.erase_block_set(first_block, count, erased)
+            }
+            fn emit_telemetry(&mut self, event: Event) {
+                self.events.push(event);
+            }
+        }
+
+        let mut l = SwLeveler::new(4, SwlConfig::new(2, 0)).unwrap();
+        for _ in 0..8 {
+            l.note_erase(0);
+        }
+        let mut cleaner = TelemetryCleaner {
+            inner: RecordingCleaner::new(),
+            events: Vec::new(),
+        };
+        l.level(&mut cleaner).unwrap();
+        // Same scenario as leveling_cleans_cold_sets_until_even: the
+        // activation levels three sets, fills the BET, and resets.
+        assert_eq!(
+            cleaner.events,
+            vec![
+                Event::SwlInvoke {
+                    ecnt: 8,
+                    fcnt: 1,
+                    threshold: 2,
+                },
+                Event::IntervalReset {
+                    interval: 0,
+                    ecnt: 11,
+                    fcnt: 4,
+                },
+            ]
         );
     }
 

@@ -1,92 +1,11 @@
 //! Attribution counters for overhead accounting.
+//!
+//! The counter definition is shared with `nftl` and `flash-sim`: it lives in
+//! `flash-telemetry` ([`flash_telemetry::FlashCounters`]) so the metrics
+//! aggregator can reconstruct the same totals from a replayed event log.
+//! NFTL-only fields (`full_merges`, `gc_merges`, `swl_merges`) stay zero for
+//! this layer.
 
 /// What the FTL did, split by cause — the raw material for the paper's
 /// Figures 6 and 7 (extra erases / extra live-page copyings due to SWL).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct FtlCounters {
-    /// Host page writes accepted.
-    pub host_writes: u64,
-    /// Host page reads served.
-    pub host_reads: u64,
-    /// Host trim (discard) commands applied.
-    pub trims: u64,
-    /// Block erases performed by regular garbage collection.
-    pub gc_erases: u64,
-    /// Block erases performed on behalf of the SW Leveler.
-    pub swl_erases: u64,
-    /// Live pages copied by regular garbage collection.
-    pub gc_live_copies: u64,
-    /// Live pages copied on behalf of the SW Leveler.
-    pub swl_live_copies: u64,
-    /// Garbage-collection victim selections.
-    pub gc_collections: u64,
-    /// Blocks retired after exceeding their endurance (bad-block
-    /// management under [`nand::WearPolicy::FailWornBlocks`]).
-    pub retired_blocks: u64,
-}
-
-impl FtlCounters {
-    /// All block erases, regardless of cause.
-    pub fn total_erases(&self) -> u64 {
-        self.gc_erases + self.swl_erases
-    }
-
-    /// All live-page copies, regardless of cause.
-    pub fn total_live_copies(&self) -> u64 {
-        self.gc_live_copies + self.swl_live_copies
-    }
-
-    /// Average live pages copied per regular GC erase — the paper's `L`.
-    pub fn avg_live_copies_per_gc_erase(&self) -> f64 {
-        if self.gc_erases == 0 {
-            0.0
-        } else {
-            self.gc_live_copies as f64 / self.gc_erases as f64
-        }
-    }
-
-    /// Write amplification: physical page programs per host write.
-    pub fn write_amplification(&self) -> f64 {
-        if self.host_writes == 0 {
-            0.0
-        } else {
-            (self.host_writes + self.total_live_copies()) as f64 / self.host_writes as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn totals_sum_causes() {
-        let c = FtlCounters {
-            gc_erases: 10,
-            swl_erases: 3,
-            gc_live_copies: 40,
-            swl_live_copies: 8,
-            ..FtlCounters::default()
-        };
-        assert_eq!(c.total_erases(), 13);
-        assert_eq!(c.total_live_copies(), 48);
-        assert_eq!(c.avg_live_copies_per_gc_erase(), 4.0);
-    }
-
-    #[test]
-    fn ratios_handle_zero_denominators() {
-        let c = FtlCounters::default();
-        assert_eq!(c.avg_live_copies_per_gc_erase(), 0.0);
-        assert_eq!(c.write_amplification(), 0.0);
-    }
-
-    #[test]
-    fn write_amplification_counts_copies() {
-        let c = FtlCounters {
-            host_writes: 100,
-            gc_live_copies: 50,
-            ..FtlCounters::default()
-        };
-        assert_eq!(c.write_amplification(), 1.5);
-    }
-}
+pub use flash_telemetry::FlashCounters as FtlCounters;

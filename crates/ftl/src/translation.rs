@@ -1,5 +1,6 @@
 //! The page-mapping translation layer: allocator, cleaner, SWL hook.
 
+use flash_telemetry::{Cause, Event, NullSink, Sink};
 use hotid::MultiHashIdentifier;
 use nand::{FreeBlockLadder, NandDevice, PageAddr, SpareArea, VictimIndex};
 use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
@@ -21,8 +22,8 @@ enum Stream {
 /// Core FTL state. Split from [`PageMappedFtl`] so the SW Leveler can borrow
 /// it as a [`SwlCleaner`] while the leveler itself lives next to it.
 #[derive(Debug)]
-pub(crate) struct Inner {
-    device: NandDevice,
+pub(crate) struct Inner<S: Sink = NullSink> {
+    device: NandDevice<S>,
     config: FtlConfig,
     logical_pages: u64,
     /// Logical page → flat physical page index (`UNMAPPED` when unmapped).
@@ -49,8 +50,8 @@ pub(crate) struct Inner {
     retired: Vec<bool>,
 }
 
-impl Inner {
-    fn new(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+impl<S: Sink> Inner<S> {
+    fn new(device: NandDevice<S>, config: FtlConfig) -> Result<Self, FtlError> {
         let geometry = device.geometry();
         let blocks = geometry.blocks();
         assert!(
@@ -92,7 +93,7 @@ impl Inner {
     /// chip — the firmware mount path. Partially written blocks are left
     /// closed (their free pages are reclaimed when GC erases them); the
     /// write frontier restarts on a fresh block.
-    fn mount(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+    fn mount(device: NandDevice<S>, config: FtlConfig) -> Result<Self, FtlError> {
         let mut inner = Self::new(device, config)?;
         inner.free.clear();
         let geometry = inner.device.geometry();
@@ -171,6 +172,9 @@ impl Inner {
         }
         self.map[lba as usize] = dst.flat_index(&self.device.geometry()) as u32;
         self.counters.host_writes += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::HostWrite { lba });
+        }
         Ok(())
     }
 
@@ -182,6 +186,9 @@ impl Inner {
             });
         }
         self.counters.host_reads += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::HostRead { lba });
+        }
         let entry = self.map[lba as usize];
         if entry == UNMAPPED {
             return Ok(None);
@@ -205,6 +212,9 @@ impl Inner {
             self.refresh_victim(addr.block);
         }
         self.counters.trims += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::HostTrim { lba });
+        }
         Ok(())
     }
 
@@ -355,6 +365,21 @@ impl Inner {
     fn collect_one(&mut self, erased: &mut Vec<u32>) -> Result<(), FtlError> {
         let victim = self.select_victim()?;
         self.counters.gc_collections += 1;
+        if S::ENABLED {
+            let (invalid, valid) = {
+                let blk = self.device.block(victim);
+                (blk.invalid_pages(), blk.valid_pages())
+            };
+            let free_depth = self.free.len() as u32;
+            let candidates = self.victims.candidates();
+            self.device.sink_mut().event(Event::GcPick {
+                key: victim,
+                invalid,
+                valid,
+                free_depth,
+                candidates,
+            });
+        }
         self.relocate_and_erase(victim, erased)
     }
 
@@ -392,6 +417,14 @@ impl Inner {
             } else {
                 self.counters.gc_live_copies += 1;
             }
+            if S::ENABLED {
+                let cause = if self.in_swl { Cause::Swl } else { Cause::Gc };
+                self.device.sink_mut().event(Event::LiveCopy {
+                    from_block: victim,
+                    to_block: dst.block,
+                    cause,
+                });
+            }
         }
         self.erase_and_free(victim, erased)
     }
@@ -403,7 +436,8 @@ impl Inner {
     fn erase_and_free(&mut self, block: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
         debug_assert_eq!(self.device.block(block).valid_pages(), 0);
         let pre_wear = self.device.block(block).erase_count();
-        match self.device.erase(block) {
+        let cause = if self.in_swl { Cause::Swl } else { Cause::Gc };
+        match self.device.erase_as(block, cause) {
             Ok(()) => {}
             Err(nand::NandError::BlockWornOut { .. }) => {
                 self.retire(block);
@@ -439,6 +473,9 @@ impl Inner {
             debug_assert!(removed, "free block {block} missing from the ladder");
         }
         self.counters.retired_blocks += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::Retire { block });
+        }
         self.refresh_victim(block);
     }
 
@@ -467,7 +504,7 @@ impl Inner {
     }
 }
 
-impl SwlCleaner for Inner {
+impl<S: Sink> SwlCleaner for Inner<S> {
     type Error = FtlError;
 
     /// Garbage-collects the requested block set for the SW Leveler: data
@@ -512,26 +549,39 @@ impl SwlCleaner for Inner {
         self.in_swl = false;
         result
     }
+
+    /// Merges the leveler's events (activation, interval reset) into the
+    /// FTL's telemetry stream.
+    fn emit_telemetry(&mut self, event: Event) {
+        if S::ENABLED {
+            self.device.sink_mut().event(event);
+        }
+    }
 }
 
 /// A page-mapping FTL with an optional static wear leveler.
 ///
+/// Generic over a telemetry [`Sink`] inherited from the device it is built
+/// on; the default [`NullSink`] compiles all emission sites out. Host
+/// operations, GC picks, live copies, cause-attributed erases, and leveler
+/// activity all flow into the single attached sink.
+///
 /// See the [crate-level documentation](crate) for the design and an example.
 #[derive(Debug)]
-pub struct PageMappedFtl {
-    inner: Inner,
+pub struct PageMappedFtl<S: Sink = NullSink> {
+    inner: Inner<S>,
     swl: Option<SwLeveler>,
     erased_buf: Vec<u32>,
 }
 
-impl PageMappedFtl {
+impl<S: Sink> PageMappedFtl<S> {
     /// Builds an FTL over `device` without static wear leveling.
     ///
     /// # Errors
     ///
     /// Currently infallible in practice, but reserved for configuration
     /// validation.
-    pub fn new(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+    pub fn new(device: NandDevice<S>, config: FtlConfig) -> Result<Self, FtlError> {
         Ok(Self {
             inner: Inner::new(device, config)?,
             swl: None,
@@ -545,7 +595,7 @@ impl PageMappedFtl {
     ///
     /// Returns [`FtlError::Swl`] when the leveler configuration is invalid.
     pub fn with_swl(
-        device: NandDevice,
+        device: NandDevice<S>,
         config: FtlConfig,
         swl_config: SwlConfig,
     ) -> Result<Self, FtlError> {
@@ -564,7 +614,7 @@ impl PageMappedFtl {
     ///
     /// Returns [`FtlError::CorruptSpare`] or [`FtlError::MountConflict`]
     /// when the on-flash state is not a consistent FTL layout.
-    pub fn mount(device: NandDevice, config: FtlConfig) -> Result<Self, FtlError> {
+    pub fn mount(device: NandDevice<S>, config: FtlConfig) -> Result<Self, FtlError> {
         Ok(Self {
             inner: Inner::mount(device, config)?,
             swl: None,
@@ -574,7 +624,7 @@ impl PageMappedFtl {
 
     /// Shuts the layer down, returning the chip (with all its data and
     /// wear) for a later [`PageMappedFtl::mount`].
-    pub fn into_device(self) -> NandDevice {
+    pub fn into_device(self) -> NandDevice<S> {
         self.inner.device
     }
 
@@ -673,7 +723,7 @@ impl PageMappedFtl {
     }
 
     /// The underlying device (erase counts, busy time, failure record).
-    pub fn device(&self) -> &NandDevice {
+    pub fn device(&self) -> &NandDevice<S> {
         &self.inner.device
     }
 
@@ -1018,6 +1068,61 @@ mod tests {
         }
         assert!(ftl.hot_data().unwrap().writes_recorded() == 5000);
         ftl.check_consistency();
+    }
+
+    #[test]
+    fn event_stream_reconstructs_counters_exactly() {
+        use flash_telemetry::{MetricsAggregator, VecSink};
+
+        let d = device(16, 4).with_sink(VecSink::default());
+        let mut ftl =
+            PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(2, 0)).unwrap();
+        for lba in 0..8u64 {
+            ftl.write(lba, lba).unwrap();
+        }
+        for round in 0..400u64 {
+            ftl.write(30, round).unwrap();
+            if round % 7 == 0 {
+                ftl.read(round % 8).unwrap();
+            }
+            if round == 200 {
+                ftl.trim(5).unwrap();
+            }
+        }
+        let counters = ftl.counters();
+        assert!(counters.swl_erases > 0, "scenario must exercise SWL");
+        let mut agg = MetricsAggregator::new();
+        for event in ftl.into_device().into_sink().events {
+            agg.event(event);
+        }
+        assert_eq!(agg.counters(), counters);
+        assert!(agg.swl_invokes() > 0);
+    }
+
+    #[test]
+    fn instrumented_run_matches_null_sink_run() {
+        fn work<S: Sink>(mut ftl: PageMappedFtl<S>) -> (FtlCounters, Vec<u64>) {
+            for lba in 0..8u64 {
+                ftl.write(lba, lba).unwrap();
+            }
+            for round in 0..400u64 {
+                ftl.write(30, round).unwrap();
+            }
+            (ftl.counters(), ftl.device().erase_counts())
+        }
+        let plain = work(
+            PageMappedFtl::with_swl(device(16, 4), FtlConfig::default(), SwlConfig::new(2, 0))
+                .unwrap(),
+        );
+        let probed = work(
+            PageMappedFtl::with_swl(
+                device(16, 4).with_sink(flash_telemetry::CountSink::default()),
+                FtlConfig::default(),
+                SwlConfig::new(2, 0),
+            )
+            .unwrap(),
+        );
+        assert_eq!(plain, probed, "telemetry must not perturb behaviour");
     }
 
     #[test]

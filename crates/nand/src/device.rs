@@ -7,6 +7,7 @@ use crate::geometry::Geometry;
 use crate::page::{PageAddr, SpareArea};
 use crate::stats::EraseStats;
 use crate::DeviceNanos;
+use flash_telemetry::{Cause, Event, NullSink, Sink, SCHEMA_VERSION};
 
 /// What the device does when a block is erased past its rated endurance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,9 +54,14 @@ pub struct ReadResult {
 
 /// A simulated NAND chip.
 ///
+/// Generic over a telemetry [`Sink`]; the default [`NullSink`] disables all
+/// emission sites at compile time, so `NandDevice` in type position keeps
+/// the uninstrumented behaviour (and cost) it always had. Attach a real sink
+/// with [`with_sink`](NandDevice::with_sink).
+///
 /// See the [crate-level documentation](crate) for the model and an example.
 #[derive(Debug, Clone)]
-pub struct NandDevice {
+pub struct NandDevice<S: Sink = NullSink> {
     geometry: Geometry,
     spec: CellSpec,
     policy: WearPolicy,
@@ -64,6 +70,7 @@ pub struct NandDevice {
     busy_ns: DeviceNanos,
     first_failure: Option<FailureRecord>,
     worn_blocks: u32,
+    sink: S,
 }
 
 impl NandDevice {
@@ -81,13 +88,53 @@ impl NandDevice {
             busy_ns: 0,
             first_failure: None,
             worn_blocks: 0,
+            sink: NullSink,
         }
     }
+}
 
+impl<S: Sink> NandDevice<S> {
     /// Sets the wear policy (builder style).
     pub fn with_wear_policy(mut self, policy: WearPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Replaces the telemetry sink (builder style), discarding the previous
+    /// one. Emits an [`Event::Meta`] stream header carrying the schema
+    /// version and geometry, so JSONL logs are self-describing.
+    pub fn with_sink<S2: Sink>(self, mut sink: S2) -> NandDevice<S2> {
+        if S2::ENABLED {
+            sink.event(Event::Meta {
+                version: SCHEMA_VERSION,
+                blocks: self.geometry.blocks(),
+                pages_per_block: self.geometry.pages_per_block(),
+            });
+        }
+        NandDevice {
+            geometry: self.geometry,
+            spec: self.spec,
+            policy: self.policy,
+            blocks: self.blocks,
+            counters: self.counters,
+            busy_ns: self.busy_ns,
+            first_failure: self.first_failure,
+            worn_blocks: self.worn_blocks,
+            sink,
+        }
+    }
+
+    /// Mutable access to the attached sink, for layers above the device that
+    /// emit their own events (host ops, GC picks, live copies) into the same
+    /// stream.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the device and returns the sink (e.g. to flush and inspect a
+    /// JSONL log after a run).
+    pub fn into_sink(self) -> S {
+        self.sink
     }
 
     /// Chip geometry.
@@ -197,6 +244,12 @@ impl NandDevice {
         block.program(addr.page, data, spare);
         self.counters.programs += 1;
         self.busy_ns += self.spec.timing.program_ns;
+        if S::ENABLED {
+            self.sink.event(Event::Program {
+                block: addr.block,
+                page: addr.page,
+            });
+        }
         Ok(())
     }
 
@@ -227,6 +280,17 @@ impl NandDevice {
     /// [`WearPolicy::FailWornBlocks`], returns [`NandError::BlockWornOut`]
     /// once the block has reached its endurance.
     pub fn erase(&mut self, block: u32) -> Result<(), NandError> {
+        self.erase_as(block, Cause::External)
+    }
+
+    /// [`erase`](NandDevice::erase) with explicit cause attribution for the
+    /// telemetry stream. Translation layers call this so erase events carry
+    /// their GC-vs-SWL provenance; behaviour is otherwise identical.
+    ///
+    /// # Errors
+    ///
+    /// As for [`erase`](NandDevice::erase).
+    pub fn erase_as(&mut self, block: u32, cause: Cause) -> Result<(), NandError> {
         if !self.geometry.contains_block(block) {
             return Err(NandError::BlockOutOfRange {
                 block,
@@ -246,6 +310,11 @@ impl NandDevice {
         blk.erase();
         self.counters.erases += 1;
         self.busy_ns += self.spec.timing.erase_ns;
+        if S::ENABLED {
+            let wear = self.blocks[block as usize].erase_count();
+            self.sink.event(Event::Erase { block, wear, cause });
+        }
+        let blk = &mut self.blocks[block as usize];
         if was_healthy && blk.state(endurance) == BlockState::WornOut {
             self.worn_blocks += 1;
             if self.first_failure.is_none() {
@@ -410,6 +479,52 @@ mod tests {
         d.read(PageAddr::new(0, 0)).unwrap();
         d.erase(0).unwrap();
         assert_eq!(d.busy_ns(), 111);
+    }
+
+    #[test]
+    fn sink_sees_meta_programs_and_attributed_erases() {
+        use flash_telemetry::VecSink;
+
+        let d = tiny_device(10).with_sink(VecSink::default());
+        let mut d = d;
+        d.program(PageAddr::new(1, 0), 7, SpareArea::valid(3)).unwrap();
+        d.erase_as(2, Cause::Swl).unwrap();
+        d.erase(2).unwrap(); // plain erase attributes to External
+        let events = d.into_sink().events;
+        assert_eq!(
+            events,
+            vec![
+                Event::Meta {
+                    version: SCHEMA_VERSION,
+                    blocks: 4,
+                    pages_per_block: 4,
+                },
+                Event::Program { block: 1, page: 0 },
+                Event::Erase {
+                    block: 2,
+                    wear: 1,
+                    cause: Cause::Swl,
+                },
+                Event::Erase {
+                    block: 2,
+                    wear: 2,
+                    cause: Cause::External,
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn null_sink_device_matches_instrumented_device() {
+        let mut plain = tiny_device(10);
+        let mut probed = tiny_device(10).with_sink(flash_telemetry::CountSink::default());
+        for b in [0u32, 1, 0] {
+            plain.erase(b).unwrap();
+            probed.erase(b).unwrap();
+        }
+        assert_eq!(plain.erase_counts(), probed.erase_counts());
+        assert_eq!(plain.counters(), probed.counters());
+        assert_eq!(probed.sink_mut().events, 4); // meta + 3 erases
     }
 
     #[test]

@@ -81,6 +81,8 @@ pub struct VictimIndex {
     bucket_len: Vec<u32>,
     /// No non-empty bucket exists above this index (lazily tightened).
     max_bucket: usize,
+    /// Number of currently indexed keys.
+    indexed_count: u32,
     keys: u32,
 }
 
@@ -95,6 +97,7 @@ impl VictimIndex {
             buckets: Vec::new(),
             bucket_len: Vec::new(),
             max_bucket: 0,
+            indexed_count: 0,
             keys,
         }
     }
@@ -102,6 +105,12 @@ impl VictimIndex {
     /// Number of candidate keys the index covers.
     pub fn keys(&self) -> u32 {
         self.keys
+    }
+
+    /// Number of candidates currently indexed (eligible with invalid > 0) —
+    /// a depth gauge for telemetry. O(1).
+    pub fn candidates(&self) -> u32 {
+        self.indexed_count
     }
 
     /// Reports the current state of one candidate: whether it may be
@@ -126,6 +135,13 @@ impl VictimIndex {
         self.invalid[k] = invalid;
         self.valid[k] = valid;
         let now_indexed = eligible && invalid > 0;
+        if now_indexed != self.indexed[k] {
+            if now_indexed {
+                self.indexed_count += 1;
+            } else {
+                self.indexed_count -= 1;
+            }
+        }
         self.indexed[k] = now_indexed;
         if now_indexed {
             let i = invalid as usize;
@@ -266,6 +282,20 @@ mod tests {
                 "divergence at cursor {cursor}"
             );
         }
+    }
+
+    #[test]
+    fn candidates_gauge_tracks_membership() {
+        let mut index = VictimIndex::new(8);
+        assert_eq!(index.candidates(), 0);
+        index.update(1, true, 3, 1);
+        index.update(2, true, 1, 5);
+        assert_eq!(index.candidates(), 2);
+        index.update(1, true, 4, 0); // re-report keeps membership
+        assert_eq!(index.candidates(), 2);
+        index.update(2, false, 1, 5); // ineligible leaves
+        index.update(1, true, 0, 4); // nothing to reclaim leaves
+        assert_eq!(index.candidates(), 0);
     }
 
     #[test]

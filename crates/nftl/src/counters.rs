@@ -1,72 +1,9 @@
 //! Attribution counters for overhead accounting.
+//!
+//! The counter definition is shared with `ftl` and `flash-sim`: it lives in
+//! `flash-telemetry` ([`flash_telemetry::FlashCounters`]) so the metrics
+//! aggregator can reconstruct the same totals from a replayed event log.
+//! Page-mapping-only fields (`trims`) stay zero for this layer.
 
 /// What the NFTL did, split by cause — inputs to the paper's Figures 6/7.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct NftlCounters {
-    /// Host page writes accepted.
-    pub host_writes: u64,
-    /// Host page reads served.
-    pub host_reads: u64,
-    /// Merges forced by a full replacement block.
-    pub full_merges: u64,
-    /// Merges run by the garbage collector for free space.
-    pub gc_merges: u64,
-    /// Merges (or primary relocations) run on behalf of the SW Leveler.
-    pub swl_merges: u64,
-    /// Block erases by regular operation (full merges + GC merges).
-    pub gc_erases: u64,
-    /// Block erases on behalf of the SW Leveler.
-    pub swl_erases: u64,
-    /// Live pages copied by regular merges.
-    pub gc_live_copies: u64,
-    /// Live pages copied on behalf of the SW Leveler.
-    pub swl_live_copies: u64,
-    /// Blocks retired after exceeding their endurance (bad-block
-    /// management under [`nand::WearPolicy::FailWornBlocks`]).
-    pub retired_blocks: u64,
-}
-
-impl NftlCounters {
-    /// All block erases, regardless of cause.
-    pub fn total_erases(&self) -> u64 {
-        self.gc_erases + self.swl_erases
-    }
-
-    /// All live-page copies, regardless of cause.
-    pub fn total_live_copies(&self) -> u64 {
-        self.gc_live_copies + self.swl_live_copies
-    }
-
-    /// Average live pages copied per regular erase — the paper's `L`.
-    pub fn avg_live_copies_per_gc_erase(&self) -> f64 {
-        if self.gc_erases == 0 {
-            0.0
-        } else {
-            self.gc_live_copies as f64 / self.gc_erases as f64
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn totals_sum_causes() {
-        let c = NftlCounters {
-            gc_erases: 4,
-            swl_erases: 2,
-            gc_live_copies: 8,
-            swl_live_copies: 1,
-            ..NftlCounters::default()
-        };
-        assert_eq!(c.total_erases(), 6);
-        assert_eq!(c.total_live_copies(), 9);
-        assert_eq!(c.avg_live_copies_per_gc_erase(), 2.0);
-    }
-
-    #[test]
-    fn zero_denominator_handled() {
-        assert_eq!(NftlCounters::default().avg_live_copies_per_gc_erase(), 0.0);
-    }
-}
+pub use flash_telemetry::FlashCounters as NftlCounters;

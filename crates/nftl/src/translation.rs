@@ -2,6 +2,7 @@
 
 use std::collections::BTreeMap;
 
+use flash_telemetry::{Cause, Event, MergeKind, NullSink, Sink};
 use nand::{FreeBlockLadder, NandDevice, PageAddr, SpareArea, VictimIndex};
 use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
 
@@ -46,9 +47,19 @@ enum MergeCause {
     WearLeveling,
 }
 
+impl MergeCause {
+    /// Erase/copy cause attribution for the telemetry stream.
+    fn telemetry_cause(self) -> Cause {
+        match self {
+            MergeCause::WearLeveling => Cause::Swl,
+            _ => Cause::Gc,
+        }
+    }
+}
+
 #[derive(Debug)]
-pub(crate) struct Inner {
-    device: NandDevice,
+pub(crate) struct Inner<S: Sink = NullSink> {
+    device: NandDevice<S>,
     config: NftlConfig,
     virtual_blocks: u32,
     logical_pages: u64,
@@ -69,8 +80,8 @@ pub(crate) struct Inner {
     in_swl: bool,
 }
 
-impl Inner {
-    fn new(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+impl<S: Sink> Inner<S> {
+    fn new(device: NandDevice<S>, config: NftlConfig) -> Result<Self, NftlError> {
         let geometry = device.geometry();
         let blocks = geometry.blocks();
         let reserved = config.reserved_blocks.min(blocks.saturating_sub(1));
@@ -100,7 +111,7 @@ impl Inner {
 
     /// Rebuilds all RAM tables from the spare areas of an existing chip —
     /// what real NFTL firmware does at attach time.
-    fn mount(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+    fn mount(device: NandDevice<S>, config: NftlConfig) -> Result<Self, NftlError> {
         let mut inner = Self::new(device, config)?;
         inner.free.clear();
         let blocks = inner.device.geometry().blocks();
@@ -255,6 +266,9 @@ impl Inner {
             // valid count just grew.
             self.refresh_victim(vba);
             self.counters.host_writes += 1;
+            if S::ENABLED {
+                self.device.sink_mut().event(Event::HostWrite { lba });
+            }
             return Ok(());
         }
 
@@ -278,6 +292,12 @@ impl Inner {
             // Replacement full: merge, skipping the offset being rewritten,
             // then the fresh primary has a free slot at `offset`.
             self.counters.full_merges += 1;
+            if S::ENABLED {
+                self.device.sink_mut().event(Event::Merge {
+                    vba,
+                    kind: MergeKind::Full,
+                });
+            }
             self.merge(vba, Some(offset), MergeCause::ReplacementFull, erased)?;
             let p = self.primary[vba as usize];
             self.device.program(
@@ -286,6 +306,9 @@ impl Inner {
                 SpareArea::with_status(lba, STATUS_PRIMARY),
             )?;
             self.counters.host_writes += 1;
+            if S::ENABLED {
+                self.device.sink_mut().event(Event::HostWrite { lba });
+            }
             return Ok(());
         }
 
@@ -308,6 +331,9 @@ impl Inner {
         }
         self.refresh_victim(vba);
         self.counters.host_writes += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::HostWrite { lba });
+        }
         Ok(())
     }
 
@@ -315,6 +341,9 @@ impl Inner {
         self.check_lba(lba)?;
         let (vba, offset) = self.split(lba);
         self.counters.host_reads += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::HostRead { lba });
+        }
         if let Some(rs) = self.repl.get(&vba) {
             let latest = rs.latest[offset as usize];
             if latest != 0 {
@@ -404,7 +433,34 @@ impl Inner {
         );
         let vba = choice.ok_or(NftlError::NoReclaimableSpace)?;
         self.gc_scan_vba = vba.wrapping_add(1) % self.virtual_blocks.max(1);
+        self.counters.gc_collections += 1;
         self.counters.gc_merges += 1;
+        if S::ENABLED {
+            let (invalid, valid) = match self.repl.get(&vba) {
+                Some(rs) => {
+                    let pb = self.device.block(self.primary[vba as usize]);
+                    let rb = self.device.block(rs.block);
+                    (
+                        pb.invalid_pages() + rb.invalid_pages(),
+                        pb.valid_pages() + rb.valid_pages(),
+                    )
+                }
+                None => (0, 0),
+            };
+            let free_depth = self.free.len() as u32;
+            let candidates = self.victims.candidates();
+            self.device.sink_mut().event(Event::GcPick {
+                key: vba,
+                invalid,
+                valid,
+                free_depth,
+                candidates,
+            });
+            self.device.sink_mut().event(Event::Merge {
+                vba,
+                kind: MergeKind::Gc,
+            });
+        }
         self.merge(vba, None, MergeCause::GarbageCollection, erased)
     }
 
@@ -451,6 +507,13 @@ impl Inner {
                 MergeCause::WearLeveling => self.counters.swl_live_copies += 1,
                 _ => self.counters.gc_live_copies += 1,
             }
+            if S::ENABLED {
+                self.device.sink_mut().event(Event::LiveCopy {
+                    from_block: src.block,
+                    to_block: fresh,
+                    cause: cause.telemetry_cause(),
+                });
+            }
         }
 
         self.primary[vba as usize] = fresh;
@@ -479,7 +542,7 @@ impl Inner {
         erased: &mut Vec<u32>,
     ) -> Result<(), NftlError> {
         let pre_wear = self.device.block(block).erase_count();
-        match self.device.erase(block) {
+        match self.device.erase_as(block, cause.telemetry_cause()) {
             Ok(()) => {}
             Err(nand::NandError::BlockWornOut { .. }) => {
                 // Bad-block management: withdraw the block, stale contents
@@ -490,6 +553,9 @@ impl Inner {
                 }
                 self.role[block as usize] = BlockRole::Retired;
                 self.counters.retired_blocks += 1;
+                if S::ENABLED {
+                    self.device.sink_mut().event(Event::Retire { block });
+                }
                 return Ok(());
             }
             Err(other) => return Err(other.into()),
@@ -565,8 +631,14 @@ impl Inner {
     }
 }
 
-impl SwlCleaner for Inner {
+impl<S: Sink> SwlCleaner for Inner<S> {
     type Error = NftlError;
+
+    fn emit_telemetry(&mut self, event: Event) {
+        if S::ENABLED {
+            self.device.sink_mut().event(event);
+        }
+    }
 
     /// Recycles the requested block set for the SW Leveler: primaries are
     /// merged (or relocated when no replacement is open), replacements are
@@ -595,6 +667,12 @@ impl SwlCleaner for Inner {
                     }
                     BlockRole::Primary(vba) => {
                         self.counters.swl_merges += 1;
+                        if S::ENABLED {
+                            self.device.sink_mut().event(Event::Merge {
+                                vba,
+                                kind: MergeKind::Swl,
+                            });
+                        }
                         if self.repl.contains_key(&vba) {
                             self.merge(vba, None, MergeCause::WearLeveling, erased)?;
                         } else {
@@ -603,6 +681,12 @@ impl SwlCleaner for Inner {
                     }
                     BlockRole::Replacement(vba) => {
                         self.counters.swl_merges += 1;
+                        if S::ENABLED {
+                            self.device.sink_mut().event(Event::Merge {
+                                vba,
+                                kind: MergeKind::Swl,
+                            });
+                        }
                         self.merge(vba, None, MergeCause::WearLeveling, erased)?;
                     }
                 }
@@ -618,19 +702,19 @@ impl SwlCleaner for Inner {
 ///
 /// See the [crate-level documentation](crate) for the design and an example.
 #[derive(Debug)]
-pub struct BlockMappedNftl {
-    inner: Inner,
+pub struct BlockMappedNftl<S: Sink = NullSink> {
+    inner: Inner<S>,
     swl: Option<SwLeveler>,
     erased_buf: Vec<u32>,
 }
 
-impl BlockMappedNftl {
+impl<S: Sink> BlockMappedNftl<S> {
     /// Builds an NFTL over `device` without static wear leveling.
     ///
     /// # Errors
     ///
     /// Reserved for configuration validation.
-    pub fn new(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+    pub fn new(device: NandDevice<S>, config: NftlConfig) -> Result<Self, NftlError> {
         Ok(Self {
             inner: Inner::new(device, config)?,
             swl: None,
@@ -644,7 +728,7 @@ impl BlockMappedNftl {
     ///
     /// Returns [`NftlError::Swl`] when the leveler configuration is invalid.
     pub fn with_swl(
-        device: NandDevice,
+        device: NandDevice<S>,
         config: NftlConfig,
         swl_config: SwlConfig,
     ) -> Result<Self, NftlError> {
@@ -664,7 +748,7 @@ impl BlockMappedNftl {
     /// Returns [`NftlError::MountCorrupt`] when the on-flash state is not a
     /// consistent NFTL layout (torn roles, duplicate primaries, foreign
     /// data).
-    pub fn mount(device: NandDevice, config: NftlConfig) -> Result<Self, NftlError> {
+    pub fn mount(device: NandDevice<S>, config: NftlConfig) -> Result<Self, NftlError> {
         Ok(Self {
             inner: Inner::mount(device, config)?,
             swl: None,
@@ -674,7 +758,7 @@ impl BlockMappedNftl {
 
     /// Shuts the layer down, returning the chip (with all its data and
     /// wear) for a later [`BlockMappedNftl::mount`].
-    pub fn into_device(self) -> NandDevice {
+    pub fn into_device(self) -> NandDevice<S> {
         self.inner.device
     }
 
@@ -758,7 +842,7 @@ impl BlockMappedNftl {
     }
 
     /// The underlying device.
-    pub fn device(&self) -> &NandDevice {
+    pub fn device(&self) -> &NandDevice<S> {
         &self.inner.device
     }
 
@@ -997,6 +1081,58 @@ mod tests {
         let (b_counts, b_c) = run();
         assert_eq!(a_counts, b_counts);
         assert_eq!(a_c, b_c);
+    }
+
+    #[test]
+    fn event_stream_reconstructs_counters_exactly() {
+        use flash_telemetry::{MetricsAggregator, VecSink};
+
+        let d = device(16, 4).with_sink(VecSink::default());
+        let mut n =
+            BlockMappedNftl::with_swl(d, NftlConfig::default(), SwlConfig::new(4, 0)).unwrap();
+        for lba in 0..16u64 {
+            n.write(lba, 9000 + lba).unwrap();
+        }
+        for i in 0..400u64 {
+            n.write(20, i).unwrap();
+            if i % 7 == 0 {
+                n.read(i % 16).unwrap();
+            }
+        }
+        let counters = n.counters();
+        assert!(counters.swl_erases > 0, "scenario must exercise SWL");
+        let mut agg = MetricsAggregator::new();
+        for event in n.into_device().into_sink().events {
+            agg.event(event);
+        }
+        assert_eq!(agg.counters(), counters);
+        assert!(agg.swl_invokes() > 0);
+    }
+
+    #[test]
+    fn instrumented_run_matches_null_sink_run() {
+        fn work<S: Sink>(mut n: BlockMappedNftl<S>) -> (NftlCounters, Vec<u64>) {
+            for lba in 0..16u64 {
+                n.write(lba, 9000 + lba).unwrap();
+            }
+            for i in 0..400u64 {
+                n.write(20, i).unwrap();
+            }
+            (n.counters(), n.device().erase_counts())
+        }
+        let plain = work(
+            BlockMappedNftl::with_swl(device(16, 4), NftlConfig::default(), SwlConfig::new(4, 0))
+                .unwrap(),
+        );
+        let probed = work(
+            BlockMappedNftl::with_swl(
+                device(16, 4).with_sink(flash_telemetry::CountSink::default()),
+                NftlConfig::default(),
+                SwlConfig::new(4, 0),
+            )
+            .unwrap(),
+        );
+        assert_eq!(plain, probed, "telemetry must not perturb behaviour");
     }
 
     #[test]

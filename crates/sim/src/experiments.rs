@@ -9,6 +9,7 @@
 //! dimensions) while finishing in seconds to minutes. `EXPERIMENTS.md` in
 //! the repository root records scaled-vs-paper numbers side by side.
 
+use flash_telemetry::Sink;
 use flash_trace::{Op, SegmentResampler, WorkloadSpec};
 use nand::{CellKind, Geometry, NandDevice, WearPolicy};
 use swl_core::counting::CountingLeveler;
@@ -132,8 +133,8 @@ fn build(
 /// The full experiment input: a one-time fill of the footprint (ageing the
 /// device as a month of use would) followed by the unlimited resampled
 /// steady-state trace.
-fn unlimited_trace(
-    layer: &Layer,
+fn unlimited_trace<S: Sink>(
+    layer: &Layer<S>,
     scale: &ExperimentScale,
 ) -> impl Iterator<Item = flash_trace::TraceEvent> {
     let spec = paper_workload(layer.logical_pages(), scale.seed);
@@ -223,11 +224,18 @@ pub fn first_failure_sweep(
             grid.push((Some(t), k));
         }
     }
-    let reports = crate::parallel::run_indexed(grid.len(), |i| {
-        let (t, k) = grid[i];
-        let config = t.map(|t| scale.swl_config(t, k));
-        first_failure_run(kind, config, scale)
-    });
+    let reports = crate::parallel::run_indexed_labeled(
+        grid.len(),
+        |i| match grid[i] {
+            (None, _) => "baseline".to_string(),
+            (Some(t), k) => format!("(T={t}, k={k})"),
+        },
+        |i| {
+            let (t, k) = grid[i];
+            let config = t.map(|t| scale.swl_config(t, k));
+            first_failure_run(kind, config, scale)
+        },
+    );
     let mut points = Vec::with_capacity(grid.len());
     for ((threshold, k), report) in grid.into_iter().zip(reports) {
         let report = report?;
@@ -239,6 +247,31 @@ pub fn first_failure_sweep(
         });
     }
     Ok(points)
+}
+
+/// Runs one configuration with a telemetry sink riding on the device,
+/// observing the full event stream (host ops, GC picks, cause-attributed
+/// erases and copies, SWL invocations, interval resets). The workload and
+/// stop handling are identical to the uninstrumented experiment runs —
+/// telemetry never perturbs behaviour — and the sink is handed back with
+/// the report (e.g. a [`flash_telemetry::JsonlSink`] ready to finish, or a
+/// [`flash_telemetry::MetricsAggregator`] full of snapshots).
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn instrumented_run<S: Sink>(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+    sink: S,
+    stop: StopCondition,
+) -> Result<(SimReport, S), SimError> {
+    let device = scale.device().with_sink(sink);
+    let mut layer = Layer::build(kind, device, swl, &SimConfig::default())?;
+    let trace = unlimited_trace(&layer, scale);
+    let report = Simulator::new().run(&mut layer, trace, stop)?;
+    Ok((report, layer.into_device().into_sink()))
 }
 
 /// Runs one configuration to a fixed host-time horizon (Table 4 and the
@@ -300,10 +333,17 @@ pub fn overhead_sweep(
             grid.push(Some((t, k)));
         }
     }
-    let mut reports = crate::parallel::run_indexed(grid.len(), |i| match grid[i] {
-        None => horizon_run(kind, None, scale, horizon_ns),
-        Some((t, k)) => horizon_run(kind, Some(scale.swl_config(t, k)), scale, horizon_ns),
-    })
+    let mut reports = crate::parallel::run_indexed_labeled(
+        grid.len(),
+        |i| match grid[i] {
+            None => "baseline".to_string(),
+            Some((t, k)) => format!("(T={t}, k={k})"),
+        },
+        |i| match grid[i] {
+            None => horizon_run(kind, None, scale, horizon_ns),
+            Some((t, k)) => horizon_run(kind, Some(scale.swl_config(t, k)), scale, horizon_ns),
+        },
+    )
     .into_iter();
     let baseline = reports.next().expect("baseline slot")?;
     let mut points = Vec::with_capacity(grid.len() - 1);
@@ -539,11 +579,18 @@ pub fn table4(
             tasks.push((kind, Some((k, t))));
         }
     }
-    let reports = crate::parallel::run_indexed(tasks.len(), |i| {
-        let (kind, config) = tasks[i];
-        let swl = config.map(|(k, t)| scale.swl_config(t, k));
-        horizon_run(kind, swl, scale, horizon_ns)
-    });
+    let reports = crate::parallel::run_indexed_labeled(
+        tasks.len(),
+        |i| match tasks[i] {
+            (kind, None) => format!("{kind} baseline"),
+            (kind, Some((k, t))) => format!("{kind} (T={t}, k={k})"),
+        },
+        |i| {
+            let (kind, config) = tasks[i];
+            let swl = config.map(|(k, t)| scale.swl_config(t, k));
+            horizon_run(kind, swl, scale, horizon_ns)
+        },
+    );
     let mut rows = Vec::with_capacity(tasks.len());
     for ((kind, config), report) in tasks.into_iter().zip(reports) {
         let report = report?;

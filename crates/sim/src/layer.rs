@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use flash_telemetry::{NullSink, Sink};
 use ftl::{FtlConfig, PageMappedFtl};
 use nand::NandDevice;
 use nftl::{BlockMappedNftl, NftlConfig};
@@ -37,47 +38,19 @@ pub struct SimConfig {
 }
 
 /// Cause-attributed counters, unified across layers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct LayerCounters {
-    /// Host page writes accepted.
-    pub host_writes: u64,
-    /// Host page reads served.
-    pub host_reads: u64,
-    /// Block erases from regular operation (GC, merges).
-    pub gc_erases: u64,
-    /// Block erases on behalf of the SW Leveler.
-    pub swl_erases: u64,
-    /// Live-page copies from regular operation.
-    pub gc_live_copies: u64,
-    /// Live-page copies on behalf of the SW Leveler.
-    pub swl_live_copies: u64,
-    /// Blocks retired by bad-block management.
-    pub retired_blocks: u64,
-}
+///
+/// The definition is shared with the translation layers themselves (it is
+/// the same [`flash_telemetry::FlashCounters`] both re-export), so a
+/// [`crate::SimReport`] carries every field either layer maintains and the
+/// telemetry aggregator can reproduce it from a replayed event log.
+pub use flash_telemetry::FlashCounters as LayerCounters;
 
-impl LayerCounters {
-    /// All block erases.
-    pub fn total_erases(&self) -> u64 {
-        self.gc_erases + self.swl_erases
-    }
-
-    /// All live-page copies.
-    pub fn total_live_copies(&self) -> u64 {
-        self.gc_live_copies + self.swl_live_copies
-    }
-
-    /// Average live copies per regular erase (the paper's `L`).
-    pub fn avg_live_copies_per_gc_erase(&self) -> f64 {
-        if self.gc_erases == 0 {
-            0.0
-        } else {
-            self.gc_live_copies as f64 / self.gc_erases as f64
-        }
-    }
-}
-
-/// Object-safe view of a translation layer for the simulator.
+/// Unified view of a translation layer for the simulator.
 pub trait TranslationLayer {
+    /// Telemetry sink the underlying device is instrumented with
+    /// ([`NullSink`] for plain layers).
+    type Sink: Sink;
+
     /// Writes one logical page.
     ///
     /// # Errors
@@ -96,7 +69,7 @@ pub trait TranslationLayer {
     fn logical_pages(&self) -> u64;
 
     /// The underlying simulated chip.
-    fn device(&self) -> &NandDevice;
+    fn device(&self) -> &NandDevice<Self::Sink>;
 
     /// Unified counters.
     fn counters(&self) -> LayerCounters;
@@ -116,7 +89,9 @@ pub trait TranslationLayer {
     fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, SimError>;
 }
 
-impl TranslationLayer for PageMappedFtl {
+impl<S: Sink> TranslationLayer for PageMappedFtl<S> {
+    type Sink = S;
+
     fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
         PageMappedFtl::write(self, lba, data).map_err(SimError::from)
     }
@@ -129,21 +104,12 @@ impl TranslationLayer for PageMappedFtl {
         PageMappedFtl::logical_pages(self)
     }
 
-    fn device(&self) -> &NandDevice {
+    fn device(&self) -> &NandDevice<S> {
         PageMappedFtl::device(self)
     }
 
     fn counters(&self) -> LayerCounters {
-        let c = PageMappedFtl::counters(self);
-        LayerCounters {
-            host_writes: c.host_writes,
-            host_reads: c.host_reads,
-            gc_erases: c.gc_erases,
-            swl_erases: c.swl_erases,
-            gc_live_copies: c.gc_live_copies,
-            swl_live_copies: c.swl_live_copies,
-            retired_blocks: c.retired_blocks,
-        }
+        PageMappedFtl::counters(self)
     }
 
     fn swl(&self) -> Option<&SwLeveler> {
@@ -159,7 +125,9 @@ impl TranslationLayer for PageMappedFtl {
     }
 }
 
-impl TranslationLayer for BlockMappedNftl {
+impl<S: Sink> TranslationLayer for BlockMappedNftl<S> {
+    type Sink = S;
+
     fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
         BlockMappedNftl::write(self, lba, data).map_err(SimError::from)
     }
@@ -172,21 +140,12 @@ impl TranslationLayer for BlockMappedNftl {
         BlockMappedNftl::logical_pages(self)
     }
 
-    fn device(&self) -> &NandDevice {
+    fn device(&self) -> &NandDevice<S> {
         BlockMappedNftl::device(self)
     }
 
     fn counters(&self) -> LayerCounters {
-        let c = BlockMappedNftl::counters(self);
-        LayerCounters {
-            host_writes: c.host_writes,
-            host_reads: c.host_reads,
-            gc_erases: c.gc_erases,
-            swl_erases: c.swl_erases,
-            gc_live_copies: c.gc_live_copies,
-            swl_live_copies: c.swl_live_copies,
-            retired_blocks: c.retired_blocks,
-        }
+        BlockMappedNftl::counters(self)
     }
 
     fn swl(&self) -> Option<&SwLeveler> {
@@ -203,24 +162,28 @@ impl TranslationLayer for BlockMappedNftl {
 }
 
 /// Either translation layer, statically dispatched.
+// One Layer exists per simulation run, so the size gap between the two
+// variants costs nothing; boxing would only add indirection to every op.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
-pub enum Layer {
+pub enum Layer<S: Sink = NullSink> {
     /// Page-mapping FTL.
-    Ftl(PageMappedFtl),
+    Ftl(PageMappedFtl<S>),
     /// Block-mapping NFTL.
-    Nftl(BlockMappedNftl),
+    Nftl(BlockMappedNftl<S>),
 }
 
-impl Layer {
+impl<S: Sink> Layer<S> {
     /// Builds a layer of `kind` over `device`, attaching a SW Leveler when
-    /// `swl` is given.
+    /// `swl` is given. Instrumented runs pass a device pre-wired with
+    /// [`NandDevice::with_sink`]; the sink observes every layer below.
     ///
     /// # Errors
     ///
     /// Propagates layer construction failures.
     pub fn build(
         kind: LayerKind,
-        device: NandDevice,
+        device: NandDevice<S>,
         swl: Option<SwlConfig>,
         config: &SimConfig,
     ) -> Result<Self, SimError> {
@@ -235,6 +198,15 @@ impl Layer {
             }
         })
     }
+
+    /// Shuts the layer down, returning the chip (and the telemetry sink
+    /// riding on it — recover it with [`NandDevice::into_sink`]).
+    pub fn into_device(self) -> NandDevice<S> {
+        match self {
+            Layer::Ftl(l) => l.into_device(),
+            Layer::Nftl(l) => l.into_device(),
+        }
+    }
 }
 
 macro_rules! delegate {
@@ -246,7 +218,9 @@ macro_rules! delegate {
     };
 }
 
-impl TranslationLayer for Layer {
+impl<S: Sink> TranslationLayer for Layer<S> {
+    type Sink = S;
+
     fn write(&mut self, lba: u64, data: u64) -> Result<(), SimError> {
         delegate!(self, l => TranslationLayer::write(l, lba, data))
     }
@@ -259,7 +233,7 @@ impl TranslationLayer for Layer {
         delegate!(self, l => TranslationLayer::logical_pages(l))
     }
 
-    fn device(&self) -> &NandDevice {
+    fn device(&self) -> &NandDevice<S> {
         delegate!(self, l => TranslationLayer::device(l))
     }
 

@@ -1,0 +1,467 @@
+//! Fold an event stream into the metrics the paper reasons about.
+//!
+//! [`MetricsAggregator`] is itself a [`Sink`], so it can be attached to a
+//! live run or fed a replayed JSONL log — the two produce identical results.
+//! It reconstructs [`FlashCounters`] exactly (each counter increment in the
+//! translation layers pairs with exactly one event), and derives what the
+//! counters alone cannot show: wear-histogram percentiles and σ over time,
+//! an unevenness-level time series, per-resetting-interval erase/copy
+//! attribution, and free-pool / victim-index depth gauges.
+//!
+//! The aggregator tracks unevenness at block granularity (a `k = 0` view):
+//! `ecnt` counts erases since the last interval reset and `fcnt` counts
+//! distinct blocks erased in that window. For group factors `k > 0` the
+//! leveler's own BET-granularity numbers arrive in [`Event::SwlInvoke`] /
+//! [`Event::IntervalReset`] and may differ slightly.
+
+use crate::{Cause, Event, FlashCounters, MergeKind, Sink};
+
+/// Default number of erases between periodic [`Snapshot`]s.
+pub const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
+
+/// Summary statistics over the per-block wear (erase-count) distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WearSummary {
+    /// Mean erase count.
+    pub mean: f64,
+    /// Population standard deviation of erase counts.
+    pub std_dev: f64,
+    /// Minimum erase count.
+    pub min: u64,
+    /// Maximum erase count.
+    pub max: u64,
+    /// Median (50th percentile, nearest-rank).
+    pub p50: u64,
+    /// 90th percentile (nearest-rank).
+    pub p90: u64,
+    /// 99th percentile (nearest-rank).
+    pub p99: u64,
+}
+
+/// Erase/copy attribution for one resetting interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IntervalStats {
+    /// 0-based interval index.
+    pub index: u64,
+    /// Erases observed during the interval (all causes).
+    pub erases: u64,
+    /// Distinct blocks erased during the interval (block-granularity fcnt).
+    pub distinct_blocks: u64,
+    /// Erases attributed to garbage collection.
+    pub gc_erases: u64,
+    /// Erases attributed to the SW Leveler.
+    pub swl_erases: u64,
+    /// Live copies attributed to garbage collection.
+    pub gc_copies: u64,
+    /// Live copies attributed to the SW Leveler.
+    pub swl_copies: u64,
+    /// SWL activations ([`Event::SwlInvoke`]) during the interval.
+    pub swl_invokes: u64,
+}
+
+/// A periodic sample of run state, taken every `snapshot_every` erases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Snapshot {
+    /// Total erases (all causes) when the sample was taken.
+    pub at_erase: u64,
+    /// Wear distribution at sample time.
+    pub wear: WearSummary,
+    /// Block-granularity unevenness level `ecnt / fcnt` of the current
+    /// resetting interval (0.0 before any erase).
+    pub unevenness: f64,
+    /// 0-based index of the resetting interval in progress.
+    pub interval: u64,
+    /// Cumulative GC erases.
+    pub gc_erases: u64,
+    /// Cumulative SWL erases.
+    pub swl_erases: u64,
+    /// Free-pool depth from the most recent [`Event::GcPick`] (0 before any).
+    pub free_depth: u32,
+    /// Victim-index candidate count from the most recent [`Event::GcPick`].
+    pub victim_candidates: u32,
+}
+
+/// Streaming metrics aggregator over telemetry events.
+#[derive(Debug, Clone)]
+pub struct MetricsAggregator {
+    counters: FlashCounters,
+    meta: Option<(u32, u32, u32)>,
+    events: u64,
+    programs: u64,
+    external_erases: u64,
+    wear: Vec<u64>,
+    erased_in_interval: Vec<bool>,
+    current: IntervalStats,
+    completed: Vec<IntervalStats>,
+    snapshot_every: u64,
+    snapshots: Vec<Snapshot>,
+    total_erases_seen: u64,
+    swl_invokes: u64,
+    free_depth: u32,
+    victim_candidates: u32,
+}
+
+impl Default for MetricsAggregator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricsAggregator {
+    /// Aggregator with the default snapshot cadence.
+    pub fn new() -> Self {
+        Self::with_snapshot_every(DEFAULT_SNAPSHOT_EVERY)
+    }
+
+    /// Aggregator sampling a [`Snapshot`] every `snapshot_every` erases.
+    /// A value of 0 disables periodic snapshots.
+    pub fn with_snapshot_every(snapshot_every: u64) -> Self {
+        Self {
+            counters: FlashCounters::default(),
+            meta: None,
+            events: 0,
+            programs: 0,
+            external_erases: 0,
+            wear: Vec::new(),
+            erased_in_interval: Vec::new(),
+            current: IntervalStats::default(),
+            completed: Vec::new(),
+            snapshot_every,
+            snapshots: Vec::new(),
+            total_erases_seen: 0,
+            swl_invokes: 0,
+            free_depth: 0,
+            victim_candidates: 0,
+        }
+    }
+
+    /// Counters reconstructed from the stream. After replaying a complete
+    /// log these equal the live run's counters exactly.
+    pub fn counters(&self) -> FlashCounters {
+        self.counters
+    }
+
+    /// `(schema_version, blocks, pages_per_block)` from the stream header,
+    /// if a [`Event::Meta`] was seen.
+    pub fn meta(&self) -> Option<(u32, u32, u32)> {
+        self.meta
+    }
+
+    /// Total events folded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Physical page programs observed.
+    pub fn programs(&self) -> u64 {
+        self.programs
+    }
+
+    /// Erases with [`Cause::External`] — outside both GC and SWL, hence not
+    /// part of [`FlashCounters`].
+    pub fn external_erases(&self) -> u64 {
+        self.external_erases
+    }
+
+    /// Erases of any cause, `counters().total_erases() + external_erases()`.
+    pub fn total_erases_seen(&self) -> u64 {
+        self.total_erases_seen
+    }
+
+    /// SWL activations observed.
+    pub fn swl_invokes(&self) -> u64 {
+        self.swl_invokes
+    }
+
+    /// Most recent free-pool depth and victim-candidate gauges (both 0
+    /// before the first [`Event::GcPick`]).
+    pub fn gauges(&self) -> (u32, u32) {
+        (self.free_depth, self.victim_candidates)
+    }
+
+    /// Completed resetting intervals, oldest first.
+    pub fn intervals(&self) -> &[IntervalStats] {
+        &self.completed
+    }
+
+    /// The interval currently in progress.
+    pub fn current_interval(&self) -> IntervalStats {
+        self.current
+    }
+
+    /// Periodic samples, oldest first.
+    pub fn snapshots(&self) -> &[Snapshot] {
+        &self.snapshots
+    }
+
+    /// Block-granularity unevenness level of the interval in progress:
+    /// erases divided by distinct blocks erased (0.0 before any erase).
+    pub fn unevenness(&self) -> f64 {
+        if self.current.distinct_blocks == 0 {
+            0.0
+        } else {
+            self.current.erases as f64 / self.current.distinct_blocks as f64
+        }
+    }
+
+    /// Summary of the current per-block wear distribution. Blocks never
+    /// erased count as wear 0; the population size comes from the stream
+    /// header when present, else from the highest block index seen.
+    pub fn wear_summary(&self) -> WearSummary {
+        let blocks = match self.meta {
+            Some((_, blocks, _)) => blocks as usize,
+            None => self.wear.len(),
+        };
+        let mut sorted: Vec<u64> = self.wear.to_vec();
+        sorted.resize(blocks.max(sorted.len()), 0);
+        if sorted.is_empty() {
+            return WearSummary::default();
+        }
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let sum: u64 = sorted.iter().sum();
+        let mean = sum as f64 / n as f64;
+        let var = sorted
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(n - 1)]
+        };
+        WearSummary {
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+
+    fn grow_to(&mut self, block: u32) {
+        let need = block as usize + 1;
+        if self.wear.len() < need {
+            self.wear.resize(need, 0);
+            self.erased_in_interval.resize(need, false);
+        }
+    }
+
+    fn take_snapshot(&mut self) {
+        let snap = Snapshot {
+            at_erase: self.total_erases_seen,
+            wear: self.wear_summary(),
+            unevenness: self.unevenness(),
+            interval: self.current.index,
+            gc_erases: self.counters.gc_erases,
+            swl_erases: self.counters.swl_erases,
+            free_depth: self.free_depth,
+            victim_candidates: self.victim_candidates,
+        };
+        self.snapshots.push(snap);
+    }
+
+    /// Take a final snapshot of the current state (used by `swlstat` so the
+    /// last partial sampling window still appears in time series).
+    pub fn snapshot_now(&mut self) {
+        self.take_snapshot();
+    }
+}
+
+impl Sink for MetricsAggregator {
+    fn event(&mut self, event: Event) {
+        self.events += 1;
+        match event {
+            Event::Meta {
+                version,
+                blocks,
+                pages_per_block,
+            } => {
+                self.meta = Some((version, blocks, pages_per_block));
+                self.grow_to(blocks.saturating_sub(1));
+            }
+            Event::HostWrite { .. } => self.counters.host_writes += 1,
+            Event::HostRead { .. } => self.counters.host_reads += 1,
+            Event::HostTrim { .. } => self.counters.trims += 1,
+            Event::Program { .. } => self.programs += 1,
+            Event::Erase { block, wear, cause } => {
+                self.grow_to(block);
+                self.wear[block as usize] = wear;
+                self.total_erases_seen += 1;
+                self.current.erases += 1;
+                if !self.erased_in_interval[block as usize] {
+                    self.erased_in_interval[block as usize] = true;
+                    self.current.distinct_blocks += 1;
+                }
+                match cause {
+                    Cause::Gc => {
+                        self.counters.gc_erases += 1;
+                        self.current.gc_erases += 1;
+                    }
+                    Cause::Swl => {
+                        self.counters.swl_erases += 1;
+                        self.current.swl_erases += 1;
+                    }
+                    Cause::External => self.external_erases += 1,
+                }
+                if self.snapshot_every > 0 && self.total_erases_seen.is_multiple_of(self.snapshot_every)
+                {
+                    self.take_snapshot();
+                }
+            }
+            Event::LiveCopy { cause, .. } => match cause {
+                Cause::Swl => {
+                    self.counters.swl_live_copies += 1;
+                    self.current.swl_copies += 1;
+                }
+                _ => {
+                    self.counters.gc_live_copies += 1;
+                    self.current.gc_copies += 1;
+                }
+            },
+            Event::GcPick {
+                free_depth,
+                candidates,
+                ..
+            } => {
+                self.counters.gc_collections += 1;
+                self.free_depth = free_depth;
+                self.victim_candidates = candidates;
+            }
+            Event::Merge { kind, .. } => match kind {
+                MergeKind::Full => self.counters.full_merges += 1,
+                MergeKind::Gc => self.counters.gc_merges += 1,
+                MergeKind::Swl => self.counters.swl_merges += 1,
+            },
+            Event::Retire { .. } => self.counters.retired_blocks += 1,
+            Event::SwlInvoke { .. } => {
+                self.swl_invokes += 1;
+                self.current.swl_invokes += 1;
+            }
+            Event::IntervalReset { .. } => {
+                let index = self.current.index;
+                self.completed.push(self.current);
+                self.current = IntervalStats {
+                    index: index + 1,
+                    ..IntervalStats::default()
+                };
+                self.erased_in_interval.iter_mut().for_each(|b| *b = false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn erase(block: u32, wear: u64, cause: Cause) -> Event {
+        Event::Erase { block, wear, cause }
+    }
+
+    #[test]
+    fn counters_match_event_stream() {
+        let mut agg = MetricsAggregator::new();
+        agg.event(Event::Meta {
+            version: 1,
+            blocks: 4,
+            pages_per_block: 8,
+        });
+        agg.event(Event::HostWrite { lba: 1 });
+        agg.event(Event::HostWrite { lba: 2 });
+        agg.event(Event::HostRead { lba: 1 });
+        agg.event(Event::HostTrim { lba: 2 });
+        agg.event(Event::GcPick {
+            key: 0,
+            invalid: 6,
+            valid: 2,
+            free_depth: 3,
+            candidates: 2,
+        });
+        agg.event(Event::LiveCopy {
+            from_block: 0,
+            to_block: 1,
+            cause: Cause::Gc,
+        });
+        agg.event(erase(0, 1, Cause::Gc));
+        agg.event(erase(1, 1, Cause::Swl));
+        agg.event(erase(2, 1, Cause::External));
+        agg.event(Event::Merge {
+            vba: 0,
+            kind: MergeKind::Full,
+        });
+        agg.event(Event::Retire { block: 3 });
+        let c = agg.counters();
+        assert_eq!(c.host_writes, 2);
+        assert_eq!(c.host_reads, 1);
+        assert_eq!(c.trims, 1);
+        assert_eq!(c.gc_collections, 1);
+        assert_eq!(c.gc_erases, 1);
+        assert_eq!(c.swl_erases, 1);
+        assert_eq!(c.gc_live_copies, 1);
+        assert_eq!(c.full_merges, 1);
+        assert_eq!(c.retired_blocks, 1);
+        assert_eq!(agg.external_erases(), 1);
+        assert_eq!(agg.total_erases_seen(), 3);
+        assert_eq!(agg.gauges(), (3, 2));
+    }
+
+    #[test]
+    fn unevenness_tracks_interval_resets() {
+        let mut agg = MetricsAggregator::new();
+        agg.event(erase(0, 1, Cause::Gc));
+        agg.event(erase(0, 2, Cause::Gc));
+        agg.event(erase(1, 1, Cause::Gc));
+        // 3 erases over 2 distinct blocks.
+        assert_eq!(agg.unevenness(), 1.5);
+        agg.event(Event::IntervalReset {
+            interval: 0,
+            ecnt: 3,
+            fcnt: 2,
+        });
+        assert_eq!(agg.unevenness(), 0.0);
+        assert_eq!(agg.intervals().len(), 1);
+        assert_eq!(agg.intervals()[0].erases, 3);
+        assert_eq!(agg.intervals()[0].distinct_blocks, 2);
+        assert_eq!(agg.current_interval().index, 1);
+        // Distinct-block tracking restarts after the reset.
+        agg.event(erase(0, 3, Cause::Gc));
+        assert_eq!(agg.unevenness(), 1.0);
+    }
+
+    #[test]
+    fn wear_summary_pads_unseen_blocks() {
+        let mut agg = MetricsAggregator::new();
+        agg.event(Event::Meta {
+            version: 1,
+            blocks: 4,
+            pages_per_block: 8,
+        });
+        agg.event(erase(0, 10, Cause::Gc));
+        let w = agg.wear_summary();
+        assert_eq!(w.min, 0);
+        assert_eq!(w.max, 10);
+        assert_eq!(w.mean, 2.5);
+        assert_eq!(w.p99, 10);
+        assert_eq!(w.p50, 0);
+    }
+
+    #[test]
+    fn snapshots_fire_on_cadence() {
+        let mut agg = MetricsAggregator::with_snapshot_every(2);
+        for i in 0..5 {
+            agg.event(erase(i % 3, (i / 3 + 1) as u64, Cause::Gc));
+        }
+        assert_eq!(agg.snapshots().len(), 2);
+        assert_eq!(agg.snapshots()[0].at_erase, 2);
+        assert_eq!(agg.snapshots()[1].at_erase, 4);
+        agg.snapshot_now();
+        assert_eq!(agg.snapshots().len(), 3);
+        assert_eq!(agg.snapshots()[2].at_erase, 5);
+    }
+}

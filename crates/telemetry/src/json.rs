@@ -1,0 +1,421 @@
+//! Hand-rolled JSON Lines codec for [`Event`].
+//!
+//! The workspace builds offline with no external crates, so the codec is
+//! written by hand against a deliberately tiny subset of JSON: every line is
+//! one flat object whose values are unsigned integers or fixed string tokens
+//! (no floats, no nesting, no escapes). [`write_line`] and [`parse_line`] are
+//! exact inverses over that subset, which `swlstat` and the replay tests rely
+//! on.
+
+use crate::{Cause, Event, MergeKind};
+use std::fmt::Write as _;
+
+/// Serialize one event as a single JSON object (no trailing newline).
+pub fn to_line(event: &Event) -> String {
+    let mut s = String::with_capacity(48);
+    write_line(&mut s, event);
+    s
+}
+
+/// Append one event as a single JSON object (no trailing newline) to `out`.
+///
+/// Writing into a caller-owned buffer lets the streaming sink serialize
+/// without a per-event allocation.
+pub fn write_line(out: &mut String, event: &Event) {
+    match *event {
+        Event::Meta {
+            version,
+            blocks,
+            pages_per_block,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"meta\",\"v\":{version},\"blocks\":{blocks},\"ppb\":{pages_per_block}}}"
+            );
+        }
+        Event::HostWrite { lba } => {
+            let _ = write!(out, "{{\"e\":\"host_write\",\"lba\":{lba}}}");
+        }
+        Event::HostRead { lba } => {
+            let _ = write!(out, "{{\"e\":\"host_read\",\"lba\":{lba}}}");
+        }
+        Event::HostTrim { lba } => {
+            let _ = write!(out, "{{\"e\":\"host_trim\",\"lba\":{lba}}}");
+        }
+        Event::Program { block, page } => {
+            let _ = write!(out, "{{\"e\":\"program\",\"b\":{block},\"pg\":{page}}}");
+        }
+        Event::Erase { block, wear, cause } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"erase\",\"b\":{block},\"w\":{wear},\"c\":\"{}\"}}",
+                cause.token()
+            );
+        }
+        Event::LiveCopy {
+            from_block,
+            to_block,
+            cause,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"copy\",\"from\":{from_block},\"to\":{to_block},\"c\":\"{}\"}}",
+                cause.token()
+            );
+        }
+        Event::GcPick {
+            key,
+            invalid,
+            valid,
+            free_depth,
+            candidates,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"gc_pick\",\"key\":{key},\"inv\":{invalid},\"val\":{valid},\"free\":{free_depth},\"cand\":{candidates}}}"
+            );
+        }
+        Event::Merge { vba, kind } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"merge\",\"vba\":{vba},\"kind\":\"{}\"}}",
+                kind.token()
+            );
+        }
+        Event::Retire { block } => {
+            let _ = write!(out, "{{\"e\":\"retire\",\"b\":{block}}}");
+        }
+        Event::SwlInvoke {
+            ecnt,
+            fcnt,
+            threshold,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"swl_invoke\",\"ecnt\":{ecnt},\"fcnt\":{fcnt},\"t\":{threshold}}}"
+            );
+        }
+        Event::IntervalReset {
+            interval,
+            ecnt,
+            fcnt,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"interval_reset\",\"n\":{interval},\"ecnt\":{ecnt},\"fcnt\":{fcnt}}}"
+            );
+        }
+    }
+}
+
+/// A malformed or unrecognized JSONL line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line is not a flat JSON object in the supported subset.
+    Syntax(&'static str),
+    /// The `"e"` field names an event kind this version doesn't know.
+    UnknownKind(String),
+    /// A required field is missing for the given event kind.
+    MissingField {
+        /// Event kind being parsed.
+        kind: &'static str,
+        /// Name of the missing field.
+        field: &'static str,
+    },
+    /// A cause/kind token has an unrecognized value.
+    UnknownToken(String),
+    /// A numeric field holds a string, or vice versa.
+    WrongType(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Syntax(what) => write!(f, "malformed JSONL line: {what}"),
+            ParseError::UnknownKind(kind) => write!(f, "unknown event kind {kind:?}"),
+            ParseError::MissingField { kind, field } => {
+                write!(f, "event {kind:?} is missing field {field:?}")
+            }
+            ParseError::UnknownToken(token) => write!(f, "unknown enum token {token:?}"),
+            ParseError::WrongType(field) => write!(f, "field {field:?} has the wrong type"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value<'a> {
+    Num(u64),
+    Str(&'a str),
+}
+
+/// Parse the flat-object subset: `{"key":123,"key2":"token",...}`.
+fn parse_object(line: &str) -> Result<Vec<(&str, Value<'_>)>, ParseError> {
+    let line = line.trim();
+    let inner = line
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or(ParseError::Syntax("not wrapped in {}"))?;
+    let mut fields = Vec::with_capacity(6);
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key: a quoted string with no escapes.
+        let after_quote = rest
+            .strip_prefix('"')
+            .ok_or(ParseError::Syntax("expected quoted key"))?;
+        let end = after_quote
+            .find('"')
+            .ok_or(ParseError::Syntax("unterminated key"))?;
+        let key = &after_quote[..end];
+        if key.contains('\\') {
+            return Err(ParseError::Syntax("escapes are not supported"));
+        }
+        let after_key = after_quote[end + 1..].trim_start();
+        let after_colon = after_key
+            .strip_prefix(':')
+            .ok_or(ParseError::Syntax("expected ':' after key"))?
+            .trim_start();
+        let (value, tail) = if let Some(s) = after_colon.strip_prefix('"') {
+            let vend = s.find('"').ok_or(ParseError::Syntax("unterminated value"))?;
+            if s[..vend].contains('\\') {
+                return Err(ParseError::Syntax("escapes are not supported"));
+            }
+            (Value::Str(&s[..vend]), &s[vend + 1..])
+        } else {
+            let vend = after_colon
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(after_colon.len());
+            if vend == 0 {
+                return Err(ParseError::Syntax("expected number or string value"));
+            }
+            let num = after_colon[..vend]
+                .parse::<u64>()
+                .map_err(|_| ParseError::Syntax("number out of range"))?;
+            (Value::Num(num), &after_colon[vend..])
+        };
+        fields.push((key, value));
+        rest = tail.trim_start();
+        if let Some(next) = rest.strip_prefix(',') {
+            rest = next.trim_start();
+            if rest.is_empty() {
+                return Err(ParseError::Syntax("trailing comma"));
+            }
+        } else if !rest.is_empty() {
+            return Err(ParseError::Syntax("expected ',' between fields"));
+        }
+    }
+    Ok(fields)
+}
+
+fn num(
+    fields: &[(&str, Value<'_>)],
+    kind: &'static str,
+    field: &'static str,
+) -> Result<u64, ParseError> {
+    match fields.iter().find(|(k, _)| *k == field) {
+        Some((_, Value::Num(n))) => Ok(*n),
+        Some((_, Value::Str(_))) => Err(ParseError::WrongType(field)),
+        None => Err(ParseError::MissingField { kind, field }),
+    }
+}
+
+fn num32(
+    fields: &[(&str, Value<'_>)],
+    kind: &'static str,
+    field: &'static str,
+) -> Result<u32, ParseError> {
+    u32::try_from(num(fields, kind, field)?).map_err(|_| ParseError::Syntax("number out of range"))
+}
+
+fn token<'a>(
+    fields: &[(&'a str, Value<'a>)],
+    kind: &'static str,
+    field: &'static str,
+) -> Result<&'a str, ParseError> {
+    match fields.iter().find(|(k, _)| *k == field) {
+        Some((_, Value::Str(s))) => Ok(s),
+        Some((_, Value::Num(_))) => Err(ParseError::WrongType(field)),
+        None => Err(ParseError::MissingField { kind, field }),
+    }
+}
+
+fn cause(tok: &str) -> Result<Cause, ParseError> {
+    match tok {
+        "gc" => Ok(Cause::Gc),
+        "swl" => Ok(Cause::Swl),
+        "ext" => Ok(Cause::External),
+        other => Err(ParseError::UnknownToken(other.to_string())),
+    }
+}
+
+fn merge_kind(tok: &str) -> Result<MergeKind, ParseError> {
+    match tok {
+        "full" => Ok(MergeKind::Full),
+        "gc" => Ok(MergeKind::Gc),
+        "swl" => Ok(MergeKind::Swl),
+        other => Err(ParseError::UnknownToken(other.to_string())),
+    }
+}
+
+/// Parse one JSONL line back into an [`Event`].
+pub fn parse_line(line: &str) -> Result<Event, ParseError> {
+    let fields = parse_object(line)?;
+    let kind = token(&fields, "?", "e").map_err(|_| ParseError::Syntax("missing \"e\" kind"))?;
+    match kind {
+        "meta" => Ok(Event::Meta {
+            version: num32(&fields, "meta", "v")?,
+            blocks: num32(&fields, "meta", "blocks")?,
+            pages_per_block: num32(&fields, "meta", "ppb")?,
+        }),
+        "host_write" => Ok(Event::HostWrite {
+            lba: num(&fields, "host_write", "lba")?,
+        }),
+        "host_read" => Ok(Event::HostRead {
+            lba: num(&fields, "host_read", "lba")?,
+        }),
+        "host_trim" => Ok(Event::HostTrim {
+            lba: num(&fields, "host_trim", "lba")?,
+        }),
+        "program" => Ok(Event::Program {
+            block: num32(&fields, "program", "b")?,
+            page: num32(&fields, "program", "pg")?,
+        }),
+        "erase" => Ok(Event::Erase {
+            block: num32(&fields, "erase", "b")?,
+            wear: num(&fields, "erase", "w")?,
+            cause: cause(token(&fields, "erase", "c")?)?,
+        }),
+        "copy" => Ok(Event::LiveCopy {
+            from_block: num32(&fields, "copy", "from")?,
+            to_block: num32(&fields, "copy", "to")?,
+            cause: cause(token(&fields, "copy", "c")?)?,
+        }),
+        "gc_pick" => Ok(Event::GcPick {
+            key: num32(&fields, "gc_pick", "key")?,
+            invalid: num32(&fields, "gc_pick", "inv")?,
+            valid: num32(&fields, "gc_pick", "val")?,
+            free_depth: num32(&fields, "gc_pick", "free")?,
+            candidates: num32(&fields, "gc_pick", "cand")?,
+        }),
+        "merge" => Ok(Event::Merge {
+            vba: num32(&fields, "merge", "vba")?,
+            kind: merge_kind(token(&fields, "merge", "kind")?)?,
+        }),
+        "retire" => Ok(Event::Retire {
+            block: num32(&fields, "retire", "b")?,
+        }),
+        "swl_invoke" => Ok(Event::SwlInvoke {
+            ecnt: num(&fields, "swl_invoke", "ecnt")?,
+            fcnt: num(&fields, "swl_invoke", "fcnt")?,
+            threshold: num(&fields, "swl_invoke", "t")?,
+        }),
+        "interval_reset" => Ok(Event::IntervalReset {
+            interval: num(&fields, "interval_reset", "n")?,
+            ecnt: num(&fields, "interval_reset", "ecnt")?,
+            fcnt: num(&fields, "interval_reset", "fcnt")?,
+        }),
+        other => Err(ParseError::UnknownKind(other.to_string())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<Event> {
+        vec![
+            Event::Meta {
+                version: 1,
+                blocks: 64,
+                pages_per_block: 32,
+            },
+            Event::HostWrite { lba: 12345 },
+            Event::HostRead { lba: 0 },
+            Event::HostTrim { lba: u64::MAX },
+            Event::Program { block: 3, page: 31 },
+            Event::Erase {
+                block: 7,
+                wear: 199,
+                cause: Cause::Gc,
+            },
+            Event::Erase {
+                block: 8,
+                wear: 1,
+                cause: Cause::Swl,
+            },
+            Event::Erase {
+                block: 9,
+                wear: 2,
+                cause: Cause::External,
+            },
+            Event::LiveCopy {
+                from_block: 4,
+                to_block: 9,
+                cause: Cause::Swl,
+            },
+            Event::GcPick {
+                key: 11,
+                invalid: 30,
+                valid: 2,
+                free_depth: 5,
+                candidates: 40,
+            },
+            Event::Merge {
+                vba: 6,
+                kind: MergeKind::Full,
+            },
+            Event::Merge {
+                vba: 7,
+                kind: MergeKind::Gc,
+            },
+            Event::Merge {
+                vba: 8,
+                kind: MergeKind::Swl,
+            },
+            Event::Retire { block: 63 },
+            Event::SwlInvoke {
+                ecnt: 1000,
+                fcnt: 9,
+                threshold: 100,
+            },
+            Event::IntervalReset {
+                interval: 2,
+                ecnt: 1500,
+                fcnt: 64,
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_variant() {
+        for event in all_variants() {
+            let line = to_line(&event);
+            let back = parse_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, event, "line was {line}");
+        }
+    }
+
+    #[test]
+    fn tolerates_surrounding_whitespace() {
+        let line = format!("  {}  ", to_line(&Event::Retire { block: 5 }));
+        assert_eq!(parse_line(&line).unwrap(), Event::Retire { block: 5 });
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("not json").is_err());
+        assert!(parse_line("{\"e\":\"warp\"}").is_err());
+        assert!(parse_line("{\"e\":\"retire\"}").is_err()); // missing b
+        assert!(parse_line("{\"e\":\"retire\",\"b\":\"x\"}").is_err()); // wrong type
+        assert!(parse_line("{\"e\":\"erase\",\"b\":1,\"w\":1,\"c\":\"??\"}").is_err());
+        assert!(parse_line("{\"e\":\"retire\",\"b\":1,}").is_err()); // trailing comma
+    }
+
+    #[test]
+    fn parse_error_displays() {
+        let err = parse_line("{\"e\":\"warp\"}").unwrap_err();
+        assert!(err.to_string().contains("warp"));
+    }
+}
