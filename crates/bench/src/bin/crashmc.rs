@@ -1,0 +1,291 @@
+//! Crash-consistency model checker: exhaustively cut power at **every**
+//! operation boundary of a GC/SWL-heavy workload, remount, and verify the
+//! recovery contract at each point.
+//!
+//! For every configuration (FTL/NFTL × SWL on/off × torn/clean cut) the
+//! sweep covers all cut points `0..total_ops` and checks:
+//!
+//! 1. no acked write is lost (the page being written at the cut may read
+//!    the new, unacked value — anything else is a violation);
+//! 2. the SW Leveler recovered from the NVRAM dual buffer is at most one
+//!    checkpoint interval stale;
+//! 3. the stack keeps serving writes after remount and the unevenness
+//!    level settles below the threshold `T`.
+//!
+//! Violations are counted and summarised; the exit code is non-zero when
+//! any cut point breaks the contract. The integration test
+//! `tests/crash_consistency.rs` runs a strided subset of the same checks
+//! in CI.
+//!
+//! Usage: `crashmc [rounds]` (default 16; higher = more cut points)
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use flash_bench::print_table;
+use flash_sim::{Layer, LayerKind, SimConfig, SimError, TranslationLayer};
+use ftl::FtlError;
+use nand::{CellKind, FaultPlan, Geometry, NandDevice, NandError};
+use nftl::NftlError;
+use swl_core::persist::{DualBuffer, PersistError};
+use swl_core::{SwLeveler, SwlConfig};
+
+const BLOCKS: u32 = 24;
+const PAGES: u32 = 8;
+/// Acked writes between SW Leveler checkpoints (one "interval").
+const SAVE_EVERY: u64 = 25;
+
+fn device() -> NandDevice {
+    NandDevice::new(
+        Geometry::new(BLOCKS, PAGES, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+fn swl_config() -> SwlConfig {
+    SwlConfig::new(8, 1).with_seed(7)
+}
+
+fn is_power_cut(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::Ftl(FtlError::Device(NandError::PowerCut))
+            | SimError::Nftl(NftlError::Device(NandError::PowerCut))
+    )
+}
+
+fn attach(layer: &mut Layer, leveler: SwLeveler) {
+    match layer {
+        Layer::Ftl(l) => l.attach_swl(leveler),
+        Layer::Nftl(l) => l.attach_swl(leveler),
+    }
+}
+
+/// What the host believes about its own data across the crash.
+#[derive(Default)]
+struct HostModel {
+    acked: HashMap<u64, u64>,
+    in_flight: Option<(u64, u64)>,
+}
+
+/// Replays the deterministic workload until it completes or the armed
+/// power cut fires; returns `Ok(true)` on a cut.
+fn replay(
+    layer: &mut Layer,
+    rounds: u64,
+    nvram: &mut DualBuffer,
+    model: &mut HostModel,
+    saved_ecnts: &mut Vec<u64>,
+) -> Result<bool, SimError> {
+    let lbas = layer.logical_pages().min(28);
+    let mut acked_since_save = 0u64;
+    for round in 0..rounds {
+        for step in 0..lbas {
+            let lba = if step % 3 == 0 {
+                step
+            } else {
+                (round + step) % 4
+            };
+            let value = (round << 32) | (step << 8) | lba;
+            model.in_flight = Some((lba, value));
+            match layer.write(lba, value) {
+                Ok(()) => {
+                    model.acked.insert(lba, value);
+                    acked_since_save += 1;
+                    if layer.swl().is_some() && acked_since_save >= SAVE_EVERY {
+                        let swl = layer.swl().unwrap();
+                        nvram.save(swl);
+                        saved_ecnts.push(swl.ecnt());
+                        acked_since_save = 0;
+                    }
+                }
+                Err(e) if is_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(false)
+}
+
+#[derive(Default)]
+struct SweepStats {
+    points: u64,
+    lost_acked: u64,
+    stale_checkpoints: u64,
+    resume_failures: u64,
+    recovery_errors: u64,
+}
+
+/// One crash/remount/verify cycle; violations are recorded, not panicked.
+fn check_cut_point(
+    kind: LayerKind,
+    with_swl: bool,
+    rounds: u64,
+    cut_at: u64,
+    torn: bool,
+    stats: &mut SweepStats,
+) {
+    stats.points += 1;
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let swl = with_swl.then(swl_config);
+    let mut layer = Layer::build(kind, device(), swl, &cfg).expect("build");
+    let mut nvram = DualBuffer::new();
+    let mut model = HostModel::default();
+    let mut saved_ecnts = Vec::new();
+    match replay(&mut layer, rounds, &mut nvram, &mut model, &mut saved_ecnts) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let mut chip = layer.into_device();
+    chip.power_cycle();
+    let mut layer = match Layer::mount(kind, chip, &SimConfig::default()) {
+        Ok(l) => l,
+        Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    };
+
+    if with_swl {
+        // Model a checkpoint torn by the same crash.
+        if torn {
+            if let Some(slot) = nvram.slot_mut(0) {
+                let cut_len = slot.len() / 2;
+                slot.truncate(cut_len);
+            }
+        }
+        match nvram.recover() {
+            Ok(snapshot) => match snapshot.into_leveler() {
+                Ok(leveler) => {
+                    let fresh_enough = saved_ecnts
+                        .iter()
+                        .rev()
+                        .take(2)
+                        .any(|&e| e == leveler.ecnt());
+                    if !fresh_enough {
+                        stats.stale_checkpoints += 1;
+                    }
+                    attach(&mut layer, leveler);
+                }
+                Err(_) => stats.recovery_errors += 1,
+            },
+            Err(PersistError::NoValidSnapshot) => {
+                if saved_ecnts.len() > 1 || (!torn && !saved_ecnts.is_empty()) {
+                    stats.stale_checkpoints += 1;
+                }
+                attach(&mut layer, SwLeveler::new(BLOCKS, swl_config()).unwrap());
+            }
+            Err(_) => stats.recovery_errors += 1,
+        }
+    }
+
+    for (&lba, &value) in &model.acked {
+        let got = match layer.read(lba) {
+            Ok(g) => g,
+            Err(_) => {
+                stats.lost_acked += 1;
+                continue;
+            }
+        };
+        let in_flight_ok = matches!(model.in_flight, Some((l, v)) if l == lba && got == Some(v));
+        if got != Some(value) && !in_flight_ok {
+            stats.lost_acked += 1;
+        }
+    }
+
+    let lbas = layer.logical_pages().min(28);
+    for round in 0..3u64 {
+        for lba in 0..lbas {
+            if layer.write(lba, 0xCAFE_0000 | (round << 8) | lba).is_err() {
+                stats.resume_failures += 1;
+                return;
+            }
+        }
+    }
+    if with_swl && layer.swl().is_some_and(SwLeveler::needs_leveling) {
+        stats.resume_failures += 1;
+    }
+}
+
+fn main() -> ExitCode {
+    let rounds: u64 = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("rounds must be a number"))
+        .unwrap_or(16);
+
+    println!(
+        "crashmc: exhaustive power-cut sweep ({BLOCKS} blocks x {PAGES} pages, \
+         {rounds} workload rounds)\n"
+    );
+
+    let mut rows = Vec::new();
+    let mut grand_points = 0u64;
+    let mut grand_violations = 0u64;
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for with_swl in [false, true] {
+            // Baseline run without a cut: measures how many operation
+            // boundaries the workload exposes.
+            let cfg = SimConfig {
+                fault: Some(FaultPlan::new(1)),
+                ..SimConfig::default()
+            };
+            let swl = with_swl.then(swl_config);
+            let mut layer = Layer::build(kind, device(), swl, &cfg).expect("baseline build");
+            let mut nvram = DualBuffer::new();
+            let mut model = HostModel::default();
+            let mut saved = Vec::new();
+            let cut = replay(&mut layer, rounds, &mut nvram, &mut model, &mut saved)
+                .expect("baseline replay");
+            assert!(!cut, "baseline run must not see a power cut");
+            let total = layer.device().fault_ops();
+
+            for torn in [false, true] {
+                let mut stats = SweepStats::default();
+                for cut_at in 0..total {
+                    check_cut_point(kind, with_swl, rounds, cut_at, torn, &mut stats);
+                }
+                let violations = stats.lost_acked
+                    + stats.stale_checkpoints
+                    + stats.resume_failures
+                    + stats.recovery_errors;
+                grand_points += stats.points;
+                grand_violations += violations;
+                rows.push(vec![
+                    kind.to_string(),
+                    if with_swl { "on" } else { "off" }.to_owned(),
+                    if torn { "torn" } else { "clean" }.to_owned(),
+                    stats.points.to_string(),
+                    stats.lost_acked.to_string(),
+                    stats.stale_checkpoints.to_string(),
+                    stats.resume_failures.to_string(),
+                    stats.recovery_errors.to_string(),
+                ]);
+            }
+        }
+    }
+
+    print_table(
+        &[
+            "layer", "swl", "cut", "points", "lost", "stale", "resume", "recover",
+        ],
+        &rows,
+    );
+    println!("\n{grand_points} cut points checked, {grand_violations} violations");
+    if grand_points < 1000 {
+        println!("warning: fewer than 1000 cut points — raise the rounds argument");
+    }
+    if grand_violations == 0 {
+        println!("crashmc: OK");
+        ExitCode::SUCCESS
+    } else {
+        println!("crashmc: FAILED");
+        ExitCode::FAILURE
+    }
+}

@@ -8,7 +8,10 @@
 //!
 //!   FILE     the JSONL log; "-" or absent reads stdin
 //!   --check  validate only: exit 1 on any schema drift (unknown event
-//!            kinds, missing fields, version mismatch), print one OK line
+//!            kinds, missing fields, version mismatch) or retirement
+//!            inconsistency (duplicate retires, erases on retired blocks
+//!            — i.e. the retired set disagrees with the final wear map),
+//!            print one OK line
 //!   --json   machine summary as a single JSON object (for BENCH_*.json)
 //! ```
 
@@ -146,7 +149,31 @@ fn interval_row(stats: &IntervalStats) -> Vec<String> {
         stats.gc_copies.to_string(),
         stats.swl_copies.to_string(),
         stats.swl_invokes.to_string(),
+        stats.faults.to_string(),
+        stats.retires.to_string(),
     ]
+}
+
+/// The retirement-audit findings that make a log internally inconsistent:
+/// a retire event for an already-retired block, or wear-map movement on a
+/// block the log claims is out of rotation.
+fn audit_errors(agg: &MetricsAggregator) -> Vec<String> {
+    let audit = agg.retirement_audit();
+    let mut errors = Vec::new();
+    if audit.duplicate_retires > 0 {
+        errors.push(format!(
+            "{} retire event(s) name an already-retired block",
+            audit.duplicate_retires
+        ));
+    }
+    if audit.erases_after_retire > 0 {
+        errors.push(format!(
+            "{} erase event(s) touch a retired block — the final wear map \
+             disagrees with the retired set",
+            audit.erases_after_retire
+        ));
+    }
+    errors
 }
 
 fn print_report(agg: &MetricsAggregator) {
@@ -175,6 +202,8 @@ fn print_report(agg: &MetricsAggregator) {
             vec!["SWL live copies".into(), c.swl_live_copies.to_string()],
             vec!["SWL invocations".into(), agg.swl_invokes().to_string()],
             vec!["retired blocks".into(), c.retired_blocks.to_string()],
+            vec!["faults injected".into(), agg.faults().to_string()],
+            vec!["power cuts".into(), agg.power_cuts().to_string()],
         ],
     );
 
@@ -221,7 +250,7 @@ fn print_report(agg: &MetricsAggregator) {
         println!("\nresetting intervals (block-granularity fcnt):");
         let headers = [
             "interval", "erases", "blocks", "ecnt/fcnt", "gc-er", "swl-er", "gc-cp", "swl-cp",
-            "invokes",
+            "invokes", "faults", "retired",
         ];
         // Keep the table bounded for long runs: first and last few intervals.
         const HEAD: usize = 8;
@@ -249,7 +278,8 @@ fn print_json(agg: &MetricsAggregator) {
          \"programs\":{},\"gc_collections\":{},\"full_merges\":{},\"gc_merges\":{},\
          \"swl_merges\":{},\"gc_erases\":{},\"swl_erases\":{},\"external_erases\":{},\
          \"gc_live_copies\":{},\"swl_live_copies\":{},\"swl_invokes\":{},\
-         \"retired_blocks\":{},\"intervals\":{},\"wear_mean\":{:.4},\
+         \"retired_blocks\":{},\"faults\":{},\"power_cuts\":{},\
+         \"intervals\":{},\"wear_mean\":{:.4},\
          \"wear_sigma\":{:.4},\"wear_max\":{}}}",
         agg.events(),
         c.host_writes,
@@ -267,6 +297,8 @@ fn print_json(agg: &MetricsAggregator) {
         c.swl_live_copies,
         agg.swl_invokes(),
         c.retired_blocks,
+        agg.faults(),
+        agg.power_cuts(),
         agg.intervals().len(),
         w.mean,
         w.std_dev,
@@ -297,6 +329,13 @@ fn main() -> ExitCode {
         }
     };
     if options.check {
+        let errors = audit_errors(&agg);
+        if !errors.is_empty() {
+            for error in &errors {
+                eprintln!("swlstat: {error}");
+            }
+            return ExitCode::FAILURE;
+        }
         println!(
             "swlstat: OK — {} events, schema v{}",
             agg.events(),

@@ -29,6 +29,121 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # What a crash can do, and how recovery answers
+//!
+//! Power can vanish at any byte of a checkpoint write, so recovery never
+//! assumes the newest slot is whole. Walking the timeline of one save:
+//!
+//! 1. **Before the first byte lands** — the older slot is untouched and
+//!    still carries the previous generation. `recover` returns it; the
+//!    restored `ecnt`/BET are at most one checkpoint interval stale, which
+//!    SWL-Procedure tolerates (a few erase counts are double-counted into
+//!    the next interval, never lost from the wear map).
+//! 2. **Mid-write** — the slot holds a prefix of the new snapshot or a
+//!    splice of old and new bytes. Every decode failure below maps to one
+//!    [`PersistError`] variant, and [`DualBuffer::recover`] treats all of
+//!    them the same way: skip the slot, fall back to the other one.
+//! 3. **After the checksum lands** — the save is durable; the *other* slot
+//!    becomes the sacrificial target of the next save. This alternation is
+//!    why a single crash can never destroy both generations.
+//!
+//! Only when *both* slots fail to decode — a fresh device, or two crashes
+//! tearing two consecutive saves — does `recover` report
+//! [`PersistError::NoValidSnapshot`], and the integrator falls back to a
+//! fresh leveler (losing wear history but never data).
+//!
+//! ## Decode failures, one by one
+//!
+//! [`PersistError::Truncated`] — the write stopped before the declared
+//! payload (or even the header) was complete:
+//!
+//! ```
+//! use swl_core::persist::{PersistError, Snapshot};
+//! use swl_core::{SwLeveler, SwlConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let leveler = SwLeveler::new(64, SwlConfig::new(100, 0))?;
+//! let bytes = Snapshot::capture(&leveler, 1).encode();
+//! let torn = &bytes[..bytes.len() / 2];
+//! assert_eq!(Snapshot::decode(torn), Err(PersistError::Truncated));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`PersistError::BadMagic`] — the slot never held a snapshot (or its
+//! first sector was destroyed); nothing after the first four bytes is
+//! trusted:
+//!
+//! ```
+//! use swl_core::persist::{PersistError, Snapshot};
+//! use swl_core::{SwLeveler, SwlConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let leveler = SwLeveler::new(64, SwlConfig::new(100, 0))?;
+//! let mut bytes = Snapshot::capture(&leveler, 1).encode();
+//! bytes[0] = b'X';
+//! assert_eq!(Snapshot::decode(&bytes), Err(PersistError::BadMagic));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`PersistError::BadVersion`] — the snapshot is whole but written by an
+//! incompatible firmware revision; refusing it beats misreading it:
+//!
+//! ```
+//! use swl_core::persist::{PersistError, Snapshot};
+//! use swl_core::{SwLeveler, SwlConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let leveler = SwLeveler::new(64, SwlConfig::new(100, 0))?;
+//! let mut bytes = Snapshot::capture(&leveler, 1).encode();
+//! bytes[4..6].copy_from_slice(&9u16.to_le_bytes());
+//! assert_eq!(
+//!     Snapshot::decode(&bytes),
+//!     Err(PersistError::BadVersion { found: 9 })
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`PersistError::BadChecksum`] — the length and header look right but
+//! the payload was spliced or bit-flipped; the FNV-1a 64 trailer catches
+//! it:
+//!
+//! ```
+//! use swl_core::persist::{PersistError, Snapshot};
+//! use swl_core::{SwLeveler, SwlConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let leveler = SwLeveler::new(64, SwlConfig::new(100, 0))?;
+//! let mut bytes = Snapshot::capture(&leveler, 1).encode();
+//! let middle = bytes.len() / 2;
+//! bytes[middle] ^= 0x5A;
+//! assert_eq!(Snapshot::decode(&bytes), Err(PersistError::BadChecksum));
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`PersistError::NoValidSnapshot`] — both slots are gone; the caller
+//! starts a fresh leveler instead:
+//!
+//! ```
+//! use swl_core::persist::{DualBuffer, PersistError};
+//! use swl_core::{SwLeveler, SwlConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let nvram = DualBuffer::new(); // fresh device: nothing ever saved
+//! assert_eq!(nvram.recover().unwrap_err(), PersistError::NoValidSnapshot);
+//! let fresh = SwLeveler::new(64, SwlConfig::new(100, 0))?;
+//! assert_eq!(fresh.ecnt(), 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The crash-consistency harness (`tests/crash_consistency.rs` and the
+//! `crashmc` binary) drives this exact recovery path at every power-cut
+//! point of a live workload and checks the staleness bound end to end.
 
 use std::error::Error;
 use std::fmt;

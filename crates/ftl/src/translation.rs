@@ -99,6 +99,14 @@ impl<S: Sink> Inner<S> {
         let geometry = inner.device.geometry();
         for b in 0..geometry.blocks() {
             let block = inner.device.block(b);
+            if block.spare(0).is_bad_block_marker() {
+                // Retired in an earlier session; the marker survives on
+                // flash. Retired blocks hold no valid pages, so nothing
+                // needs mapping.
+                inner.is_free[b as usize] = false;
+                inner.retired[b as usize] = true;
+                continue;
+            }
             if block.valid_pages() == 0 && block.invalid_pages() == 0 {
                 let wear = block.erase_count();
                 inner.is_free[b as usize] = true;
@@ -162,8 +170,7 @@ impl<S: Sink> Inner<S> {
             }
             None => Stream::Cold,
         };
-        let dst = self.alloc_page(stream)?;
-        self.device.program(dst, data, SpareArea::valid(lba))?;
+        let dst = self.program_remap(stream, data, lba)?;
         let old = self.map[lba as usize];
         if old != UNMAPPED {
             let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(old));
@@ -261,6 +268,31 @@ impl<S: Sink> Inner<S> {
                 }
                 self.refresh_victim(block);
                 Ok(PageAddr::new(block, 0))
+            }
+        }
+    }
+
+    /// Programs one page at the stream's frontier, retrying with a remap
+    /// when the device reports an injected program failure: the grown-bad
+    /// frontier block is closed (its valid pages become a normal GC victim,
+    /// and its eventual erase failure retires it) and the write moves to a
+    /// fresh frontier. Terminates because every retry consumes a free block
+    /// and [`Self::alloc_page`] fails once the pool runs dry.
+    fn program_remap(&mut self, stream: Stream, data: u64, lba: u64) -> Result<PageAddr, FtlError> {
+        loop {
+            let dst = self.alloc_page(stream)?;
+            match self.device.program(dst, data, SpareArea::valid(lba)) {
+                Ok(()) => return Ok(dst),
+                Err(nand::NandError::ProgramFailed { .. }) => {
+                    if self.frontier.map(|(b, _)| b) == Some(dst.block) {
+                        self.frontier = None;
+                    }
+                    if self.hot_frontier.map(|(b, _)| b) == Some(dst.block) {
+                        self.hot_frontier = None;
+                    }
+                    self.refresh_victim(dst.block);
+                }
+                Err(other) => return Err(other.into()),
             }
         }
     }
@@ -386,6 +418,23 @@ impl<S: Sink> Inner<S> {
     /// Copies every valid page out of `victim`, erases it and returns it to
     /// the free pool. Erases are appended to `erased` for SWL-BETUpdate.
     fn relocate_and_erase(&mut self, victim: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        let result = self.relocate_and_erase_inner(victim, erased);
+        if result.is_err() {
+            // A failed relocation leaves the victim with changed page stats
+            // (pages invalidated, a frontier possibly closed) that the happy
+            // path would have re-reported from erase_and_free/retire. Refresh
+            // here so a caller that survives the error (e.g. out-of-space
+            // during GC) still sees the index in lock-step with the oracle.
+            self.refresh_victim(victim);
+        }
+        result
+    }
+
+    fn relocate_and_erase_inner(
+        &mut self,
+        victim: u32,
+        erased: &mut Vec<u32>,
+    ) -> Result<(), FtlError> {
         if self.frontier.map(|(b, _)| b) == Some(victim) {
             // Only reachable through the SW Leveler (regular GC skips the
             // frontiers); abandon the remaining free pages of the frontier.
@@ -407,9 +456,7 @@ impl<S: Sink> Inner<S> {
                 .ok_or(FtlError::CorruptSpare { addr: src })?;
             // GC survivors are cold by construction: they outlived their
             // whole block.
-            let dst = self.alloc_page(Stream::Cold)?;
-            self.device
-                .program(dst, content.data, SpareArea::valid(lba))?;
+            let dst = self.program_remap(Stream::Cold, content.data, lba)?;
             self.device.invalidate(src)?;
             self.map[lba as usize] = dst.flat_index(&geometry) as u32;
             if self.in_swl {
@@ -430,16 +477,17 @@ impl<S: Sink> Inner<S> {
     }
 
     /// Erases `block` (which must hold no valid pages) and returns it to the
-    /// free pool. A block that refuses to erase because it is worn out
-    /// (under [`nand::WearPolicy::FailWornBlocks`]) is retired instead —
-    /// removed from circulation with its stale contents left in place.
+    /// free pool. A block that refuses to erase — worn out under
+    /// [`nand::WearPolicy::FailWornBlocks`], or bad per the device's
+    /// [`nand::FaultPlan`] — is retired instead: removed from circulation
+    /// with its stale contents left in place.
     fn erase_and_free(&mut self, block: u32, erased: &mut Vec<u32>) -> Result<(), FtlError> {
         debug_assert_eq!(self.device.block(block).valid_pages(), 0);
         let pre_wear = self.device.block(block).erase_count();
         let cause = if self.in_swl { Cause::Swl } else { Cause::Gc };
         match self.device.erase_as(block, cause) {
             Ok(()) => {}
-            Err(nand::NandError::BlockWornOut { .. }) => {
+            Err(nand::NandError::BlockWornOut { .. } | nand::NandError::EraseFailed { .. }) => {
                 self.retire(block);
                 return Ok(());
             }
@@ -472,6 +520,11 @@ impl<S: Sink> Inner<S> {
             let removed = self.free.remove(block, wear);
             debug_assert!(removed, "free block {block} missing from the ladder");
         }
+        // On-flash bad-block marker, so a later mount rediscovers the
+        // retirement. A spare-area status program: free and uncuttable; it
+        // can only fail once power is already cut, when the RAM state is
+        // about to be discarded anyway.
+        let _ = self.device.mark_bad(block);
         self.counters.retired_blocks += 1;
         if S::ENABLED {
             self.device.sink_mut().event(Event::Retire { block });
@@ -1144,5 +1197,85 @@ mod tests {
             "attribution must cover every device erase"
         );
         assert!(c.swl_erases > 0);
+    }
+
+    #[test]
+    fn program_failure_remaps_and_preserves_data() {
+        use nand::FaultPlan;
+
+        let d = device(16, 4).with_fault_plan(FaultPlan::new(7).with_program_fail_prob(0.05));
+        let mut ftl = PageMappedFtl::new(d, FtlConfig::default()).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        for round in 0..200u64 {
+            let lba = (round * 13) % 24;
+            ftl.write(lba, round).unwrap();
+            shadow.insert(lba, round);
+        }
+        let grown_bad = (0..16).filter(|&b| ftl.device().is_bad_block(b)).count();
+        assert!(grown_bad > 0, "0.05 fail rate over 200+ programs must bite");
+        for (lba, data) in shadow {
+            assert_eq!(ftl.read(lba).unwrap(), Some(data), "lba {lba}");
+        }
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn erase_failure_retires_block_and_swl_survives() {
+        use nand::FaultPlan;
+
+        // Tight endurance: blocks start dying after 6..=10 cycles, so the
+        // free ladder shrinks as the workload runs. Acked writes must stay
+        // readable; retirement must be reported.
+        let d = device(24, 4).with_fault_plan(FaultPlan::new(3).with_endurance_range(6, 10));
+        let mut ftl = PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(4, 0))
+            .unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        'work: for round in 0..2000u64 {
+            let lba = (round * 7) % 32;
+            match ftl.write(lba, round) {
+                Ok(()) => {
+                    shadow.insert(lba, round);
+                }
+                Err(FtlError::NoReclaimableSpace | FtlError::FreeExhausted) => break 'work,
+                Err(other) => panic!("unexpected error {other}"),
+            }
+        }
+        assert!(
+            ftl.counters().retired_blocks > 0,
+            "endurance range must retire blocks: {:?}",
+            ftl.counters()
+        );
+        for (lba, data) in shadow {
+            assert_eq!(ftl.read(lba).unwrap(), Some(data), "lba {lba}");
+        }
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical() {
+        use nand::FaultPlan;
+
+        fn work(mut ftl: PageMappedFtl) -> (FtlCounters, Vec<u64>) {
+            for lba in 0..8u64 {
+                ftl.write(lba, lba).unwrap();
+            }
+            for round in 0..400u64 {
+                ftl.write(30, round).unwrap();
+            }
+            (ftl.counters(), ftl.device().erase_counts())
+        }
+        let plain = work(
+            PageMappedFtl::with_swl(device(16, 4), FtlConfig::default(), SwlConfig::new(2, 0))
+                .unwrap(),
+        );
+        let disarmed = work(
+            PageMappedFtl::with_swl(
+                device(16, 4).with_fault_plan(FaultPlan::new(99)),
+                FtlConfig::default(),
+                SwlConfig::new(2, 0),
+            )
+            .unwrap(),
+        );
+        assert_eq!(plain, disarmed, "a disarmed FaultPlan must change nothing");
     }
 }

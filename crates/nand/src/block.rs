@@ -98,6 +98,41 @@ impl Block {
         self.invalid_pages += 1;
     }
 
+    /// Models a program torn by a fault or power cut: the page is consumed
+    /// (free → invalid) but carries no readable metadata, exactly how the
+    /// translation layers treat a half-programmed page at mount time.
+    pub(crate) fn tear_program(&mut self, page: u32) {
+        debug_assert!(self.states[page as usize].is_free());
+        self.states[page as usize] = PageState::Invalid;
+        self.spare[page as usize] = SpareArea::default();
+        self.invalid_pages += 1;
+    }
+
+    /// Models an erase torn by a power cut: the erase pulse started, so every
+    /// page's contents are untrustworthy, but the pages never reached the
+    /// clean free state. All non-free pages collapse to invalid with default
+    /// spares; the erase count does not advance (the cycle never completed).
+    pub(crate) fn tear_erase(&mut self) {
+        for (i, state) in self.states.iter_mut().enumerate() {
+            if state.is_valid() {
+                self.valid_pages -= 1;
+                self.invalid_pages += 1;
+            }
+            if !state.is_free() {
+                *state = PageState::Invalid;
+                self.spare[i] = SpareArea::default();
+            }
+        }
+    }
+
+    /// Programs the bad-block marker into the spare area of page 0,
+    /// regardless of the page's state (spare bytes of real chips can be
+    /// programmed independently of the data area). Page states and counts
+    /// are untouched: the marker is out-of-band metadata only.
+    pub(crate) fn mark_bad(&mut self) {
+        self.spare[0] = SpareArea::bad_block();
+    }
+
     pub(crate) fn erase(&mut self) {
         for state in &mut self.states {
             *state = PageState::Free;

@@ -3,11 +3,12 @@
 use crate::block::{Block, BlockState};
 use crate::cell::CellSpec;
 use crate::error::NandError;
+use crate::fault::{FaultDecision, FaultPlan, FaultState};
 use crate::geometry::Geometry;
 use crate::page::{PageAddr, SpareArea};
 use crate::stats::EraseStats;
 use crate::DeviceNanos;
-use flash_telemetry::{Cause, Event, NullSink, Sink, SCHEMA_VERSION};
+use flash_telemetry::{Cause, Event, FaultKind, NullSink, Sink, SCHEMA_VERSION};
 
 /// What the device does when a block is erased past its rated endurance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -70,6 +71,7 @@ pub struct NandDevice<S: Sink = NullSink> {
     busy_ns: DeviceNanos,
     first_failure: Option<FailureRecord>,
     worn_blocks: u32,
+    faults: Option<FaultState>,
     sink: S,
 }
 
@@ -88,6 +90,7 @@ impl NandDevice {
             busy_ns: 0,
             first_failure: None,
             worn_blocks: 0,
+            faults: None,
             sink: NullSink,
         }
     }
@@ -120,8 +123,60 @@ impl<S: Sink> NandDevice<S> {
             busy_ns: self.busy_ns,
             first_failure: self.first_failure,
             worn_blocks: self.worn_blocks,
+            faults: self.faults,
             sink,
         }
+    }
+
+    /// Attaches a deterministic [`FaultPlan`] (builder style). A device
+    /// without a plan — or with a plan whose knobs are all disarmed —
+    /// behaves bit-identically to one that never heard of faults.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(FaultState::new(plan, self.geometry.blocks()));
+        self
+    }
+
+    /// The attached fault plan, if any. Reflects consumed state: a fired
+    /// power cut no longer reports its operation index.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.faults.as_ref().map(|f| f.plan())
+    }
+
+    /// Whether `block` is grown-bad (a program or erase fault has
+    /// permanently damaged it). Always `false` without a fault plan.
+    pub fn is_bad_block(&self, block: u32) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.is_bad(block))
+    }
+
+    /// Whether the fault plan's power cut has fired and the chip is
+    /// unpowered. Every operation fails with [`NandError::PowerCut`] until
+    /// [`power_cycle`](Self::power_cycle) runs.
+    pub fn power_is_cut(&self) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.power_is_cut())
+    }
+
+    /// Restores power after a cut. The consumed cut point stays consumed;
+    /// use [`rearm_power_cut`](Self::rearm_power_cut) to schedule another.
+    pub fn power_cycle(&mut self) {
+        if let Some(f) = &mut self.faults {
+            f.power_cycle();
+        }
+    }
+
+    /// Schedules a new power cut at mutating-operation index `op` (see
+    /// [`FaultPlan::with_power_cut`]) and restores power if it was cut.
+    /// No-op without a fault plan.
+    pub fn rearm_power_cut(&mut self, op: u64, torn: bool) {
+        if let Some(f) = &mut self.faults {
+            f.rearm_power_cut(op, torn);
+        }
+    }
+
+    /// Mutating operations (programs + erases) the fault layer has counted,
+    /// including the one a power cut consumed. `0` without a fault plan.
+    /// Sweep harnesses use this to enumerate cut points.
+    pub fn fault_ops(&self) -> u64 {
+        self.faults.as_ref().map_or(0, |f| f.ops())
     }
 
     /// Mutable access to the attached sink, for layers above the device that
@@ -187,6 +242,13 @@ impl<S: Sink> NandDevice<S> {
         self.blocks.iter().map(|b| b.erase_count()).collect()
     }
 
+    fn check_power(&self) -> Result<(), NandError> {
+        if self.power_is_cut() {
+            return Err(NandError::PowerCut);
+        }
+        Ok(())
+    }
+
     fn check_addr(&self, addr: PageAddr) -> Result<(), NandError> {
         if !self.geometry.contains_block(addr.block) {
             return Err(NandError::BlockOutOfRange {
@@ -211,6 +273,7 @@ impl<S: Sink> NandDevice<S> {
     /// for bad addresses and [`NandError::ReadOfFreePage`] when the page has
     /// not been programmed since its last erase.
     pub fn read(&mut self, addr: PageAddr) -> Result<ReadResult, NandError> {
+        self.check_power()?;
         self.check_addr(addr)?;
         let block = &self.blocks[addr.block as usize];
         if block.page_state(addr.page).is_free() {
@@ -229,19 +292,51 @@ impl<S: Sink> NandDevice<S> {
     /// # Errors
     ///
     /// Returns an address error for bad addresses and
-    /// [`NandError::ProgramOnUsedPage`] if the page is not free.
+    /// [`NandError::ProgramOnUsedPage`] if the page is not free. With a
+    /// [`FaultPlan`] attached it can also fail with
+    /// [`NandError::ProgramFailed`] (the page is consumed and the block
+    /// grown-bad — remap the write elsewhere) or [`NandError::PowerCut`].
     pub fn program(
         &mut self,
         addr: PageAddr,
         data: u64,
         spare: SpareArea,
     ) -> Result<(), NandError> {
+        self.check_power()?;
         self.check_addr(addr)?;
-        let block = &mut self.blocks[addr.block as usize];
-        if !block.page_state(addr.page).is_free() {
+        if !self.blocks[addr.block as usize]
+            .page_state(addr.page)
+            .is_free()
+        {
             return Err(NandError::ProgramOnUsedPage { addr });
         }
-        block.program(addr.page, data, spare);
+        if let Some(faults) = &mut self.faults {
+            match faults.decide_program(addr) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Fail(error) => {
+                    faults.mark_bad(addr.block);
+                    self.blocks[addr.block as usize].tear_program(addr.page);
+                    self.busy_ns += self.spec.timing.program_ns;
+                    if S::ENABLED {
+                        self.sink.event(Event::FaultInjected {
+                            block: addr.block,
+                            kind: FaultKind::ProgramFail,
+                        });
+                    }
+                    return Err(error);
+                }
+                FaultDecision::Cut { torn, at_op } => {
+                    if torn {
+                        self.blocks[addr.block as usize].tear_program(addr.page);
+                    }
+                    if S::ENABLED {
+                        self.sink.event(Event::PowerCut { at_op, torn });
+                    }
+                    return Err(NandError::PowerCut);
+                }
+            }
+        }
+        self.blocks[addr.block as usize].program(addr.page, data, spare);
         self.counters.programs += 1;
         self.busy_ns += self.spec.timing.program_ns;
         if S::ENABLED {
@@ -250,6 +345,29 @@ impl<S: Sink> NandDevice<S> {
                 page: addr.page,
             });
         }
+        Ok(())
+    }
+
+    /// Programs the firmware bad-block marker ([`SpareArea::bad_block`])
+    /// into page 0 of `block`. Translation layers call this when they retire
+    /// a block so that a later mount rediscovers the retirement from flash
+    /// instead of resurrecting stale contents. Like
+    /// [`invalidate`](Self::invalidate), this models a spare-area status
+    /// program: it charges no latency and cannot be torn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NandError::BlockOutOfRange`] for a bad index and
+    /// [`NandError::PowerCut`] while power is cut.
+    pub fn mark_bad(&mut self, block: u32) -> Result<(), NandError> {
+        self.check_power()?;
+        if !self.geometry.contains_block(block) {
+            return Err(NandError::BlockOutOfRange {
+                block,
+                blocks: self.geometry.blocks(),
+            });
+        }
+        self.blocks[block as usize].mark_bad();
         Ok(())
     }
 
@@ -263,6 +381,7 @@ impl<S: Sink> NandDevice<S> {
     /// Returns an address error for bad addresses and
     /// [`NandError::InvalidateNonValidPage`] if the page is not valid.
     pub fn invalidate(&mut self, addr: PageAddr) -> Result<(), NandError> {
+        self.check_power()?;
         self.check_addr(addr)?;
         let block = &mut self.blocks[addr.block as usize];
         if !block.page_state(addr.page).is_valid() {
@@ -289,8 +408,11 @@ impl<S: Sink> NandDevice<S> {
     ///
     /// # Errors
     ///
-    /// As for [`erase`](NandDevice::erase).
+    /// As for [`erase`](NandDevice::erase). With a [`FaultPlan`] attached it
+    /// can also fail with [`NandError::EraseFailed`] (the block is bad and
+    /// must be retired) or [`NandError::PowerCut`].
     pub fn erase_as(&mut self, block: u32, cause: Cause) -> Result<(), NandError> {
+        self.check_power()?;
         if !self.geometry.contains_block(block) {
             return Err(NandError::BlockOutOfRange {
                 block,
@@ -298,14 +420,37 @@ impl<S: Sink> NandDevice<S> {
             });
         }
         let endurance = self.spec.endurance;
-        let blk = &mut self.blocks[block as usize];
-        if self.policy == WearPolicy::FailWornBlocks && blk.state(endurance) == BlockState::WornOut
+        let erase_count = self.blocks[block as usize].erase_count();
+        if self.policy == WearPolicy::FailWornBlocks
+            && self.blocks[block as usize].state(endurance) == BlockState::WornOut
         {
-            return Err(NandError::BlockWornOut {
-                block,
-                erase_count: blk.erase_count(),
-            });
+            return Err(NandError::BlockWornOut { block, erase_count });
         }
+        if let Some(faults) = &mut self.faults {
+            match faults.decide_erase(block, erase_count) {
+                FaultDecision::Proceed => {}
+                FaultDecision::Fail(error) => {
+                    self.busy_ns += self.spec.timing.erase_ns;
+                    if S::ENABLED {
+                        self.sink.event(Event::FaultInjected {
+                            block,
+                            kind: FaultKind::EraseFail,
+                        });
+                    }
+                    return Err(error);
+                }
+                FaultDecision::Cut { torn, at_op } => {
+                    if torn {
+                        self.blocks[block as usize].tear_erase();
+                    }
+                    if S::ENABLED {
+                        self.sink.event(Event::PowerCut { at_op, torn });
+                    }
+                    return Err(NandError::PowerCut);
+                }
+            }
+        }
+        let blk = &mut self.blocks[block as usize];
         let was_healthy = blk.state(endurance) == BlockState::Healthy;
         blk.erase();
         self.counters.erases += 1;

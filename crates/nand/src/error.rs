@@ -49,6 +49,27 @@ pub enum NandError {
         /// Its erase count at the time of the refused erase.
         erase_count: u64,
     },
+    /// A page program failed (injected by the [`crate::FaultPlan`]). The
+    /// target page is consumed — torn to the invalid state with no readable
+    /// metadata — and the containing block is marked grown-bad, so its next
+    /// erase will fail with [`NandError::EraseFailed`]. The translation layer
+    /// must retry the write on a different block.
+    ProgramFailed {
+        /// Address of the page that failed to program.
+        addr: PageAddr,
+    },
+    /// A block erase failed permanently (injected by the
+    /// [`crate::FaultPlan`]: a grown-bad block, a per-block endurance limit,
+    /// or a probabilistic erase fault). The block must be retired from
+    /// rotation; retrying will fail again.
+    EraseFailed {
+        /// The bad block.
+        block: u32,
+    },
+    /// The fault plan's power-cut point has fired: simulated power is off and
+    /// every device operation fails until the harness calls
+    /// [`crate::NandDevice::power_cycle`].
+    PowerCut,
 }
 
 impl fmt::Display for NandError {
@@ -75,6 +96,15 @@ impl fmt::Display for NandError {
             }
             NandError::BlockWornOut { block, erase_count } => {
                 write!(f, "block {block} worn out after {erase_count} erases")
+            }
+            NandError::ProgramFailed { addr } => {
+                write!(f, "program failed at page {addr} (block is grown-bad)")
+            }
+            NandError::EraseFailed { block } => {
+                write!(f, "erase failed on bad block {block}")
+            }
+            NandError::PowerCut => {
+                write!(f, "power is cut; device needs a power cycle")
             }
         }
     }

@@ -47,12 +47,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod block;
 mod cell;
 mod device;
 mod error;
+pub mod fault;
 pub mod freelist;
 mod geometry;
 mod page;
@@ -64,6 +65,7 @@ pub use block::{Block, BlockState};
 pub use cell::{CellKind, CellSpec, Timing};
 pub use device::{DeviceCounters, FailureRecord, NandDevice, ReadResult, WearPolicy};
 pub use error::NandError;
+pub use fault::FaultPlan;
 pub use freelist::FreeBlockLadder;
 pub use geometry::Geometry;
 pub use page::{PageAddr, PageState, SpareArea};

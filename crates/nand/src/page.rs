@@ -96,6 +96,10 @@ pub struct SpareArea {
 /// Status word value for a freshly written live page.
 pub const STATUS_LIVE: u32 = 0;
 
+/// Status word of the on-flash bad-block marker (all bits set — the
+/// "non-clean byte in the spare area" convention of real chips).
+pub const STATUS_BAD_BLOCK: u32 = u32::MAX;
+
 impl SpareArea {
     /// Spare area recording that the page holds live data for `lba`.
     pub fn valid(lba: Lba) -> Self {
@@ -119,6 +123,22 @@ impl SpareArea {
             raw_lba: u64::MAX,
             status,
         }
+    }
+
+    /// The firmware bad-block marker. Programmed into the spare area of
+    /// page 0 when a translation layer retires a block, so that a later
+    /// mount rediscovers the retirement instead of resurrecting stale data
+    /// (real chips use a designated non-clean spare byte the same way).
+    pub fn bad_block() -> Self {
+        Self {
+            raw_lba: u64::MAX,
+            status: STATUS_BAD_BLOCK,
+        }
+    }
+
+    /// Whether this spare area carries the bad-block marker.
+    pub fn is_bad_block_marker(&self) -> bool {
+        self.raw_lba == u64::MAX && self.status == STATUS_BAD_BLOCK
     }
 
     /// The LBA recorded in the spare area, if any.

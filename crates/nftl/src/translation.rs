@@ -17,6 +17,22 @@ const NO_BLOCK: u32 = u32::MAX;
 pub(crate) const STATUS_PRIMARY: u32 = 1;
 /// Spare-area status marker for pages appended to a replacement block.
 pub(crate) const STATUS_REPL: u32 = 2;
+/// Low status bits carrying the page kind; the bits above hold the merge
+/// generation of primary pages.
+const STATUS_KIND_MASK: u32 = 0xFF;
+/// Shift from the status word to the merge generation.
+const GEN_SHIFT: u32 = 8;
+
+/// Status word for a primary page of merge generation `gen`. The generation
+/// lets a remount tell a complete primary from the half-written successor a
+/// power cut left behind: every merge writes its copies with the old
+/// generation plus one, and erases the old pair only after the new block is
+/// complete — so the *lower* generation is always the trustworthy one.
+/// (24 bits of generation wrap after ~16M merges of one virtual block;
+/// beyond that, duplicate resolution degrades to the valid-page tiebreak.)
+fn primary_status(gen: u32) -> u32 {
+    STATUS_PRIMARY | ((gen & (u32::MAX >> GEN_SHIFT)) << GEN_SHIFT)
+}
 
 /// What a physical block is currently used for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +81,9 @@ pub(crate) struct Inner<S: Sink = NullSink> {
     logical_pages: u64,
     /// Per VBA: primary physical block (`NO_BLOCK` when unassigned).
     primary: Vec<u32>,
+    /// Per VBA: merge generation of the current primary (see
+    /// [`primary_status`]).
+    gen: Vec<u32>,
     /// Open replacement blocks, keyed by VBA (ordered for determinism).
     repl: BTreeMap<u32, ReplState>,
     role: Vec<BlockRole>,
@@ -96,6 +115,7 @@ impl<S: Sink> Inner<S> {
             virtual_blocks,
             logical_pages,
             primary: vec![NO_BLOCK; virtual_blocks as usize],
+            gen: vec![0; virtual_blocks as usize],
             repl: BTreeMap::new(),
             role: vec![BlockRole::Free; blocks as usize],
             free,
@@ -111,41 +131,66 @@ impl<S: Sink> Inner<S> {
 
     /// Rebuilds all RAM tables from the spare areas of an existing chip —
     /// what real NFTL firmware does at attach time.
+    ///
+    /// Hardened against the debris a power cut can leave behind:
+    ///
+    /// - Blocks carrying the on-flash bad-block marker (programmed by
+    ///   bad-block management in an earlier session) come back as retired.
+    /// - Pages torn mid-program carry no spare metadata and are skipped;
+    ///   blocks holding nothing but torn pages (e.g. a torn erase) are
+    ///   scrubbed back into the free pool.
+    /// - Duplicate primaries for one virtual block — the old pair plus the
+    ///   half-finished successor of an interrupted merge — are resolved by
+    ///   merge generation: the lower generation is complete (the merge
+    ///   erases it only after finishing the new copy), so it wins and the
+    ///   other is scrubbed.
     fn mount(device: NandDevice<S>, config: NftlConfig) -> Result<Self, NftlError> {
         let mut inner = Self::new(device, config)?;
         inner.free.clear();
         let blocks = inner.device.geometry().blocks();
         let pages_per_block = inner.device.geometry().pages_per_block();
+        // (vba, block, generation) primary candidates; resolved below.
+        let mut primaries: Vec<(u32, u32, u32)> = Vec::new();
+        let mut scrub: Vec<u32> = Vec::new();
 
         for b in 0..blocks {
-            // Classify the block from its first programmed page's marker.
+            if inner.device.block(b).spare(0).is_bad_block_marker() {
+                inner.role[b as usize] = BlockRole::Retired;
+                continue;
+            }
+            // Classify the block from its first page whose spare metadata
+            // survived (torn pages carry none).
             let mut marker: Option<(u32, u64)> = None; // (status, lba)
+            let mut programmed = false;
             for (page, state) in inner.device.block(b).page_states() {
                 if state.is_free() {
                     continue;
                 }
+                programmed = true;
                 let spare = inner.device.block(b).spare(page);
-                let lba = spare.lba().ok_or(NftlError::MountCorrupt { block: b })?;
-                marker = Some((spare.status(), lba));
-                break;
+                if let Some(lba) = spare.lba() {
+                    marker = Some((spare.status(), lba));
+                    break;
+                }
             }
             let Some((status, lba)) = marker else {
-                let wear = inner.device.block(b).erase_count();
-                inner.role[b as usize] = BlockRole::Free;
-                inner.free.push(b, wear);
+                if programmed {
+                    // Nothing but torn pages: crash debris, recycle it.
+                    scrub.push(b);
+                } else {
+                    let wear = inner.device.block(b).erase_count();
+                    inner.role[b as usize] = BlockRole::Free;
+                    inner.free.push(b, wear);
+                }
                 continue;
             };
             if lba >= inner.logical_pages {
                 return Err(NftlError::MountCorrupt { block: b });
             }
             let (vba, _) = inner.split(lba);
-            match status {
+            match status & STATUS_KIND_MASK {
                 STATUS_PRIMARY => {
-                    if inner.primary[vba as usize] != NO_BLOCK {
-                        return Err(NftlError::MountCorrupt { block: b });
-                    }
-                    inner.primary[vba as usize] = b;
-                    inner.role[b as usize] = BlockRole::Primary(vba);
+                    primaries.push((vba, b, status >> GEN_SHIFT));
                 }
                 STATUS_REPL => {
                     let mut latest = vec![0u32; pages_per_block as usize].into_boxed_slice();
@@ -181,6 +226,29 @@ impl<S: Sink> Inner<S> {
                 }
                 _ => return Err(NftlError::MountCorrupt { block: b }),
             }
+        }
+
+        // Resolve duplicate primaries: lowest generation wins; ties (only
+        // reachable through injected program faults, never through power
+        // cuts alone) favour the block serving more live pages, then the
+        // lower block number. Losers are crash debris and get scrubbed.
+        primaries.sort_by_key(|&(vba, b, gen)| {
+            let valid = inner.device.block(b).valid_pages();
+            (vba, gen, std::cmp::Reverse(valid), b)
+        });
+        let mut prev_vba = None;
+        for (vba, b, gen) in primaries {
+            if prev_vba == Some(vba) {
+                scrub.push(b);
+                continue;
+            }
+            prev_vba = Some(vba);
+            inner.primary[vba as usize] = b;
+            inner.gen[vba as usize] = gen;
+            inner.role[b as usize] = BlockRole::Primary(vba);
+        }
+        for b in scrub {
+            inner.scrub_block(b)?;
         }
 
         // Every replacement must hang off an assigned primary.
@@ -249,21 +317,114 @@ impl<S: Sink> Inner<S> {
             self.role[p as usize] = BlockRole::Primary(vba);
             self.primary[vba as usize] = p;
         }
-        let p = self.primary[vba as usize];
 
-        if self.device.block(p).page_state(offset).is_free() {
-            // In-place slot still available in the primary block.
-            debug_assert!(self
-                .repl
-                .get(&vba)
-                .is_none_or(|rs| rs.latest[offset as usize] == 0));
-            self.device.program(
-                PageAddr::new(p, offset),
+        // Retry loop: an injected program failure consumes the target page,
+        // so each pass routes the write to the next viable place — the
+        // in-place slot, then the replacement block, then (once the
+        // replacement fills) a merge that folds the data into a fresh
+        // primary. Terminates because every retry consumes pages and the
+        // free pool is finite.
+        loop {
+            let p = self.primary[vba as usize];
+            if self.device.block(p).page_state(offset).is_free() {
+                // In-place slot still available in the primary block.
+                debug_assert!(self
+                    .repl
+                    .get(&vba)
+                    .is_none_or(|rs| rs.latest[offset as usize] == 0));
+                let spare = SpareArea::with_status(lba, primary_status(self.gen[vba as usize]));
+                match self.device.program(PageAddr::new(p, offset), data, spare) {
+                    Ok(()) => {}
+                    Err(nand::NandError::ProgramFailed { .. }) => {
+                        // Slot consumed, primary grown-bad: fall through to
+                        // the replacement path.
+                        self.refresh_victim(vba);
+                        continue;
+                    }
+                    Err(other) => {
+                        self.refresh_victim(vba);
+                        return Err(other.into());
+                    }
+                }
+                // An open replacement makes this VBA a merge candidate whose
+                // valid count just grew.
+                self.refresh_victim(vba);
+                self.counters.host_writes += 1;
+                if S::ENABLED {
+                    self.device.sink_mut().event(Event::HostWrite { lba });
+                }
+                return Ok(());
+            }
+
+            // Overwrite: goes to the replacement block.
+            if !self.repl.contains_key(&vba) {
+                let r = self.pop_freshest_free()?;
+                self.role[r as usize] = BlockRole::Replacement(vba);
+                let pages = self.device.geometry().pages_per_block() as usize;
+                self.repl.insert(
+                    vba,
+                    ReplState {
+                        block: r,
+                        next: 0,
+                        latest: vec![0; pages].into_boxed_slice(),
+                    },
+                );
+            }
+
+            let pages_per_block = self.device.geometry().pages_per_block();
+            if self.repl[&vba].next == pages_per_block {
+                // Replacement full: merge, folding the incoming data into
+                // the fresh primary in place of the offset's old copy. The
+                // data lands *before* the merge erases the old pair, so a
+                // power cut can never destroy the only surviving copy of
+                // the last acknowledged write.
+                self.counters.full_merges += 1;
+                if S::ENABLED {
+                    self.device.sink_mut().event(Event::Merge {
+                        vba,
+                        kind: MergeKind::Full,
+                    });
+                }
+                self.merge(vba, Some((offset, data)), MergeCause::ReplacementFull, erased)?;
+                self.counters.host_writes += 1;
+                if S::ENABLED {
+                    self.device.sink_mut().event(Event::HostWrite { lba });
+                }
+                return Ok(());
+            }
+
+            let rs = self.repl.get_mut(&vba).expect("replacement just ensured");
+            let slot = rs.next;
+            let block = rs.block;
+            let prev = rs.latest[offset as usize];
+            rs.next += 1;
+            match self.device.program(
+                PageAddr::new(block, slot),
                 data,
-                SpareArea::with_status(lba, STATUS_PRIMARY),
-            )?;
-            // An open replacement makes this VBA a merge candidate whose
-            // valid count just grew.
+                SpareArea::with_status(lba, STATUS_REPL),
+            ) {
+                Ok(()) => {}
+                Err(nand::NandError::ProgramFailed { .. }) => {
+                    // Slot consumed, replacement grown-bad: the next pass
+                    // appends to the following slot or merges once full.
+                    self.refresh_victim(vba);
+                    continue;
+                }
+                Err(other) => {
+                    self.refresh_victim(vba);
+                    return Err(other.into());
+                }
+            }
+            let rs = self.repl.get_mut(&vba).expect("replacement just ensured");
+            rs.latest[offset as usize] = slot + 1;
+            // Invalidate the superseded copy (replacement page or primary
+            // slot). A primary slot consumed by an earlier fault carries no
+            // live copy to invalidate.
+            if prev != 0 {
+                self.device.invalidate(PageAddr::new(block, prev - 1))?;
+            } else if self.device.block(p).page_state(offset).is_valid() {
+                self.device.invalidate(PageAddr::new(p, offset))?;
+            }
             self.refresh_victim(vba);
             self.counters.host_writes += 1;
             if S::ENABLED {
@@ -271,70 +432,6 @@ impl<S: Sink> Inner<S> {
             }
             return Ok(());
         }
-
-        // Overwrite: goes to the replacement block.
-        if !self.repl.contains_key(&vba) {
-            let r = self.pop_freshest_free()?;
-            self.role[r as usize] = BlockRole::Replacement(vba);
-            let pages = self.device.geometry().pages_per_block() as usize;
-            self.repl.insert(
-                vba,
-                ReplState {
-                    block: r,
-                    next: 0,
-                    latest: vec![0; pages].into_boxed_slice(),
-                },
-            );
-        }
-
-        let pages_per_block = self.device.geometry().pages_per_block();
-        if self.repl[&vba].next == pages_per_block {
-            // Replacement full: merge, skipping the offset being rewritten,
-            // then the fresh primary has a free slot at `offset`.
-            self.counters.full_merges += 1;
-            if S::ENABLED {
-                self.device.sink_mut().event(Event::Merge {
-                    vba,
-                    kind: MergeKind::Full,
-                });
-            }
-            self.merge(vba, Some(offset), MergeCause::ReplacementFull, erased)?;
-            let p = self.primary[vba as usize];
-            self.device.program(
-                PageAddr::new(p, offset),
-                data,
-                SpareArea::with_status(lba, STATUS_PRIMARY),
-            )?;
-            self.counters.host_writes += 1;
-            if S::ENABLED {
-                self.device.sink_mut().event(Event::HostWrite { lba });
-            }
-            return Ok(());
-        }
-
-        let rs = self.repl.get_mut(&vba).expect("replacement just ensured");
-        let slot = rs.next;
-        let block = rs.block;
-        let prev = rs.latest[offset as usize];
-        rs.latest[offset as usize] = slot + 1;
-        rs.next += 1;
-        self.device.program(
-            PageAddr::new(block, slot),
-            data,
-            SpareArea::with_status(lba, STATUS_REPL),
-        )?;
-        // Invalidate the superseded copy (replacement page or primary slot).
-        if prev != 0 {
-            self.device.invalidate(PageAddr::new(block, prev - 1))?;
-        } else {
-            self.device.invalidate(PageAddr::new(p, offset))?;
-        }
-        self.refresh_victim(vba);
-        self.counters.host_writes += 1;
-        if S::ENABLED {
-            self.device.sink_mut().event(Event::HostWrite { lba });
-        }
-        Ok(())
     }
 
     fn host_read(&mut self, lba: u64) -> Result<Option<u64>, NftlError> {
@@ -465,67 +562,138 @@ impl<S: Sink> Inner<S> {
     }
 
     /// Folds a VBA's newest data into a fresh primary block and erases the
-    /// old primary (and replacement, if open). `skip_offset` omits an offset
-    /// that the caller is about to overwrite anyway.
+    /// old primary (and replacement, if open). `fill` programs host data
+    /// into an offset in place of its old copy — the overwrite that
+    /// triggered a full merge — so the data is safely on flash *before* the
+    /// old pair is destroyed.
+    ///
+    /// Crash ordering: copies (and the fill) land in the fresh block with
+    /// generation `gen+1` first; the old pair is erased only afterwards. A
+    /// power cut therefore leaves either the old pair intact (the partial
+    /// successor is scrubbed at mount, resolved by generation) or the new
+    /// primary complete — never a state that loses acknowledged data.
     fn merge(
         &mut self,
         vba: u32,
-        skip_offset: Option<u32>,
+        fill: Option<(u32, u64)>,
         cause: MergeCause,
         erased: &mut Vec<u32>,
     ) -> Result<(), NftlError> {
         let old_primary = self.primary[vba as usize];
         debug_assert_ne!(old_primary, NO_BLOCK, "merge requires a primary");
         let rs = self.repl.remove(&vba);
-        let fresh = self.pop_freshest_free()?;
-
+        let new_gen = self.gen[vba as usize].wrapping_add(1);
         let pages_per_block = self.device.geometry().pages_per_block();
-        for offset in 0..pages_per_block {
-            if skip_offset == Some(offset) {
-                continue;
-            }
-            let src = match &rs {
-                Some(rs) if rs.latest[offset as usize] != 0 => {
-                    Some(PageAddr::new(rs.block, rs.latest[offset as usize] - 1))
-                }
-                _ => {
-                    let state = self.device.block(old_primary).page_state(offset);
-                    state
-                        .is_valid()
-                        .then_some(PageAddr::new(old_primary, offset))
+
+        // Copy phase, restarted on another fresh block when an injected
+        // program failure strikes mid-merge (the half-written block is
+        // retired; the sources are still intact, so the copies repeat).
+        let fresh = 'attempt: loop {
+            let fresh = match self.pop_freshest_free() {
+                Ok(fresh) => fresh,
+                Err(e) => {
+                    self.undo_merge(vba, rs);
+                    return Err(e);
                 }
             };
-            let Some(src) = src else { continue };
-            let content = self.device.read(src)?;
-            let lba = self.lba_of(vba, offset);
-            self.device.program(
-                PageAddr::new(fresh, offset),
-                content.data,
-                SpareArea::with_status(lba, STATUS_PRIMARY),
-            )?;
-            match cause {
-                MergeCause::WearLeveling => self.counters.swl_live_copies += 1,
-                _ => self.counters.gc_live_copies += 1,
+            for offset in 0..pages_per_block {
+                let lba = self.lba_of(vba, offset);
+                // `copied_from` is `None` for the host fill (not a copy).
+                let (data, copied_from) = match fill {
+                    Some((fill_offset, fill_data)) if fill_offset == offset => (fill_data, None),
+                    _ => {
+                        let src = match &rs {
+                            Some(rs) if rs.latest[offset as usize] != 0 => {
+                                Some(PageAddr::new(rs.block, rs.latest[offset as usize] - 1))
+                            }
+                            _ => {
+                                let state = self.device.block(old_primary).page_state(offset);
+                                state
+                                    .is_valid()
+                                    .then_some(PageAddr::new(old_primary, offset))
+                            }
+                        };
+                        let Some(src) = src else { continue };
+                        match self.device.read(src) {
+                            Ok(content) => (content.data, Some(src.block)),
+                            Err(e) => {
+                                self.role[fresh as usize] = BlockRole::Retired;
+                                self.undo_merge(vba, rs);
+                                return Err(e.into());
+                            }
+                        }
+                    }
+                };
+                match self.device.program(
+                    PageAddr::new(fresh, offset),
+                    data,
+                    SpareArea::with_status(lba, primary_status(new_gen)),
+                ) {
+                    Ok(()) => {}
+                    Err(nand::NandError::ProgramFailed { .. }) => {
+                        self.retire_block(fresh, false);
+                        continue 'attempt;
+                    }
+                    Err(e) => {
+                        // Power cut (or a dead device): RAM state is about
+                        // to be discarded; park the half-written block out
+                        // of circulation so the audit stays coherent.
+                        self.role[fresh as usize] = BlockRole::Retired;
+                        self.undo_merge(vba, rs);
+                        return Err(e.into());
+                    }
+                }
+                if let Some(from_block) = copied_from {
+                    match cause {
+                        MergeCause::WearLeveling => self.counters.swl_live_copies += 1,
+                        _ => self.counters.gc_live_copies += 1,
+                    }
+                    if S::ENABLED {
+                        self.device.sink_mut().event(Event::LiveCopy {
+                            from_block,
+                            to_block: fresh,
+                            cause: cause.telemetry_cause(),
+                        });
+                    }
+                }
             }
-            if S::ENABLED {
-                self.device.sink_mut().event(Event::LiveCopy {
-                    from_block: src.block,
-                    to_block: fresh,
-                    cause: cause.telemetry_cause(),
-                });
-            }
-        }
+            break fresh;
+        };
 
         self.primary[vba as usize] = fresh;
         self.role[fresh as usize] = BlockRole::Primary(vba);
-        self.erase_and_free(old_primary, cause, erased)?;
+        self.gen[vba as usize] = new_gen;
+        if let Err(e) = self.erase_and_free(old_primary, cause, erased) {
+            // Power cut mid-erase: park the stragglers (RAM dies with us).
+            self.role[old_primary as usize] = BlockRole::Retired;
+            if let Some(rs) = rs {
+                self.role[rs.block as usize] = BlockRole::Retired;
+            }
+            self.refresh_victim(vba);
+            return Err(e);
+        }
         if let Some(rs) = rs {
-            self.erase_and_free(rs.block, cause, erased)?;
+            if let Err(e) = self.erase_and_free(rs.block, cause, erased) {
+                self.role[rs.block as usize] = BlockRole::Retired;
+                self.refresh_victim(vba);
+                return Err(e);
+            }
         }
         // The replacement (if any) is gone: the VBA stops being a merge
         // candidate.
         self.refresh_victim(vba);
         Ok(())
+    }
+
+    /// Restores RAM state after a merge failed before committing: the
+    /// replacement (if any) goes back into the map and the victim index is
+    /// re-synced. The on-flash sources were not touched, so the layer keeps
+    /// serving correct data.
+    fn undo_merge(&mut self, vba: u32, rs: Option<ReplState>) {
+        if let Some(rs) = rs {
+            self.repl.insert(vba, rs);
+        }
+        self.refresh_victim(vba);
     }
 
     /// Relocates a primary block that has no replacement (SWL eviction of
@@ -544,18 +712,12 @@ impl<S: Sink> Inner<S> {
         let pre_wear = self.device.block(block).erase_count();
         match self.device.erase_as(block, cause.telemetry_cause()) {
             Ok(()) => {}
-            Err(nand::NandError::BlockWornOut { .. }) => {
+            Err(nand::NandError::BlockWornOut { .. } | nand::NandError::EraseFailed { .. }) => {
                 // Bad-block management: withdraw the block, stale contents
-                // and all.
-                if self.role[block as usize] == BlockRole::Free {
-                    let removed = self.free.remove(block, pre_wear);
-                    debug_assert!(removed, "free block {block} missing from the ladder");
-                }
-                self.role[block as usize] = BlockRole::Retired;
-                self.counters.retired_blocks += 1;
-                if S::ENABLED {
-                    self.device.sink_mut().event(Event::Retire { block });
-                }
+                // and all. Covers wear-out under `FailWornBlocks` and erase
+                // faults injected by the device's `FaultPlan`.
+                let in_ladder = self.role[block as usize] == BlockRole::Free;
+                self.retire_block(block, in_ladder);
                 return Ok(());
             }
             Err(other) => return Err(other.into()),
@@ -575,6 +737,49 @@ impl<S: Sink> Inner<S> {
         }
         erased.push(block);
         Ok(())
+    }
+
+    /// Withdraws a block from circulation and programs the on-flash
+    /// bad-block marker so a later mount rediscovers the retirement instead
+    /// of resurrecting stale contents. `in_free_ladder` says whether the
+    /// block currently sits in the free ladder (merge abandons hand over
+    /// freshly popped blocks that do not).
+    fn retire_block(&mut self, block: u32, in_free_ladder: bool) {
+        if in_free_ladder {
+            let wear = self.device.block(block).erase_count();
+            let removed = self.free.remove(block, wear);
+            debug_assert!(removed, "free block {block} missing from the ladder");
+        }
+        self.role[block as usize] = BlockRole::Retired;
+        // A spare-area status program: free and uncuttable; it can only
+        // fail once power is already cut, when the RAM state is about to be
+        // discarded anyway.
+        let _ = self.device.mark_bad(block);
+        self.counters.retired_blocks += 1;
+        if S::ENABLED {
+            self.device.sink_mut().event(Event::Retire { block });
+        }
+    }
+
+    /// Erases a block whose contents did not survive a crash — torn pages
+    /// only, or the half-written successor of an interrupted merge — and
+    /// returns it to the free pool. A block that refuses to erase is
+    /// retired. Mount-time only.
+    fn scrub_block(&mut self, block: u32) -> Result<(), NftlError> {
+        match self.device.erase_as(block, Cause::Gc) {
+            Ok(()) => {
+                self.counters.gc_erases += 1;
+                let wear = self.device.block(block).erase_count();
+                self.role[block as usize] = BlockRole::Free;
+                self.free.push(block, wear);
+                Ok(())
+            }
+            Err(nand::NandError::BlockWornOut { .. } | nand::NandError::EraseFailed { .. }) => {
+                self.retire_block(block, false);
+                Ok(())
+            }
+            Err(other) => Err(other.into()),
+        }
     }
 
     /// Pops the free block with the lowest erase count (dynamic wear
@@ -1133,6 +1338,179 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(plain, probed, "telemetry must not perturb behaviour");
+    }
+
+    #[test]
+    fn program_failure_remaps_and_preserves_data() {
+        use nand::FaultPlan;
+
+        let d = device(24, 4).with_fault_plan(FaultPlan::new(11).with_program_fail_prob(0.02));
+        let mut n = BlockMappedNftl::new(d, NftlConfig::default()).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        // Every program failure costs a whole block here (the grown-bad
+        // block is retired at its next merge), so the pool can legitimately
+        // run dry; stop cleanly when it does.
+        'work: for round in 0..40u64 {
+            for lba in 0..24u64 {
+                let data = round * 1000 + lba;
+                match n.write(lba, data) {
+                    Ok(()) => {
+                        shadow.insert(lba, data);
+                    }
+                    Err(NftlError::NoReclaimableSpace | NftlError::FreeExhausted) => break 'work,
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+        }
+        let grown_bad = (0..24).filter(|&b| n.device().is_bad_block(b)).count();
+        assert!(grown_bad > 0, "0.05 fail rate over ~1000 programs must bite");
+        for (lba, data) in shadow {
+            assert_eq!(n.read(lba).unwrap(), Some(data), "lba {lba}");
+        }
+        n.check_consistency();
+    }
+
+    #[test]
+    fn erase_failure_retires_block_and_layer_survives() {
+        use nand::FaultPlan;
+
+        let d = device(24, 4).with_fault_plan(FaultPlan::new(5).with_endurance_range(4, 8));
+        let mut n = BlockMappedNftl::new(d, NftlConfig::default()).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        'work: for round in 0..200u64 {
+            for lba in 0..24u64 {
+                let data = round * 1000 + lba;
+                match n.write(lba, data) {
+                    Ok(()) => {
+                        shadow.insert(lba, data);
+                    }
+                    Err(NftlError::NoReclaimableSpace | NftlError::FreeExhausted) => break 'work,
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+        }
+        assert!(
+            n.counters().retired_blocks > 0,
+            "endurance range must retire blocks: {:?}",
+            n.counters()
+        );
+        for (lba, data) in shadow {
+            assert_eq!(n.read(lba).unwrap(), Some(data), "lba {lba}");
+        }
+        n.check_consistency();
+    }
+
+    #[test]
+    fn retirement_survives_remount_via_bad_block_marker() {
+        use nand::FaultPlan;
+
+        let d = device(24, 4).with_fault_plan(FaultPlan::new(5).with_endurance_range(4, 8));
+        let mut n = BlockMappedNftl::new(d, NftlConfig::default()).unwrap();
+        let mut shadow = std::collections::HashMap::new();
+        'work: for round in 0..200u64 {
+            for lba in 0..24u64 {
+                match n.write(lba, round * 1000 + lba) {
+                    Ok(()) => {
+                        shadow.insert(lba, round * 1000 + lba);
+                    }
+                    Err(NftlError::NoReclaimableSpace | NftlError::FreeExhausted) => break 'work,
+                    Err(other) => panic!("unexpected error {other}"),
+                }
+            }
+        }
+        assert!(n.counters().retired_blocks > 0);
+        let retired: Vec<u32> = (0..24)
+            .filter(|&b| n.device().block(b).spare(0).is_bad_block_marker())
+            .collect();
+        assert!(!retired.is_empty(), "retired blocks must carry the marker");
+
+        let mut n = BlockMappedNftl::mount(n.into_device(), NftlConfig::default()).unwrap();
+        for (lba, data) in shadow {
+            assert_eq!(n.read(lba).unwrap(), Some(data), "lba {lba} after remount");
+        }
+        n.check_consistency();
+    }
+
+    #[test]
+    fn fault_free_plan_is_bit_identical() {
+        use nand::FaultPlan;
+
+        fn work(mut n: BlockMappedNftl) -> (NftlCounters, Vec<u64>) {
+            for lba in 0..16u64 {
+                n.write(lba, 9000 + lba).unwrap();
+            }
+            for i in 0..400u64 {
+                n.write(20, i).unwrap();
+            }
+            (n.counters(), n.device().erase_counts())
+        }
+        let plain = work(
+            BlockMappedNftl::with_swl(device(16, 4), NftlConfig::default(), SwlConfig::new(4, 0))
+                .unwrap(),
+        );
+        let disarmed = work(
+            BlockMappedNftl::with_swl(
+                device(16, 4).with_fault_plan(FaultPlan::new(42)),
+                NftlConfig::default(),
+                SwlConfig::new(4, 0),
+            )
+            .unwrap(),
+        );
+        assert_eq!(plain, disarmed, "a disarmed FaultPlan must change nothing");
+    }
+
+    #[test]
+    fn power_cut_and_remount_preserve_acked_writes() {
+        use nand::FaultPlan;
+
+        // Mini-sweep over early cut points (the exhaustive sweep lives in
+        // the workspace-level crash-consistency harness); overwrite-heavy so
+        // cuts land inside merges too.
+        for cut_at in 0..160u64 {
+            for torn in [false, true] {
+                let plan = FaultPlan::new(1).with_power_cut(cut_at, torn);
+                let d = device(8, 4).with_fault_plan(plan);
+                let mut n = BlockMappedNftl::new(d, NftlConfig::default()).unwrap();
+                let mut acked = std::collections::HashMap::new();
+                let mut in_flight = None;
+                let mut cut = false;
+                'work: for round in 0..12u64 {
+                    for lba in 0..8u64 {
+                        let data = round * 100 + lba;
+                        in_flight = Some((lba, data));
+                        match n.write(lba, data) {
+                            Ok(()) => {
+                                acked.insert(lba, data);
+                            }
+                            Err(NftlError::Device(nand::NandError::PowerCut)) => {
+                                cut = true;
+                                break 'work;
+                            }
+                            Err(other) => panic!("unexpected error {other}"),
+                        }
+                    }
+                }
+                if !cut {
+                    continue; // cut point beyond this workload
+                }
+                let mut dev = n.into_device();
+                dev.power_cycle();
+                let mut n = BlockMappedNftl::mount(dev, NftlConfig::default())
+                    .unwrap_or_else(|e| panic!("mount after cut {cut_at} torn {torn}: {e}"));
+                for (&lba, &want) in &acked {
+                    let got = n.read(lba).unwrap();
+                    let newer = in_flight == Some((lba, got.unwrap_or(u64::MAX)));
+                    assert!(
+                        got == Some(want) || newer,
+                        "cut {cut_at} torn {torn}: lba {lba} read {got:?}, acked {want}"
+                    );
+                }
+                // The layer keeps working after recovery.
+                n.write(0, 777_777).unwrap();
+                assert_eq!(n.read(0).unwrap(), Some(777_777));
+                n.check_consistency();
+            }
+        }
     }
 
     #[test]

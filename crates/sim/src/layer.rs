@@ -4,7 +4,7 @@ use std::fmt;
 
 use flash_telemetry::{NullSink, Sink};
 use ftl::{FtlConfig, PageMappedFtl};
-use nand::NandDevice;
+use nand::{FaultPlan, NandDevice};
 use nftl::{BlockMappedNftl, NftlConfig};
 use swl_core::{SwLeveler, SwlConfig};
 
@@ -35,6 +35,10 @@ pub struct SimConfig {
     pub ftl: FtlConfig,
     /// NFTL-specific settings.
     pub nftl: NftlConfig,
+    /// Deterministic fault-injection plan attached to the device at build
+    /// time (`None` leaves the chip fault-free; reports are bit-identical
+    /// to a build without the field).
+    pub fault: Option<FaultPlan>,
 }
 
 /// Cause-attributed counters, unified across layers.
@@ -187,6 +191,10 @@ impl<S: Sink> Layer<S> {
         swl: Option<SwlConfig>,
         config: &SimConfig,
     ) -> Result<Self, SimError> {
+        let device = match config.fault {
+            Some(plan) => device.with_fault_plan(plan),
+            None => device,
+        };
         Ok(match (kind, swl) {
             (LayerKind::Ftl, None) => Layer::Ftl(PageMappedFtl::new(device, config.ftl)?),
             (LayerKind::Ftl, Some(s)) => {
@@ -196,6 +204,29 @@ impl<S: Sink> Layer<S> {
             (LayerKind::Nftl, Some(s)) => {
                 Layer::Nftl(BlockMappedNftl::with_swl(device, config.nftl, s)?)
             }
+        })
+    }
+
+    /// Re-attaches a previously used chip through the layers' firmware
+    /// mount paths, rebuilding translation state from the spare areas on
+    /// flash — pair with [`Layer::into_device`] to simulate power cycles.
+    /// No fault plan is applied and no SW Leveler is attached: `config`
+    /// supplies only the layer settings, and a leveler recovered from a
+    /// [`swl_core::persist::DualBuffer`] snapshot can be re-attached with
+    /// the layers' `attach_swl` afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mount failures (corrupt spare areas, duplicate logical
+    /// mappings) as [`SimError`].
+    pub fn mount(
+        kind: LayerKind,
+        device: NandDevice<S>,
+        config: &SimConfig,
+    ) -> Result<Self, SimError> {
+        Ok(match kind {
+            LayerKind::Ftl => Layer::Ftl(PageMappedFtl::mount(device, config.ftl)?),
+            LayerKind::Nftl => Layer::Nftl(BlockMappedNftl::mount(device, config.nftl)?),
         })
     }
 
@@ -318,6 +349,45 @@ mod tests {
             for lba in 0..24u64 {
                 assert_eq!(layer.read(lba).unwrap(), Some(500 + lba), "{kind}");
             }
+        }
+    }
+
+    #[test]
+    fn mount_round_trips_data_through_power_cycle() {
+        let cfg = SimConfig::default();
+        for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+            let mut layer = Layer::build(kind, device(), None, &cfg).unwrap();
+            for lba in 0..16u64 {
+                layer.write(lba, 900 + lba).unwrap();
+            }
+            let chip = layer.into_device();
+            let mut layer = Layer::mount(kind, chip, &cfg).unwrap();
+            for lba in 0..16u64 {
+                assert_eq!(layer.read(lba).unwrap(), Some(900 + lba), "{kind}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_plan_reaches_device_through_config() {
+        let cfg = SimConfig {
+            fault: Some(FaultPlan::new(7).with_program_fail_prob(0.05)),
+            ..SimConfig::default()
+        };
+        for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+            let mut layer = Layer::build(kind, device(), None, &cfg).unwrap();
+            assert!(layer.device().fault_plan().is_some(), "{kind}");
+            for round in 0..40u64 {
+                for lba in 0..8u64 {
+                    if layer.write(lba, round).is_err() {
+                        break;
+                    }
+                }
+            }
+            assert!(
+                layer.counters().retired_blocks > 0,
+                "{kind}: injected program failures must retire blocks"
+            );
         }
     }
 

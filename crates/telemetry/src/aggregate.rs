@@ -16,6 +16,21 @@
 
 use crate::{Cause, Event, FlashCounters, MergeKind, Sink};
 
+/// Consistency audit of retirement bookkeeping, derived while folding the
+/// stream. `swlstat --check` rejects logs where either violation count is
+/// non-zero: a retired block must never be erased again, and no block may be
+/// retired twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetirementAudit {
+    /// Distinct blocks with at least one [`Event::Retire`].
+    pub distinct_retired: u64,
+    /// [`Event::Retire`] events naming an already-retired block.
+    pub duplicate_retires: u64,
+    /// [`Event::Erase`] events on a block after its retirement — the wear
+    /// map moved for a block the log claims is out of rotation.
+    pub erases_after_retire: u64,
+}
+
 /// Default number of erases between periodic [`Snapshot`]s.
 pub const DEFAULT_SNAPSHOT_EVERY: u64 = 1024;
 
@@ -57,6 +72,10 @@ pub struct IntervalStats {
     pub swl_copies: u64,
     /// SWL activations ([`Event::SwlInvoke`]) during the interval.
     pub swl_invokes: u64,
+    /// Device faults injected ([`Event::FaultInjected`]) during the interval.
+    pub faults: u64,
+    /// Blocks retired ([`Event::Retire`]) during the interval.
+    pub retires: u64,
 }
 
 /// A periodic sample of run state, taken every `snapshot_every` erases.
@@ -99,6 +118,10 @@ pub struct MetricsAggregator {
     swl_invokes: u64,
     free_depth: u32,
     victim_candidates: u32,
+    faults: u64,
+    power_cuts: u64,
+    retired: Vec<bool>,
+    audit: RetirementAudit,
 }
 
 impl Default for MetricsAggregator {
@@ -132,6 +155,10 @@ impl MetricsAggregator {
             swl_invokes: 0,
             free_depth: 0,
             victim_candidates: 0,
+            faults: 0,
+            power_cuts: 0,
+            retired: Vec::new(),
+            audit: RetirementAudit::default(),
         }
     }
 
@@ -171,6 +198,21 @@ impl MetricsAggregator {
     /// SWL activations observed.
     pub fn swl_invokes(&self) -> u64 {
         self.swl_invokes
+    }
+
+    /// Injected device faults observed ([`Event::FaultInjected`]).
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Power cuts observed ([`Event::PowerCut`]).
+    pub fn power_cuts(&self) -> u64 {
+        self.power_cuts
+    }
+
+    /// Retirement bookkeeping audit; see [`RetirementAudit`].
+    pub fn retirement_audit(&self) -> RetirementAudit {
+        self.audit
     }
 
     /// Most recent free-pool depth and victim-candidate gauges (both 0
@@ -249,6 +291,7 @@ impl MetricsAggregator {
         if self.wear.len() < need {
             self.wear.resize(need, 0);
             self.erased_in_interval.resize(need, false);
+            self.retired.resize(need, false);
         }
     }
 
@@ -291,6 +334,9 @@ impl Sink for MetricsAggregator {
             Event::Program { .. } => self.programs += 1,
             Event::Erase { block, wear, cause } => {
                 self.grow_to(block);
+                if self.retired[block as usize] {
+                    self.audit.erases_after_retire += 1;
+                }
                 self.wear[block as usize] = wear;
                 self.total_erases_seen += 1;
                 self.current.erases += 1;
@@ -338,7 +384,22 @@ impl Sink for MetricsAggregator {
                 MergeKind::Gc => self.counters.gc_merges += 1,
                 MergeKind::Swl => self.counters.swl_merges += 1,
             },
-            Event::Retire { .. } => self.counters.retired_blocks += 1,
+            Event::Retire { block } => {
+                self.counters.retired_blocks += 1;
+                self.current.retires += 1;
+                self.grow_to(block);
+                if self.retired[block as usize] {
+                    self.audit.duplicate_retires += 1;
+                } else {
+                    self.retired[block as usize] = true;
+                    self.audit.distinct_retired += 1;
+                }
+            }
+            Event::FaultInjected { .. } => {
+                self.faults += 1;
+                self.current.faults += 1;
+            }
+            Event::PowerCut { .. } => self.power_cuts += 1,
             Event::SwlInvoke { .. } => {
                 self.swl_invokes += 1;
                 self.current.swl_invokes += 1;

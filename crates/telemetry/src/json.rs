@@ -7,7 +7,7 @@
 //! exact inverses over that subset, which `swlstat` and the replay tests rely
 //! on.
 
-use crate::{Cause, Event, MergeKind};
+use crate::{Cause, Event, FaultKind, MergeKind};
 use std::fmt::Write as _;
 
 /// Serialize one event as a single JSON object (no trailing newline).
@@ -84,6 +84,20 @@ pub fn write_line(out: &mut String, event: &Event) {
         }
         Event::Retire { block } => {
             let _ = write!(out, "{{\"e\":\"retire\",\"b\":{block}}}");
+        }
+        Event::FaultInjected { block, kind } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"fault\",\"b\":{block},\"kind\":\"{}\"}}",
+                kind.token()
+            );
+        }
+        Event::PowerCut { at_op, torn } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"power_cut\",\"op\":{at_op},\"torn\":{}}}",
+                u8::from(torn)
+            );
         }
         Event::SwlInvoke {
             ecnt,
@@ -249,6 +263,14 @@ fn cause(tok: &str) -> Result<Cause, ParseError> {
     }
 }
 
+fn fault_kind(tok: &str) -> Result<FaultKind, ParseError> {
+    match tok {
+        "prog" => Ok(FaultKind::ProgramFail),
+        "erase" => Ok(FaultKind::EraseFail),
+        other => Err(ParseError::UnknownToken(other.to_string())),
+    }
+}
+
 fn merge_kind(tok: &str) -> Result<MergeKind, ParseError> {
     match tok {
         "full" => Ok(MergeKind::Full),
@@ -304,6 +326,14 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
         }),
         "retire" => Ok(Event::Retire {
             block: num32(&fields, "retire", "b")?,
+        }),
+        "fault" => Ok(Event::FaultInjected {
+            block: num32(&fields, "fault", "b")?,
+            kind: fault_kind(token(&fields, "fault", "kind")?)?,
+        }),
+        "power_cut" => Ok(Event::PowerCut {
+            at_op: num(&fields, "power_cut", "op")?,
+            torn: num(&fields, "power_cut", "torn")? != 0,
         }),
         "swl_invoke" => Ok(Event::SwlInvoke {
             ecnt: num(&fields, "swl_invoke", "ecnt")?,
@@ -374,6 +404,22 @@ mod tests {
                 kind: MergeKind::Swl,
             },
             Event::Retire { block: 63 },
+            Event::FaultInjected {
+                block: 17,
+                kind: FaultKind::ProgramFail,
+            },
+            Event::FaultInjected {
+                block: 18,
+                kind: FaultKind::EraseFail,
+            },
+            Event::PowerCut {
+                at_op: 5000,
+                torn: true,
+            },
+            Event::PowerCut {
+                at_op: 0,
+                torn: false,
+            },
             Event::SwlInvoke {
                 ecnt: 1000,
                 fcnt: 9,

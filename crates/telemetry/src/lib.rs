@@ -9,10 +9,10 @@
 //!
 //! On top of the raw stream sit three consumers:
 //!
-//! - [`JsonlSink`](jsonl::JsonlSink): streams events as JSON Lines through a
+//! - [`JsonlSink`]: streams events as JSON Lines through a
 //!   bounded buffer, so scaled runs can dump logs without holding them in
 //!   memory.
-//! - [`MetricsAggregator`](aggregate::MetricsAggregator): folds a stream
+//! - [`MetricsAggregator`]: folds a stream
 //!   (live or replayed from JSONL) into wear histograms, unevenness-level time
 //!   series, per-interval erase/copy attribution, and depth gauges. Events are
 //!   a lossless superset of the translation-layer counters, so replaying a log
@@ -32,14 +32,20 @@ mod counters;
 pub mod json;
 pub mod jsonl;
 
-pub use aggregate::{IntervalStats, MetricsAggregator, Snapshot, WearSummary};
+pub use aggregate::{IntervalStats, MetricsAggregator, RetirementAudit, Snapshot, WearSummary};
 pub use counters::FlashCounters;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
 
 /// Version of the JSONL event schema, recorded in the [`Event::Meta`] header
 /// line. `swlstat --check` fails on logs with an unknown version.
-pub const SCHEMA_VERSION: u32 = 1;
+///
+/// Version history:
+/// - 1: initial vocabulary (host ops, program/erase/copy, GC picks, merges,
+///   retires, SWL invocations, interval resets).
+/// - 2: adds the fault-injection events [`Event::FaultInjected`] and
+///   [`Event::PowerCut`].
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// Why a block was erased (or a set of pages live-copied).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -81,6 +87,26 @@ impl MergeKind {
             MergeKind::Full => "full",
             MergeKind::Gc => "gc",
             MergeKind::Swl => "swl",
+        }
+    }
+}
+
+/// Which kind of device fault the injection layer fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// A page program failed; the target page is consumed (torn) and the
+    /// block is marked grown-bad.
+    ProgramFail,
+    /// A block erase failed permanently; the block must be retired.
+    EraseFail,
+}
+
+impl FaultKind {
+    /// Short stable token used in the JSONL encoding.
+    pub fn token(self) -> &'static str {
+        match self {
+            FaultKind::ProgramFail => "prog",
+            FaultKind::EraseFail => "erase",
         }
     }
 }
@@ -168,6 +194,23 @@ pub enum Event {
     Retire {
         /// Physical block index.
         block: u32,
+    },
+    /// The fault-injection layer fired a deterministic device fault.
+    FaultInjected {
+        /// Physical block the fault hit.
+        block: u32,
+        /// What failed.
+        kind: FaultKind,
+    },
+    /// The fault-injection layer cut power mid-run; every device operation
+    /// fails until the harness power-cycles the chip.
+    PowerCut {
+        /// Index of the mutating operation (programs + erases) at which the
+        /// cut fired.
+        at_op: u64,
+        /// Whether the in-flight operation was torn (partially applied)
+        /// rather than cleanly dropped.
+        torn: bool,
     },
     /// The static wear leveler activated (`ecnt/fcnt > T`, Algorithm 1).
     SwlInvoke {

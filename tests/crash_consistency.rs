@@ -1,0 +1,269 @@
+//! Crash-consistency harness: replay a GC/SWL-heavy workload, cut power at
+//! operation boundaries, remount, and check the recovery contract.
+//!
+//! The contract, for every cut point:
+//!
+//! 1. **No acked-write loss** — after remount every logical page reads the
+//!    last value whose write returned `Ok`, except the single page whose
+//!    write was in flight at the cut, which may read the new (unacked)
+//!    value instead.
+//! 2. **Bounded checkpoint staleness** — the SW Leveler recovered through
+//!    [`DualBuffer::recover`] carries the `ecnt` of the newest or the
+//!    previous checkpoint (at most one interval stale), even when the
+//!    newest NVRAM slot was itself torn by the crash.
+//! 3. **Wear leveling resumes** — after reattaching the recovered leveler
+//!    the workload continues, and the unevenness level stays below the
+//!    threshold `T` once leveling has run.
+//!
+//! Exhaustive all-cut-points sweeps live in the `crashmc` bench binary;
+//! here each configuration strides across the op space and proptest
+//! samples random (cut, torn) pairs so CI time stays bounded.
+
+use std::collections::HashMap;
+
+use flash_sim::{Layer, LayerKind, SimConfig, SimError, TranslationLayer};
+use ftl::FtlError;
+use nand::{CellKind, FaultPlan, Geometry, NandDevice, NandError};
+use nftl::NftlError;
+use proptest::prelude::*;
+use swl_core::persist::{DualBuffer, PersistError};
+use swl_core::{SwLeveler, SwlConfig};
+
+const BLOCKS: u32 = 24;
+const PAGES: u32 = 8;
+const ROUNDS: u64 = 10;
+/// Acked writes between SW Leveler checkpoints (one "interval").
+const SAVE_EVERY: u64 = 25;
+
+fn device() -> NandDevice {
+    NandDevice::new(
+        Geometry::new(BLOCKS, PAGES, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+fn swl_config() -> SwlConfig {
+    SwlConfig::new(8, 1).with_seed(7)
+}
+
+fn is_power_cut(e: &SimError) -> bool {
+    matches!(
+        e,
+        SimError::Ftl(FtlError::Device(NandError::PowerCut))
+            | SimError::Nftl(NftlError::Device(NandError::PowerCut))
+    )
+}
+
+fn attach(layer: &mut Layer, leveler: SwLeveler) {
+    match layer {
+        Layer::Ftl(l) => l.attach_swl(leveler),
+        Layer::Nftl(l) => l.attach_swl(leveler),
+    }
+}
+
+/// Tracks what the host believes about its own data across the crash.
+#[derive(Default)]
+struct HostModel {
+    acked: HashMap<u64, u64>,
+    in_flight: Option<(u64, u64)>,
+}
+
+/// Replays the deterministic workload until it finishes or the power cut
+/// fires. Mixes sequential cold writes with a hot overwrite set so GC,
+/// merges, and SWL-Procedure all run. Returns `Ok(true)` when a power cut
+/// ended the run.
+fn replay(
+    layer: &mut Layer,
+    nvram: &mut DualBuffer,
+    model: &mut HostModel,
+    saved_ecnts: &mut Vec<u64>,
+) -> Result<bool, SimError> {
+    let lbas = layer.logical_pages().min(28);
+    let mut acked_since_save = 0u64;
+    for round in 0..ROUNDS {
+        for step in 0..lbas {
+            // Two hot writes for every cold one churns the same few pages
+            // hard enough to keep the Cleaner and SWL busy.
+            let lba = if step % 3 == 0 {
+                step
+            } else {
+                (round + step) % 4
+            };
+            let value = (round << 32) | (step << 8) | lba;
+            model.in_flight = Some((lba, value));
+            match layer.write(lba, value) {
+                Ok(()) => {
+                    model.acked.insert(lba, value);
+                    acked_since_save += 1;
+                    if layer.swl().is_some() && acked_since_save >= SAVE_EVERY {
+                        let swl = layer.swl().unwrap();
+                        nvram.save(swl);
+                        saved_ecnts.push(swl.ecnt());
+                        acked_since_save = 0;
+                    }
+                }
+                Err(e) if is_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// Counts the fault-visible operations (programs + erases) of the full
+/// workload, so cut points can be chosen to land inside it.
+fn total_ops(kind: LayerKind, with_swl: bool) -> u64 {
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1)),
+        ..SimConfig::default()
+    };
+    let swl = with_swl.then(swl_config);
+    let mut layer = Layer::build(kind, device(), swl, &cfg).expect("baseline build");
+    let mut nvram = DualBuffer::new();
+    let mut model = HostModel::default();
+    let mut saved = Vec::new();
+    let cut = replay(&mut layer, &mut nvram, &mut model, &mut saved).expect("baseline replay");
+    assert!(!cut, "baseline run must not see a power cut");
+    layer.device().fault_ops()
+}
+
+/// One full crash/remount/verify cycle at `cut_at`.
+fn run_cut_point(kind: LayerKind, with_swl: bool, cut_at: u64, torn: bool) {
+    let ctx = format!("{kind} swl={with_swl} cut_at={cut_at} torn={torn}");
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let swl = with_swl.then(swl_config);
+    let mut layer = Layer::build(kind, device(), swl, &cfg).expect("build");
+    let mut nvram = DualBuffer::new();
+    let mut model = HostModel::default();
+    let mut saved_ecnts = Vec::new();
+    let cut = replay(&mut layer, &mut nvram, &mut model, &mut saved_ecnts)
+        .unwrap_or_else(|e| panic!("{ctx}: workload failed: {e}"));
+    assert!(cut, "{ctx}: cut point must land inside the workload");
+
+    // -- power comes back --
+    let mut chip = layer.into_device();
+    assert!(chip.power_is_cut(), "{ctx}: device must report the cut");
+    chip.power_cycle();
+    // Layer::mount applies no fault plan, which leaves the chip's
+    // grown-bad state untouched instead of re-arming a new plan.
+    let mut layer = Layer::mount(kind, chip, &SimConfig::default())
+        .unwrap_or_else(|e| panic!("{ctx}: remount failed: {e}"));
+
+    if with_swl {
+        // Model a checkpoint torn by the same crash: clobber one NVRAM
+        // slot. recover() must fall back, never panic.
+        if torn {
+            if let Some(slot) = nvram.slot_mut(0) {
+                let cut_len = slot.len() / 2;
+                slot.truncate(cut_len);
+            }
+        }
+        match nvram.recover() {
+            Ok(snapshot) => {
+                let leveler = snapshot
+                    .into_leveler()
+                    .unwrap_or_else(|e| panic!("{ctx}: snapshot decode failed: {e}"));
+                let window = saved_ecnts.iter().rev().take(2);
+                assert!(
+                    window.clone().any(|&e| e == leveler.ecnt()),
+                    "{ctx}: recovered ecnt {} is more than one checkpoint stale \
+                     (last saves: {:?})",
+                    leveler.ecnt(),
+                    saved_ecnts.iter().rev().take(2).collect::<Vec<_>>(),
+                );
+                attach(&mut layer, leveler);
+            }
+            Err(PersistError::NoValidSnapshot) => {
+                assert!(
+                    saved_ecnts.len() <= 1 && torn || saved_ecnts.is_empty(),
+                    "{ctx}: valid checkpoints existed but none recovered"
+                );
+                attach(&mut layer, SwLeveler::new(BLOCKS, swl_config()).unwrap());
+            }
+            Err(e) => panic!("{ctx}: recover failed: {e}"),
+        }
+    }
+
+    // 1. Acked-write durability.
+    for (&lba, &value) in &model.acked {
+        let got = layer
+            .read(lba)
+            .unwrap_or_else(|e| panic!("{ctx}: read({lba}) failed after remount: {e}"));
+        let in_flight_ok =
+            matches!(model.in_flight, Some((l, v)) if l == lba && got == Some(v));
+        assert!(
+            got == Some(value) || in_flight_ok,
+            "{ctx}: lba {lba} lost acked value {value:#x}, read {got:?}"
+        );
+    }
+
+    // 3. The stack keeps working and wear leveling resumes bounded.
+    let lbas = layer.logical_pages().min(28);
+    for round in 0..3u64 {
+        for lba in 0..lbas {
+            let value = 0xCAFE_0000 | (round << 8) | lba;
+            layer
+                .write(lba, value)
+                .unwrap_or_else(|e| panic!("{ctx}: post-recovery write failed: {e}"));
+        }
+    }
+    if with_swl {
+        let swl = layer.swl().expect("leveler attached");
+        assert!(
+            !swl.needs_leveling(),
+            "{ctx}: unevenness {:?} still at or above T={} after resume",
+            swl.unevenness(),
+            swl.config().threshold,
+        );
+    }
+}
+
+/// Strided sweep: every configuration, cut points spread across the whole
+/// op space, both torn and clean cuts.
+#[test]
+fn power_cut_sweep_preserves_acked_writes() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for with_swl in [false, true] {
+            let total = total_ops(kind, with_swl);
+            assert!(total > 50, "{kind} swl={with_swl}: workload too small");
+            let step = (total / 24).max(1);
+            for torn in [false, true] {
+                let mut cut_at = if torn { step / 2 } else { 0 };
+                while cut_at < total {
+                    run_cut_point(kind, with_swl, cut_at, torn);
+                    cut_at += step;
+                }
+            }
+        }
+    }
+}
+
+/// A cut during the very first operations: nothing acked yet, no
+/// checkpoint on NVRAM — remount must still come up clean.
+#[test]
+fn power_cut_before_first_checkpoint_recovers_fresh() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for cut_at in 0..4 {
+            run_cut_point(kind, true, cut_at, true);
+        }
+    }
+}
+
+proptest! {
+    /// Random (layer, cut, torn) samples fill the gaps the strided sweep
+    /// leaves between its lattice points.
+    #[test]
+    fn random_cut_points_recover(
+        seed in any::<u64>(),
+        torn in any::<bool>(),
+        ftl_side in any::<bool>(),
+        with_swl in any::<bool>(),
+    ) {
+        let kind = if ftl_side { LayerKind::Ftl } else { LayerKind::Nftl };
+        let total = total_ops(kind, with_swl);
+        run_cut_point(kind, with_swl, seed % total, torn);
+    }
+}

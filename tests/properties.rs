@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use ftl::{FtlConfig, PageMappedFtl};
 use nand::{CellKind, FreeBlockLadder, Geometry, NandDevice, VictimIndex};
 use nftl::{BlockMappedNftl, NftlConfig};
-use swl_core::persist::{DualBuffer, Snapshot};
+use swl_core::persist::{DualBuffer, PersistError, Snapshot};
 use swl_core::{SwLeveler, SwlCleaner, SwlConfig};
 
 fn device(blocks: u32, pages: u32) -> NandDevice {
@@ -309,6 +309,58 @@ proptest! {
         } else {
             let expected = if tear_newest { generations - 1 } else { generations };
             prop_assert_eq!(recovered.unwrap().sequence(), expected as u64);
+        }
+    }
+
+    /// A checkpoint torn mid-write in arbitrary ways — byte corruption over
+    /// an arbitrary range, truncation at an arbitrary offset, or trailing
+    /// garbage — never panics recovery. `recover` yields the previous
+    /// generation (one interval stale at most) or a clean
+    /// [`PersistError::NoValidSnapshot`], and whatever it yields decodes
+    /// into a working leveler.
+    #[test]
+    fn dual_buffer_survives_arbitrary_torn_writes(
+        erases in prop::collection::vec(0u32..32, 0..100),
+        start in any::<prop::sample::Index>(),
+        len in 1usize..64,
+        mode in 0u8..3,
+    ) {
+        let mut leveler = SwLeveler::new(32, SwlConfig::new(5, 1)).unwrap();
+        let mut nvram = DualBuffer::new();
+        for &block in &erases {
+            leveler.note_erase(block);
+        }
+        let first_ecnt = leveler.ecnt();
+        nvram.save(&leveler); // generation 1 → slot 1
+        leveler.note_erase(7);
+        nvram.save(&leveler); // generation 2 → slot 0, the newest
+        let slot = nvram.slot_mut(0).unwrap();
+        let at = start.index(slot.len());
+        match mode {
+            0 => {
+                let end = (at + len).min(slot.len());
+                for byte in &mut slot[at..end] {
+                    *byte ^= 0xA5;
+                }
+            }
+            1 => slot.truncate(at),
+            _ => slot.extend(std::iter::repeat_n(0xA5, len)),
+        }
+        match nvram.recover() {
+            Ok(snapshot) => {
+                let sequence = snapshot.sequence();
+                prop_assert!(
+                    sequence == 1 || sequence == 2,
+                    "recovered unknown generation {}",
+                    sequence
+                );
+                let restored = snapshot.into_leveler().unwrap();
+                if sequence == 1 {
+                    prop_assert_eq!(restored.ecnt(), first_ecnt);
+                }
+            }
+            Err(PersistError::NoValidSnapshot) => {}
+            Err(other) => prop_assert!(false, "recover surfaced {:?}", other),
         }
     }
 }
