@@ -1,0 +1,342 @@
+//! `swlspan` — renders a span-instrumented telemetry JSONL log (schema v3,
+//! from `swltrace` or any [`flash_telemetry::JsonlSink`]) as latency
+//! attribution: a worst-offenders table of the host operations that paid
+//! the most device time, with an exact host/gc/swl/merge breakdown of each,
+//! and the span tree of the worst ops showing *where* inside the
+//! translation layer the time went.
+//!
+//! ```text
+//! swlspan [FILE|-] [--top N] [--tree N]
+//!
+//!   FILE    the JSONL log; "-" or absent reads stdin
+//!   --top   rows in the worst-offenders table (default 10)
+//!   --tree  how many of the worst ops to render as span trees (default 1)
+//! ```
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use flash_bench::print_table;
+use flash_telemetry::{
+    parse_line, Event, OpBreakdown, SpanCause, SpanKind, SpanReplayer, SCHEMA_VERSION,
+};
+
+#[derive(Debug)]
+struct Options {
+    file: Option<String>,
+    top: usize,
+    tree: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            file: None,
+            top: 10,
+            tree: 1,
+        }
+    }
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--top" | "--tree" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{arg} needs a number"))?
+                    .parse::<usize>()
+                    .map_err(|e| format!("{arg}: {e}"))?;
+                if arg == "--top" {
+                    options.top = value;
+                } else {
+                    options.tree = value;
+                }
+            }
+            "--help" | "-h" => {
+                return Err("usage: swlspan [FILE|-] [--top N] [--tree N]".to_owned())
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other:?} (try --help)"))
+            }
+            path => {
+                if options.file.is_some() {
+                    return Err("only one input file is accepted".to_owned());
+                }
+                options.file = Some(path.to_owned());
+            }
+        }
+    }
+    Ok(options)
+}
+
+fn read_input(file: Option<&str>) -> Result<String, String> {
+    match file {
+        None | Some("-") => {
+            let mut text = String::new();
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("stdin: {e}"))?;
+            Ok(text)
+        }
+        Some(path) => std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}")),
+    }
+}
+
+/// One span with its completed children — the rendering-side mirror of the
+/// replayer's accounting.
+#[derive(Debug)]
+struct Node {
+    kind: SpanKind,
+    begin_ns: u64,
+    end_ns: u64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn total_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.begin_ns)
+    }
+
+    fn self_ns(&self) -> u64 {
+        let child: u64 = self.children.iter().map(Node::total_ns).sum();
+        self.total_ns().saturating_sub(child)
+    }
+}
+
+/// Builds span trees from the event stream. Mirrors [`SpanReplayer`]'s
+/// recovery rules (a close force-closes still-open descendants at the same
+/// stamp, orphan ends are dropped) so the two complete roots in lockstep.
+#[derive(Debug, Default)]
+struct TreeBuilder {
+    stack: Vec<(u64, Node)>,
+}
+
+impl TreeBuilder {
+    fn observe(&mut self, event: &Event) -> Option<Node> {
+        match *event {
+            Event::SpanBegin { id, kind, at_ns, .. } => {
+                self.stack.push((
+                    id,
+                    Node {
+                        kind,
+                        begin_ns: at_ns,
+                        end_ns: at_ns,
+                        children: Vec::new(),
+                    },
+                ));
+                None
+            }
+            Event::SpanEnd { id, at_ns } => {
+                let pos = self.stack.iter().rposition(|(open, _)| *open == id)?;
+                let mut result = None;
+                while self.stack.len() > pos {
+                    let (_, mut node) = self.stack.pop().expect("len > pos implies non-empty");
+                    node.end_ns = at_ns;
+                    if let Some((_, parent)) = self.stack.last_mut() {
+                        parent.children.push(node);
+                    } else {
+                        result = Some(node);
+                    }
+                }
+                result
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Replay {
+    /// `(breakdown, tree)` per completed host op, in completion order.
+    ops: Vec<(OpBreakdown, Node)>,
+    events: u64,
+}
+
+fn replay(text: &str) -> Result<Replay, String> {
+    let mut replayer = SpanReplayer::new();
+    let mut builder = TreeBuilder::default();
+    let mut ops = Vec::new();
+    let mut events = 0u64;
+    let mut first = true;
+    for (n, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let event = parse_line(line).map_err(|e| format!("line {}: {e}", n + 1))?;
+        if first {
+            first = false;
+            match event {
+                Event::Meta { version, .. } if version == SCHEMA_VERSION => {}
+                Event::Meta { version, .. } => {
+                    return Err(format!(
+                        "line {}: schema version {version}, this swlspan speaks {SCHEMA_VERSION} \
+                         (older logs carry no spans)",
+                        n + 1
+                    ))
+                }
+                _ => return Err(format!("line {}: log must start with a meta event", n + 1)),
+            }
+        }
+        events += 1;
+        let breakdown = replayer.observe(&event);
+        let tree = builder.observe(&event);
+        if let (Some(op), Some(node)) = (breakdown, tree) {
+            ops.push((op, node));
+        }
+    }
+    if first {
+        return Err("empty log".to_owned());
+    }
+    let check = replayer.check();
+    if !check.is_clean() {
+        for error in check.errors() {
+            eprintln!("swlspan: warning: {error}");
+        }
+    }
+    Ok(Replay { ops, events })
+}
+
+fn micros(ns: u64) -> String {
+    format!("{:.0}", ns as f64 / 1e3)
+}
+
+fn offender_row(rank: usize, op: &OpBreakdown) -> Vec<String> {
+    vec![
+        format!("{}", rank + 1),
+        op.kind.token().to_owned(),
+        format!("{:.1}", op.begin_ns as f64 / 1e6),
+        micros(op.total_ns()),
+        micros(op.ns(SpanCause::Host)),
+        micros(op.ns(SpanCause::Gc)),
+        micros(op.ns(SpanCause::Swl)),
+        micros(op.ns(SpanCause::Merge)),
+        op.programs.to_string(),
+    ]
+}
+
+fn render_tree(node: &Node, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+    let label = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}└── ")
+    } else {
+        format!("{prefix}├── ")
+    };
+    out.push_str(&format!(
+        "{label}{}  total {} µs, self {} µs\n",
+        node.kind.token(),
+        micros(node.total_ns()),
+        micros(node.self_ns()),
+    ));
+    let child_prefix = if is_root {
+        String::new()
+    } else if is_last {
+        format!("{prefix}    ")
+    } else {
+        format!("{prefix}│   ")
+    };
+    for (i, child) in node.children.iter().enumerate() {
+        render_tree(
+            child,
+            &child_prefix,
+            i + 1 == node.children.len(),
+            false,
+            out,
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match read_input(options.file.as_deref()) {
+        Ok(text) => text,
+        Err(message) => {
+            eprintln!("swlspan: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let replayed = match replay(&text) {
+        Ok(replayed) => replayed,
+        Err(message) => {
+            eprintln!("swlspan: {message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if replayed.ops.is_empty() {
+        println!(
+            "swlspan: {} events, no completed host-op spans",
+            replayed.events
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let total_ns: u64 = replayed.ops.iter().map(|(op, _)| op.total_ns()).sum();
+    let mut cause_ns = [0u64; 4];
+    let mut programs = 0u64;
+    for (op, _) in &replayed.ops {
+        for cause in SpanCause::ALL {
+            cause_ns[cause.index()] += op.ns(cause);
+        }
+        programs += op.programs;
+    }
+    println!(
+        "swlspan: {} events, {} host ops, {:.3} ms device time, {} programs",
+        replayed.events,
+        replayed.ops.len(),
+        total_ns as f64 / 1e6,
+        programs,
+    );
+    let share = |cause: SpanCause| {
+        if total_ns == 0 {
+            0.0
+        } else {
+            100.0 * cause_ns[cause.index()] as f64 / total_ns as f64
+        }
+    };
+    println!(
+        "attribution: host {:.1}%, gc {:.1}%, swl {:.1}%, merge {:.1}%\n",
+        share(SpanCause::Host),
+        share(SpanCause::Gc),
+        share(SpanCause::Swl),
+        share(SpanCause::Merge),
+    );
+
+    // Worst offenders: the ops that paid the most device time, with the
+    // exact per-cause split of each.
+    let mut order: Vec<usize> = (0..replayed.ops.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(replayed.ops[i].0.total_ns()));
+    let top = options.top.min(order.len());
+    println!("worst {top} of {} ops:", replayed.ops.len());
+    let rows: Vec<Vec<String>> = order[..top]
+        .iter()
+        .enumerate()
+        .map(|(rank, &i)| offender_row(rank, &replayed.ops[i].0))
+        .collect();
+    print_table(
+        &[
+            "#", "op", "at ms", "total µs", "host µs", "gc µs", "swl µs", "merge µs", "programs",
+        ],
+        &rows,
+    );
+
+    for &i in order[..options.tree.min(order.len())].iter() {
+        let (op, node) = &replayed.ops[i];
+        println!(
+            "\nspan tree of op at device time {:.1} ms ({}):",
+            op.begin_ns as f64 / 1e6,
+            op.kind.token()
+        );
+        let mut out = String::new();
+        render_tree(node, "", true, true, &mut out);
+        print!("{out}");
+    }
+    ExitCode::SUCCESS
+}

@@ -8,9 +8,12 @@
 //!
 //!   FILE     the JSONL log; "-" or absent reads stdin
 //!   --check  validate only: exit 1 on any schema drift (unknown event
-//!            kinds, missing fields, version mismatch) or retirement
+//!            kinds, missing fields, version mismatch), retirement
 //!            inconsistency (duplicate retires, erases on retired blocks
 //!            — i.e. the retired set disagrees with the final wear map),
+//!            or span-structure damage (a span_end without its begin,
+//!            out-of-LIFO closes, children outside their parent's bounds,
+//!            spans left open with no power cut to excuse them);
 //!            print one OK line
 //!   --json   machine summary as a single JSON object (for BENCH_*.json)
 //! ```
@@ -20,7 +23,8 @@ use std::process::ExitCode;
 
 use flash_bench::print_table;
 use flash_telemetry::{
-    parse_line, Event, IntervalStats, MetricsAggregator, Sink, SCHEMA_VERSION,
+    parse_line, Event, IntervalStats, MetricsAggregator, Sink, SpanCause, SpanKind,
+    SCHEMA_VERSION,
 };
 
 const SPARK_LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
@@ -154,12 +158,13 @@ fn interval_row(stats: &IntervalStats) -> Vec<String> {
     ]
 }
 
-/// The retirement-audit findings that make a log internally inconsistent:
-/// a retire event for an already-retired block, or wear-map movement on a
-/// block the log claims is out of rotation.
+/// The findings that make a log internally inconsistent: a retire event for
+/// an already-retired block, wear-map movement on a block the log claims is
+/// out of rotation, or structural damage to the span stream (orphan ends,
+/// out-of-LIFO closes, bounds violations, unexcused unclosed spans).
 fn audit_errors(agg: &MetricsAggregator) -> Vec<String> {
     let audit = agg.retirement_audit();
-    let mut errors = Vec::new();
+    let mut errors = agg.span_check().errors();
     if audit.duplicate_retires > 0 {
         errors.push(format!(
             "{} retire event(s) name an already-retired block",
@@ -174,6 +179,18 @@ fn audit_errors(agg: &MetricsAggregator) -> Vec<String> {
         ));
     }
     errors
+}
+
+fn latency_row(label: &str, hist: &flash_telemetry::LatencyHistogram) -> Vec<String> {
+    vec![
+        label.to_owned(),
+        hist.count().to_string(),
+        format!("{:.0}", hist.mean_ns() / 1e3),
+        format!("{:.0}", hist.quantile(0.5) as f64 / 1e3),
+        format!("{:.0}", hist.quantile(0.99) as f64 / 1e3),
+        format!("{:.0}", hist.quantile(0.999) as f64 / 1e3),
+        format!("{:.0}", hist.max_ns() as f64 / 1e3),
+    ]
 }
 
 fn print_report(agg: &MetricsAggregator) {
@@ -214,6 +231,32 @@ fn print_report(agg: &MetricsAggregator) {
     );
     let (free_depth, candidates) = agg.gauges();
     println!("gauges at last GC pick: free pool {free_depth}, victim candidates {candidates}");
+
+    if agg.spans_completed() > 0 {
+        println!(
+            "\nspans: {} host ops, write amplification {:.2} (max {} programs under one write)",
+            agg.spans_completed(),
+            agg.write_amplification(),
+            agg.max_write_programs()
+        );
+        let mut rows = Vec::new();
+        for kind in [SpanKind::HostWrite, SpanKind::HostRead, SpanKind::HostTrim] {
+            let hist = agg.op_latency(kind).expect("host kinds have histograms");
+            if hist.count() > 0 {
+                rows.push(latency_row(kind.token(), hist));
+            }
+        }
+        for cause in SpanCause::ALL {
+            let hist = agg.cause_latency(cause);
+            if hist.count() > 0 {
+                rows.push(latency_row(&format!("cause:{}", cause.token()), hist));
+            }
+        }
+        print_table(
+            &["latency", "n", "mean µs", "p50 µs", "p99 µs", "p99.9 µs", "max µs"],
+            &rows,
+        );
+    }
 
     let snaps = agg.snapshots();
     if snaps.len() >= 2 {
@@ -280,7 +323,9 @@ fn print_json(agg: &MetricsAggregator) {
          \"gc_live_copies\":{},\"swl_live_copies\":{},\"swl_invokes\":{},\
          \"retired_blocks\":{},\"faults\":{},\"power_cuts\":{},\
          \"intervals\":{},\"wear_mean\":{:.4},\
-         \"wear_sigma\":{:.4},\"wear_max\":{}}}",
+         \"wear_sigma\":{:.4},\"wear_max\":{},\
+         \"spans\":{},\"write_amp\":{:.4},\
+         \"host_ns\":{},\"gc_ns\":{},\"swl_ns\":{},\"merge_ns\":{}}}",
         agg.events(),
         c.host_writes,
         c.host_reads,
@@ -303,6 +348,12 @@ fn print_json(agg: &MetricsAggregator) {
         w.mean,
         w.std_dev,
         w.max,
+        agg.spans_completed(),
+        agg.write_amplification(),
+        agg.cause_latency(SpanCause::Host).total_ns(),
+        agg.cause_latency(SpanCause::Gc).total_ns(),
+        agg.cause_latency(SpanCause::Swl).total_ns(),
+        agg.cause_latency(SpanCause::Merge).total_ns(),
     );
 }
 

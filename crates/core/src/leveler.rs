@@ -131,6 +131,12 @@ pub trait SwlCleaner {
     /// lets each translation layer merge them into its own event stream. The
     /// default implementation drops the event, so plain Cleaners (tests,
     /// custom integrations) need no changes.
+    ///
+    /// Causal spans are the *caller's* job, not the Cleaner's: the
+    /// instrumented translation layers open an `swl` span around the whole
+    /// [`SwLeveler::level`] call, so these events — and every erase, copy,
+    /// and nested GC/merge span the Cleaner emits while the pass runs —
+    /// land inside it and the pass's device time is attributed to SWL.
     fn emit_telemetry(&mut self, event: Event) {
         let _ = event;
     }

@@ -1,6 +1,6 @@
 //! The page-mapping translation layer: allocator, cleaner, SWL hook.
 
-use flash_telemetry::{Cause, Event, NullSink, Sink};
+use flash_telemetry::{Cause, Event, NullSink, Sink, SpanKind, SpanTracker};
 use hotid::MultiHashIdentifier;
 use nand::{FreeBlockLadder, NandDevice, PageAddr, SpareArea, VictimIndex};
 use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
@@ -48,6 +48,8 @@ pub(crate) struct Inner<S: Sink = NullSink> {
     /// Blocks retired by bad-block management (wear-out under
     /// `WearPolicy::FailWornBlocks`); never allocated or collected again.
     retired: Vec<bool>,
+    /// Causal-span bookkeeping (ids + open stack); dormant under `NullSink`.
+    spans: SpanTracker,
 }
 
 impl<S: Sink> Inner<S> {
@@ -86,7 +88,39 @@ impl<S: Sink> Inner<S> {
             device,
             config,
             in_swl: false,
+            spans: SpanTracker::new(),
         })
+    }
+
+    /// Opens a causal span stamped with the device's cumulative busy time.
+    /// Returns the span id, or 0 (which [`Self::span_end`] ignores) when the
+    /// sink is compiled out — the disabled path is two constant branches.
+    fn span_begin(&mut self, kind: SpanKind) -> u64 {
+        if !S::ENABLED {
+            return 0;
+        }
+        let at_ns = self.device.busy_ns();
+        let (id, parent) = self.spans.begin();
+        self.device.sink_mut().event(Event::SpanBegin {
+            id,
+            parent,
+            kind,
+            at_ns,
+        });
+        id
+    }
+
+    /// Closes span `id`, first closing any descendants an error path left
+    /// open so the emitted stream stays balanced.
+    fn span_end(&mut self, id: u64) {
+        if !S::ENABLED || id == 0 {
+            return;
+        }
+        let at_ns = self.device.busy_ns();
+        let Self { spans, device, .. } = self;
+        spans.end(id, |popped| {
+            device.sink_mut().event(Event::SpanEnd { id: popped, at_ns });
+        });
     }
 
     /// Rebuilds the translation table from the spare areas of an existing
@@ -394,7 +428,18 @@ impl<S: Sink> Inner<S> {
         Err(FtlError::NoReclaimableSpace)
     }
 
+    /// One GC episode under a `gc` span: victim pick, relocation, erase.
+    /// When SWL's Cleaner runs GC to refill the pool mid-pass, the span
+    /// nests under the `swl` span and the episode is still charged to `gc`
+    /// (innermost-span attribution).
     fn collect_one(&mut self, erased: &mut Vec<u32>) -> Result<(), FtlError> {
+        let span = self.span_begin(SpanKind::Gc);
+        let result = self.collect_one_inner(erased);
+        self.span_end(span);
+        result
+    }
+
+    fn collect_one_inner(&mut self, erased: &mut Vec<u32>) -> Result<(), FtlError> {
         let victim = self.select_victim()?;
         self.counters.gc_collections += 1;
         if S::ENABLED {
@@ -696,11 +741,16 @@ impl<S: Sink> PageMappedFtl<S> {
     /// garbage-collection failures ([`FtlError::NoReclaimableSpace`] when
     /// the logical space is over-committed).
     pub fn write(&mut self, lba: u64, data: u64) -> Result<(), FtlError> {
+        // Root span brackets the whole operation — GC, remaps, and any SWL
+        // pass the write triggers — mirroring the simulator's latency
+        // bracket exactly.
+        let span = self.inner.span_begin(SpanKind::HostWrite);
         let mut erased = std::mem::take(&mut self.erased_buf);
         erased.clear();
         let result = self.inner.host_write(lba, data, &mut erased);
         let follow_up = self.notify_swl(&erased);
         self.erased_buf = erased;
+        self.inner.span_end(span);
         result.and(follow_up)
     }
 
@@ -710,7 +760,10 @@ impl<S: Sink> PageMappedFtl<S> {
     ///
     /// Returns [`FtlError::LbaOutOfRange`] for bad addresses.
     pub fn read(&mut self, lba: u64) -> Result<Option<u64>, FtlError> {
-        self.inner.host_read(lba)
+        let span = self.inner.span_begin(SpanKind::HostRead);
+        let result = self.inner.host_read(lba);
+        self.inner.span_end(span);
+        result
     }
 
     /// Discards logical page `lba` (TRIM): subsequent reads return `None`
@@ -720,7 +773,10 @@ impl<S: Sink> PageMappedFtl<S> {
     ///
     /// Returns [`FtlError::LbaOutOfRange`] for bad addresses.
     pub fn trim(&mut self, lba: u64) -> Result<(), FtlError> {
-        self.inner.host_trim(lba)
+        let span = self.inner.span_begin(SpanKind::HostTrim);
+        let result = self.inner.host_trim(lba);
+        self.inner.span_end(span);
+        result
     }
 
     /// Feeds erases to SWL-BETUpdate and invokes SWL-Procedure when needed.
@@ -732,7 +788,10 @@ impl<S: Sink> PageMappedFtl<S> {
             swl.note_erase(b);
         }
         if swl.needs_leveling() {
-            swl.level(&mut self.inner)?;
+            let span = self.inner.span_begin(SpanKind::Swl);
+            let result = swl.level(&mut self.inner);
+            self.inner.span_end(span);
+            result?;
         }
         Ok(())
     }
@@ -747,12 +806,16 @@ impl<S: Sink> PageMappedFtl<S> {
     ///
     /// Propagates garbage-collection failures.
     pub fn force_recycle(&mut self, first_block: u32, count: u32) -> Result<u64, FtlError> {
+        // Externally driven collection: a root `gc` span rather than a host
+        // kind, since no host op is paying for it.
+        let span = self.inner.span_begin(SpanKind::Gc);
         let mut erased = std::mem::take(&mut self.erased_buf);
         erased.clear();
         let result = self.inner.erase_block_set(first_block, count, &mut erased);
         let erase_count = erased.len() as u64;
         let follow_up = self.notify_swl(&erased);
         self.erased_buf = erased;
+        self.inner.span_end(span);
         result.and(follow_up)?;
         Ok(erase_count)
     }
@@ -765,7 +828,12 @@ impl<S: Sink> PageMappedFtl<S> {
     /// Propagates garbage-collection failures.
     pub fn run_swl(&mut self) -> Result<LevelOutcome, FtlError> {
         match self.swl.as_mut() {
-            Some(swl) => swl.level(&mut self.inner),
+            Some(swl) => {
+                let span = self.inner.span_begin(SpanKind::Swl);
+                let result = swl.level(&mut self.inner);
+                self.inner.span_end(span);
+                result
+            }
             None => Ok(LevelOutcome::Idle),
         }
     }
@@ -1150,6 +1218,52 @@ mod tests {
         }
         assert_eq!(agg.counters(), counters);
         assert!(agg.swl_invokes() > 0);
+    }
+
+    #[test]
+    fn spans_balance_and_attribute_all_device_time() {
+        use flash_telemetry::{SpanCause, SpanReplayer, VecSink};
+
+        let d = device(16, 4).with_sink(VecSink::default());
+        let mut ftl =
+            PageMappedFtl::with_swl(d, FtlConfig::default(), SwlConfig::new(2, 0)).unwrap();
+        // Record the live per-write busy-time bracket the simulator would.
+        let mut live_totals = Vec::new();
+        let mut do_write = |ftl: &mut PageMappedFtl<VecSink>, lba, data| {
+            let before = ftl.device().busy_ns();
+            ftl.write(lba, data).unwrap();
+            live_totals.push(ftl.device().busy_ns() - before);
+        };
+        for lba in 0..8u64 {
+            do_write(&mut ftl, lba, lba);
+        }
+        for round in 0..400u64 {
+            do_write(&mut ftl, 30, round);
+        }
+        ftl.read(3).unwrap();
+        ftl.trim(7).unwrap();
+        assert!(ftl.counters().swl_erases > 0, "scenario must exercise SWL");
+
+        let mut replay = SpanReplayer::new();
+        let mut writes = Vec::new();
+        let mut swl_time = 0u64;
+        for event in &ftl.into_device().into_sink().events {
+            if let Some(op) = replay.observe(event) {
+                if op.kind == flash_telemetry::SpanKind::HostWrite {
+                    writes.push(op);
+                    swl_time += op.ns(SpanCause::Swl);
+                }
+            }
+        }
+        assert!(replay.check().is_clean(), "{:?}", replay.check());
+        // Every live write reappears with a bit-exact total, fully
+        // attributed across the four causes.
+        assert_eq!(writes.len(), live_totals.len());
+        for (op, &live) in writes.iter().zip(&live_totals) {
+            assert_eq!(op.total_ns(), live);
+            assert_eq!(op.cause_ns.iter().sum::<u64>(), op.total_ns());
+        }
+        assert!(swl_time > 0, "SWL passes must show up in the attribution");
     }
 
     #[test]

@@ -25,21 +25,15 @@ impl CellKind {
 
     /// Default operation latencies for this technology.
     ///
-    /// SLC figures follow typical large-block SLC datasheets; the MLC×2
-    /// erase time of 1.5 ms is quoted in the paper (§4.2, from the
-    /// STMicroelectronics NAND08G part).
+    /// Returns the exported constant table ([`Timing::SLC`] /
+    /// [`Timing::MLC2`]) — the single source every consumer of device
+    /// timing shares: the device's busy-time accounting (and therefore the
+    /// span stamps in telemetry logs), the simulator's latency histograms,
+    /// and the bench latency study all see the same numbers.
     pub fn timing(&self) -> Timing {
         match self {
-            CellKind::Slc => Timing {
-                read_ns: 25_000,
-                program_ns: 200_000,
-                erase_ns: 1_000_000,
-            },
-            CellKind::Mlc2 => Timing {
-                read_ns: 50_000,
-                program_ns: 600_000,
-                erase_ns: 1_500_000,
-            },
+            CellKind::Slc => Timing::SLC,
+            CellKind::Mlc2 => Timing::MLC2,
         }
     }
 
@@ -73,9 +67,26 @@ pub struct Timing {
     pub erase_ns: u64,
 }
 
+impl Timing {
+    /// SLC timing, following typical large-block SLC datasheets.
+    pub const SLC: Timing = Timing {
+        read_ns: 25_000,
+        program_ns: 200_000,
+        erase_ns: 1_000_000,
+    };
+
+    /// MLC×2 timing. The 1.5 ms erase is quoted in the paper (§4.2, from
+    /// the STMicroelectronics NAND08G part).
+    pub const MLC2: Timing = Timing {
+        read_ns: 50_000,
+        program_ns: 600_000,
+        erase_ns: 1_500_000,
+    };
+}
+
 impl Default for Timing {
     fn default() -> Self {
-        CellKind::Mlc2.timing()
+        Timing::MLC2
     }
 }
 
@@ -142,6 +153,13 @@ mod tests {
     #[test]
     fn mlc_erase_time_matches_paper() {
         assert_eq!(CellKind::Mlc2.timing().erase_ns, 1_500_000);
+    }
+
+    #[test]
+    fn timing_comes_from_the_exported_table() {
+        assert_eq!(CellKind::Slc.timing(), Timing::SLC);
+        assert_eq!(CellKind::Mlc2.timing(), Timing::MLC2);
+        assert_eq!(Timing::default(), Timing::MLC2);
     }
 
     #[test]

@@ -274,6 +274,35 @@ pub fn instrumented_run<S: Sink>(
     Ok((report, layer.into_device().into_sink()))
 }
 
+/// Runs one configuration to a fixed host-time horizon with a
+/// [`flash_telemetry::MetricsAggregator`] riding on the device, so the run
+/// comes back with full causal-span attribution: per-cause latency
+/// histograms (host / gc / swl / merge), per-op write amplification, and a
+/// span-structure health check, alongside the ordinary [`SimReport`].
+///
+/// The aggregator's per-op histograms match the report's own
+/// [`SimReport::write_latency`] / [`SimReport::read_latency`] **bit-exactly**
+/// — both bracket the same `busy_ns` window — which is the gate the
+/// attribution tests pin.
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn attributed_horizon_run(
+    kind: LayerKind,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+    horizon_ns: u64,
+) -> Result<(SimReport, flash_telemetry::MetricsAggregator), SimError> {
+    instrumented_run(
+        kind,
+        swl,
+        scale,
+        flash_telemetry::MetricsAggregator::new(),
+        StopCondition::horizon(horizon_ns),
+    )
+}
+
 /// Runs one configuration to a fixed host-time horizon (Table 4 and the
 /// Figure 6/7 overhead measurements).
 ///

@@ -6,13 +6,19 @@
 //! triggered it for potentially many block erases and page copies. This
 //! module collects per-operation device-time histograms so experiments can
 //! report medians and tails side by side.
-
-use std::fmt;
-
-/// Number of power-of-two latency buckets (covers 1 ns .. ~1100 s).
-const BUCKETS: usize = 40;
+//!
+//! The histogram itself lives in `flash-telemetry`
+//! ([`flash_telemetry::LatencyHistogram`]): the same type backs the
+//! simulator's per-run report and the per-cause tail-latency attribution in
+//! [`flash_telemetry::MetricsAggregator`], so
+//! [`experiments::attributed_horizon_run`](crate::experiments::attributed_horizon_run)
+//! can compare the two bit-exactly with `==`. The alias keeps this crate's
+//! historical name.
 
 /// A log₂-bucketed latency histogram with exact count/total/max.
+///
+/// Alias of [`flash_telemetry::LatencyHistogram`]; see there for the
+/// documented relative-error guarantee.
 ///
 /// # Example
 ///
@@ -27,172 +33,23 @@ const BUCKETS: usize = 40;
 /// assert_eq!(stats.max_ns(), 10_000);
 /// assert!(stats.quantile(0.5) >= 128 && stats.quantile(0.5) <= 512);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct LatencyStats {
-    buckets: [u64; BUCKETS],
-    count: u64,
-    total_ns: u64,
-    max_ns: u64,
-}
-
-impl LatencyStats {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self {
-            buckets: [0; BUCKETS],
-            count: 0,
-            total_ns: 0,
-            max_ns: 0,
-        }
-    }
-
-    /// Records one operation of `latency_ns`.
-    pub fn record(&mut self, latency_ns: u64) {
-        let bucket = (64 - latency_ns.leading_zeros()) as usize;
-        self.buckets[bucket.min(BUCKETS - 1)] += 1;
-        self.count += 1;
-        self.total_ns += latency_ns;
-        self.max_ns = self.max_ns.max(latency_ns);
-    }
-
-    /// Operations recorded.
-    pub fn count(&self) -> u64 {
-        self.count
-    }
-
-    /// Mean latency in nanoseconds (0 when empty).
-    pub fn mean_ns(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.total_ns as f64 / self.count as f64
-        }
-    }
-
-    /// Largest observed latency.
-    pub fn max_ns(&self) -> u64 {
-        self.max_ns
-    }
-
-    /// Approximate quantile (upper bound of the bucket containing it).
-    ///
-    /// # Panics
-    ///
-    /// Panics unless `0.0 <= q <= 1.0`.
-    pub fn quantile(&self, q: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
-        if self.count == 0 {
-            return 0;
-        }
-        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (bucket, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                // Upper bound of this bucket: 2^bucket − 1 (bucket 0 = 0 ns).
-                return if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
-            }
-        }
-        self.max_ns
-    }
-
-    /// Merges another histogram into this one.
-    pub fn merge(&mut self, other: &LatencyStats) {
-        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *a += b;
-        }
-        self.count += other.count;
-        self.total_ns += other.total_ns;
-        self.max_ns = self.max_ns.max(other.max_ns);
-    }
-}
-
-impl Default for LatencyStats {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl fmt::Display for LatencyStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "n={}, mean {:.1} µs, p50 ≤ {:.1} µs, p99 ≤ {:.1} µs, max {:.1} µs",
-            self.count,
-            self.mean_ns() / 1e3,
-            self.quantile(0.5) as f64 / 1e3,
-            self.quantile(0.99) as f64 / 1e3,
-            self.max_ns as f64 / 1e3
-        )
-    }
-}
+pub use flash_telemetry::LatencyHistogram as LatencyStats;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    // Unit coverage of the histogram lives with the type in
+    // `flash_telemetry::hist`; `tests/latency_properties.rs` holds the
+    // property tests. Here we only pin that the alias really is the
+    // telemetry type, so aggregator histograms compare against simulator
+    // histograms without conversion.
     #[test]
-    fn empty_histogram_is_zero() {
-        let stats = LatencyStats::new();
-        assert_eq!(stats.count(), 0);
-        assert_eq!(stats.mean_ns(), 0.0);
-        assert_eq!(stats.quantile(0.99), 0);
-    }
-
-    #[test]
-    fn exact_aggregates() {
-        let mut stats = LatencyStats::new();
-        stats.record(100);
-        stats.record(300);
-        assert_eq!(stats.count(), 2);
-        assert_eq!(stats.mean_ns(), 200.0);
-        assert_eq!(stats.max_ns(), 300);
-    }
-
-    #[test]
-    fn quantiles_bracket_the_data() {
-        let mut stats = LatencyStats::new();
-        for _ in 0..99 {
-            stats.record(1_000);
-        }
-        stats.record(1_000_000);
-        let p50 = stats.quantile(0.5);
-        assert!((512..=2048).contains(&p50), "p50 bucket bound {p50}");
-        let p995 = stats.quantile(0.995);
-        assert!(
-            p995 >= 524_287,
-            "tail must reach the outlier bucket: {p995}"
-        );
-    }
-
-    #[test]
-    fn zero_latency_lands_in_bucket_zero() {
-        let mut stats = LatencyStats::new();
-        stats.record(0);
-        assert_eq!(stats.quantile(1.0), 0);
-    }
-
-    #[test]
-    fn merge_combines() {
-        let mut a = LatencyStats::new();
-        a.record(10);
-        let mut b = LatencyStats::new();
-        b.record(1_000);
-        a.merge(&b);
-        assert_eq!(a.count(), 2);
-        assert_eq!(a.max_ns(), 1_000);
-    }
-
-    #[test]
-    #[should_panic(expected = "quantile")]
-    fn bad_quantile_rejected() {
-        LatencyStats::new().quantile(1.5);
-    }
-
-    #[test]
-    fn display_in_microseconds() {
-        let mut stats = LatencyStats::new();
-        stats.record(1_500_000);
-        assert!(stats.to_string().contains("max 1500.0 µs"));
+    fn alias_is_the_telemetry_histogram() {
+        let mut sim_side: LatencyStats = flash_telemetry::LatencyHistogram::new();
+        sim_side.record(1_500);
+        let mut tel_side = flash_telemetry::LatencyHistogram::new();
+        tel_side.record(1_500);
+        assert_eq!(sim_side, tel_side);
     }
 }

@@ -14,7 +14,8 @@
 //! leveler's own BET-granularity numbers arrive in [`Event::SwlInvoke`] /
 //! [`Event::IntervalReset`] and may differ slightly.
 
-use crate::{Cause, Event, FlashCounters, MergeKind, Sink};
+use crate::span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer};
+use crate::{Cause, Event, FlashCounters, LatencyHistogram, MergeKind, Sink, SpanKind};
 
 /// Consistency audit of retirement bookkeeping, derived while folding the
 /// stream. `swlstat --check` rejects logs where either violation count is
@@ -122,6 +123,17 @@ pub struct MetricsAggregator {
     power_cuts: u64,
     retired: Vec<bool>,
     audit: RetirementAudit,
+    spans: SpanReplayer,
+    /// Per-cause device-time histograms, indexed by [`SpanCause::index`].
+    /// One sample per completed root op *per cause with non-zero time*, so
+    /// e.g. the `gc` histogram answers "when a write pays for GC at all,
+    /// how much does it pay?" rather than being drowned in zeros.
+    cause_hist: [LatencyHistogram; 4],
+    write_latency: LatencyHistogram,
+    read_latency: LatencyHistogram,
+    trim_latency: LatencyHistogram,
+    write_programs: u64,
+    max_write_programs: u64,
 }
 
 impl Default for MetricsAggregator {
@@ -159,6 +171,13 @@ impl MetricsAggregator {
             power_cuts: 0,
             retired: Vec::new(),
             audit: RetirementAudit::default(),
+            spans: SpanReplayer::new(),
+            cause_hist: Default::default(),
+            write_latency: LatencyHistogram::new(),
+            read_latency: LatencyHistogram::new(),
+            trim_latency: LatencyHistogram::new(),
+            write_programs: 0,
+            max_write_programs: 0,
         }
     }
 
@@ -314,11 +333,84 @@ impl MetricsAggregator {
     pub fn snapshot_now(&mut self) {
         self.take_snapshot();
     }
+
+    /// Structural health of the span stream (balance, nesting, bounds).
+    /// `swlstat --check` rejects schema-v3 logs where this is not clean.
+    pub fn span_check(&self) -> SpanCheck {
+        self.spans.check()
+    }
+
+    /// Root spans (host operations) completed so far.
+    pub fn spans_completed(&self) -> u64 {
+        self.spans.completed_roots()
+    }
+
+    /// Device-time histogram for one attribution cause.
+    ///
+    /// Each completed root op contributes one sample *per cause with
+    /// non-zero time*, so counts differ across causes: `host` sees nearly
+    /// every op, `swl` only the ops that actually paid for a leveling pass.
+    pub fn cause_latency(&self, cause: SpanCause) -> &LatencyHistogram {
+        &self.cause_hist[cause.index()]
+    }
+
+    /// Total-device-time histogram for completed root spans of `kind`
+    /// (`None` for non-root kinds). Matches the simulator's own per-op
+    /// latency stats bit-exactly when fed the same run's events.
+    pub fn op_latency(&self, kind: SpanKind) -> Option<&LatencyHistogram> {
+        match kind {
+            SpanKind::HostWrite => Some(&self.write_latency),
+            SpanKind::HostRead => Some(&self.read_latency),
+            SpanKind::HostTrim => Some(&self.trim_latency),
+            SpanKind::Gc | SpanKind::Swl | SpanKind::Merge => None,
+        }
+    }
+
+    /// Mean physical programs per completed host-write span — the per-op
+    /// write-amplification figure (0.0 before any write span completes).
+    pub fn write_amplification(&self) -> f64 {
+        let writes = self.write_latency.count();
+        if writes == 0 {
+            0.0
+        } else {
+            self.write_programs as f64 / writes as f64
+        }
+    }
+
+    /// Largest program count observed under a single host-write span.
+    pub fn max_write_programs(&self) -> u64 {
+        self.max_write_programs
+    }
+
+    fn fold_op(&mut self, op: OpBreakdown) {
+        for cause in SpanCause::ALL {
+            let ns = op.ns(cause);
+            if ns > 0 {
+                self.cause_hist[cause.index()].record(ns);
+            }
+        }
+        match op.kind {
+            SpanKind::HostWrite => {
+                self.write_latency.record(op.total_ns());
+                self.write_programs += op.programs;
+                self.max_write_programs = self.max_write_programs.max(op.programs);
+            }
+            SpanKind::HostRead => self.read_latency.record(op.total_ns()),
+            SpanKind::HostTrim => self.trim_latency.record(op.total_ns()),
+            SpanKind::Gc | SpanKind::Swl | SpanKind::Merge => {}
+        }
+    }
 }
 
 impl Sink for MetricsAggregator {
     fn event(&mut self, event: Event) {
         self.events += 1;
+        // The span replayer watches the whole stream (it counts Program
+        // events under open roots and PowerCuts for its checker) and yields
+        // a breakdown whenever a host-op span completes.
+        if let Some(op) = self.spans.observe(&event) {
+            self.fold_op(op);
+        }
         match event {
             Event::Meta {
                 version,
@@ -413,6 +505,8 @@ impl Sink for MetricsAggregator {
                 };
                 self.erased_in_interval.iter_mut().for_each(|b| *b = false);
             }
+            // Handled by the span replayer above.
+            Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
         }
     }
 }
@@ -510,6 +604,59 @@ mod tests {
         assert_eq!(w.mean, 2.5);
         assert_eq!(w.p99, 10);
         assert_eq!(w.p50, 0);
+    }
+
+    #[test]
+    fn spans_fold_into_cause_histograms() {
+        let mut agg = MetricsAggregator::new();
+        // write #1: 200 ns, pure host, 1 program.
+        agg.event(Event::SpanBegin {
+            id: 1,
+            parent: 0,
+            kind: SpanKind::HostWrite,
+            at_ns: 0,
+        });
+        agg.event(Event::Program { block: 0, page: 0 });
+        agg.event(Event::SpanEnd { id: 1, at_ns: 200 });
+        // write #2: 1000 ns total, 600 of it in a GC episode, 3 programs.
+        agg.event(Event::SpanBegin {
+            id: 2,
+            parent: 0,
+            kind: SpanKind::HostWrite,
+            at_ns: 200,
+        });
+        agg.event(Event::Program { block: 1, page: 0 });
+        agg.event(Event::SpanBegin {
+            id: 3,
+            parent: 2,
+            kind: SpanKind::Gc,
+            at_ns: 400,
+        });
+        agg.event(Event::Program { block: 2, page: 0 });
+        agg.event(Event::Program { block: 2, page: 1 });
+        agg.event(Event::SpanEnd { id: 3, at_ns: 1000 });
+        agg.event(Event::SpanEnd { id: 2, at_ns: 1200 });
+        assert_eq!(agg.spans_completed(), 2);
+        assert!(agg.span_check().is_clean());
+        let writes = agg.op_latency(SpanKind::HostWrite).unwrap();
+        assert_eq!(writes.count(), 2);
+        assert_eq!(writes.total_ns(), 1200);
+        assert_eq!(writes.max_ns(), 1000);
+        // host: both ops contribute (200 and 400); gc: only op #2 (600).
+        assert_eq!(agg.cause_latency(SpanCause::Host).count(), 2);
+        assert_eq!(agg.cause_latency(SpanCause::Host).total_ns(), 600);
+        assert_eq!(agg.cause_latency(SpanCause::Gc).count(), 1);
+        assert_eq!(agg.cause_latency(SpanCause::Gc).total_ns(), 600);
+        assert_eq!(agg.cause_latency(SpanCause::Swl).count(), 0);
+        // Attribution is exhaustive: causes sum to op totals.
+        let cause_total: u64 = SpanCause::ALL
+            .iter()
+            .map(|&c| agg.cause_latency(c).total_ns())
+            .sum();
+        assert_eq!(cause_total, writes.total_ns());
+        assert_eq!(agg.write_amplification(), 2.0); // 4 programs / 2 writes
+        assert_eq!(agg.max_write_programs(), 3);
+        assert!(agg.op_latency(SpanKind::Gc).is_none());
     }
 
     #[test]

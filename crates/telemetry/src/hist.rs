@@ -1,0 +1,232 @@
+//! Log-bucketed latency histograms.
+//!
+//! One histogram type serves both the simulator's per-run latency report and
+//! the per-cause tail-latency attribution in
+//! [`MetricsAggregator`](crate::MetricsAggregator). It is HDR-style in
+//! spirit — fixed memory, mergeable, exact `count`/`total`/`max` — with
+//! power-of-two buckets, so quantiles are bucket upper bounds rather than
+//! exact order statistics.
+//!
+//! # Relative-error guarantee
+//!
+//! A value `v ≥ 1` lands in bucket `b = 64 − v.leading_zeros()`, whose upper
+//! bound is `2^b − 1`. Since `2^(b−1) ≤ v ≤ 2^b − 1`, the reported bound
+//! satisfies `v ≤ upper_bound(v) < 2·v`: every quantile over-reports by
+//! strictly less than 2×, and never under-reports. `v = 0` is exact (bucket
+//! 0 reports 0). The property tests in `tests/properties.rs` pin this bound
+//! down along with merge-equals-concatenation and quantile monotonicity.
+
+use std::fmt;
+
+/// Number of power-of-two latency buckets (covers 1 ns .. ~1100 s).
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram with exact count/total/max.
+///
+/// Re-exported by `flash-sim` as `LatencyStats` for per-run host-operation
+/// reports, and used per [`SpanCause`](crate::SpanCause) by the aggregator.
+///
+/// # Example
+///
+/// ```
+/// use flash_telemetry::LatencyHistogram;
+///
+/// let mut stats = LatencyHistogram::new();
+/// for latency in [100, 200, 200, 400, 10_000] {
+///     stats.record(latency);
+/// }
+/// assert_eq!(stats.count(), 5);
+/// assert_eq!(stats.max_ns(), 10_000);
+/// assert!(stats.quantile(0.5) >= 128 && stats.quantile(0.5) <= 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total_ns: u64,
+    max_ns: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            total_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    /// Records one operation of `latency_ns`.
+    pub fn record(&mut self, latency_ns: u64) {
+        let bucket = (64 - latency_ns.leading_zeros()) as usize;
+        self.buckets[bucket.min(BUCKETS - 1)] += 1;
+        self.count += 1;
+        self.total_ns += latency_ns;
+        self.max_ns = self.max_ns.max(latency_ns);
+    }
+
+    /// Operations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded latencies in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Largest observed latency.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Approximate quantile (upper bound of the bucket containing it).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of this bucket: 2^bucket − 1 (bucket 0 = 0 ns).
+                return if bucket == 0 { 0 } else { (1u64 << bucket) - 1 };
+            }
+        }
+        self.max_ns
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// Counts, totals, and every bucket add; the result is indistinguishable
+    /// from recording both input streams into one histogram.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={}, mean {:.1} µs, p50 ≤ {:.1} µs, p99 ≤ {:.1} µs, max {:.1} µs",
+            self.count,
+            self.mean_ns() / 1e3,
+            self.quantile(0.5) as f64 / 1e3,
+            self.quantile(0.99) as f64 / 1e3,
+            self.max_ns as f64 / 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let stats = LatencyHistogram::new();
+        assert_eq!(stats.count(), 0);
+        assert_eq!(stats.total_ns(), 0);
+        assert_eq!(stats.mean_ns(), 0.0);
+        assert_eq!(stats.quantile(0.99), 0);
+    }
+
+    #[test]
+    fn exact_aggregates() {
+        let mut stats = LatencyHistogram::new();
+        stats.record(100);
+        stats.record(300);
+        assert_eq!(stats.count(), 2);
+        assert_eq!(stats.total_ns(), 400);
+        assert_eq!(stats.mean_ns(), 200.0);
+        assert_eq!(stats.max_ns(), 300);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut stats = LatencyHistogram::new();
+        for _ in 0..99 {
+            stats.record(1_000);
+        }
+        stats.record(1_000_000);
+        let p50 = stats.quantile(0.5);
+        assert!((512..=2048).contains(&p50), "p50 bucket bound {p50}");
+        let p995 = stats.quantile(0.995);
+        assert!(
+            p995 >= 524_287,
+            "tail must reach the outlier bucket: {p995}"
+        );
+    }
+
+    #[test]
+    fn zero_latency_lands_in_bucket_zero() {
+        let mut stats = LatencyHistogram::new();
+        stats.record(0);
+        assert_eq!(stats.quantile(1.0), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = LatencyHistogram::new();
+        a.record(10);
+        let mut b = LatencyHistogram::new();
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.total_ns(), 1_010);
+        assert_eq!(a.max_ns(), 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_rejected() {
+        LatencyHistogram::new().quantile(1.5);
+    }
+
+    #[test]
+    fn display_in_microseconds() {
+        let mut stats = LatencyHistogram::new();
+        stats.record(1_500_000);
+        assert!(stats.to_string().contains("max 1500.0 µs"));
+    }
+
+    #[test]
+    fn quantile_bound_within_factor_two() {
+        for v in [1u64, 2, 3, 7, 8, 9, 1023, 1024, 123_456_789] {
+            let mut stats = LatencyHistogram::new();
+            stats.record(v);
+            let bound = stats.quantile(1.0);
+            assert!(bound >= v, "bound {bound} under-reports {v}");
+            assert!(bound < 2 * v, "bound {bound} ≥ 2×{v}");
+        }
+    }
+}

@@ -7,7 +7,7 @@
 //! exact inverses over that subset, which `swlstat` and the replay tests rely
 //! on.
 
-use crate::{Cause, Event, FaultKind, MergeKind};
+use crate::{Cause, Event, FaultKind, MergeKind, SpanKind};
 use std::fmt::Write as _;
 
 /// Serialize one event as a single JSON object (no trailing newline).
@@ -118,6 +118,21 @@ pub fn write_line(out: &mut String, event: &Event) {
                 out,
                 "{{\"e\":\"interval_reset\",\"n\":{interval},\"ecnt\":{ecnt},\"fcnt\":{fcnt}}}"
             );
+        }
+        Event::SpanBegin {
+            id,
+            parent,
+            kind,
+            at_ns,
+        } => {
+            let _ = write!(
+                out,
+                "{{\"e\":\"span_begin\",\"id\":{id},\"p\":{parent},\"k\":\"{}\",\"ns\":{at_ns}}}",
+                kind.token()
+            );
+        }
+        Event::SpanEnd { id, at_ns } => {
+            let _ = write!(out, "{{\"e\":\"span_end\",\"id\":{id},\"ns\":{at_ns}}}");
         }
     }
 }
@@ -271,6 +286,18 @@ fn fault_kind(tok: &str) -> Result<FaultKind, ParseError> {
     }
 }
 
+fn span_kind(tok: &str) -> Result<SpanKind, ParseError> {
+    match tok {
+        "host_write" => Ok(SpanKind::HostWrite),
+        "host_read" => Ok(SpanKind::HostRead),
+        "host_trim" => Ok(SpanKind::HostTrim),
+        "gc" => Ok(SpanKind::Gc),
+        "swl" => Ok(SpanKind::Swl),
+        "merge" => Ok(SpanKind::Merge),
+        other => Err(ParseError::UnknownToken(other.to_string())),
+    }
+}
+
 fn merge_kind(tok: &str) -> Result<MergeKind, ParseError> {
     match tok {
         "full" => Ok(MergeKind::Full),
@@ -344,6 +371,16 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             interval: num(&fields, "interval_reset", "n")?,
             ecnt: num(&fields, "interval_reset", "ecnt")?,
             fcnt: num(&fields, "interval_reset", "fcnt")?,
+        }),
+        "span_begin" => Ok(Event::SpanBegin {
+            id: num(&fields, "span_begin", "id")?,
+            parent: num(&fields, "span_begin", "p")?,
+            kind: span_kind(token(&fields, "span_begin", "k")?)?,
+            at_ns: num(&fields, "span_begin", "ns")?,
+        }),
+        "span_end" => Ok(Event::SpanEnd {
+            id: num(&fields, "span_end", "id")?,
+            at_ns: num(&fields, "span_end", "ns")?,
         }),
         other => Err(ParseError::UnknownKind(other.to_string())),
     }
@@ -429,6 +466,46 @@ mod tests {
                 interval: 2,
                 ecnt: 1500,
                 fcnt: 64,
+            },
+            Event::SpanBegin {
+                id: 1,
+                parent: 0,
+                kind: SpanKind::HostWrite,
+                at_ns: 0,
+            },
+            Event::SpanBegin {
+                id: 2,
+                parent: 1,
+                kind: SpanKind::Gc,
+                at_ns: 600_000,
+            },
+            Event::SpanBegin {
+                id: 3,
+                parent: 1,
+                kind: SpanKind::Swl,
+                at_ns: 2_100_000,
+            },
+            Event::SpanBegin {
+                id: 4,
+                parent: 3,
+                kind: SpanKind::Merge,
+                at_ns: 2_150_000,
+            },
+            Event::SpanBegin {
+                id: 5,
+                parent: 0,
+                kind: SpanKind::HostRead,
+                at_ns: 9_000_000,
+            },
+            Event::SpanBegin {
+                id: 6,
+                parent: 0,
+                kind: SpanKind::HostTrim,
+                at_ns: 9_050_000,
+            },
+            Event::SpanEnd {
+                id: 1,
+                at_ns: u64::MAX,
             },
         ]
     }

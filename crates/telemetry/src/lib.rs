@@ -7,35 +7,49 @@
 //! pay zero cost (see the `telbench` bench in `flash-bench` for the release
 //! -mode assertion).
 //!
-//! On top of the raw stream sit three consumers:
+//! On top of the raw stream sit several consumers:
 //!
 //! - [`JsonlSink`]: streams events as JSON Lines through a
 //!   bounded buffer, so scaled runs can dump logs without holding them in
 //!   memory.
 //! - [`MetricsAggregator`]: folds a stream
 //!   (live or replayed from JSONL) into wear histograms, unevenness-level time
-//!   series, per-interval erase/copy attribution, and depth gauges. Events are
-//!   a lossless superset of the translation-layer counters, so replaying a log
-//!   reproduces [`FlashCounters`] totals exactly.
-//! - The `swlstat` binary in `flash-bench`, which renders a replayed log as a
-//!   human-readable report.
+//!   series, per-interval erase/copy attribution, depth gauges, and per-cause
+//!   latency histograms built from spans. Events are a lossless superset of
+//!   the translation-layer counters, so replaying a log reproduces
+//!   [`FlashCounters`] totals exactly.
+//! - [`FlightRecorder`]: an always-on fixed-size ring
+//!   of the most recent events, dumped as JSONL when a fault or power cut
+//!   fires — a crash postmortem with real context.
+//! - The `swlstat` and `swlspan` binaries in `flash-bench`, which render a
+//!   replayed log as human-readable reports.
 //!
 //! The event vocabulary follows the quantities the DAC 2007 paper reasons
 //! about: erase cause attribution (GC vs SWL), the unevenness level
-//! `ecnt/fcnt`, and resetting-interval cadence.
+//! `ecnt/fcnt`, and resetting-interval cadence. Schema v3 adds **causal
+//! spans** ([`Event::SpanBegin`] / [`Event::SpanEnd`]): every host op opens a
+//! root span and GC, SWL, and merge work nest underneath it with device-time
+//! stamps, so each host write gets an exact breakdown of where its latency
+//! went (see the [`span`] module).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;
 mod counters;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod span;
 
 pub use aggregate::{IntervalStats, MetricsAggregator, RetirementAudit, Snapshot, WearSummary};
 pub use counters::FlashCounters;
+pub use flight::FlightRecorder;
+pub use hist::LatencyHistogram;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
+pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};
 
 /// Version of the JSONL event schema, recorded in the [`Event::Meta`] header
 /// line. `swlstat --check` fails on logs with an unknown version.
@@ -45,7 +59,10 @@ pub use jsonl::JsonlSink;
 ///   retires, SWL invocations, interval resets).
 /// - 2: adds the fault-injection events [`Event::FaultInjected`] and
 ///   [`Event::PowerCut`].
-pub const SCHEMA_VERSION: u32 = 2;
+/// - 3: adds the causal-span events [`Event::SpanBegin`] and
+///   [`Event::SpanEnd`] with device-time stamps; every host op opens a root
+///   span and GC/SWL/merge work nests underneath it.
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// Why a block was erased (or a set of pages live-copied).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -108,6 +125,59 @@ impl FaultKind {
             FaultKind::ProgramFail => "prog",
             FaultKind::EraseFail => "erase",
         }
+    }
+}
+
+/// What a causal span covers. Root spans are the host operations; the other
+/// kinds nest underneath them (or under each other, e.g. a merge inside an
+/// SWL pass).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Root span of one host write, from entry into the translation layer to
+    /// return — including any SWL-Procedure pass the write triggered.
+    HostWrite,
+    /// Root span of one host read.
+    HostRead,
+    /// Root span of one host trim.
+    HostTrim,
+    /// A garbage-collection episode (victim pick + relocation + erase).
+    Gc,
+    /// An SWL-Procedure activation (Algorithm 1 driving the Cleaner).
+    Swl,
+    /// An NFTL merge (copy phase + erasure of the old pair).
+    Merge,
+}
+
+impl SpanKind {
+    /// Short stable token used in the JSONL encoding.
+    pub fn token(self) -> &'static str {
+        match self {
+            SpanKind::HostWrite => "host_write",
+            SpanKind::HostRead => "host_read",
+            SpanKind::HostTrim => "host_trim",
+            SpanKind::Gc => "gc",
+            SpanKind::Swl => "swl",
+            SpanKind::Merge => "merge",
+        }
+    }
+
+    /// The latency-attribution bucket device time inside this span (and
+    /// outside any child span) is charged to.
+    pub fn cause(self) -> SpanCause {
+        match self {
+            SpanKind::HostWrite | SpanKind::HostRead | SpanKind::HostTrim => SpanCause::Host,
+            SpanKind::Gc => SpanCause::Gc,
+            SpanKind::Swl => SpanCause::Swl,
+            SpanKind::Merge => SpanCause::Merge,
+        }
+    }
+
+    /// Whether this kind opens a root (host-operation) span.
+    pub fn is_root(self) -> bool {
+        matches!(
+            self,
+            SpanKind::HostWrite | SpanKind::HostRead | SpanKind::HostTrim
+        )
     }
 }
 
@@ -229,6 +299,27 @@ pub enum Event {
         ecnt: u64,
         /// `fcnt` at the moment of reset (all flags set).
         fcnt: u64,
+    },
+    /// A causal span opened (schema v3). Stamped with the device's
+    /// cumulative busy time, so `end.at_ns - begin.at_ns` is exactly the
+    /// device time spent inside the span.
+    SpanBegin {
+        /// Span id, unique within the stream (1-based; 0 is reserved).
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root span.
+        parent: u64,
+        /// What the span covers.
+        kind: SpanKind,
+        /// Device busy time ([`nand` `busy_ns`]) when the span opened.
+        at_ns: u64,
+    },
+    /// A causal span closed (schema v3). Spans close in LIFO order; a parent
+    /// end implicitly closes any children the error path left open.
+    SpanEnd {
+        /// Id from the matching [`Event::SpanBegin`].
+        id: u64,
+        /// Device busy time when the span closed.
+        at_ns: u64,
     },
 }
 
