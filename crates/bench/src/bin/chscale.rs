@@ -1,0 +1,90 @@
+//! `chscale` — the channel-scaling experiment: the same total capacity,
+//! workload, and SWL configuration served by 1, 2, and 4 channels, printed
+//! as a throughput / overlap table. The page-granular paper workload is
+//! widened to [`flash_sim::experiments::CHANNEL_SPAN`]-page host requests
+//! so each op stripes across the lanes; the virtual-time scheduler then
+//! reports how much busy time the channels overlap and what that buys in
+//! served pages per device millisecond.
+//!
+//! Usage: `chscale [quick|scaled|paper] [--events N]`
+
+use flash_bench::{print_table, scale_from_args};
+use flash_sim::experiments::{channel_scaling, CHANNEL_SPAN};
+use flash_sim::LayerKind;
+
+/// The lane counts the sweep visits (all divide every preset's block count).
+const CHANNELS: [u32; 3] = [1, 2, 4];
+
+fn events_from_args(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--events" {
+            let value = args.next().expect("--events needs a number");
+            return value.parse().expect("--events needs a number");
+        }
+    }
+    default
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let events = events_from_args(6_000);
+    println!(
+        "channel scaling: FTL, {}-page host requests, {} events, \
+         {} blocks x {} pages total, endurance {}, SWL (T=100, k=0, global)",
+        CHANNEL_SPAN, events, scale.blocks, scale.pages_per_block, scale.endurance
+    );
+
+    let points = channel_scaling(LayerKind::Ftl, &scale, &CHANNELS, Some((100, 0)), events)
+        .expect("simulation failed");
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.channels.to_string(),
+                format!("{:.3}", p.makespan_ns as f64 / 1e6),
+                format!("x{:.2}", p.overlap),
+                format!("{:.1}", p.pages_per_ms),
+                format!("{:.1}", p.report.op_write_latency.mean_ns() / 1e3),
+                format!("{:.1}", p.report.op_read_latency.mean_ns() / 1e3),
+                p.report.counters.swl_erases.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &[
+            "channels",
+            "makespan ms",
+            "overlap",
+            "pages/ms",
+            "write µs",
+            "read µs",
+            "swl erases",
+        ],
+        &rows,
+    );
+
+    // The single-channel row anchors the comparison: it must be fully
+    // serial, and adding channels must never slow the array down.
+    let one = &points[0];
+    assert!(
+        (one.overlap - 1.0).abs() < 1e-9,
+        "one channel must be serial, got x{:.3}",
+        one.overlap
+    );
+    for pair in points.windows(2) {
+        assert!(
+            pair[1].pages_per_ms >= pair[0].pages_per_ms,
+            "throughput regressed from {} to {} channels",
+            pair[0].channels,
+            pair[1].channels
+        );
+    }
+    let last = points.last().expect("sweep is non-empty");
+    println!(
+        "\n{} channels serve x{:.2} the single-channel throughput",
+        last.channels,
+        last.pages_per_ms / one.pages_per_ms
+    );
+}

@@ -17,15 +17,22 @@
 //! `tests/crash_consistency.rs` runs a strided subset of the same checks
 //! in CI.
 //!
+//! A second sweep repeats the exercise on a 2-channel striped array driven
+//! by span-sized host requests, so power cuts land *mid-stripe*: the lanes
+//! that already acked their sub-writes must keep them across the remount,
+//! on every channel.
+//!
 //! Usage: `crashmc [rounds]` (default 16; higher = more cut points)
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use flash_bench::print_table;
-use flash_sim::{Layer, LayerKind, SimConfig, SimError, TranslationLayer};
+use flash_sim::{
+    Layer, LayerKind, SimConfig, SimError, StripedLayer, SwlCoordination, TranslationLayer,
+};
 use ftl::FtlError;
-use nand::{CellKind, FaultPlan, Geometry, NandDevice, NandError};
+use nand::{CellKind, ChannelGeometry, FaultPlan, Geometry, NandDevice, NandError};
 use nftl::NftlError;
 use swl_core::persist::{DualBuffer, PersistError};
 use swl_core::{SwLeveler, SwlConfig};
@@ -34,6 +41,13 @@ const BLOCKS: u32 = 24;
 const PAGES: u32 = 8;
 /// Acked writes between SW Leveler checkpoints (one "interval").
 const SAVE_EVERY: u64 = 25;
+/// Lanes of the striped sweep.
+const CHANNELS: u32 = 2;
+/// Blocks per lane of the striped sweep.
+const LANE_BLOCKS: u32 = 16;
+/// Host request size (pages) of the striped sweep — every request spans
+/// both channels, so any cut point inside one lands mid-stripe.
+const SPAN: u64 = 4;
 
 fn device() -> NandDevice {
     NandDevice::new(
@@ -214,6 +228,122 @@ fn check_cut_point(
     }
 }
 
+fn striped_geometry() -> ChannelGeometry {
+    ChannelGeometry::new(CHANNELS, 1, Geometry::new(LANE_BLOCKS, PAGES, 2048))
+}
+
+fn striped_build(kind: LayerKind, with_swl: bool, cfg: &SimConfig) -> StripedLayer {
+    StripedLayer::build(
+        kind,
+        striped_geometry(),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        with_swl.then(swl_config),
+        SwlCoordination::PerChannel,
+        cfg,
+    )
+    .expect("striped build")
+}
+
+/// Replays span-sized host requests over the striped array until they
+/// complete or the armed power cut fires on some lane; `Ok(true)` on a cut.
+fn striped_replay(
+    striped: &mut StripedLayer,
+    rounds: u64,
+    model: &mut HostModel,
+) -> Result<bool, SimError> {
+    let spans = (striped.logical_pages() / SPAN).min(8);
+    for round in 0..rounds {
+        for i in 0..spans {
+            let base = (if i % 3 == 0 { i } else { (round + i) % 2 }) * SPAN;
+            for off in 0..SPAN {
+                let lba = base + off;
+                let value = (round << 32) | (i << 16) | (off << 8) | 0xA5;
+                model.in_flight = Some((lba, value));
+                match striped.write(lba, value) {
+                    Ok(()) => {
+                        model.acked.insert(lba, value);
+                    }
+                    Err(e) if is_power_cut(&e) => return Ok(true),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    Ok(false)
+}
+
+/// One striped crash/remount/verify cycle: after the mid-stripe cut, every
+/// acked page on every channel must survive the remount, and the array
+/// must keep serving writes.
+fn check_striped_cut_point(
+    kind: LayerKind,
+    with_swl: bool,
+    rounds: u64,
+    cut_at: u64,
+    torn: bool,
+    stats: &mut SweepStats,
+) {
+    stats.points += 1;
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let mut striped = striped_build(kind, with_swl, &cfg);
+    let mut model = HostModel::default();
+    match striped_replay(&mut striped, rounds, &mut model) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let mut devices = striped.into_devices();
+    for device in &mut devices {
+        // One shared power rail: the cut that fired on one lane is consumed
+        // for the whole array, so disarm the lanes it never reached.
+        device.disarm_power_cut();
+        device.power_cycle();
+    }
+    let mut striped = match StripedLayer::mount(
+        kind,
+        striped_geometry(),
+        devices,
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+    ) {
+        Ok(s) => s,
+        Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    };
+
+    for (&lba, &value) in &model.acked {
+        let got = match striped.read(lba) {
+            Ok(g) => g,
+            Err(_) => {
+                stats.lost_acked += 1;
+                continue;
+            }
+        };
+        let in_flight_ok = matches!(model.in_flight, Some((l, v)) if l == lba && got == Some(v));
+        if got != Some(value) && !in_flight_ok {
+            stats.lost_acked += 1;
+        }
+    }
+
+    let lbas = striped.logical_pages().min(SPAN * 8);
+    for round in 0..2u64 {
+        for lba in 0..lbas {
+            if striped.write(lba, 0xD00D_0000 | (round << 8) | lba).is_err() {
+                stats.resume_failures += 1;
+                return;
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let rounds: u64 = std::env::args()
         .nth(1)
@@ -259,6 +389,51 @@ fn main() -> ExitCode {
                 grand_violations += violations;
                 rows.push(vec![
                     kind.to_string(),
+                    if with_swl { "on" } else { "off" }.to_owned(),
+                    if torn { "torn" } else { "clean" }.to_owned(),
+                    stats.points.to_string(),
+                    stats.lost_acked.to_string(),
+                    stats.stale_checkpoints.to_string(),
+                    stats.resume_failures.to_string(),
+                    stats.recovery_errors.to_string(),
+                ]);
+            }
+        }
+    }
+
+    // Multi-channel: the same exhaustive sweep over the 2-channel striped
+    // array, every cut landing mid-stripe.
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for with_swl in [false, true] {
+            let cfg = SimConfig {
+                fault: Some(FaultPlan::new(1)),
+                ..SimConfig::default()
+            };
+            let mut striped = striped_build(kind, with_swl, &cfg);
+            let mut model = HostModel::default();
+            let cut = striped_replay(&mut striped, rounds, &mut model)
+                .expect("striped baseline replay");
+            assert!(!cut, "striped baseline run must not see a power cut");
+            let total = striped
+                .lanes()
+                .iter()
+                .map(|lane| lane.device().fault_ops())
+                .max()
+                .unwrap_or(0);
+
+            for torn in [false, true] {
+                let mut stats = SweepStats::default();
+                for cut_at in 0..total {
+                    check_striped_cut_point(kind, with_swl, rounds, cut_at, torn, &mut stats);
+                }
+                let violations = stats.lost_acked
+                    + stats.stale_checkpoints
+                    + stats.resume_failures
+                    + stats.recovery_errors;
+                grand_points += stats.points;
+                grand_violations += violations;
+                rows.push(vec![
+                    format!("{kind}\u{d7}{CHANNELS}ch"),
                     if with_swl { "on" } else { "off" }.to_owned(),
                     if torn { "torn" } else { "clean" }.to_owned(),
                     stats.points.to_string(),

@@ -3,14 +3,17 @@
 //! attribution: a worst-offenders table of the host operations that paid
 //! the most device time, with an exact host/gc/swl/merge breakdown of each,
 //! and the span tree of the worst ops showing *where* inside the
-//! translation layer the time went.
+//! translation layer the time went. Multi-channel logs (with
+//! [`Event::Channel`] lane markers) additionally get a per-channel table
+//! and the achieved busy-time overlap.
 //!
 //! ```text
-//! swlspan [FILE|-] [--top N] [--tree N]
+//! swlspan [FILE|-] [--top N] [--tree N] [--check]
 //!
-//!   FILE    the JSONL log; "-" or absent reads stdin
-//!   --top   rows in the worst-offenders table (default 10)
-//!   --tree  how many of the worst ops to render as span trees (default 1)
+//!   FILE     the JSONL log; "-" or absent reads stdin
+//!   --top    rows in the worst-offenders table (default 10)
+//!   --tree   how many of the worst ops to render as span trees (default 1)
+//!   --check  exit non-zero when the span structure is unclean
 //! ```
 
 use std::io::Read;
@@ -26,6 +29,7 @@ struct Options {
     file: Option<String>,
     top: usize,
     tree: usize,
+    check: bool,
 }
 
 impl Default for Options {
@@ -34,6 +38,7 @@ impl Default for Options {
             file: None,
             top: 10,
             tree: 1,
+            check: false,
         }
     }
 }
@@ -55,8 +60,11 @@ fn parse_args() -> Result<Options, String> {
                     options.tree = value;
                 }
             }
+            "--check" => options.check = true,
             "--help" | "-h" => {
-                return Err("usage: swlspan [FILE|-] [--top N] [--tree N]".to_owned())
+                return Err(
+                    "usage: swlspan [FILE|-] [--top N] [--tree N] [--check]".to_owned(),
+                )
             }
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other:?} (try --help)"))
@@ -149,9 +157,15 @@ impl TreeBuilder {
 }
 
 struct Replay {
-    /// `(breakdown, tree)` per completed host op, in completion order.
-    ops: Vec<(OpBreakdown, Node)>,
+    /// `(breakdown, tree, channel)` per completed host op, in completion
+    /// order; the channel is the lane active when the root span closed
+    /// (0 until the first [`Event::Channel`] marker).
+    ops: Vec<(OpBreakdown, Node, u32)>,
     events: u64,
+    /// Highest channel id seen plus one (1 for single-channel logs).
+    channels: u32,
+    /// Whether the span structure replayed cleanly.
+    clean: bool,
 }
 
 fn replay(text: &str) -> Result<Replay, String> {
@@ -160,6 +174,8 @@ fn replay(text: &str) -> Result<Replay, String> {
     let mut ops = Vec::new();
     let mut events = 0u64;
     let mut first = true;
+    let mut channel = 0u32;
+    let mut channels = 1u32;
     for (n, line) in text.lines().enumerate() {
         if line.trim().is_empty() {
             continue;
@@ -180,22 +196,32 @@ fn replay(text: &str) -> Result<Replay, String> {
             }
         }
         events += 1;
+        if let Event::Channel { id } = event {
+            channel = id;
+            channels = channels.max(id + 1);
+        }
         let breakdown = replayer.observe(&event);
         let tree = builder.observe(&event);
         if let (Some(op), Some(node)) = (breakdown, tree) {
-            ops.push((op, node));
+            ops.push((op, node, channel));
         }
     }
     if first {
         return Err("empty log".to_owned());
     }
     let check = replayer.check();
-    if !check.is_clean() {
+    let clean = check.is_clean();
+    if !clean {
         for error in check.errors() {
             eprintln!("swlspan: warning: {error}");
         }
     }
-    Ok(Replay { ops, events })
+    Ok(Replay {
+        ops,
+        events,
+        channels,
+        clean,
+    })
 }
 
 fn micros(ns: u64) -> String {
@@ -275,13 +301,17 @@ fn main() -> ExitCode {
             "swlspan: {} events, no completed host-op spans",
             replayed.events
         );
+        if options.check && !replayed.clean {
+            eprintln!("swlspan: --check failed: span structure is unclean");
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
-    let total_ns: u64 = replayed.ops.iter().map(|(op, _)| op.total_ns()).sum();
+    let total_ns: u64 = replayed.ops.iter().map(|(op, ..)| op.total_ns()).sum();
     let mut cause_ns = [0u64; 4];
     let mut programs = 0u64;
-    for (op, _) in &replayed.ops {
+    for (op, ..) in &replayed.ops {
         for cause in SpanCause::ALL {
             cause_ns[cause.index()] += op.ns(cause);
         }
@@ -327,8 +357,41 @@ fn main() -> ExitCode {
         &rows,
     );
 
+    if replayed.channels > 1 {
+        let mut per_channel = vec![(0u64, 0u64); replayed.channels as usize];
+        for (op, _, channel) in &replayed.ops {
+            let slot = &mut per_channel[*channel as usize];
+            slot.0 += 1;
+            slot.1 += op.total_ns();
+        }
+        println!("\nper-channel attribution ({} channels):", replayed.channels);
+        let rows: Vec<Vec<String>> = per_channel
+            .iter()
+            .enumerate()
+            .map(|(id, (ops, ns))| {
+                vec![
+                    id.to_string(),
+                    ops.to_string(),
+                    format!("{:.3}", *ns as f64 / 1e6),
+                ]
+            })
+            .collect();
+        print_table(&["channel", "ops", "device ms"], &rows);
+        // The busiest channel bounds the array's wall time; the achieved
+        // overlap is how much total device time it amortises.
+        let busiest = per_channel.iter().map(|(_, ns)| *ns).max().unwrap_or(0);
+        if busiest > 0 {
+            println!(
+                "achieved overlap: \u{d7}{:.2} (total {:.3} ms over busiest channel {:.3} ms)",
+                total_ns as f64 / busiest as f64,
+                total_ns as f64 / 1e6,
+                busiest as f64 / 1e6,
+            );
+        }
+    }
+
     for &i in order[..options.tree.min(order.len())].iter() {
-        let (op, node) = &replayed.ops[i];
+        let (op, node, _) = &replayed.ops[i];
         println!(
             "\nspan tree of op at device time {:.1} ms ({}):",
             op.begin_ns as f64 / 1e6,
@@ -337,6 +400,10 @@ fn main() -> ExitCode {
         let mut out = String::new();
         render_tree(node, "", true, true, &mut out);
         print!("{out}");
+    }
+    if options.check && !replayed.clean {
+        eprintln!("swlspan: --check failed: span structure is unclean");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -8,6 +8,7 @@
 //!   --layer ftl|nftl            translation layer           (default ftl)
 //!   --swl T:K                   paper-value SWL grid point  (default 100:0)
 //!   --no-swl                    run the baseline without the SW Leveler
+//!   --channels N                stripe over N channels      (default 1)
 //!   --events N                  stop after N trace events   (default 200000)
 //!   --out FILE                  output path, "-" for stdout (default swltrace.jsonl)
 //! ```
@@ -22,7 +23,7 @@
 use std::io::Write;
 use std::process::ExitCode;
 
-use flash_sim::experiments::{instrumented_run, ExperimentScale};
+use flash_sim::experiments::{instrumented_run, instrumented_striped_run, ExperimentScale};
 use flash_sim::{LayerKind, StopCondition};
 use flash_telemetry::JsonlSink;
 
@@ -31,6 +32,7 @@ struct Options {
     scale: ExperimentScale,
     layer: LayerKind,
     swl: Option<(u64, u32)>,
+    channels: u32,
     events: u64,
     out: String,
 }
@@ -41,6 +43,7 @@ impl Default for Options {
             scale: ExperimentScale::quick(),
             layer: LayerKind::Ftl,
             swl: Some((100, 0)),
+            channels: 1,
             events: 200_000,
             out: "swltrace.jsonl".to_owned(),
         }
@@ -79,6 +82,14 @@ fn parse_args() -> Result<Options, String> {
                 ));
             }
             "--no-swl" => options.swl = None,
+            "--channels" => {
+                options.channels = value("--channels")?
+                    .parse()
+                    .map_err(|e| format!("--channels: {e}"))?;
+                if options.channels == 0 {
+                    return Err("--channels must be at least 1".to_owned());
+                }
+            }
             "--events" => {
                 options.events = value("--events")?
                     .parse()
@@ -87,7 +98,7 @@ fn parse_args() -> Result<Options, String> {
             "--out" => options.out = value("--out")?,
             "--help" | "-h" => {
                 return Err("usage: swltrace [--scale quick|scaled|paper] [--layer ftl|nftl] \
-                            [--swl T:K | --no-swl] [--events N] [--out FILE]"
+                            [--swl T:K | --no-swl] [--channels N] [--events N] [--out FILE]"
                     .to_owned())
             }
             other => return Err(format!("unknown flag {other:?} (try --help)")),
@@ -105,14 +116,31 @@ fn run(options: &Options) -> Result<(), String> {
     let sink = JsonlSink::new(writer);
     let swl = options.swl.map(|(t, k)| options.scale.swl_config(t, k));
     let stop = StopCondition::events(options.events).or_first_failure();
-    let (report, sink) = instrumented_run(options.layer, swl, &options.scale, sink, stop)
+    // Multi-channel runs stripe over a widened workload so the shared
+    // stream carries lane markers; one channel keeps the plain run (and
+    // its byte-identical stream).
+    let (summary, sink) = if options.channels > 1 {
+        let (report, sink) = instrumented_striped_run(
+            options.layer,
+            options.channels,
+            swl,
+            &options.scale,
+            sink,
+            stop,
+        )
         .map_err(|e| e.to_string())?;
+        (report.to_string(), sink)
+    } else {
+        let (report, sink) = instrumented_run(options.layer, swl, &options.scale, sink, stop)
+            .map_err(|e| e.to_string())?;
+        (report.to_string(), sink)
+    };
     let lines = sink.lines();
     let mut writer = sink.finish().map_err(|e| e.to_string())?;
     writer.flush().map_err(|e| e.to_string())?;
     drop(writer);
 
-    eprintln!("{report}");
+    eprintln!("{summary}");
     let target = if options.out == "-" {
         "stdout".to_owned()
     } else {

@@ -35,6 +35,13 @@ pub struct SwlConfig {
     /// anyway; disable this to ablate the design choice (`findex` then
     /// restarts each interval at flag 0).
     pub randomize_reset: bool,
+    /// Defer triggering to an external coordinator: the translation layer
+    /// keeps feeding erases through [`SwLeveler::note_erase`] but never
+    /// invokes SWL-Procedure on its own. A multi-chip array uses this to
+    /// treat each chip's leveler as one *shard* — the coordinator watches
+    /// the global unevenness over shard sums (see [`crate::shard`]) and
+    /// drives the worst shard with [`SwLeveler::level_step`].
+    pub deferred: bool,
 }
 
 impl SwlConfig {
@@ -45,6 +52,7 @@ impl SwlConfig {
             k,
             seed: 0,
             randomize_reset: true,
+            deferred: false,
         }
     }
 
@@ -57,6 +65,12 @@ impl SwlConfig {
     /// Enables or disables post-reset `findex` randomisation.
     pub fn with_randomized_reset(mut self, randomize_reset: bool) -> Self {
         self.randomize_reset = randomize_reset;
+        self
+    }
+
+    /// Enables or disables deferred (externally coordinated) triggering.
+    pub fn with_deferred(mut self, deferred: bool) -> Self {
+        self.deferred = deferred;
         self
     }
 }
@@ -363,36 +377,9 @@ impl SwLeveler {
                 });
             }
 
-            // Steps 9–10: advance findex cyclically to the next clear flag.
-            let target = self
-                .bet
-                .next_clear(self.findex)
-                .expect("a clear flag exists because not all flags are set");
-            self.findex = target;
-
-            // Step 11: hand the block set to the Cleaner.
-            let first_block = self.bet.first_block_of(target);
-            let count = self.bet.blocks_per_flag().min(self.blocks - first_block);
-            self.scratch.clear();
-            let mut scratch = std::mem::take(&mut self.scratch);
-            let result = cleaner.erase_block_set(first_block, count, &mut scratch);
-            // Feed every reported erase through SWL-BETUpdate (the paper's
-            // re-entrant Cleaner → SWL-BETUpdate path).
-            let mut progressed = false;
-            for &erased in &scratch {
-                progressed |= self.note_erase(erased);
-            }
-            erases_triggered += scratch.len() as u64;
-            self.stats.swl_erases += scratch.len() as u64;
-            let was_empty = scratch.is_empty();
-            scratch.clear();
-            self.scratch = scratch;
+            let (erases, progressed, was_empty) = self.clean_next_set(cleaner)?;
+            erases_triggered += erases;
             sets_cleaned += 1;
-            self.stats.sets_cleaned += 1;
-            result?;
-
-            // Step 12: move past the set we just cleaned.
-            self.findex = (target + 1) % self.bet.flags();
 
             // Termination guard (not in the paper, which assumes a
             // cooperative Cleaner): a full BET lap with no erase and no new
@@ -411,6 +398,93 @@ impl SwLeveler {
             sets_cleaned,
             erases_triggered,
         })
+    }
+
+    /// One iteration of the Algorithm-1 loop body, **without** the threshold
+    /// check: resets the interval if the BET is full, otherwise cleans
+    /// exactly one clear block set and feeds the erases back through
+    /// SWL-BETUpdate.
+    ///
+    /// This is the coordinated-mode entry point (see
+    /// [`SwlConfig::deferred`]): an external coordinator that watches a
+    /// *global* unevenness over several shards calls this on the worst shard
+    /// until the global level drops, instead of letting each shard loop on
+    /// its own local level. Returns [`LevelOutcome::IntervalReset`] when the
+    /// step reset the interval, [`LevelOutcome::Stalled`] when the Cleaner
+    /// neither erased nor flagged anything, and [`LevelOutcome::Leveled`]
+    /// with `sets_cleaned == 1` otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Cleaner's error; erases reported before the error are
+    /// recorded.
+    pub fn level_step<C: SwlCleaner>(&mut self, cleaner: &mut C) -> Result<LevelOutcome, C::Error> {
+        self.stats.activations += 1;
+        cleaner.emit_telemetry(Event::SwlInvoke {
+            ecnt: self.ecnt,
+            fcnt: self.bet.fcnt() as u64,
+            threshold: self.config.threshold,
+        });
+        if self.bet.all_set() {
+            cleaner.emit_telemetry(Event::IntervalReset {
+                interval: self.stats.interval_resets,
+                ecnt: self.ecnt,
+                fcnt: self.bet.fcnt() as u64,
+            });
+            self.start_new_interval();
+            return Ok(LevelOutcome::IntervalReset {
+                sets_cleaned: 0,
+                erases_triggered: 0,
+            });
+        }
+        let (erases_triggered, progressed, was_empty) = self.clean_next_set(cleaner)?;
+        if was_empty && !progressed {
+            return Ok(LevelOutcome::Stalled { sets_cleaned: 1 });
+        }
+        Ok(LevelOutcome::Leveled {
+            sets_cleaned: 1,
+            erases_triggered,
+        })
+    }
+
+    /// Steps 9–12 of Algorithm 1: advance `findex` to the next clear flag,
+    /// hand that block set to the Cleaner, and feed every reported erase
+    /// back through SWL-BETUpdate. Returns `(erases, newly_flagged,
+    /// cleaner_was_empty)`.
+    fn clean_next_set<C: SwlCleaner>(
+        &mut self,
+        cleaner: &mut C,
+    ) -> Result<(u64, bool, bool), C::Error> {
+        // Steps 9–10: advance findex cyclically to the next clear flag.
+        let target = self
+            .bet
+            .next_clear(self.findex)
+            .expect("a clear flag exists because not all flags are set");
+        self.findex = target;
+
+        // Step 11: hand the block set to the Cleaner.
+        let first_block = self.bet.first_block_of(target);
+        let count = self.bet.blocks_per_flag().min(self.blocks - first_block);
+        self.scratch.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let result = cleaner.erase_block_set(first_block, count, &mut scratch);
+        // Feed every reported erase through SWL-BETUpdate (the paper's
+        // re-entrant Cleaner → SWL-BETUpdate path).
+        let mut progressed = false;
+        for &erased in &scratch {
+            progressed |= self.note_erase(erased);
+        }
+        let erases = scratch.len() as u64;
+        self.stats.swl_erases += erases;
+        let was_empty = scratch.is_empty();
+        scratch.clear();
+        self.scratch = scratch;
+        self.stats.sets_cleaned += 1;
+        result?;
+
+        // Step 12: move past the set we just cleaned.
+        self.findex = (target + 1) % self.bet.flags();
+        Ok((erases, progressed, was_empty))
     }
 
     /// Steps 4–7 of Algorithm 1: clear counters and flags, re-randomise
@@ -807,5 +881,101 @@ mod tests {
     fn note_erase_out_of_range_panics() {
         let mut l = SwLeveler::new(4, SwlConfig::new(1, 0)).unwrap();
         l.note_erase(4);
+    }
+
+    #[test]
+    fn level_step_cleans_exactly_one_set() {
+        let mut l = SwLeveler::new(4, SwlConfig::new(2, 0)).unwrap();
+        for _ in 0..8 {
+            l.note_erase(0);
+        }
+        let mut cleaner = RecordingCleaner::new();
+        assert_eq!(
+            l.level_step(&mut cleaner).unwrap(),
+            LevelOutcome::Leveled {
+                sets_cleaned: 1,
+                erases_triggered: 1
+            }
+        );
+        assert_eq!(cleaner.calls, vec![(1, 1)]);
+        assert_eq!(l.ecnt(), 9);
+        assert_eq!(l.fcnt(), 2);
+    }
+
+    #[test]
+    fn level_step_ignores_threshold() {
+        // Below threshold — level() would be Idle, level_step still cleans.
+        let mut l = SwLeveler::new(8, SwlConfig::new(100, 0)).unwrap();
+        l.note_erase(0);
+        let mut cleaner = RecordingCleaner::new();
+        assert_eq!(l.level(&mut RecordingCleaner::new()).unwrap(), LevelOutcome::Idle);
+        assert!(matches!(
+            l.level_step(&mut cleaner).unwrap(),
+            LevelOutcome::Leveled { sets_cleaned: 1, .. }
+        ));
+        assert_eq!(cleaner.calls.len(), 1);
+    }
+
+    #[test]
+    fn level_step_sequence_matches_level() {
+        // Repeating level_step until the interval resets walks the exact
+        // same Cleaner call sequence as one level() activation.
+        let build = || {
+            let mut l = SwLeveler::new(4, SwlConfig::new(2, 0).with_seed(7)).unwrap();
+            for _ in 0..8 {
+                l.note_erase(0);
+            }
+            l
+        };
+        let mut whole = build();
+        let mut whole_cleaner = RecordingCleaner::new();
+        whole.level(&mut whole_cleaner).unwrap();
+
+        let mut stepped = build();
+        let mut step_cleaner = RecordingCleaner::new();
+        loop {
+            match stepped.level_step(&mut step_cleaner).unwrap() {
+                LevelOutcome::IntervalReset { .. } => break,
+                LevelOutcome::Leveled { .. } | LevelOutcome::Stalled { .. } => {}
+                LevelOutcome::Idle => unreachable!("level_step never returns Idle"),
+            }
+        }
+        assert_eq!(step_cleaner.calls, whole_cleaner.calls);
+        assert_eq!(stepped.ecnt(), whole.ecnt());
+        assert_eq!(stepped.fcnt(), whole.fcnt());
+        assert_eq!(stepped.findex(), whole.findex());
+    }
+
+    #[test]
+    fn level_step_resets_full_interval() {
+        let mut l = SwLeveler::new(4, SwlConfig::new(2, 0)).unwrap();
+        for b in 0..4 {
+            for _ in 0..2 {
+                l.note_erase(b);
+            }
+        }
+        let mut cleaner = RecordingCleaner::new();
+        assert_eq!(
+            l.level_step(&mut cleaner).unwrap(),
+            LevelOutcome::IntervalReset {
+                sets_cleaned: 0,
+                erases_triggered: 0
+            }
+        );
+        assert!(cleaner.calls.is_empty());
+        assert_eq!(l.ecnt(), 0);
+        assert_eq!(l.fcnt(), 0);
+    }
+
+    #[test]
+    fn level_step_reports_stall() {
+        let mut l = SwLeveler::new(4, SwlConfig::new(1, 0)).unwrap();
+        for _ in 0..10 {
+            l.note_erase(0);
+        }
+        assert_eq!(
+            l.level_step(&mut NoopCleaner).unwrap(),
+            LevelOutcome::Stalled { sets_cleaned: 1 }
+        );
     }
 }

@@ -35,6 +35,10 @@
 //! - [`analysis`] — the closed-form worst-case overhead bounds of §4
 //!   (Tables 2 and 3).
 //!
+//! For multi-channel arrays, [`shard`] computes a *global* unevenness over
+//! several per-channel levelers and picks the worst shard for the next
+//! SWL-Procedure step ([`SwLeveler::level_step`]).
+//!
 //! ## Example
 //!
 //! ```
@@ -82,6 +86,8 @@ pub mod counting;
 mod leveler;
 pub mod persist;
 pub mod rng;
+pub mod shard;
 
 pub use bet::Bet;
 pub use leveler::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig, SwlError, SwlStats};
+pub use shard::{global_over_threshold, global_unevenness, worst_shard, ShardView};

@@ -214,7 +214,7 @@ impl Snapshot {
             k: config.k,
             threshold: config.threshold,
             seed: config.seed,
-            config_flags: if config.randomize_reset { 0 } else { 1 },
+            config_flags: u8::from(!config.randomize_reset) | (u8::from(config.deferred) << 1),
             ecnt: leveler.ecnt(),
             findex: leveler.findex() as u64,
             sequence,
@@ -320,6 +320,7 @@ impl Snapshot {
             k: self.k,
             seed: self.seed,
             randomize_reset: self.config_flags & 1 == 0,
+            deferred: self.config_flags & 2 != 0,
         };
         let bet = Bet::from_words(self.words, self.flags as usize, self.k);
         SwLeveler::restore(self.blocks, config, bet, self.ecnt, self.findex as usize)
@@ -473,6 +474,22 @@ mod tests {
             .into_leveler()
             .unwrap();
         assert!(restored.config().randomize_reset);
+    }
+
+    #[test]
+    fn deferred_round_trips() {
+        for (deferred, randomize) in [(false, false), (false, true), (true, false), (true, true)] {
+            let config = crate::SwlConfig::new(50, 2)
+                .with_randomized_reset(randomize)
+                .with_deferred(deferred);
+            let leveler = SwLeveler::new(100, config).unwrap();
+            let restored = Snapshot::decode(&Snapshot::capture(&leveler, 1).encode())
+                .unwrap()
+                .into_leveler()
+                .unwrap();
+            assert_eq!(restored.config().deferred, deferred);
+            assert_eq!(restored.config().randomize_reset, randomize);
+        }
     }
 
     #[test]

@@ -1,0 +1,195 @@
+//! Multi-channel array geometry.
+//!
+//! A real SSD spreads many chips over several independent *channels* (buses).
+//! Chips on the same channel share the bus and serialize their transfers;
+//! chips on different channels run concurrently. This module models the
+//! array shape only — the per-channel devices themselves stay ordinary
+//! [`NandDevice`](crate::NandDevice)s, one per channel, where a channel's
+//! `chips_per_channel` chips are folded into one device with proportionally
+//! more blocks (bus sharing makes them sequential anyway).
+//!
+//! Logical pages are striped round-robin across channels: host page `lba`
+//! lives on channel `lba % channels` at lane-local page `lba / channels`,
+//! so consecutive host pages land on different channels and a multi-page
+//! host request can overlap its sub-requests.
+
+use std::fmt;
+
+use crate::geometry::Geometry;
+
+/// Shape of a `channels × chips-per-channel` NAND array.
+///
+/// # Example
+///
+/// ```
+/// use nand::{ChannelGeometry, Geometry};
+///
+/// let chip = Geometry::new(64, 32, 2048);
+/// let array = ChannelGeometry::new(4, 2, chip);
+/// assert_eq!(array.channels(), 4);
+/// assert_eq!(array.lane_geometry().blocks(), 128); // 2 chips fold into one lane
+/// assert_eq!(array.total_blocks(), 512);
+/// assert_eq!(array.channel_of(5), 1);
+/// assert_eq!(array.lane_lba(5), 1);
+/// assert_eq!(array.host_lba(1, 1), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelGeometry {
+    channels: u32,
+    chips_per_channel: u32,
+    chip: Geometry,
+}
+
+impl ChannelGeometry {
+    /// An array of `channels × chips_per_channel` chips of `chip` geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `channels` or `chips_per_channel` is zero.
+    pub fn new(channels: u32, chips_per_channel: u32, chip: Geometry) -> Self {
+        assert!(channels > 0, "array needs at least one channel");
+        assert!(chips_per_channel > 0, "channel needs at least one chip");
+        Self {
+            channels,
+            chips_per_channel,
+            chip,
+        }
+    }
+
+    /// The degenerate single-chip array (`1 × 1`), matching a plain
+    /// [`NandDevice`](crate::NandDevice) exactly.
+    pub fn single(chip: Geometry) -> Self {
+        Self::new(1, 1, chip)
+    }
+
+    /// Number of independent channels.
+    pub fn channels(&self) -> u32 {
+        self.channels
+    }
+
+    /// Chips sharing each channel's bus.
+    pub fn chips_per_channel(&self) -> u32 {
+        self.chips_per_channel
+    }
+
+    /// Geometry of one chip.
+    pub fn chip(&self) -> Geometry {
+        self.chip
+    }
+
+    /// Geometry of one channel's device: the channel's chips folded into a
+    /// single device with `chips_per_channel ×` the blocks (the shared bus
+    /// serializes them, so one device models the lane faithfully).
+    pub fn lane_geometry(&self) -> Geometry {
+        self.chip
+            .with_blocks(self.chip.blocks() * self.chips_per_channel)
+    }
+
+    /// Physical blocks across the whole array.
+    pub fn total_blocks(&self) -> u64 {
+        u64::from(self.lane_geometry().blocks()) * u64::from(self.channels)
+    }
+
+    /// Physical pages across the whole array.
+    pub fn total_pages(&self) -> u64 {
+        self.lane_geometry().total_pages() * u64::from(self.channels)
+    }
+
+    /// Channel that owns host page `lba` (round-robin striping).
+    pub fn channel_of(&self, lba: u64) -> u32 {
+        (lba % u64::from(self.channels)) as u32
+    }
+
+    /// Lane-local page index of host page `lba` on its channel.
+    pub fn lane_lba(&self, lba: u64) -> u64 {
+        lba / u64::from(self.channels)
+    }
+
+    /// Inverse of the striping: host page for `(channel, lane_lba)`.
+    pub fn host_lba(&self, channel: u32, lane_lba: u64) -> u64 {
+        lane_lba * u64::from(self.channels) + u64::from(channel)
+    }
+
+    /// Flat array-wide index of lane-local `block` on `channel`
+    /// (lane-major), for reports that need one namespace over all blocks.
+    pub fn flat_block(&self, channel: u32, block: u32) -> u64 {
+        u64::from(channel) * u64::from(self.lane_geometry().blocks()) + u64::from(block)
+    }
+}
+
+impl fmt::Display for ChannelGeometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}ch × {}chip ({} blocks)",
+            self.channels,
+            self.chips_per_channel,
+            self.total_blocks()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> Geometry {
+        Geometry::new(16, 4, 2048)
+    }
+
+    #[test]
+    fn striping_round_trips() {
+        let g = ChannelGeometry::new(3, 1, chip());
+        for lba in 0..100u64 {
+            let c = g.channel_of(lba);
+            let l = g.lane_lba(lba);
+            assert!(c < 3);
+            assert_eq!(g.host_lba(c, l), lba);
+        }
+    }
+
+    #[test]
+    fn single_matches_plain_chip() {
+        let g = ChannelGeometry::single(chip());
+        assert_eq!(g.channels(), 1);
+        assert_eq!(g.lane_geometry(), chip());
+        assert_eq!(g.total_blocks(), u64::from(chip().blocks()));
+        for lba in 0..50u64 {
+            assert_eq!(g.channel_of(lba), 0);
+            assert_eq!(g.lane_lba(lba), lba);
+        }
+    }
+
+    #[test]
+    fn chips_fold_into_lane_blocks() {
+        let g = ChannelGeometry::new(2, 4, chip());
+        assert_eq!(g.lane_geometry().blocks(), 64);
+        assert_eq!(g.total_blocks(), 128);
+        assert_eq!(g.total_pages(), 128 * 4);
+    }
+
+    #[test]
+    fn flat_block_is_lane_major() {
+        let g = ChannelGeometry::new(2, 1, chip());
+        assert_eq!(g.flat_block(0, 3), 3);
+        assert_eq!(g.flat_block(1, 3), 19);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one channel")]
+    fn zero_channels_rejected() {
+        let _ = ChannelGeometry::new(0, 1, chip());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_rejected() {
+        let _ = ChannelGeometry::new(1, 0, chip());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let g = ChannelGeometry::new(4, 2, chip());
+        assert_eq!(g.to_string(), "4ch × 2chip (128 blocks)");
+    }
+}

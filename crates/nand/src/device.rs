@@ -128,6 +128,25 @@ impl<S: Sink> NandDevice<S> {
         }
     }
 
+    /// Like [`NandDevice::with_sink`] but without the [`Event::Meta`] stream
+    /// header. For multi-chip arrays where several devices share one sink:
+    /// the enclosing layer emits a single array-level header instead of one
+    /// per chip.
+    pub fn with_sink_silent<S2: Sink>(self, sink: S2) -> NandDevice<S2> {
+        NandDevice {
+            geometry: self.geometry,
+            spec: self.spec,
+            policy: self.policy,
+            blocks: self.blocks,
+            counters: self.counters,
+            busy_ns: self.busy_ns,
+            first_failure: self.first_failure,
+            worn_blocks: self.worn_blocks,
+            faults: self.faults,
+            sink,
+        }
+    }
+
     /// Attaches a deterministic [`FaultPlan`] (builder style). A device
     /// without a plan — or with a plan whose knobs are all disarmed —
     /// behaves bit-identically to one that never heard of faults.
@@ -169,6 +188,17 @@ impl<S: Sink> NandDevice<S> {
     pub fn rearm_power_cut(&mut self, op: u64, torn: bool) {
         if let Some(f) = &mut self.faults {
             f.rearm_power_cut(op, torn);
+        }
+    }
+
+    /// Removes a still-armed cut point and restores power. Multi-channel
+    /// harnesses call this on the chips whose cut never fired before
+    /// remounting: one shared power rail dies once, so a cut consumed on
+    /// any chip of the array is consumed on all of them. No-op without a
+    /// fault plan.
+    pub fn disarm_power_cut(&mut self) {
+        if let Some(f) = &mut self.faults {
+            f.disarm_power_cut();
         }
     }
 

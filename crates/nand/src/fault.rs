@@ -193,6 +193,15 @@ impl FaultState {
         self.power_cut = false;
     }
 
+    /// Removes a still-armed cut point and restores power. Multi-chip
+    /// harnesses use this on the chips whose cut never fired: one shared
+    /// power rail dies once, so a cut consumed on any chip is consumed on
+    /// all of them.
+    pub(crate) fn disarm_power_cut(&mut self) {
+        self.plan.power_cut_at = None;
+        self.power_cut = false;
+    }
+
     pub(crate) fn ops(&self) -> u64 {
         self.ops
     }

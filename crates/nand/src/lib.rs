@@ -51,6 +51,7 @@
 
 mod block;
 mod cell;
+mod channels;
 mod device;
 mod error;
 pub mod fault;
@@ -63,6 +64,7 @@ mod wearmap;
 
 pub use block::{Block, BlockState};
 pub use cell::{CellKind, CellSpec, Timing};
+pub use channels::ChannelGeometry;
 pub use device::{DeviceCounters, FailureRecord, NandDevice, ReadResult, WearPolicy};
 pub use error::NandError;
 pub use fault::FaultPlan;

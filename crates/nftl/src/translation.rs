@@ -1069,7 +1069,10 @@ impl<S: Sink> BlockMappedNftl<S> {
         for &b in erased {
             swl.note_erase(b);
         }
-        if swl.needs_leveling() {
+        // In deferred mode an external coordinator (e.g. the multi-channel
+        // striped layer) watches a global unevenness and drives
+        // `run_swl_step`; the layer itself only feeds SWL-BETUpdate.
+        if !swl.config().deferred && swl.needs_leveling() {
             let span = self.inner.span_begin(SpanKind::Swl);
             let result = swl.level(&mut self.inner);
             self.inner.span_end(span);
@@ -1111,6 +1114,25 @@ impl<S: Sink> BlockMappedNftl<S> {
             Some(swl) => {
                 let span = self.inner.span_begin(SpanKind::Swl);
                 let result = swl.level(&mut self.inner);
+                self.inner.span_end(span);
+                result
+            }
+            None => Ok(LevelOutcome::Idle),
+        }
+    }
+
+    /// Runs exactly one SWL-Procedure step, ignoring the local threshold —
+    /// the entry point for an external multi-shard coordinator (see
+    /// [`SwLeveler::level_step`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures.
+    pub fn run_swl_step(&mut self) -> Result<LevelOutcome, NftlError> {
+        match self.swl.as_mut() {
+            Some(swl) => {
+                let span = self.inner.span_begin(SpanKind::Swl);
+                let result = swl.level_step(&mut self.inner);
                 self.inner.span_end(span);
                 result
             }

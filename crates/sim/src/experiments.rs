@@ -11,7 +11,7 @@
 
 use flash_telemetry::Sink;
 use flash_trace::{Op, SegmentResampler, WorkloadSpec};
-use nand::{CellKind, Geometry, NandDevice, WearPolicy};
+use nand::{CellKind, ChannelGeometry, Geometry, NandDevice, WearPolicy};
 use swl_core::counting::CountingLeveler;
 use swl_core::SwlConfig;
 
@@ -19,6 +19,7 @@ use crate::error::SimError;
 use crate::layer::{Layer, LayerKind, SimConfig, TranslationLayer};
 use crate::report::SimReport;
 use crate::simulator::{Simulator, StopCondition};
+use crate::striped::{StripedLayer, StripedReport, SwlCoordination};
 
 /// Nanoseconds per year (re-exported for bench binaries).
 pub const NANOS_PER_YEAR: f64 = crate::report::NANOS_PER_YEAR;
@@ -640,6 +641,151 @@ pub fn table4(
 /// The `(k, T)` corner configurations of Table 4.
 pub const TABLE4_CONFIGS: [(u32, u64); 4] = [(0, 100), (0, 1000), (3, 100), (3, 1000)];
 
+/// Host request size (pages) used by the channel-scaling experiment. Eight
+/// 2 KiB pages model a 16 KiB host request — wide enough to stripe across
+/// every lane count the sweep visits.
+pub const CHANNEL_SPAN: u32 = 8;
+
+/// One point of the channel-scaling experiment: the same total capacity and
+/// workload served by `channels` lanes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelPoint {
+    /// Lane count.
+    pub channels: u32,
+    /// Achieved busy-time overlap (`Σ channel busy / makespan`), ×1.0 when
+    /// fully serial.
+    pub overlap: f64,
+    /// Virtual device time to serve the whole run.
+    pub makespan_ns: u64,
+    /// Host pages served per virtual millisecond of device time.
+    pub pages_per_ms: f64,
+    /// The full striped report.
+    pub report: StripedReport,
+}
+
+/// Runs one multi-channel configuration with a telemetry sink shared by
+/// every lane, producing the interleaved stream (`Event::Channel` lane
+/// markers included) that `swlspan` attributes per channel. The workload is
+/// the [`CHANNEL_SPAN`]-page widened paper trace, exactly as in
+/// [`channel_scaling`]; `channels` must divide `scale.blocks`.
+///
+/// # Errors
+///
+/// Propagates layer failures.
+pub fn instrumented_striped_run<S: Sink>(
+    kind: LayerKind,
+    channels: u32,
+    swl: Option<SwlConfig>,
+    scale: &ExperimentScale,
+    sink: S,
+    stop: StopCondition,
+) -> Result<(StripedReport, S), SimError> {
+    assert!(
+        channels >= 1 && scale.blocks.is_multiple_of(channels),
+        "channel count {channels} must divide {} blocks",
+        scale.blocks
+    );
+    let geometry = ChannelGeometry::new(
+        channels,
+        1,
+        Geometry::new(scale.blocks / channels, scale.pages_per_block, 2048),
+    );
+    let mut striped = StripedLayer::with_sink(
+        kind,
+        geometry,
+        CellKind::Mlc2.spec().with_endurance(scale.endurance),
+        swl,
+        SwlCoordination::Global,
+        &SimConfig::default(),
+        sink,
+    )?;
+    let pages = striped.logical_pages();
+    let trace = SegmentResampler::from_spec(
+        paper_workload(pages, scale.seed),
+        scale.seed.wrapping_mul(0x9E37_79B9),
+    )
+    .map(move |e| e.widen(CHANNEL_SPAN, pages));
+    let report = Simulator::new().run_striped(&mut striped, trace, stop)?;
+    Ok((report, striped.into_sink()))
+}
+
+/// The channel-scaling sweep: fixed total capacity, workload, and SWL
+/// configuration (`T`, `k`), varying only the lane count. The page-granular
+/// paper workload is widened to [`CHANNEL_SPAN`]-page host requests
+/// ([`flash_trace::TraceEvent::widen`]) so each op can stripe across lanes;
+/// throughput and overlap then measure what the extra channels buy.
+///
+/// Every `channels` value must divide `scale.blocks` (lanes split the chip
+/// evenly). Points fan out over [`crate::parallel::sweep_threads`] workers
+/// and come back in input order, bit-identical to a serial sweep.
+///
+/// # Errors
+///
+/// Propagates layer failures (the first failing point in input order).
+pub fn channel_scaling(
+    kind: LayerKind,
+    scale: &ExperimentScale,
+    channel_counts: &[u32],
+    swl: Option<(u64, u32)>,
+    events: u64,
+) -> Result<Vec<ChannelPoint>, SimError> {
+    for &c in channel_counts {
+        assert!(
+            c >= 1 && scale.blocks.is_multiple_of(c),
+            "channel count {c} must divide {} blocks",
+            scale.blocks
+        );
+    }
+    let reports = crate::parallel::run_indexed_labeled(
+        channel_counts.len(),
+        |i| format!("{}ch", channel_counts[i]),
+        |i| {
+            let channels = channel_counts[i];
+            let geometry = ChannelGeometry::new(
+                channels,
+                1,
+                Geometry::new(scale.blocks / channels, scale.pages_per_block, 2048),
+            );
+            let config = swl.map(|(t, k)| scale.swl_config(t, k));
+            let mut striped = StripedLayer::build(
+                kind,
+                geometry,
+                CellKind::Mlc2.spec().with_endurance(scale.endurance),
+                config,
+                SwlCoordination::Global,
+                &SimConfig::default(),
+            )?;
+            let pages = striped.logical_pages();
+            let trace = SegmentResampler::from_spec(
+                paper_workload(pages, scale.seed),
+                scale.seed.wrapping_mul(0x9E37_79B9),
+            )
+            .map(move |e| e.widen(CHANNEL_SPAN, pages));
+            Simulator::new().run_striped(&mut striped, trace, StopCondition::events(events))
+        },
+    );
+    let mut points = Vec::with_capacity(channel_counts.len());
+    for (&channels, report) in channel_counts.iter().zip(reports) {
+        let report = report?;
+        let overlap = report.overlap_factor().unwrap_or(1.0);
+        let makespan_ns = report.makespan_ns;
+        let pages = report.counters.host_writes + report.counters.host_reads;
+        let pages_per_ms = if makespan_ns == 0 {
+            0.0
+        } else {
+            pages as f64 / (makespan_ns as f64 / 1e6)
+        };
+        points.push(ChannelPoint {
+            channels,
+            overlap,
+            makespan_ns,
+            pages_per_ms,
+            report,
+        });
+    }
+    Ok(points)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -791,6 +937,27 @@ mod tests {
                     .unwrap();
             assert_eq!(point.report, serial, "overhead point k={k} diverged");
         }
+    }
+
+    #[test]
+    fn channel_scaling_gains_overlap() {
+        let scale = quick();
+        let points =
+            channel_scaling(LayerKind::Ftl, &scale, &[1, 4], Some((100, 0)), 4_000).unwrap();
+        assert_eq!(points.len(), 2);
+        let one = &points[0];
+        let four = &points[1];
+        assert_eq!((one.channels, four.channels), (1, 4));
+        // One channel is fully serial by construction.
+        assert!((one.overlap - 1.0).abs() < 1e-9);
+        assert_eq!(one.makespan_ns, one.report.device_busy_ns);
+        // Four channels overlap busy time and serve pages faster.
+        assert!(
+            four.overlap > 1.5,
+            "4 channels must overlap, got ×{:.2}",
+            four.overlap
+        );
+        assert!(four.pages_per_ms > one.pages_per_ms);
     }
 
     #[test]

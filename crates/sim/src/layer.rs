@@ -6,7 +6,7 @@ use flash_telemetry::{NullSink, Sink};
 use ftl::{FtlConfig, PageMappedFtl};
 use nand::{FaultPlan, NandDevice};
 use nftl::{BlockMappedNftl, NftlConfig};
-use swl_core::{SwLeveler, SwlConfig};
+use swl_core::{LevelOutcome, SwLeveler, SwlConfig};
 
 use crate::error::SimError;
 
@@ -236,6 +236,40 @@ impl<S: Sink> Layer<S> {
         match self {
             Layer::Ftl(l) => l.into_device(),
             Layer::Nftl(l) => l.into_device(),
+        }
+    }
+
+    /// Attaches (or replaces) a pre-built SW Leveler — e.g. one restored
+    /// from a persistence snapshot after [`Layer::mount`].
+    pub fn attach_swl(&mut self, swl: SwLeveler) {
+        match self {
+            Layer::Ftl(l) => l.attach_swl(swl),
+            Layer::Nftl(l) => l.attach_swl(swl),
+        }
+    }
+
+    /// Manually invokes SWL-Procedure (e.g. from a timer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures as [`SimError`].
+    pub fn run_swl(&mut self) -> Result<LevelOutcome, SimError> {
+        match self {
+            Layer::Ftl(l) => l.run_swl().map_err(SimError::from),
+            Layer::Nftl(l) => l.run_swl().map_err(SimError::from),
+        }
+    }
+
+    /// Runs exactly one SWL-Procedure step, ignoring the local threshold —
+    /// the multi-shard coordinator's entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates reclamation failures as [`SimError`].
+    pub fn run_swl_step(&mut self) -> Result<LevelOutcome, SimError> {
+        match self {
+            Layer::Ftl(l) => l.run_swl_step().map_err(SimError::from),
+            Layer::Nftl(l) => l.run_swl_step().map_err(SimError::from),
         }
     }
 }

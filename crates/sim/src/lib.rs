@@ -44,10 +44,14 @@ mod latency;
 mod layer;
 pub mod parallel;
 mod report;
+pub mod sched;
 mod simulator;
+mod striped;
 
 pub use error::SimError;
 pub use latency::LatencyStats;
 pub use layer::{Layer, LayerCounters, LayerKind, SimConfig, TranslationLayer};
 pub use report::{FirstFailure, SimReport};
+pub use sched::{ChannelScheduler, Completion, EventQueue};
 pub use simulator::{Simulator, StopCondition};
+pub use striped::{StripedLayer, StripedReport, SwlCoordination};

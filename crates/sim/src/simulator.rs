@@ -58,7 +58,7 @@ impl StopCondition {
 /// never-written pages are fine and are not errors).
 #[derive(Debug, Clone, Default)]
 pub struct Simulator {
-    next_token: u64,
+    pub(crate) next_token: u64,
 }
 
 impl Simulator {

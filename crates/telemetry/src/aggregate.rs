@@ -507,6 +507,9 @@ impl Sink for MetricsAggregator {
             }
             // Handled by the span replayer above.
             Event::SpanBegin { .. } | Event::SpanEnd { .. } => {}
+            // Lane attribution concerns the span viewer (`swlspan`), not the
+            // aggregate counters, which stay array-wide.
+            Event::Channel { .. } => {}
         }
     }
 }

@@ -134,6 +134,9 @@ pub fn write_line(out: &mut String, event: &Event) {
         Event::SpanEnd { id, at_ns } => {
             let _ = write!(out, "{{\"e\":\"span_end\",\"id\":{id},\"ns\":{at_ns}}}");
         }
+        Event::Channel { id } => {
+            let _ = write!(out, "{{\"e\":\"chan\",\"ch\":{id}}}");
+        }
     }
 }
 
@@ -382,6 +385,9 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             id: num(&fields, "span_end", "id")?,
             at_ns: num(&fields, "span_end", "ns")?,
         }),
+        "chan" => Ok(Event::Channel {
+            id: num32(&fields, "chan", "ch")?,
+        }),
         other => Err(ParseError::UnknownKind(other.to_string())),
     }
 }
@@ -507,6 +513,8 @@ mod tests {
                 id: 1,
                 at_ns: u64::MAX,
             },
+            Event::Channel { id: 0 },
+            Event::Channel { id: 3 },
         ]
     }
 

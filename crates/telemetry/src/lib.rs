@@ -41,6 +41,7 @@ pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod shared;
 pub mod span;
 
 pub use aggregate::{IntervalStats, MetricsAggregator, RetirementAudit, Snapshot, WearSummary};
@@ -49,6 +50,7 @@ pub use flight::FlightRecorder;
 pub use hist::LatencyHistogram;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
+pub use shared::SharedSink;
 pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};
 
 /// Version of the JSONL event schema, recorded in the [`Event::Meta`] header
@@ -61,7 +63,10 @@ pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};
 ///   [`Event::PowerCut`].
 /// - 3: adds the causal-span events [`Event::SpanBegin`] and
 ///   [`Event::SpanEnd`] with device-time stamps; every host op opens a root
-///   span and GC/SWL/merge work nests underneath it.
+///   span and GC/SWL/merge work nests underneath it. Multi-channel streams
+///   additionally carry [`Event::Channel`] markers (a compatible v3
+///   extension: markers appear only when the active lane changes, so
+///   single-channel logs are unchanged).
 pub const SCHEMA_VERSION: u32 = 3;
 
 /// Why a block was erased (or a set of pages live-copied).
@@ -320,6 +325,16 @@ pub enum Event {
         id: u64,
         /// Device busy time when the span closed.
         at_ns: u64,
+    },
+    /// The active channel changed (schema v3 extension for multi-channel
+    /// arrays): every following event belongs to channel `id` until the next
+    /// marker. Emitted only when the active lane actually changes, so
+    /// single-channel streams carry no markers and stay byte-identical to
+    /// pre-channel logs. Consumers must treat the channel as 0 until the
+    /// first marker.
+    Channel {
+        /// Channel (lane) index, 0-based.
+        id: u32,
     },
 }
 

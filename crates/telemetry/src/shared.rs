@@ -1,0 +1,124 @@
+//! A clonable handle that lets several emitters share one sink.
+//!
+//! A striped multi-channel layer owns one translation layer per channel, and
+//! each of those wants to emit into *the same* stream so the log stays a
+//! single totally-ordered JSONL file. [`SharedSink`] wraps any [`Sink`] in
+//! `Rc<RefCell<…>>` so every lane (and the coordinator itself) can hold a
+//! handle; events are interleaved in exactly the order the single-threaded
+//! simulator produces them.
+//!
+//! `ENABLED` is inherited from the wrapped sink, so sharing a
+//! [`NullSink`](crate::NullSink) still compiles every emission site out.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use crate::{Event, Sink};
+
+/// Shared handle to a sink; clones emit into the same underlying stream.
+pub struct SharedSink<S: Sink> {
+    inner: Rc<RefCell<S>>,
+}
+
+impl<S: Sink> SharedSink<S> {
+    /// Wraps `sink` in a shared handle.
+    pub fn new(sink: S) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(sink)),
+        }
+    }
+
+    /// Recovers the wrapped sink.
+    ///
+    /// # Panics
+    ///
+    /// Panics when other handles are still alive — drop every clone (e.g.
+    /// the per-lane layers) first.
+    pub fn into_inner(self) -> S {
+        Rc::try_unwrap(self.inner)
+            .unwrap_or_else(|_| panic!("other SharedSink handles still alive"))
+            .into_inner()
+    }
+
+    /// Runs `f` with a view of the wrapped sink.
+    pub fn with<R>(&self, f: impl FnOnce(&S) -> R) -> R {
+        f(&self.inner.borrow())
+    }
+}
+
+impl<S: Sink> Clone for SharedSink<S> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+impl<S: Sink> fmt::Debug for SharedSink<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SharedSink")
+            .field("handles", &Rc::strong_count(&self.inner))
+            .finish()
+    }
+}
+
+impl<S: Sink> Sink for SharedSink<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    #[inline]
+    fn event(&mut self, event: Event) {
+        self.inner.borrow_mut().event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NullSink, VecSink};
+
+    #[test]
+    fn clones_share_one_stream() {
+        let mut a = SharedSink::new(VecSink::default());
+        let mut b = a.clone();
+        a.event(Event::HostWrite { lba: 1 });
+        b.event(Event::HostRead { lba: 2 });
+        a.event(Event::Channel { id: 1 });
+        drop(b);
+        let sink = a.into_inner();
+        assert_eq!(
+            sink.events,
+            vec![
+                Event::HostWrite { lba: 1 },
+                Event::HostRead { lba: 2 },
+                Event::Channel { id: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn enabled_is_inherited() {
+        // Read through a fn so the assert sees a runtime value; the point
+        // is the associated-const plumbing, not the literal.
+        fn enabled<S: Sink>() -> bool {
+            S::ENABLED
+        }
+        assert!(!enabled::<SharedSink<NullSink>>());
+        assert!(enabled::<SharedSink<VecSink>>());
+    }
+
+    #[test]
+    fn with_reads_without_consuming() {
+        let mut s = SharedSink::new(VecSink::default());
+        s.event(Event::Retire { block: 3 });
+        assert_eq!(s.with(|v| v.events.len()), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "handles still alive")]
+    fn into_inner_requires_last_handle() {
+        let a = SharedSink::new(VecSink::default());
+        let _b = a.clone();
+        let _ = a.into_inner();
+    }
+}

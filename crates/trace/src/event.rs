@@ -61,6 +61,49 @@ impl TraceEvent {
         }
     }
 
+    /// A write of `len` consecutive pages starting at `lba`.
+    pub fn write_span(at_ns: HostNanos, lba: u64, len: u32) -> Self {
+        Self {
+            at_ns,
+            op: Op::Write,
+            lba,
+            len,
+        }
+    }
+
+    /// A read of `len` consecutive pages starting at `lba`.
+    pub fn read_span(at_ns: HostNanos, lba: u64, len: u32) -> Self {
+        Self {
+            at_ns,
+            op: Op::Read,
+            lba,
+            len,
+        }
+    }
+
+    /// Widens this event to its enclosing `span`-page aligned window,
+    /// clamped to `logical_pages` — replaying a page-granular trace as the
+    /// `span`-page host requests (e.g. 4 KiB sectors over 512 B pages) that
+    /// a multi-channel array overlaps across its lanes. The touched region
+    /// contains the original page; alignment keeps the mapping
+    /// deterministic and non-overlapping for a fixed `span`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `span` is zero.
+    pub fn widen(self, span: u32, logical_pages: u64) -> Self {
+        assert!(span > 0, "span must be positive");
+        let start = self.lba - self.lba % u64::from(span);
+        let len = u64::from(span)
+            .min(logical_pages.saturating_sub(start))
+            .max(1) as u32;
+        Self {
+            lba: start,
+            len,
+            ..self
+        }
+    }
+
     /// Iterates over every logical page this event touches.
     pub fn pages(&self) -> impl Iterator<Item = u64> {
         self.lba..self.lba + u64::from(self.len)
@@ -101,5 +144,32 @@ mod tests {
     fn display_round_trips_visually() {
         let e = TraceEvent::write(42, 7);
         assert_eq!(e.to_string(), "42 W 7 1");
+    }
+
+    #[test]
+    fn span_constructors_set_len() {
+        let w = TraceEvent::write_span(5, 8, 4);
+        assert_eq!((w.op, w.lba, w.len), (Op::Write, 8, 4));
+        let r = TraceEvent::read_span(5, 8, 4);
+        assert_eq!(r.op, Op::Read);
+    }
+
+    #[test]
+    fn widen_aligns_and_clamps() {
+        let e = TraceEvent::write(0, 13).widen(8, 100);
+        assert_eq!((e.lba, e.len), (8, 8));
+        assert!(e.pages().any(|p| p == 13), "window contains the original");
+        // Clamped at the end of the logical space.
+        let tail = TraceEvent::write(0, 98).widen(8, 100);
+        assert_eq!((tail.lba, tail.len), (96, 4));
+        // Already aligned single-page space degenerates to len 1.
+        let tiny = TraceEvent::read(0, 0).widen(8, 1);
+        assert_eq!((tiny.lba, tiny.len), (0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "span must be positive")]
+    fn widen_rejects_zero_span() {
+        let _ = TraceEvent::write(0, 0).widen(0, 10);
     }
 }

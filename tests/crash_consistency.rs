@@ -267,3 +267,244 @@ proptest! {
         run_cut_point(kind, with_swl, seed % total, torn);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Multi-channel: power cuts mid-stripe on a striped array.
+// ---------------------------------------------------------------------------
+
+use flash_sim::{StripedLayer, SwlCoordination};
+use nand::ChannelGeometry;
+
+/// Blocks per lane of the striped crash runs.
+const LANE_BLOCKS: u32 = 16;
+/// Host request size (pages): every request spans all lanes, so any cut
+/// inside one lands mid-stripe.
+const SPAN: u64 = 4;
+
+fn striped_geometry(channels: u32) -> ChannelGeometry {
+    ChannelGeometry::new(channels, 1, Geometry::new(LANE_BLOCKS, PAGES, 2048))
+}
+
+fn striped_build(kind: LayerKind, channels: u32, cfg: &SimConfig) -> StripedLayer {
+    StripedLayer::build(
+        kind,
+        striped_geometry(channels),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        Some(swl_config()),
+        SwlCoordination::PerChannel,
+        cfg,
+    )
+    .expect("striped build")
+}
+
+/// The deterministic mid-stripe workload, as `(lba, value)` pairs: rounds
+/// of span-sized hot/cold host requests.
+fn striped_workload(logical_pages: u64) -> Vec<(u64, u64)> {
+    let spans = (logical_pages / SPAN).min(8);
+    let mut ops = Vec::new();
+    for round in 0..ROUNDS {
+        for i in 0..spans {
+            let base = (if i % 3 == 0 { i } else { (round + i) % 2 }) * SPAN;
+            for off in 0..SPAN {
+                ops.push((base + off, (round << 32) | (i << 16) | (off << 8) | 0xA5));
+            }
+        }
+    }
+    ops
+}
+
+/// Replays the workload on the striped array until done or cut;
+/// `Ok(true)` on a cut.
+fn striped_replay(
+    striped: &mut StripedLayer,
+    model: &mut HostModel,
+) -> Result<bool, SimError> {
+    for (lba, value) in striped_workload(striped.logical_pages()) {
+        model.in_flight = Some((lba, value));
+        match striped.write(lba, value) {
+            Ok(()) => {
+                model.acked.insert(lba, value);
+            }
+            Err(e) if is_power_cut(&e) => return Ok(true),
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(false)
+}
+
+/// Op count of the full striped workload (max over lanes, so every cut
+/// point below it fires on some lane).
+fn striped_total_ops(kind: LayerKind, channels: u32) -> u64 {
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1)),
+        ..SimConfig::default()
+    };
+    let mut striped = striped_build(kind, channels, &cfg);
+    let mut model = HostModel::default();
+    let cut = striped_replay(&mut striped, &mut model).expect("striped baseline");
+    assert!(!cut, "striped baseline must not see a power cut");
+    striped
+        .lanes()
+        .iter()
+        .map(|lane| lane.device().fault_ops())
+        .max()
+        .unwrap_or(0)
+}
+
+/// One striped crash/remount/verify cycle: after a mid-stripe cut, every
+/// acked sub-write on every channel must survive, and the array must keep
+/// serving writes.
+fn run_striped_cut_point(kind: LayerKind, channels: u32, cut_at: u64, torn: bool) {
+    let ctx = format!("{kind}\u{d7}{channels}ch cut_at={cut_at} torn={torn}");
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let mut striped = striped_build(kind, channels, &cfg);
+    let mut model = HostModel::default();
+    let cut = striped_replay(&mut striped, &mut model)
+        .unwrap_or_else(|e| panic!("{ctx}: workload failed: {e}"));
+    assert!(cut, "{ctx}: cut point must land inside the workload");
+
+    // -- power comes back on the shared rail: the cut consumed on one lane
+    // is consumed for the whole array --
+    let mut devices = striped.into_devices();
+    assert!(
+        devices.iter().any(|d| d.power_is_cut()),
+        "{ctx}: some lane must report the cut"
+    );
+    for device in &mut devices {
+        device.disarm_power_cut();
+        device.power_cycle();
+    }
+    let mut striped = StripedLayer::mount(
+        kind,
+        striped_geometry(channels),
+        devices,
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+    )
+    .unwrap_or_else(|e| panic!("{ctx}: remount failed: {e}"));
+
+    for (&lba, &value) in &model.acked {
+        let got = striped
+            .read(lba)
+            .unwrap_or_else(|e| panic!("{ctx}: read({lba}) failed after remount: {e}"));
+        let in_flight_ok =
+            matches!(model.in_flight, Some((l, v)) if l == lba && got == Some(v));
+        assert!(
+            got == Some(value) || in_flight_ok,
+            "{ctx}: lba {lba} lost acked value {value:#x}, read {got:?}"
+        );
+    }
+
+    let lbas = striped.logical_pages().min(SPAN * 8);
+    for round in 0..2u64 {
+        for lba in 0..lbas {
+            striped
+                .write(lba, 0xD00D_0000 | (round << 8) | lba)
+                .unwrap_or_else(|e| panic!("{ctx}: post-recovery write failed: {e}"));
+        }
+    }
+}
+
+/// Strided mid-stripe sweep over the 2-channel array, both layers, torn
+/// and clean cuts.
+#[test]
+fn striped_power_cuts_preserve_acked_writes_on_every_channel() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let total = striped_total_ops(kind, 2);
+        assert!(total > 50, "{kind}: striped workload too small");
+        let step = (total / 12).max(1);
+        for torn in [false, true] {
+            let mut cut_at = if torn { step / 2 } else { 0 };
+            while cut_at < total {
+                run_striped_cut_point(kind, 2, cut_at, torn);
+                cut_at += step;
+            }
+        }
+    }
+}
+
+/// At one channel the striped crash cycle is the plain one: the same
+/// workload, cut point, and remount must leave bit-identical contents,
+/// counters, and wear on a standalone layer of the lane geometry.
+#[test]
+fn single_channel_striped_crash_matches_plain() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let total = striped_total_ops(kind, 1);
+        for (frac, torn) in [(3u64, false), (2, true)] {
+            let cut_at = total / frac;
+            let ctx = format!("{kind} cut_at={cut_at} torn={torn}");
+            let cfg = SimConfig {
+                fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+                ..SimConfig::default()
+            };
+            let mut striped = striped_build(kind, 1, &cfg);
+            let mut plain = Layer::build(
+                kind,
+                NandDevice::new(
+                    Geometry::new(LANE_BLOCKS, PAGES, 2048),
+                    CellKind::Mlc2.spec().with_endurance(u32::MAX),
+                ),
+                Some(swl_config()),
+                &cfg,
+            )
+            .expect("plain build");
+
+            let mut cuts = (false, false);
+            for (lba, value) in striped_workload(striped.logical_pages()) {
+                if !cuts.0 {
+                    match striped.write(lba, value) {
+                        Ok(()) => {}
+                        Err(e) if is_power_cut(&e) => cuts.0 = true,
+                        Err(e) => panic!("{ctx}: striped write failed: {e}"),
+                    }
+                }
+                if !cuts.1 {
+                    match plain.write(lba, value) {
+                        Ok(()) => {}
+                        Err(e) if is_power_cut(&e) => cuts.1 = true,
+                        Err(e) => panic!("{ctx}: plain write failed: {e}"),
+                    }
+                }
+            }
+            assert_eq!(cuts.0, cuts.1, "{ctx}: cut fired on one stack only");
+
+            let mut devices = striped.into_devices();
+            for device in &mut devices {
+                device.power_cycle();
+            }
+            let mut striped = StripedLayer::mount(
+                kind,
+                striped_geometry(1),
+                devices,
+                SwlCoordination::PerChannel,
+                &SimConfig::default(),
+            )
+            .expect("striped remount");
+            let mut chip = plain.into_device();
+            chip.power_cycle();
+            let mut plain =
+                Layer::mount(kind, chip, &SimConfig::default()).expect("plain remount");
+
+            for lba in 0..striped.logical_pages() {
+                assert_eq!(
+                    striped.read(lba).expect("striped read"),
+                    plain.read(lba).expect("plain read"),
+                    "{ctx}: contents diverged at lba {lba}"
+                );
+            }
+            assert_eq!(
+                striped.lane(0).counters(),
+                plain.counters(),
+                "{ctx}: counters diverged"
+            );
+            assert_eq!(
+                striped.lane(0).device().erase_stats(),
+                plain.device().erase_stats(),
+                "{ctx}: wear diverged"
+            );
+        }
+    }
+}

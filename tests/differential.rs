@@ -1,0 +1,211 @@
+//! Differential oracle for multi-channel striping: a `C`-channel
+//! [`StripedLayer`] must behave *exactly* like `C` independent
+//! single-channel layers fed the per-channel sub-streams of the same host
+//! stream.
+//!
+//! Striping is pure address routing (`channel = lba % C`, lane page
+//! `lba / C`), so with per-channel SWL coordination every lane sees the
+//! identical operation sequence a standalone layer would — logical
+//! contents, cause-attributed counters, and per-block erase counts must
+//! all match lane for lane, and therefore in sum. Global coordination
+//! changes *when* SWL runs, so there the oracle is the host's own model of
+//! its data: every acked write must read back regardless of leveling
+//! schedule.
+
+use std::collections::HashMap;
+
+use flash_sim::{Layer, LayerKind, SimConfig, StripedLayer, SwlCoordination, TranslationLayer};
+use nand::{CellKind, CellSpec, ChannelGeometry, Geometry, NandDevice};
+use swl_core::rng::SplitMix64;
+use swl_core::SwlConfig;
+
+const LANE_BLOCKS: u32 = 32;
+const PAGES: u32 = 8;
+
+/// Lane-seed decorrelation stride, mirroring `StripedLayer`'s builder so
+/// the oracle lanes get bit-identical levelers.
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn chip() -> Geometry {
+    Geometry::new(LANE_BLOCKS, PAGES, 2048)
+}
+
+fn spec() -> CellSpec {
+    CellKind::Mlc2.spec().with_endurance(1_000_000)
+}
+
+fn lane_seed(base: u64, lane: u32) -> u64 {
+    if lane == 0 {
+        base
+    } else {
+        base.wrapping_add(u64::from(lane).wrapping_mul(SEED_STRIDE))
+    }
+}
+
+enum HostOp {
+    Write(u64, u64),
+    Read(u64),
+}
+
+/// A deterministic hot/cold host stream with interleaved reads: skewed
+/// enough to trigger GC and SWL on every lane within a few thousand events.
+fn workload(logical_pages: u64, events: usize, seed: u64) -> Vec<HostOp> {
+    let mut rng = SplitMix64::new(seed);
+    // Touch at most 80% of the logical space so the layers keep enough
+    // free headroom to garbage-collect under the update churn.
+    let cold = (logical_pages * 4 / 5).max(1);
+    let hot = (logical_pages / 8).max(1);
+    let mut version = 0u64;
+    (0..events)
+        .map(|_| {
+            let shape = rng.next_u64();
+            let lba = if shape.is_multiple_of(4) {
+                rng.next_u64() % cold
+            } else {
+                rng.next_u64() % hot
+            };
+            if shape.is_multiple_of(5) {
+                HostOp::Read(lba)
+            } else {
+                version += 1;
+                HostOp::Write(lba, (lba << 32) | version)
+            }
+        })
+        .collect()
+}
+
+/// Drives the striped layer and the lane oracles with the same stream and
+/// checks they are indistinguishable.
+fn striped_matches_oracles(kind: LayerKind, channels: u32, swl: Option<SwlConfig>) {
+    let geometry = ChannelGeometry::new(channels, 1, chip());
+    let config = SimConfig::default();
+    let mut striped = StripedLayer::build(
+        kind,
+        geometry,
+        spec(),
+        swl,
+        SwlCoordination::PerChannel,
+        &config,
+    )
+    .unwrap();
+    let mut oracles: Vec<Layer> = (0..channels)
+        .map(|lane| {
+            let lane_swl = swl.map(|base| base.with_seed(lane_seed(base.seed, lane)));
+            Layer::build(kind, NandDevice::new(chip(), spec()), lane_swl, &config).unwrap()
+        })
+        .collect();
+
+    let pages = striped.logical_pages();
+    assert_eq!(pages, oracles[0].logical_pages() * u64::from(channels));
+
+    for op in workload(pages, 12_000, 0xD1FF ^ u64::from(channels)) {
+        match op {
+            HostOp::Write(lba, value) => {
+                striped.write(lba, value).unwrap();
+                oracles[geometry.channel_of(lba) as usize]
+                    .write(geometry.lane_lba(lba), value)
+                    .unwrap();
+            }
+            HostOp::Read(lba) => {
+                let got = striped.read(lba).unwrap();
+                let want = oracles[geometry.channel_of(lba) as usize]
+                    .read(geometry.lane_lba(lba))
+                    .unwrap();
+                assert_eq!(got, want, "read diverged at lba {lba}");
+            }
+        }
+    }
+
+    // Full logical contents are identical.
+    for lba in 0..pages {
+        let got = striped.read(lba).unwrap();
+        let want = oracles[geometry.channel_of(lba) as usize]
+            .read(geometry.lane_lba(lba))
+            .unwrap();
+        assert_eq!(got, want, "content diverged at lba {lba}");
+    }
+
+    // Each lane is bit-identical to its oracle — counters, per-block erase
+    // distribution, SWL state — so the array-wide erase sums match exactly.
+    let mut striped_erases = 0u64;
+    let mut oracle_erases = 0u64;
+    for (lane, oracle) in oracles.iter().enumerate() {
+        let mirrored = striped.lane(lane as u32);
+        assert_eq!(
+            mirrored.counters(),
+            oracle.counters(),
+            "lane {lane} counters diverged"
+        );
+        assert_eq!(
+            mirrored.device().erase_stats(),
+            oracle.device().erase_stats(),
+            "lane {lane} erase distribution diverged"
+        );
+        assert_eq!(
+            mirrored.swl().map(|s| (s.ecnt(), s.bet().fcnt())),
+            oracle.swl().map(|s| (s.ecnt(), s.bet().fcnt())),
+            "lane {lane} SWL state diverged"
+        );
+        striped_erases += mirrored.device().counters().erases;
+        oracle_erases += oracle.device().counters().erases;
+    }
+    assert_eq!(striped_erases, oracle_erases);
+}
+
+#[test]
+fn ftl_two_channels_match_oracles() {
+    striped_matches_oracles(LayerKind::Ftl, 2, Some(SwlConfig::new(8, 0).with_seed(9)));
+}
+
+#[test]
+fn ftl_four_channels_match_oracles() {
+    striped_matches_oracles(LayerKind::Ftl, 4, Some(SwlConfig::new(8, 1).with_seed(9)));
+}
+
+#[test]
+fn nftl_two_channels_match_oracles() {
+    striped_matches_oracles(LayerKind::Nftl, 2, Some(SwlConfig::new(8, 0).with_seed(9)));
+}
+
+#[test]
+fn nftl_four_channels_match_oracles() {
+    striped_matches_oracles(LayerKind::Nftl, 4, None);
+}
+
+/// Global coordination reschedules SWL but must never change what the host
+/// reads back: the oracle is the host's own write model.
+#[test]
+fn global_coordination_preserves_host_data() {
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let geometry = ChannelGeometry::new(4, 1, chip());
+        let mut striped = StripedLayer::build(
+            kind,
+            geometry,
+            spec(),
+            Some(SwlConfig::new(8, 0).with_seed(5)),
+            SwlCoordination::Global,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let pages = striped.logical_pages();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for op in workload(pages, 12_000, 0xC0DE) {
+            match op {
+                HostOp::Write(lba, value) => {
+                    striped.write(lba, value).unwrap();
+                    model.insert(lba, value);
+                }
+                HostOp::Read(lba) => {
+                    assert_eq!(striped.read(lba).unwrap(), model.get(&lba).copied());
+                }
+            }
+        }
+        for (&lba, &value) in &model {
+            assert_eq!(
+                striped.read(lba).unwrap(),
+                Some(value),
+                "{kind:?}: lost write at lba {lba}"
+            );
+        }
+    }
+}
