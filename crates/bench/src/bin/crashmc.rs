@@ -29,8 +29,10 @@ use std::process::ExitCode;
 
 use flash_bench::print_table;
 use flash_sim::{
-    Layer, LayerKind, SimConfig, SimError, StripedLayer, SwlCoordination, TranslationLayer,
+    Engine, EngineConfig, Layer, LayerKind, SimConfig, SimError, StripedLayer, SwlCoordination,
+    TranslationLayer,
 };
+use flash_trace::TraceEvent;
 use ftl::FtlError;
 use nand::{CellKind, ChannelGeometry, FaultPlan, Geometry, NandDevice, NandError};
 use nftl::NftlError;
@@ -48,6 +50,16 @@ const LANE_BLOCKS: u32 = 16;
 /// Host request size (pages) of the striped sweep — every request spans
 /// both channels, so any cut point inside one lands mid-stripe.
 const SPAN: u64 = 4;
+/// Host queue depth of the threaded-engine sweep: several requests are in
+/// flight when the rail cuts, so the recovery contract is checked with
+/// writes the host has *not* yet been acked for alongside ones it has.
+const ENGINE_QD: usize = 4;
+/// Worker threads of the threaded-engine sweep (one per channel).
+const ENGINE_THREADS: u32 = 2;
+/// Submitted requests between `flush` barriers — the engine host model's
+/// ack boundary: everything flushed is acked, everything after is in
+/// flight.
+const FLUSH_EVERY: u64 = 4;
 
 fn device() -> NandDevice {
     NandDevice::new(
@@ -344,6 +356,170 @@ fn check_striped_cut_point(
     }
 }
 
+fn engine_build(kind: LayerKind, with_swl: bool, cfg: &SimConfig) -> Engine {
+    Engine::new(
+        kind,
+        striped_geometry(),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        with_swl.then(swl_config),
+        SwlCoordination::PerChannel,
+        cfg,
+        EngineConfig::default()
+            .with_threads(ENGINE_THREADS)
+            .with_queue_depth(ENGINE_QD),
+    )
+    .expect("engine build")
+}
+
+/// Host model of the queue-depth-`ENGINE_QD` engine run. The engine writes
+/// its own page tokens (one global counter, incremented per page in
+/// submission order), so the model mirrors that counter to know which
+/// value every submitted page will carry.
+#[derive(Default)]
+struct EngineModel {
+    /// Writes acknowledged by a successful `flush`: these MUST survive.
+    acked: HashMap<u64, u64>,
+    /// Writes submitted since the last successful `flush`, in order: the
+    /// host holds no ack for them, so after a crash each page may read any
+    /// of its in-flight values or the last acked one.
+    pending: Vec<(u64, u64)>,
+    next_token: u64,
+}
+
+impl EngineModel {
+    fn ack_pending(&mut self) {
+        for (lba, value) in self.pending.drain(..) {
+            self.acked.insert(lba, value);
+        }
+    }
+}
+
+/// Replays span-sized host requests through the threaded engine with up to
+/// `ENGINE_QD` requests in flight, flushing every [`FLUSH_EVERY`] requests;
+/// `Ok(true)` when the armed power cut surfaces.
+fn engine_replay(
+    engine: &mut Engine,
+    rounds: u64,
+    model: &mut EngineModel,
+) -> Result<bool, SimError> {
+    let spans = (engine.logical_pages() / SPAN).min(8);
+    let mut at_ns = 0u64;
+    let mut since_flush = 0u64;
+    for round in 0..rounds {
+        for i in 0..spans {
+            let base = (if i % 3 == 0 { i } else { (round + i) % 2 }) * SPAN;
+            at_ns += 1;
+            for off in 0..SPAN {
+                model.next_token += 1;
+                model.pending.push((base + off, model.next_token));
+            }
+            match engine.submit(TraceEvent::write_span(at_ns, base, SPAN as u32)) {
+                Ok(()) => {}
+                Err(e) if is_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+            since_flush += 1;
+            if since_flush >= FLUSH_EVERY {
+                since_flush = 0;
+                match engine.flush() {
+                    Ok(()) => model.ack_pending(),
+                    Err(e) if is_power_cut(&e) => return Ok(true),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    match engine.flush() {
+        Ok(()) => model.ack_pending(),
+        Err(e) if is_power_cut(&e) => return Ok(true),
+        Err(e) => return Err(e),
+    }
+    Ok(false)
+}
+
+/// One threaded-engine crash/remount/verify cycle: the cut lands with
+/// several host requests in flight; the shared rail then disarms every
+/// lane. After remount, every *acked* write must read back — an lba with
+/// in-flight writes may also read any of those unacked candidates, and the
+/// lanes must keep serving writes.
+fn check_engine_cut_point(
+    kind: LayerKind,
+    with_swl: bool,
+    rounds: u64,
+    cut_at: u64,
+    torn: bool,
+    stats: &mut SweepStats,
+) {
+    stats.points += 1;
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let mut engine = engine_build(kind, with_swl, &cfg);
+    let mut model = EngineModel::default();
+    match engine_replay(&mut engine, rounds, &mut model) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let mut devices = engine.into_devices();
+    for device in &mut devices {
+        // Shared power rail: the cut that fired on one lane took the whole
+        // array down, so disarm the lanes it never reached.
+        device.disarm_power_cut();
+        device.power_cycle();
+    }
+    let geometry = striped_geometry();
+    let mut lanes = Vec::with_capacity(devices.len());
+    for device in devices {
+        match Layer::mount(kind, device, &SimConfig::default()) {
+            Ok(lane) => lanes.push(lane),
+            Err(_) => {
+                stats.recovery_errors += 1;
+                return;
+            }
+        }
+    }
+
+    let mut candidates: HashMap<u64, Vec<u64>> = HashMap::new();
+    for &(lba, value) in &model.pending {
+        candidates.entry(lba).or_default().push(value);
+    }
+    for (&lba, &value) in &model.acked {
+        let lane = geometry.channel_of(lba) as usize;
+        let got = match lanes[lane].read(geometry.lane_lba(lba)) {
+            Ok(g) => g,
+            Err(_) => {
+                stats.lost_acked += 1;
+                continue;
+            }
+        };
+        let in_flight_ok = candidates
+            .get(&lba)
+            .is_some_and(|values| values.iter().any(|&v| got == Some(v)));
+        if got != Some(value) && !in_flight_ok {
+            stats.lost_acked += 1;
+        }
+    }
+
+    let lbas = (lanes[0].logical_pages() * u64::from(CHANNELS)).min(SPAN * 8);
+    for round in 0..2u64 {
+        for lba in 0..lbas {
+            let lane = geometry.channel_of(lba) as usize;
+            if lanes[lane]
+                .write(geometry.lane_lba(lba), 0xBEEF_0000 | (round << 8) | lba)
+                .is_err()
+            {
+                stats.resume_failures += 1;
+                return;
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let rounds: u64 = std::env::args()
         .nth(1)
@@ -434,6 +610,53 @@ fn main() -> ExitCode {
                 grand_violations += violations;
                 rows.push(vec![
                     format!("{kind}\u{d7}{CHANNELS}ch"),
+                    if with_swl { "on" } else { "off" }.to_owned(),
+                    if torn { "torn" } else { "clean" }.to_owned(),
+                    stats.points.to_string(),
+                    stats.lost_acked.to_string(),
+                    stats.stale_checkpoints.to_string(),
+                    stats.resume_failures.to_string(),
+                    stats.recovery_errors.to_string(),
+                ]);
+            }
+        }
+    }
+
+    // Threaded engine: the same mid-stripe cuts, but with `ENGINE_QD` host
+    // requests in flight on `ENGINE_THREADS` real worker threads when the
+    // shared rail drops — acked (flushed) writes must survive; in-flight
+    // ones may land or not.
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for with_swl in [false, true] {
+            let cfg = SimConfig {
+                fault: Some(FaultPlan::new(1)),
+                ..SimConfig::default()
+            };
+            let mut engine = engine_build(kind, with_swl, &cfg);
+            let mut model = EngineModel::default();
+            let cut =
+                engine_replay(&mut engine, rounds, &mut model).expect("engine baseline replay");
+            assert!(!cut, "engine baseline run must not see a power cut");
+            let total = engine
+                .into_devices()
+                .iter()
+                .map(|device| device.fault_ops())
+                .max()
+                .unwrap_or(0);
+
+            for torn in [false, true] {
+                let mut stats = SweepStats::default();
+                for cut_at in 0..total {
+                    check_engine_cut_point(kind, with_swl, rounds, cut_at, torn, &mut stats);
+                }
+                let violations = stats.lost_acked
+                    + stats.stale_checkpoints
+                    + stats.resume_failures
+                    + stats.recovery_errors;
+                grand_points += stats.points;
+                grand_violations += violations;
+                rows.push(vec![
+                    format!("{kind}\u{d7}{CHANNELS}ch qd{ENGINE_QD}"),
                     if with_swl { "on" } else { "off" }.to_owned(),
                     if torn { "torn" } else { "clean" }.to_owned(),
                     stats.points.to_string(),

@@ -1,0 +1,241 @@
+//! `qdbench` — the threaded-engine sweep: the same 4-channel workload
+//! pushed through [`flash_sim::Engine`] at every combination of worker
+//! threads {1, 2, 4, 8} and host queue depth {1, 8, 64, 256}, each run
+//! verified **bit-identical** against the virtual-time
+//! [`flash_sim::Simulator::run_striped`] oracle before its wall-clock
+//! numbers are reported. Emits `BENCH_engine.json` (one JSON object) next
+//! to a human-readable table.
+//!
+//! Latency quantiles (p50/p99/p999) come from the report's log2 op-write
+//! histogram — they are *virtual-time* figures and therefore identical
+//! across every thread/depth combination; the sweep prints them once as
+//! part of the bit-exactness evidence. What varies is wall-clock
+//! throughput, and that is bounded by the host: on a single-CPU machine
+//! extra worker threads measure scheduling overhead, not parallelism, so
+//! the JSON records `cpus` alongside every speedup and this bench never
+//! asserts on wall-clock ratios.
+//!
+//! Usage: `qdbench [quick|scaled|paper] [--events N]`
+
+use std::time::Instant;
+
+use flash_bench::{print_table, scale_from_args};
+use flash_sim::experiments::CHANNEL_SPAN;
+use flash_sim::{
+    Engine, EngineConfig, LayerKind, SimConfig, Simulator, StopCondition, StripedLayer,
+    StripedReport, SwlCoordination,
+};
+use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
+use nand::{CellKind, CellSpec, ChannelGeometry, Geometry};
+use swl_core::SwlConfig;
+
+const CHANNELS: u32 = 4;
+const THREADS: [u32; 4] = [1, 2, 4, 8];
+const DEPTHS: [u32; 4] = [1, 8, 64, 256];
+/// Per-channel SWL so the engine's pipelined (run-ahead) path is the one
+/// measured; global coordination would force page lockstep.
+const SWL_THRESHOLD: u64 = 100;
+
+fn events_from_args(default: u64) -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--events" {
+            let value = args.next().expect("--events needs a number");
+            return value.parse().expect("--events needs a number");
+        }
+    }
+    default
+}
+
+fn geometry(scale: &flash_sim::experiments::ExperimentScale) -> ChannelGeometry {
+    assert!(
+        scale.blocks.is_multiple_of(CHANNELS),
+        "{CHANNELS} channels must divide {} blocks",
+        scale.blocks
+    );
+    ChannelGeometry::new(
+        CHANNELS,
+        1,
+        Geometry::new(scale.blocks / CHANNELS, scale.pages_per_block, 2048),
+    )
+}
+
+fn spec(scale: &flash_sim::experiments::ExperimentScale) -> CellSpec {
+    CellKind::Mlc2.spec().with_endurance(scale.endurance)
+}
+
+fn swl(scale: &flash_sim::experiments::ExperimentScale) -> SwlConfig {
+    SwlConfig::new(SWL_THRESHOLD, 0).with_seed(scale.seed)
+}
+
+fn trace(logical_pages: u64, seed: u64) -> impl Iterator<Item = TraceEvent> {
+    SyntheticTrace::new(WorkloadSpec::paper(logical_pages).with_seed(seed))
+        .map(move |e| e.widen(CHANNEL_SPAN, logical_pages))
+}
+
+/// The virtual-time oracle run every engine configuration must reproduce.
+fn oracle(
+    scale: &flash_sim::experiments::ExperimentScale,
+    events: u64,
+) -> (f64, StripedReport) {
+    let mut striped = StripedLayer::build(
+        LayerKind::Ftl,
+        geometry(scale),
+        spec(scale),
+        Some(swl(scale)),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+    )
+    .expect("oracle build failed");
+    let pages = striped.logical_pages();
+    let start = Instant::now();
+    let report = Simulator::new()
+        .run_striped(&mut striped, trace(pages, scale.seed), StopCondition::events(events))
+        .expect("oracle run failed");
+    (start.elapsed().as_secs_f64(), report)
+}
+
+struct Point {
+    threads: u32,
+    effective_threads: u32,
+    queue_depth: u32,
+    wall_s: f64,
+    ops_per_s: f64,
+}
+
+fn engine_run(
+    scale: &flash_sim::experiments::ExperimentScale,
+    events: u64,
+    threads: u32,
+    queue_depth: u32,
+    reference: &StripedReport,
+) -> Point {
+    let mut engine = Engine::new(
+        LayerKind::Ftl,
+        geometry(scale),
+        spec(scale),
+        Some(swl(scale)),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        EngineConfig::default()
+            .with_threads(threads)
+            .with_queue_depth(queue_depth as usize),
+    )
+    .expect("engine build failed");
+    let pages = engine.logical_pages();
+    let effective_threads = engine.threads();
+    let start = Instant::now();
+    engine
+        .run(trace(pages, scale.seed), StopCondition::events(events))
+        .expect("engine run failed");
+    let run = engine.finish().expect("engine finish failed");
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(
+        run.report, *reference,
+        "threads={threads} depth={queue_depth}: engine diverged from the oracle"
+    );
+    Point {
+        threads,
+        effective_threads,
+        queue_depth,
+        wall_s,
+        ops_per_s: events as f64 / wall_s,
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let events = events_from_args(20_000);
+    let cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "engine qd sweep: FTL x{CHANNELS}ch, {CHANNEL_SPAN}-page host requests, \
+         {events} events, {} blocks x {} pages total, endurance {}, \
+         SWL (T={SWL_THRESHOLD}, k=0, per-channel), {cpus} cpu(s)",
+        scale.blocks, scale.pages_per_block, scale.endurance
+    );
+
+    let (oracle_s, reference) = oracle(&scale, events);
+    println!("virtual-time oracle: {oracle_s:.2} s\n");
+
+    let mut points = Vec::new();
+    for &threads in &THREADS {
+        for &depth in &DEPTHS {
+            points.push(engine_run(&scale, events, threads, depth, &reference));
+        }
+    }
+
+    // Speedup baseline: 1 worker thread at the same queue depth.
+    let baseline = |depth: u32| -> f64 {
+        points
+            .iter()
+            .find(|p| p.threads == 1 && p.queue_depth == depth)
+            .expect("sweep covers threads=1")
+            .wall_s
+    };
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                p.effective_threads.to_string(),
+                p.queue_depth.to_string(),
+                format!("{:.3}", p.wall_s),
+                format!("{:.0}", p.ops_per_s),
+                format!("x{:.2}", baseline(p.queue_depth) / p.wall_s),
+            ]
+        })
+        .collect();
+    print_table(
+        &["threads", "effective", "depth", "wall s", "ops/s", "vs 1 thread"],
+        &rows,
+    );
+    println!(
+        "\nall {} configurations bit-identical to the virtual-time oracle",
+        points.len()
+    );
+    println!(
+        "op write latency (virtual time, identical in every run): \
+         p50 {} ns, p99 {} ns, p999 {} ns",
+        reference.op_write_latency.quantile(0.5),
+        reference.op_write_latency.quantile(0.99),
+        reference.op_write_latency.quantile(0.999),
+    );
+
+    let mut json = format!(
+        "{{\"bench\":\"engine_qd_sweep\",\"layer\":\"ftl\",\"channels\":{CHANNELS},\
+         \"blocks\":{},\"pages_per_block\":{},\"endurance\":{},\"events\":{events},\
+         \"cpus\":{cpus},\
+         \"caveat\":\"wall-clock speedups are bounded by cpus; on a 1-cpu host \
+         extra threads measure scheduling overhead, not parallelism\",\
+         \"oracle_s\":{:.3},\"bit_identical\":true,\
+         \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"points\":[",
+        scale.blocks,
+        scale.pages_per_block,
+        scale.endurance,
+        oracle_s,
+        reference.op_write_latency.quantile(0.5),
+        reference.op_write_latency.quantile(0.99),
+        reference.op_write_latency.quantile(0.999),
+    );
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "{{\"threads\":{},\"effective_threads\":{},\"queue_depth\":{},\
+             \"wall_s\":{:.3},\"ops_per_s\":{:.0},\"speedup_vs_1t\":{:.3}}}",
+            p.threads,
+            p.effective_threads,
+            p.queue_depth,
+            p.wall_s,
+            p.ops_per_s,
+            baseline(p.queue_depth) / p.wall_s,
+        ));
+    }
+    json.push_str("]}\n");
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("wrote BENCH_engine.json");
+}

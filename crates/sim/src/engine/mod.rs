@@ -1,0 +1,1129 @@
+//! Real-thread channel execution engine.
+//!
+//! [`Simulator::run_striped`](crate::Simulator::run_striped) overlaps
+//! channels only in *virtual* time: one thread walks the trace and a
+//! [`ChannelScheduler`] replays the per-lane busy deltas. This module runs
+//! the same array on real cores: each channel lane (translation layer +
+//! NAND device) is owned by a worker thread, fed through a bounded per-lane
+//! command queue ([`ShardQueue`]) and drained through a shared completion
+//! queue. The front-end ([`Engine`]) accepts in-flight host requests up to
+//! a configurable queue depth and finalizes them strictly in submission
+//! order.
+//!
+//! # Determinism
+//!
+//! The engine must reproduce `run_striped` **bit for bit** — lane contents,
+//! erase counters, SWL/BET state, histograms, the whole
+//! [`StripedReport`] — with only wall-clock timing allowed to differ. That
+//! holds by construction:
+//!
+//! - all wear/GC/SWL state is lane-local and each lane executes its
+//!   sub-request stream in submission order (per-lane FIFO queues), so lane
+//!   state never depends on cross-lane interleaving;
+//! - write tokens are assigned by the front-end in global trace order,
+//!   exactly as the virtual-time loop does;
+//! - everything *derived across lanes* (op latencies, makespan, first
+//!   failure) is computed at finalize time, in op order, from per-op deltas
+//!   carried on completions — never from live lane state, which may already
+//!   be ahead of the op being finalized.
+//!
+//! Under [`SwlCoordination::Global`] the virtual-time loop runs the
+//! coordinator after *every page write*, so its decisions depend on the
+//! global interleaving. The engine therefore degrades that mode to page
+//! lockstep: each page is dispatched and awaited individually and the
+//! coordinator consumes the epoch-stamped [`ShardSnapshot`]s carried on
+//! completions — published at quiescent lane points, no locks — exactly
+//! reproducing the sequential coordination schedule. Per-channel SWL and
+//! SWL-less runs keep full run-ahead at any queue depth.
+
+pub mod queue;
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use flash_telemetry::buffer::{merge_lane_buffers, LaneBuffer};
+use flash_telemetry::{Event, Sink};
+use flash_trace::{Op, TraceEvent};
+use nand::{CellSpec, ChannelGeometry, DeviceCounters, EraseStats, FailureRecord, NandDevice};
+use swl_core::{global_over_threshold, worst_shard, ShardSnapshot, ShardView, SwlConfig};
+
+use crate::error::SimError;
+use crate::latency::LatencyStats;
+use crate::layer::{Layer, LayerKind, SimConfig, TranslationLayer};
+use crate::report::FirstFailure;
+use crate::sched::ChannelScheduler;
+use crate::simulator::StopCondition;
+use crate::striped::{sum_counters, StripedReport, SwlCoordination};
+
+use queue::ShardQueue;
+
+/// Lane-seed decorrelation stride (mirrors [`crate::StripedLayer`]).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Ordinal used for errors raised outside the page loop (SWL steps).
+const SWL_ORDINAL: u32 = u32::MAX;
+
+/// Per-lane telemetry sink for worker threads: a [`LaneBuffer`] whose epoch
+/// stamp is driven by the worker through a shared cell (the worker sets it
+/// to the host-op sequence number before executing each command). With
+/// telemetry disabled the buffer stays empty and emission is a no-op.
+#[derive(Debug)]
+pub struct EngineSink {
+    enabled: bool,
+    epoch: Arc<AtomicU64>,
+    buffer: LaneBuffer,
+}
+
+impl EngineSink {
+    fn new(lane: u32, enabled: bool, epoch: Arc<AtomicU64>) -> Self {
+        Self {
+            enabled,
+            epoch,
+            buffer: LaneBuffer::new(lane),
+        }
+    }
+
+    /// The buffered per-lane stream (empty when telemetry was disabled).
+    pub fn into_buffer(self) -> LaneBuffer {
+        self.buffer
+    }
+}
+
+impl Sink for EngineSink {
+    #[inline]
+    fn event(&mut self, event: Event) {
+        if self.enabled {
+            self.buffer.set_epoch(self.epoch.load(Ordering::Relaxed));
+            self.buffer.event(event);
+        }
+    }
+}
+
+/// One page of a host op, routed to a lane.
+#[derive(Debug, Clone)]
+struct PageCmd {
+    lane_lba: u64,
+    /// Write token (front-end-assigned, global trace order); 0 for reads.
+    token: u64,
+    /// Position of this page within the host op (for deterministic error
+    /// attribution).
+    ordinal: u32,
+}
+
+/// Work shipped to a lane worker.
+#[derive(Debug)]
+enum LaneCommand {
+    /// Execute this lane's pages of host op `op_seq`, in order.
+    Exec {
+        op_seq: u64,
+        lane: u32,
+        op: Op,
+        pages: Vec<PageCmd>,
+    },
+    /// Run one SWL-Procedure step on the lane (global coordination).
+    SwlStep { op_seq: u64, lane: u32 },
+}
+
+/// A lane's acknowledgement of one command.
+#[derive(Debug)]
+struct LaneCompletion {
+    op_seq: u64,
+    lane: u32,
+    /// Device busy time this command added to the lane.
+    busy_delta: u64,
+    /// Per-page busy deltas for the successfully executed pages, in page
+    /// order (empty for SWL steps).
+    page_latencies: Vec<u64>,
+    /// First error hit, with the ordinal of the offending page.
+    error: Option<(u32, SimError)>,
+    /// The lane's first wear-out as of completing this command.
+    failure: Option<FailureRecord>,
+    /// Epoch-stamped leveler summary (all-zero view when no SWL attached).
+    shard: ShardSnapshot,
+}
+
+/// One lane owned by a worker thread.
+struct WorkerLane {
+    channel: u32,
+    layer: Layer<EngineSink>,
+    epoch: Arc<AtomicU64>,
+    snap_epoch: u64,
+}
+
+/// What a worker hands back on shutdown: its lanes, tagged by channel.
+type ReturnedLanes = Vec<(u32, Layer<EngineSink>)>;
+
+fn worker_loop(
+    mut lanes: Vec<WorkerLane>,
+    commands: Arc<ShardQueue<LaneCommand>>,
+    completions: Arc<ShardQueue<LaneCompletion>>,
+) -> ReturnedLanes {
+    while let Some(command) = commands.pop() {
+        let (op_seq, lane_id) = match &command {
+            LaneCommand::Exec { op_seq, lane, .. } | LaneCommand::SwlStep { op_seq, lane } => {
+                (*op_seq, *lane)
+            }
+        };
+        let wl = lanes
+            .iter_mut()
+            .find(|w| w.channel == lane_id)
+            .expect("command routed to a worker that does not own the lane");
+        wl.epoch.store(op_seq, Ordering::Relaxed);
+        let busy_before = wl.layer.device().busy_ns();
+        let mut page_latencies = Vec::new();
+        let mut error = None;
+        match command {
+            LaneCommand::Exec { op, pages, .. } => {
+                page_latencies.reserve(pages.len());
+                for page in &pages {
+                    let page_before = wl.layer.device().busy_ns();
+                    let result = match op {
+                        Op::Write => wl.layer.write(page.lane_lba, page.token),
+                        Op::Read => wl.layer.read(page.lane_lba).map(|_| ()),
+                    };
+                    match result {
+                        Ok(()) => {
+                            page_latencies.push(wl.layer.device().busy_ns() - page_before);
+                        }
+                        Err(e) => {
+                            error = Some((page.ordinal, e));
+                            break;
+                        }
+                    }
+                }
+            }
+            LaneCommand::SwlStep { .. } => {
+                if let Err(e) = wl.layer.run_swl_step() {
+                    error = Some((SWL_ORDINAL, e));
+                }
+            }
+        }
+        wl.snap_epoch += 1;
+        let shard = match wl.layer.swl() {
+            Some(s) => ShardSnapshot::of(s, wl.snap_epoch),
+            None => ShardSnapshot {
+                epoch: wl.snap_epoch,
+                ..ShardSnapshot::default()
+            },
+        };
+        let completion = LaneCompletion {
+            op_seq,
+            lane: lane_id,
+            busy_delta: wl.layer.device().busy_ns() - busy_before,
+            page_latencies,
+            error,
+            failure: wl.layer.device().first_failure(),
+            shard,
+        };
+        // A closed completion queue means the front-end is tearing down and
+        // no longer consumes acknowledgements; dropping them is fine.
+        let _ = completions.push(completion);
+    }
+    lanes
+        .into_iter()
+        .map(|w| (w.channel, w.layer))
+        .collect()
+}
+
+/// Front-end tuning for an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Worker threads (capped at the channel count; at least 1).
+    pub threads: u32,
+    /// Maximum in-flight host ops (clamped to 1..=256).
+    pub queue_depth: usize,
+    /// Buffer per-lane telemetry for an ordered merge at the end.
+    pub telemetry: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            queue_depth: 1,
+            telemetry: false,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// `threads` worker threads.
+    pub fn with_threads(mut self, threads: u32) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Host queue depth (in-flight ops; clamped to 1..=256).
+    pub fn with_queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.clamp(1, 256);
+        self
+    }
+
+    /// Enables buffered per-lane telemetry.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
+    }
+}
+
+/// One host op awaiting its lane completions.
+struct PendingOp {
+    op: Op,
+    at_ns: u64,
+    expected: u32,
+    received: u32,
+    /// Busy delta accumulated per channel (dense, channel-indexed).
+    lane_busy: Vec<u64>,
+    /// Per-lane page latencies, as received.
+    page_latencies: Vec<(u32, Vec<u64>)>,
+    /// Per-lane wear-out state as of this op, applied at finalize.
+    failures: Vec<(u32, Option<FailureRecord>)>,
+    /// Lowest-ordinal error across lanes.
+    error: Option<(u32, SimError)>,
+}
+
+/// The multi-threaded channel execution engine (see module docs).
+///
+/// Build with [`Engine::new`], feed it with [`Engine::submit`] or
+/// [`Engine::run`], wait with [`Engine::flush`], and tear down with
+/// [`Engine::finish`] (report + lanes) or [`Engine::into_devices`]
+/// (crash-harness teardown).
+pub struct Engine {
+    kind: LayerKind,
+    geometry: ChannelGeometry,
+    logical_pages: u64,
+    swl: Option<(u64, u32)>,
+    coordination: SwlCoordination,
+    queue_depth: usize,
+    threads: u32,
+    telemetry: bool,
+    /// Global coordination with >1 channel and SWL attached runs page
+    /// lockstep (see module docs).
+    lockstep: bool,
+    command_queues: Vec<Arc<ShardQueue<LaneCommand>>>,
+    completions: Arc<ShardQueue<LaneCompletion>>,
+    workers: Vec<JoinHandle<ReturnedLanes>>,
+    // Front-end (submission-order) state.
+    next_token: u64,
+    next_seq: u64,
+    finalize_next: u64,
+    pending: VecDeque<PendingOp>,
+    scheduler: ChannelScheduler,
+    events: u64,
+    host_span_ns: u64,
+    first_failure: Option<FirstFailure>,
+    lane_failure: Vec<Option<FailureRecord>>,
+    shards: Vec<ShardSnapshot>,
+    lane_write_latency: Vec<LatencyStats>,
+    lane_read_latency: Vec<LatencyStats>,
+    op_write_latency: LatencyStats,
+    op_read_latency: LatencyStats,
+    error: Option<SimError>,
+}
+
+/// Everything an [`Engine`] run produced: the virtual-time report (directly
+/// comparable with [`Simulator::run_striped`](crate::Simulator::run_striped)
+/// output via `==`), per-lane page histograms, and the lanes themselves for
+/// state inspection.
+pub struct EngineRun {
+    /// The virtual-time report, bit-identical to `run_striped` on the same
+    /// trace.
+    pub report: StripedReport,
+    /// Per-page write latency per lane (their merge, in lane order, is
+    /// `report.write_latency`).
+    pub lane_write_latency: Vec<LatencyStats>,
+    /// Per-page read latency per lane.
+    pub lane_read_latency: Vec<LatencyStats>,
+    /// Effective worker-thread count.
+    pub threads: u32,
+    /// Configured host queue depth.
+    pub queue_depth: usize,
+    telemetry: bool,
+    geometry: ChannelGeometry,
+    lanes: Vec<Layer<EngineSink>>,
+}
+
+impl EngineRun {
+    /// The lanes in channel order, for state comparison.
+    pub fn lanes(&self) -> &[Layer<EngineSink>] {
+        &self.lanes
+    }
+
+    /// Mutable lane access (reading logical contents needs `&mut`).
+    pub fn lanes_mut(&mut self) -> &mut [Layer<EngineSink>] {
+        &mut self.lanes
+    }
+
+    /// Consumes the run and produces the merged telemetry stream: one
+    /// array-level [`Event::Meta`] header followed by the deterministic
+    /// `(op epoch, lane, emission index)` merge of the per-lane buffers.
+    /// Empty when telemetry was disabled.
+    pub fn into_telemetry(self) -> Vec<Event> {
+        if !self.telemetry {
+            return Vec::new();
+        }
+        let buffers: Vec<LaneBuffer> = self
+            .lanes
+            .into_iter()
+            .map(|l| l.into_device().into_sink().into_buffer())
+            .collect();
+        let mut events = vec![Event::Meta {
+            version: flash_telemetry::SCHEMA_VERSION,
+            blocks: self
+                .geometry
+                .total_blocks()
+                .try_into()
+                .expect("array block count exceeds u32"),
+            pages_per_block: self.geometry.chip().pages_per_block(),
+        }];
+        events.extend(merge_lane_buffers(buffers));
+        events
+    }
+}
+
+impl Engine {
+    /// Builds the lanes (identically seeded to [`crate::StripedLayer`], so
+    /// state is comparable bit for bit) and spawns the worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer construction failures.
+    pub fn new(
+        kind: LayerKind,
+        geometry: ChannelGeometry,
+        spec: CellSpec,
+        swl: Option<SwlConfig>,
+        coordination: SwlCoordination,
+        config: &SimConfig,
+        engine: EngineConfig,
+    ) -> Result<Self, SimError> {
+        let channels = geometry.channels();
+        let threads = engine.threads.max(1).min(channels);
+        let queue_depth = engine.queue_depth.clamp(1, 256);
+        let deferred = channels > 1 && coordination == SwlCoordination::Global;
+        let lockstep = deferred && swl.is_some();
+
+        let mut groups: Vec<Vec<WorkerLane>> = (0..threads).map(|_| Vec::new()).collect();
+        let mut logical_pages = 0u64;
+        for lane in 0..channels {
+            let epoch = Arc::new(AtomicU64::new(0));
+            let sink = EngineSink::new(lane, engine.telemetry, Arc::clone(&epoch));
+            let device = NandDevice::new(geometry.lane_geometry(), spec).with_sink_silent(sink);
+            let lane_swl = swl.map(|base| {
+                let seed = if lane == 0 {
+                    base.seed
+                } else {
+                    base.seed
+                        .wrapping_add(u64::from(lane).wrapping_mul(SEED_STRIDE))
+                };
+                base.with_seed(seed).with_deferred(deferred)
+            });
+            let layer = Layer::build(kind, device, lane_swl, config)?;
+            if lane == 0 {
+                logical_pages = layer.logical_pages() * u64::from(channels);
+            }
+            groups[(lane % threads) as usize].push(WorkerLane {
+                channel: lane,
+                layer,
+                epoch,
+                snap_epoch: 0,
+            });
+        }
+
+        // Sized so workers can never block pushing completions: at most
+        // `queue_depth` ops × one Exec per lane, plus lockstep SWL steps,
+        // are ever outstanding.
+        let completions: Arc<ShardQueue<LaneCompletion>> = Arc::new(ShardQueue::new(
+            (queue_depth + 2) * channels as usize + 8,
+        ));
+        let mut command_queues = Vec::with_capacity(threads as usize);
+        let mut workers = Vec::with_capacity(threads as usize);
+        for (w, lanes) in groups.into_iter().enumerate() {
+            let capacity = queue_depth * lanes.len().max(1) + 2;
+            let commands: Arc<ShardQueue<LaneCommand>> = Arc::new(ShardQueue::new(capacity));
+            let handle = {
+                let commands = Arc::clone(&commands);
+                let completions = Arc::clone(&completions);
+                std::thread::Builder::new()
+                    .name(format!("lane-worker-{w}"))
+                    .spawn(move || worker_loop(lanes, commands, completions))
+                    .expect("failed to spawn lane worker")
+            };
+            command_queues.push(commands);
+            workers.push(handle);
+        }
+
+        Ok(Self {
+            kind,
+            geometry,
+            logical_pages,
+            swl: swl.map(|s| (s.threshold, s.k)),
+            coordination,
+            queue_depth,
+            threads,
+            telemetry: engine.telemetry,
+            lockstep,
+            command_queues,
+            completions,
+            workers,
+            next_token: 0,
+            next_seq: 0,
+            finalize_next: 0,
+            pending: VecDeque::new(),
+            scheduler: ChannelScheduler::new(channels),
+            events: 0,
+            host_span_ns: 0,
+            first_failure: None,
+            lane_failure: vec![None; channels as usize],
+            shards: vec![ShardSnapshot::default(); channels as usize],
+            lane_write_latency: vec![LatencyStats::new(); channels as usize],
+            lane_read_latency: vec![LatencyStats::new(); channels as usize],
+            op_write_latency: LatencyStats::new(),
+            op_read_latency: LatencyStats::new(),
+            error: None,
+        })
+    }
+
+    /// Trace events accepted so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Exported logical capacity in pages (striped over all channels),
+    /// identical to the matching [`crate::StripedLayer`]'s.
+    pub fn logical_pages(&self) -> u64 {
+        self.logical_pages
+    }
+
+    /// First wear-out finalized so far (op-order accurate).
+    pub fn first_failure(&self) -> Option<FirstFailure> {
+        self.first_failure
+    }
+
+    /// Effective worker-thread count.
+    pub fn threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn queue_for(&self, lane: u32) -> &ShardQueue<LaneCommand> {
+        &self.command_queues[(lane % self.threads) as usize]
+    }
+
+    fn dispatch(&self, command: LaneCommand) {
+        let lane = match &command {
+            LaneCommand::Exec { lane, .. } | LaneCommand::SwlStep { lane, .. } => *lane,
+        };
+        self.queue_for(lane)
+            .push(command)
+            .unwrap_or_else(|_| panic!("lane {lane} worker queue closed mid-run"));
+    }
+
+    /// Accepts one host op. May block on backpressure (the op queue is at
+    /// depth, or a lane's command queue is full); ops finalized while
+    /// waiting can surface earlier lane errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first finalized lane error, in deterministic op/page
+    /// order. The error is sticky: all later calls return it too.
+    pub fn submit(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.events += 1;
+        self.host_span_ns = self.host_span_ns.max(event.at_ns);
+        if self.lockstep {
+            self.submit_lockstep(event)
+        } else {
+            self.submit_pipelined(event)
+        }
+    }
+
+    fn submit_pipelined(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        let channels = self.geometry.channels() as usize;
+        // Route pages to lanes, assigning write tokens in global trace
+        // order (exactly as the virtual-time loop does).
+        let mut batches: Vec<Vec<PageCmd>> = vec![Vec::new(); channels];
+        for (ordinal, lba) in event.pages().enumerate() {
+            let channel = self.geometry.channel_of(lba) as usize;
+            let token = match event.op {
+                Op::Write => {
+                    self.next_token += 1;
+                    self.next_token
+                }
+                Op::Read => 0,
+            };
+            batches[channel].push(PageCmd {
+                lane_lba: self.geometry.lane_lba(lba),
+                token,
+                ordinal: ordinal as u32,
+            });
+        }
+        let expected = batches.iter().filter(|b| !b.is_empty()).count() as u32;
+
+        // Backpressure: hold the op until the in-flight window has room.
+        while self.pending.len() >= self.queue_depth {
+            let completion = self
+                .completions
+                .pop()
+                .expect("completion queue closed with ops in flight");
+            self.absorb(completion);
+            self.finalize_ready()?;
+        }
+
+        let op_seq = self.next_seq;
+        self.next_seq += 1;
+        self.pending.push_back(PendingOp {
+            op: event.op,
+            at_ns: event.at_ns,
+            expected,
+            received: 0,
+            lane_busy: vec![0; channels],
+            page_latencies: Vec::new(),
+            failures: Vec::new(),
+            error: None,
+        });
+        for (channel, pages) in batches.into_iter().enumerate() {
+            if pages.is_empty() {
+                continue;
+            }
+            self.dispatch(LaneCommand::Exec {
+                op_seq,
+                lane: channel as u32,
+                op: event.op,
+                pages,
+            });
+        }
+
+        // Opportunistically drain whatever already completed.
+        while let Some(completion) = self.completions.try_pop() {
+            self.absorb(completion);
+        }
+        self.finalize_ready()
+    }
+
+    fn absorb(&mut self, completion: LaneCompletion) {
+        self.shards[completion.lane as usize].absorb(completion.shard);
+        let index = (completion.op_seq - self.finalize_next) as usize;
+        let op = &mut self.pending[index];
+        op.received += 1;
+        op.lane_busy[completion.lane as usize] += completion.busy_delta;
+        op.page_latencies
+            .push((completion.lane, completion.page_latencies));
+        op.failures.push((completion.lane, completion.failure));
+        if let Some((ordinal, e)) = completion.error {
+            match op.error {
+                Some((o, _)) if o <= ordinal => {}
+                _ => op.error = Some((ordinal, e)),
+            }
+        }
+    }
+
+    fn finalize_ready(&mut self) -> Result<(), SimError> {
+        while self
+            .pending
+            .front()
+            .is_some_and(|op| op.received == op.expected)
+        {
+            let op = self.pending.pop_front().expect("front checked");
+            self.finalize_next += 1;
+            // Per-lane wear-out state advances in op order, so the scan
+            // below sees exactly what the virtual-time loop saw after this
+            // op — even when lanes already ran ahead.
+            for &(lane, failure) in &op.failures {
+                self.lane_failure[lane as usize] = failure;
+            }
+            if let Some((_, e)) = op.error {
+                self.error = Some(e);
+                return Err(e);
+            }
+            for (lane, latencies) in &op.page_latencies {
+                let stats = match op.op {
+                    Op::Write => &mut self.lane_write_latency[*lane as usize],
+                    Op::Read => &mut self.lane_read_latency[*lane as usize],
+                };
+                for &latency in latencies {
+                    stats.record(latency);
+                }
+            }
+            self.scheduler.op_begin();
+            for (channel, &delta) in op.lane_busy.iter().enumerate() {
+                if delta > 0 {
+                    self.scheduler.submit(channel as u32, delta);
+                }
+            }
+            let op_latency = self.scheduler.op_complete();
+            match op.op {
+                Op::Write => self.op_write_latency.record(op_latency),
+                Op::Read => self.op_read_latency.record(op_latency),
+            }
+            self.note_first_failure(op.at_ns);
+        }
+        Ok(())
+    }
+
+    fn note_first_failure(&mut self, at_ns: u64) {
+        if self.first_failure.is_some() {
+            return;
+        }
+        for channel in 0..self.geometry.channels() {
+            if let Some(f) = self.lane_failure[channel as usize] {
+                self.first_failure = Some(FirstFailure {
+                    block: self
+                        .geometry
+                        .flat_block(channel, f.block)
+                        .try_into()
+                        .expect("array block index exceeds u32"),
+                    host_ns: at_ns,
+                    total_erases: f.total_erases,
+                });
+                return;
+            }
+        }
+    }
+
+    /// Awaits exactly one completion (lockstep mode), updating the shard
+    /// cache and per-lane wear-out state.
+    fn await_one(&mut self) -> Result<LaneCompletion, SimError> {
+        let completion = self
+            .completions
+            .pop()
+            .expect("completion queue closed with a command in flight");
+        self.shards[completion.lane as usize].absorb(completion.shard);
+        self.lane_failure[completion.lane as usize] = completion.failure;
+        if let Some((_, e)) = completion.error {
+            self.error = Some(e);
+            return Err(e);
+        }
+        Ok(completion)
+    }
+
+    /// Global coordination in page lockstep: dispatch one page, await it,
+    /// then replay the `coordinate_swl` loop against the cached shard
+    /// snapshots (which are exact, since every lane is quiescent here).
+    fn submit_lockstep(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        let channels = self.geometry.channels() as usize;
+        let op_seq = self.next_seq;
+        self.next_seq += 1;
+        let mut lane_busy = vec![0u64; channels];
+        self.scheduler.op_begin();
+        for (ordinal, lba) in event.pages().enumerate() {
+            let channel = self.geometry.channel_of(lba);
+            let token = match event.op {
+                Op::Write => {
+                    self.next_token += 1;
+                    self.next_token
+                }
+                Op::Read => 0,
+            };
+            self.dispatch(LaneCommand::Exec {
+                op_seq,
+                lane: channel,
+                op: event.op,
+                pages: vec![PageCmd {
+                    lane_lba: self.geometry.lane_lba(lba),
+                    token,
+                    ordinal: ordinal as u32,
+                }],
+            });
+            let completion = self.await_one()?;
+            lane_busy[channel as usize] += completion.busy_delta;
+            let page_latency = completion.page_latencies[0];
+            match event.op {
+                Op::Write => {
+                    // The virtual-time loop measures a written page's
+                    // latency across the whole `StripedLayer::write`, which
+                    // includes coordinator steps that landed on the same
+                    // lane — add them in.
+                    let swl_on_lane = self.coordinate(op_seq, channel, &mut lane_busy)?;
+                    self.lane_write_latency[channel as usize].record(page_latency + swl_on_lane);
+                }
+                Op::Read => {
+                    self.lane_read_latency[channel as usize].record(page_latency);
+                }
+            }
+        }
+        for (channel, &delta) in lane_busy.iter().enumerate() {
+            if delta > 0 {
+                self.scheduler.submit(channel as u32, delta);
+            }
+        }
+        let op_latency = self.scheduler.op_complete();
+        match event.op {
+            Op::Write => self.op_write_latency.record(op_latency),
+            Op::Read => self.op_read_latency.record(op_latency),
+        }
+        self.note_first_failure(event.at_ns);
+        Ok(())
+    }
+
+    /// Replays `StripedLayer::coordinate_swl` against the snapshot cache:
+    /// while the global unevenness is over threshold, step the worst shard;
+    /// a full fruitless pass over every flag aborts. Returns the SWL busy
+    /// time that landed on `page_channel` (for page-latency attribution).
+    fn coordinate(
+        &mut self,
+        op_seq: u64,
+        page_channel: u32,
+        lane_busy: &mut [u64],
+    ) -> Result<u64, SimError> {
+        let Some((threshold, _)) = self.swl else {
+            return Ok(0);
+        };
+        let flag_budget: u64 = self.shards.iter().map(|s| s.flags).sum();
+        let mut fruitless = 0u64;
+        let mut swl_on_channel = 0u64;
+        loop {
+            let views: Vec<ShardView> = self.shards.iter().map(|s| s.view).collect();
+            if !global_over_threshold(&views, threshold) {
+                return Ok(swl_on_channel);
+            }
+            let Some(worst) = worst_shard(&views) else {
+                return Ok(swl_on_channel);
+            };
+            let before = (views[worst].ecnt, views[worst].fcnt);
+            self.dispatch(LaneCommand::SwlStep {
+                op_seq,
+                lane: worst as u32,
+            });
+            let completion = self.await_one()?;
+            lane_busy[worst] += completion.busy_delta;
+            if worst as u32 == page_channel {
+                swl_on_channel += completion.busy_delta;
+            }
+            let after = (self.shards[worst].view.ecnt, self.shards[worst].view.fcnt);
+            if after == before {
+                fruitless += 1;
+                if fruitless > flag_budget {
+                    return Ok(swl_on_channel);
+                }
+            } else {
+                fruitless = 0;
+            }
+        }
+    }
+
+    /// Drain barrier: blocks until every accepted op has completed and been
+    /// finalized in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first finalized lane error (sticky).
+    pub fn flush(&mut self) -> Result<(), SimError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        while !self.pending.is_empty() {
+            let completion = self
+                .completions
+                .pop()
+                .expect("completion queue closed with ops in flight");
+            self.absorb(completion);
+            self.finalize_ready()?;
+        }
+        Ok(())
+    }
+
+    /// Feeds `trace` through the engine with `run_striped`'s stop handling:
+    /// horizon/event-count checks at submission, and — under
+    /// [`StopCondition::first_failure`] — a per-op barrier so the run stops
+    /// at exactly the same event the virtual-time loop would.
+    ///
+    /// # Errors
+    ///
+    /// Propagates lane errors in deterministic order.
+    pub fn run<I>(&mut self, trace: I, stop: StopCondition) -> Result<(), SimError>
+    where
+        I: IntoIterator<Item = TraceEvent>,
+    {
+        for event in trace {
+            if let Some(h) = stop.horizon_ns {
+                if event.at_ns >= h {
+                    break;
+                }
+            }
+            if let Some(m) = stop.max_events {
+                if self.events >= m {
+                    break;
+                }
+            }
+            self.submit(event)?;
+            if stop.at_first_failure {
+                self.flush()?;
+                if self.first_failure.is_some() {
+                    break;
+                }
+            }
+        }
+        self.flush()
+    }
+
+    /// Closes the queues and joins the workers, returning the lanes in
+    /// channel order.
+    fn shutdown(&mut self) -> Vec<Layer<EngineSink>> {
+        for q in &self.command_queues {
+            q.close();
+        }
+        let mut lanes: ReturnedLanes = Vec::new();
+        for handle in std::mem::take(&mut self.workers) {
+            lanes.extend(handle.join().expect("lane worker panicked"));
+        }
+        self.completions.close();
+        lanes.sort_by_key(|(channel, _)| *channel);
+        lanes.into_iter().map(|(_, layer)| layer).collect()
+    }
+
+    /// Flushes, joins the workers, and assembles the run report.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first finalized lane error; the engine is torn down
+    /// either way.
+    pub fn finish(mut self) -> Result<EngineRun, SimError> {
+        let flushed = self.flush();
+        let lanes = self.shutdown();
+        flushed?;
+
+        let erase_stats =
+            EraseStats::from_counts(lanes.iter().flat_map(|l| l.device().erase_counts()));
+        let counters = sum_counters(lanes.iter().map(|l| l.counters()));
+        let mut device = DeviceCounters::default();
+        let mut device_busy_ns = 0u64;
+        for lane in &lanes {
+            let c = lane.device().counters();
+            device.reads += c.reads;
+            device.programs += c.programs;
+            device.erases += c.erases;
+            device_busy_ns += lane.device().busy_ns();
+        }
+        let mut write_latency = LatencyStats::new();
+        let mut read_latency = LatencyStats::new();
+        for lane in 0..lanes.len() {
+            write_latency.merge(&self.lane_write_latency[lane]);
+            read_latency.merge(&self.lane_read_latency[lane]);
+        }
+
+        let report = StripedReport {
+            layer: self.kind,
+            channels: self.geometry.channels(),
+            swl: self.swl,
+            coordination: self.coordination,
+            events: self.events,
+            host_span_ns: self.host_span_ns,
+            first_failure: self.first_failure,
+            erase_stats,
+            counters,
+            device,
+            device_busy_ns,
+            makespan_ns: self.scheduler.makespan_ns(),
+            channel_busy_ns: self.scheduler.channel_busy_ns().to_vec(),
+            write_latency,
+            read_latency,
+            op_write_latency: self.op_write_latency.clone(),
+            op_read_latency: self.op_read_latency.clone(),
+        };
+        Ok(EngineRun {
+            report,
+            lane_write_latency: std::mem::take(&mut self.lane_write_latency),
+            lane_read_latency: std::mem::take(&mut self.lane_read_latency),
+            threads: self.threads,
+            queue_depth: self.queue_depth,
+            telemetry: self.telemetry,
+            geometry: self.geometry,
+            lanes,
+        })
+    }
+
+    /// Crash-harness teardown: joins the workers (letting already-queued
+    /// in-flight commands run — they are unacknowledged, so the host makes
+    /// no claim about them) and returns the raw devices in channel order,
+    /// ready for `disarm_power_cut` / `power_cycle` / re-mount.
+    pub fn into_devices(mut self) -> Vec<NandDevice<EngineSink>> {
+        self.shutdown()
+            .into_iter()
+            .map(Layer::into_device)
+            .collect()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Wake any parked worker so dropped engines don't leak threads
+        // blocked on `pop`. Workers joined by `shutdown` already drained.
+        for q in &self.command_queues {
+            q.close();
+        }
+        self.completions.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::Simulator;
+    use crate::striped::StripedLayer;
+    use flash_trace::{SyntheticTrace, WorkloadSpec};
+    use nand::{CellKind, Geometry};
+
+    fn chip() -> Geometry {
+        Geometry::new(64, 8, 2048)
+    }
+
+    fn spec() -> CellSpec {
+        CellKind::Mlc2.spec().with_endurance(1_000_000)
+    }
+
+    fn striped_reference(
+        kind: LayerKind,
+        channels: u32,
+        swl: Option<SwlConfig>,
+        coordination: SwlCoordination,
+        events: u64,
+        seed: u64,
+    ) -> StripedReport {
+        let mut layer = StripedLayer::build(
+            kind,
+            ChannelGeometry::new(channels, 1, chip()),
+            spec(),
+            swl,
+            coordination,
+            &SimConfig::default(),
+        )
+        .unwrap();
+        let pages = layer.logical_pages();
+        let trace =
+            SyntheticTrace::new(WorkloadSpec::paper(pages).with_seed(seed)).map(move |e| {
+                e.widen(4, pages)
+            });
+        Simulator::new()
+            .run_striped(&mut layer, trace, StopCondition::events(events))
+            .unwrap()
+    }
+
+    fn engine_run(
+        kind: LayerKind,
+        channels: u32,
+        swl: Option<SwlConfig>,
+        coordination: SwlCoordination,
+        events: u64,
+        seed: u64,
+        config: EngineConfig,
+    ) -> EngineRun {
+        let geometry = ChannelGeometry::new(channels, 1, chip());
+        let mut engine = Engine::new(
+            kind,
+            geometry,
+            spec(),
+            swl,
+            coordination,
+            &SimConfig::default(),
+            config,
+        )
+        .unwrap();
+        let logical = engine.logical_pages();
+        let trace = SyntheticTrace::new(WorkloadSpec::paper(logical).with_seed(seed))
+            .map(move |e| e.widen(4, logical));
+        engine.run(trace, StopCondition::events(events)).unwrap();
+        engine.finish().unwrap()
+    }
+
+    #[test]
+    fn pipelined_engine_matches_virtual_time_report() {
+        for threads in [1u32, 2] {
+            let reference = striped_reference(
+                LayerKind::Ftl,
+                2,
+                Some(SwlConfig::new(64, 0).with_seed(11)),
+                SwlCoordination::PerChannel,
+                3_000,
+                7,
+            );
+            let run = engine_run(
+                LayerKind::Ftl,
+                2,
+                Some(SwlConfig::new(64, 0).with_seed(11)),
+                SwlCoordination::PerChannel,
+                3_000,
+                7,
+                EngineConfig::default()
+                    .with_threads(threads)
+                    .with_queue_depth(16),
+            );
+            assert_eq!(run.report, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lockstep_engine_matches_global_coordination() {
+        let reference = striped_reference(
+            LayerKind::Nftl,
+            2,
+            Some(SwlConfig::new(16, 0).with_seed(3)),
+            SwlCoordination::Global,
+            2_000,
+            5,
+        );
+        let run = engine_run(
+            LayerKind::Nftl,
+            2,
+            Some(SwlConfig::new(16, 0).with_seed(3)),
+            SwlCoordination::Global,
+            2_000,
+            5,
+            EngineConfig::default().with_threads(2).with_queue_depth(8),
+        );
+        assert_eq!(run.report, reference);
+    }
+
+    #[test]
+    fn telemetry_merge_starts_with_meta_and_is_thread_invariant() {
+        let run_with = |threads: u32| {
+            engine_run(
+                LayerKind::Ftl,
+                2,
+                None,
+                SwlCoordination::PerChannel,
+                500,
+                21,
+                EngineConfig::default()
+                    .with_threads(threads)
+                    .with_queue_depth(8)
+                    .with_telemetry(true),
+            )
+            .into_telemetry()
+        };
+        let one = run_with(1);
+        let two = run_with(2);
+        assert!(matches!(one.first(), Some(Event::Meta { .. })));
+        assert!(one.len() > 1);
+        assert_eq!(one, two, "merged stream must not depend on thread count");
+    }
+
+    #[test]
+    fn queue_depth_window_is_enforced() {
+        // Submitting more ops than the depth must still complete exactly
+        // once each (backpressure, no lost acks).
+        let geometry = ChannelGeometry::new(4, 1, chip());
+        let mut engine = Engine::new(
+            LayerKind::Ftl,
+            geometry,
+            spec(),
+            None,
+            SwlCoordination::PerChannel,
+            &SimConfig::default(),
+            EngineConfig::default().with_threads(2).with_queue_depth(4),
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            engine
+                .submit(TraceEvent::write(i * 1_000, i % 64))
+                .unwrap();
+        }
+        engine.flush().unwrap();
+        let run = engine.finish().unwrap();
+        assert_eq!(run.report.events, 200);
+        assert_eq!(run.report.counters.host_writes, 200);
+    }
+}

@@ -653,8 +653,9 @@ pub struct ChannelPoint {
     /// Lane count.
     pub channels: u32,
     /// Achieved busy-time overlap (`Σ channel busy / makespan`), ×1.0 when
-    /// fully serial.
-    pub overlap: f64,
+    /// fully serial — `None` when the run recorded no device time at all
+    /// (e.g. an empty trace), in which case no overlap claim is meaningful.
+    pub overlap: Option<f64>,
     /// Virtual device time to serve the whole run.
     pub makespan_ns: u64,
     /// Host pages served per virtual millisecond of device time.
@@ -767,7 +768,7 @@ pub fn channel_scaling(
     let mut points = Vec::with_capacity(channel_counts.len());
     for (&channels, report) in channel_counts.iter().zip(reports) {
         let report = report?;
-        let overlap = report.overlap_factor().unwrap_or(1.0);
+        let overlap = report.overlap_factor();
         let makespan_ns = report.makespan_ns;
         let pages = report.counters.host_writes + report.counters.host_reads;
         let pages_per_ms = if makespan_ns == 0 {
@@ -949,15 +950,31 @@ mod tests {
         let four = &points[1];
         assert_eq!((one.channels, four.channels), (1, 4));
         // One channel is fully serial by construction.
-        assert!((one.overlap - 1.0).abs() < 1e-9);
+        let one_overlap = one.overlap.expect("non-empty run has device time");
+        assert!((one_overlap - 1.0).abs() < 1e-9);
         assert_eq!(one.makespan_ns, one.report.device_busy_ns);
         // Four channels overlap busy time and serve pages faster.
+        let four_overlap = four.overlap.expect("non-empty run has device time");
         assert!(
-            four.overlap > 1.5,
-            "4 channels must overlap, got ×{:.2}",
-            four.overlap
+            four_overlap > 1.5,
+            "4 channels must overlap, got ×{four_overlap:.2}"
         );
         assert!(four.pages_per_ms > one.pages_per_ms);
+    }
+
+    #[test]
+    fn channel_scaling_survives_an_empty_trace() {
+        // Zero events means zero device time: the sweep must report the
+        // absence of an overlap measurement instead of fabricating ×1.00
+        // (or panicking on a division by a zero makespan).
+        let scale = quick();
+        let points = channel_scaling(LayerKind::Ftl, &scale, &[1, 4], None, 0).unwrap();
+        for point in &points {
+            assert_eq!(point.overlap, None);
+            assert_eq!(point.makespan_ns, 0);
+            assert_eq!(point.pages_per_ms, 0.0);
+            assert_eq!(point.report.events, 0);
+        }
     }
 
     #[test]

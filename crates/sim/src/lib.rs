@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 mod error;
 pub mod experiments;
 mod latency;
@@ -48,6 +49,7 @@ pub mod sched;
 mod simulator;
 mod striped;
 
+pub use engine::{Engine, EngineConfig, EngineRun, EngineSink};
 pub use error::SimError;
 pub use latency::LatencyStats;
 pub use layer::{Layer, LayerCounters, LayerKind, SimConfig, TranslationLayer};

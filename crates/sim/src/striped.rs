@@ -455,7 +455,7 @@ impl std::fmt::Display for StripedReport {
     }
 }
 
-fn sum_counters(lanes: impl Iterator<Item = LayerCounters>) -> LayerCounters {
+pub(crate) fn sum_counters(lanes: impl Iterator<Item = LayerCounters>) -> LayerCounters {
     let mut total = LayerCounters::default();
     for c in lanes {
         total.host_writes += c.host_writes;

@@ -1,0 +1,152 @@
+//! Properties of the engine's bounded MPSC lane queues.
+//!
+//! The threaded engine's bit-exactness argument leans on three queue
+//! behaviors: items from one producer are delivered in the order that
+//! producer pushed them (per-lane FIFO), a full queue applies backpressure
+//! instead of dropping or reordering, and closing a queue acts as a drain
+//! barrier — every item accepted before the close is still delivered, and
+//! nothing is lost or duplicated. Each is checked here as a property over
+//! randomized producer counts, item counts, and capacities, with real OS
+//! threads on both sides of the queue.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread;
+
+use flash_sim::engine::queue::{ShardQueue, TryPushError};
+use proptest::prelude::*;
+
+/// Tagged queue item: `(producer id, per-producer sequence number)`.
+type Tagged = (usize, u64);
+
+/// Spawns `producers` threads that each blocking-push `per_producer` tagged
+/// items, drains the queue from this thread until every producer is done,
+/// and returns the items in arrival order.
+fn run_producers(producers: usize, per_producer: u64, capacity: usize) -> Vec<Tagged> {
+    let queue = Arc::new(ShardQueue::<Tagged>::new(capacity));
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let q = Arc::clone(&queue);
+            thread::spawn(move || {
+                for seq in 0..per_producer {
+                    q.push((p, seq)).expect("queue closed under producer");
+                }
+            })
+        })
+        .collect();
+
+    let total = producers as u64 * per_producer;
+    let mut received = Vec::with_capacity(total as usize);
+    while (received.len() as u64) < total {
+        received.push(queue.pop().expect("queue closed with items outstanding"));
+    }
+    for handle in handles {
+        handle.join().expect("producer panicked");
+    }
+    received
+}
+
+proptest! {
+    /// Per-producer FIFO under concurrent submitters: however the arrivals
+    /// interleave across producers, each producer's own items come out in
+    /// push order with nothing lost or duplicated. This is the property the
+    /// engine relies on for per-lane page ordering when several host ops
+    /// are in flight.
+    #[test]
+    fn per_producer_order_survives_concurrency(
+        producers in 1usize..5,
+        per_producer in 1u64..60,
+        capacity in 1usize..9,
+    ) {
+        let received = run_producers(producers, per_producer, capacity);
+
+        let mut next = vec![0u64; producers];
+        for (p, seq) in received {
+            prop_assert_eq!(
+                seq, next[p],
+                "producer {} delivered out of order", p
+            );
+            next[p] += 1;
+        }
+        for (p, count) in next.iter().enumerate() {
+            prop_assert_eq!(*count, per_producer, "producer {} lost items", p);
+        }
+    }
+
+    /// Backpressure at capacity: `try_push` accepts exactly `capacity`
+    /// items, then reports `Full` without mutating the queue; popping one
+    /// item frees exactly one slot.
+    #[test]
+    fn try_push_stops_exactly_at_capacity(capacity in 1usize..32) {
+        let queue = ShardQueue::<u64>::new(capacity);
+        for i in 0..capacity as u64 {
+            prop_assert!(queue.try_push(i).is_ok());
+        }
+        prop_assert_eq!(queue.len(), capacity);
+        prop_assert_eq!(queue.try_push(999), Err(TryPushError::Full));
+        prop_assert_eq!(queue.len(), capacity, "rejected push mutated the queue");
+
+        prop_assert_eq!(queue.try_pop(), Some(0));
+        prop_assert!(queue.try_push(999).is_ok(), "pop must free a slot");
+        prop_assert_eq!(queue.try_push(1000), Err(TryPushError::Full));
+    }
+
+    /// Drain-barrier completeness: concurrent producers fill the queue while
+    /// a consumer drains it; once the producers finish, `close()` is the
+    /// barrier and the `pop() == None` sentinel must not appear until every
+    /// accepted item has been delivered exactly once. This is the engine's
+    /// shutdown path — no completion acks may be lost when lanes wind down.
+    #[test]
+    fn close_is_a_complete_drain_barrier(
+        producers in 1usize..4,
+        per_producer in 1u64..40,
+        capacity in 1usize..5,
+    ) {
+        let queue = Arc::new(ShardQueue::<Tagged>::new(capacity));
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&queue);
+                thread::spawn(move || {
+                    for seq in 0..per_producer {
+                        q.push((p, seq)).expect("queue closed under producer");
+                    }
+                })
+            })
+            .collect();
+
+        // The consumer sees the close only after all items: pop() blocks
+        // while the queue is open, returns None only once closed AND empty.
+        let consumer = {
+            let q = Arc::clone(&queue);
+            thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(item) = q.pop() {
+                    seen.push(item);
+                }
+                seen
+            })
+        };
+
+        for handle in handles {
+            handle.join().expect("producer panicked");
+        }
+        queue.close();
+        let seen = consumer.join().expect("consumer panicked");
+
+        let expected = producers as u64 * per_producer;
+        prop_assert_eq!(seen.len() as u64, expected, "acks lost across the barrier");
+        let unique: HashSet<Tagged> = seen.iter().copied().collect();
+        prop_assert_eq!(unique.len() as u64, expected, "duplicate delivery");
+    }
+
+    /// A closed queue turns producers away with their item handed back —
+    /// nothing is silently swallowed after the barrier.
+    #[test]
+    fn closed_queue_returns_the_item(item in any::<u64>()) {
+        let queue = ShardQueue::<u64>::new(4);
+        queue.close();
+        prop_assert_eq!(queue.push(item), Err(item));
+        prop_assert_eq!(queue.try_push(item), Err(TryPushError::Closed));
+        prop_assert_eq!(queue.pop(), None);
+    }
+}

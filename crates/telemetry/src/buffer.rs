@@ -1,0 +1,185 @@
+//! Per-thread buffered emission with a deterministic ordered merge.
+//!
+//! [`SharedSink`](crate::SharedSink) interleaves lanes into one stream by
+//! construction, but it is `Rc`-based and single-threaded. When every lane
+//! of a multi-channel array runs on its own worker thread, each lane instead
+//! emits into a private [`LaneBuffer`] — no synchronisation on the hot path —
+//! and the front-end merges the buffers afterwards with
+//! [`merge_lane_buffers`].
+//!
+//! The merge cannot use arrival time (that would make the log depend on
+//! thread scheduling); instead the owning engine stamps every buffered event
+//! with the *epoch* of the work unit that produced it (the host-op sequence
+//! number, via [`LaneBuffer::set_epoch`]). Sorting by
+//! `(epoch, lane, emission index)` is then a pure function of the workload:
+//! two runs of the same trace produce byte-identical merged streams
+//! regardless of thread count or timing. Within one epoch the merge groups
+//! events by lane — the op-level interleaving differs from the
+//! single-threaded [`SharedSink`](crate::SharedSink) stream, which serialises lanes page by
+//! page, but the *set* of events per epoch and lane is identical.
+//!
+//! [`Event::Channel`] markers are re-inserted on lane switches, exactly as a
+//! striped layer would, so per-channel attribution tools consume the merged
+//! stream unchanged. A single-lane merge emits no markers.
+
+use crate::{Event, Sink};
+
+/// One buffered emission: the engine epoch it happened under plus the event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Stamped {
+    epoch: u64,
+    event: Event,
+}
+
+/// A lane-private buffering sink for worker-thread emission.
+///
+/// Owns a plain `Vec` — emission is push-only and lock-free. The engine
+/// advances the epoch stamp with [`LaneBuffer::set_epoch`] before handing
+/// the lane each unit of work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneBuffer {
+    lane: u32,
+    epoch: u64,
+    entries: Vec<Stamped>,
+}
+
+impl LaneBuffer {
+    /// An empty buffer for `lane`, starting at epoch 0.
+    pub fn new(lane: u32) -> Self {
+        Self {
+            lane,
+            epoch: 0,
+            entries: Vec::new(),
+        }
+    }
+
+    /// The lane this buffer belongs to.
+    pub fn lane(&self) -> u32 {
+        self.lane
+    }
+
+    /// Stamps all subsequent emissions with `epoch` (the sequence number of
+    /// the work unit about to run). Epochs must be non-decreasing per lane
+    /// for the merge to be meaningful; the engine's per-lane FIFO guarantees
+    /// that.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = epoch;
+    }
+
+    /// Buffered events so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl Sink for LaneBuffer {
+    #[inline]
+    fn event(&mut self, event: Event) {
+        self.entries.push(Stamped {
+            epoch: self.epoch,
+            event,
+        });
+    }
+}
+
+/// Merges per-lane buffers into one deterministic stream ordered by
+/// `(epoch, lane, emission index)`, re-inserting [`Event::Channel`] markers
+/// whenever the emitting lane changes (none for a single-lane merge, so a
+/// one-channel stream stays marker-free, as with a striped layer).
+///
+/// The sort is stable and every key is workload-derived, so the output is
+/// independent of thread scheduling.
+pub fn merge_lane_buffers(buffers: Vec<LaneBuffer>) -> Vec<Event> {
+    let mut tagged: Vec<(u64, u32, usize, Event)> = Vec::new();
+    for buffer in buffers {
+        let lane = buffer.lane;
+        for (index, stamped) in buffer.entries.into_iter().enumerate() {
+            tagged.push((stamped.epoch, lane, index, stamped.event));
+        }
+    }
+    tagged.sort_by_key(|&(epoch, lane, index, _)| (epoch, lane, index));
+
+    let mut merged = Vec::with_capacity(tagged.len());
+    let mut last_lane = 0u32;
+    for (_, lane, _, event) in tagged {
+        if lane != last_lane {
+            merged.push(Event::Channel { id: lane });
+            last_lane = lane;
+        }
+        merged.push(event);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_stamps_with_current_epoch() {
+        let mut b = LaneBuffer::new(3);
+        b.event(Event::HostWrite { lba: 1 });
+        b.set_epoch(5);
+        b.event(Event::HostRead { lba: 2 });
+        assert_eq!(b.lane(), 3);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.entries[0].epoch, 0);
+        assert_eq!(b.entries[1].epoch, 5);
+    }
+
+    #[test]
+    fn merge_orders_by_epoch_then_lane() {
+        let mut lane0 = LaneBuffer::new(0);
+        let mut lane1 = LaneBuffer::new(1);
+        // Lane 1 "runs ahead" and emits epoch 2 before lane 0 emits epoch 1:
+        // the merge still orders by epoch, not emission time.
+        lane1.set_epoch(2);
+        lane1.event(Event::HostWrite { lba: 11 });
+        lane0.set_epoch(1);
+        lane0.event(Event::HostWrite { lba: 10 });
+        lane0.set_epoch(2);
+        lane0.event(Event::HostRead { lba: 12 });
+        let merged = merge_lane_buffers(vec![lane0, lane1]);
+        assert_eq!(
+            merged,
+            vec![
+                Event::HostWrite { lba: 10 },
+                Event::HostRead { lba: 12 },
+                Event::Channel { id: 1 },
+                Event::HostWrite { lba: 11 },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_lane_merge_has_no_markers() {
+        let mut lane0 = LaneBuffer::new(0);
+        lane0.event(Event::HostWrite { lba: 1 });
+        lane0.set_epoch(1);
+        lane0.event(Event::HostWrite { lba: 2 });
+        let merged = merge_lane_buffers(vec![lane0]);
+        assert!(merged
+            .iter()
+            .all(|e| !matches!(e, Event::Channel { .. })));
+        assert_eq!(merged.len(), 2);
+    }
+
+    #[test]
+    fn merge_is_emission_order_stable_within_lane_and_epoch() {
+        let mut lane2 = LaneBuffer::new(2);
+        lane2.set_epoch(7);
+        for lba in 0..4 {
+            lane2.event(Event::HostWrite { lba });
+        }
+        let merged = merge_lane_buffers(vec![LaneBuffer::new(0), lane2]);
+        assert_eq!(merged[0], Event::Channel { id: 2 });
+        for (i, event) in merged[1..].iter().enumerate() {
+            assert_eq!(*event, Event::HostWrite { lba: i as u64 });
+        }
+    }
+}

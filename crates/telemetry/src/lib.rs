@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod buffer;
 mod counters;
 pub mod flight;
 pub mod hist;
@@ -45,6 +46,7 @@ pub mod shared;
 pub mod span;
 
 pub use aggregate::{IntervalStats, MetricsAggregator, RetirementAudit, Snapshot, WearSummary};
+pub use buffer::{merge_lane_buffers, LaneBuffer};
 pub use counters::FlashCounters;
 pub use flight::FlightRecorder;
 pub use hist::LatencyHistogram;

@@ -1,0 +1,259 @@
+//! Differential oracle for the real-thread channel engine: on the same
+//! trace, [`Engine`] must reproduce [`Simulator::run_striped`] **bit for
+//! bit** — the full [`flash_sim::StripedReport`] (erase counters, SWL
+//! coordination effects, per-page and op-level latency histograms, makespan,
+//! first failure), the per-lane device and leveler state, and the logical
+//! contents — for every combination of channel count, SWL coordination
+//! mode, and worker-thread count. Only wall-clock timing may differ.
+//!
+//! This extends the `tests/differential.rs` pattern (striped vs. standalone
+//! lanes) one level up: the virtual-time striped loop is itself the oracle
+//! for the threaded engine.
+
+use flash_sim::{
+    Engine, EngineConfig, LayerKind, SimConfig, Simulator, StopCondition, StripedLayer,
+    StripedReport, SwlCoordination, TranslationLayer,
+};
+use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
+use nand::{CellKind, CellSpec, ChannelGeometry, Geometry};
+use swl_core::SwlConfig;
+
+const LANE_BLOCKS: u32 = 32;
+const PAGES: u32 = 8;
+const EVENTS: u64 = 4_000;
+/// Host requests span several pages so one op stripes across lanes.
+const SPAN: u32 = 4;
+
+fn chip() -> Geometry {
+    Geometry::new(LANE_BLOCKS, PAGES, 2048)
+}
+
+fn spec(endurance: u32) -> CellSpec {
+    CellKind::Mlc2.spec().with_endurance(endurance)
+}
+
+fn swl() -> SwlConfig {
+    SwlConfig::new(8, 0).with_seed(9)
+}
+
+fn trace(logical_pages: u64, seed: u64) -> impl Iterator<Item = TraceEvent> {
+    SyntheticTrace::new(WorkloadSpec::paper(logical_pages).with_seed(seed))
+        .map(move |e| e.widen(SPAN, logical_pages))
+}
+
+/// The virtual-time reference run, returning both the report and the layer
+/// for per-lane state comparison.
+fn reference(
+    kind: LayerKind,
+    channels: u32,
+    coordination: SwlCoordination,
+    endurance: u32,
+    stop: StopCondition,
+    seed: u64,
+) -> (StripedReport, StripedLayer) {
+    let mut striped = StripedLayer::build(
+        kind,
+        ChannelGeometry::new(channels, 1, chip()),
+        spec(endurance),
+        Some(swl()),
+        coordination,
+        &SimConfig::default(),
+    )
+    .unwrap();
+    let pages = striped.logical_pages();
+    let report = Simulator::new()
+        .run_striped(&mut striped, trace(pages, seed), stop)
+        .unwrap();
+    (report, striped)
+}
+
+fn engine(
+    kind: LayerKind,
+    channels: u32,
+    coordination: SwlCoordination,
+    endurance: u32,
+    stop: StopCondition,
+    seed: u64,
+    config: EngineConfig,
+) -> flash_sim::EngineRun {
+    let mut engine = Engine::new(
+        kind,
+        ChannelGeometry::new(channels, 1, chip()),
+        spec(endurance),
+        Some(swl()),
+        coordination,
+        &SimConfig::default(),
+        config,
+    )
+    .unwrap();
+    let pages = engine.logical_pages();
+    engine.run(trace(pages, seed), stop).unwrap();
+    engine.finish().unwrap()
+}
+
+/// Bit-identity across one configuration: report, per-lane state, contents.
+fn engine_matches_oracle(kind: LayerKind, channels: u32, coordination: SwlCoordination) {
+    let seed = 0xE7A1 ^ u64::from(channels);
+    let stop = StopCondition::events(EVENTS);
+    let (reference_report, mut reference_layer) =
+        reference(kind, channels, coordination, 1_000_000, stop, seed);
+
+    // Snapshot the oracle's per-lane state and contents *before* reading
+    // anything back: reads are real device operations and would perturb the
+    // counters being compared.
+    let oracle_lanes: Vec<_> = reference_layer
+        .lanes()
+        .iter()
+        .map(|lane| {
+            (
+                lane.counters(),
+                lane.device().erase_stats(),
+                lane.device().counters(),
+                lane.swl().map(|s| (s.ecnt(), s.bet().fcnt())),
+            )
+        })
+        .collect();
+    let geometry = ChannelGeometry::new(channels, 1, chip());
+    let pages = reference_layer.logical_pages();
+    let oracle_contents: Vec<Option<u64>> = (0..pages)
+        .map(|lba| reference_layer.read(lba).unwrap())
+        .collect();
+
+    for threads in [1u32, 2, 4] {
+        let config = EngineConfig::default()
+            .with_threads(threads)
+            .with_queue_depth(32);
+        let mut run = engine(kind, channels, coordination, 1_000_000, stop, seed, config);
+
+        assert_eq!(
+            run.report, reference_report,
+            "{kind:?} ×{channels}ch {coordination:?} threads={threads}: report diverged"
+        );
+
+        // Per-lane device and leveler state, lane for lane.
+        for (lane, engine_lane) in run.lanes().iter().enumerate() {
+            let (counters, erase_stats, device, swl_state) = &oracle_lanes[lane];
+            assert_eq!(
+                engine_lane.counters(),
+                *counters,
+                "lane {lane} counters diverged (threads={threads})"
+            );
+            assert_eq!(
+                engine_lane.device().erase_stats(),
+                *erase_stats,
+                "lane {lane} erase distribution diverged (threads={threads})"
+            );
+            assert_eq!(
+                engine_lane.device().counters(),
+                *device,
+                "lane {lane} device counters diverged (threads={threads})"
+            );
+            assert_eq!(
+                engine_lane.swl().map(|s| (s.ecnt(), s.bet().fcnt())),
+                *swl_state,
+                "lane {lane} SWL/BET state diverged (threads={threads})"
+            );
+        }
+
+        // The merged per-lane page histograms are the report's histograms.
+        let mut merged = flash_sim::LatencyStats::new();
+        for lane in &run.lane_write_latency {
+            merged.merge(lane);
+        }
+        assert_eq!(merged, reference_report.write_latency);
+
+        // Full logical contents (after the state comparisons above, since
+        // these reads perturb the engine lanes' counters).
+        for lba in 0..pages {
+            let channel = geometry.channel_of(lba) as usize;
+            let got = run.lanes_mut()[channel]
+                .read(geometry.lane_lba(lba))
+                .unwrap();
+            assert_eq!(
+                got, oracle_contents[lba as usize],
+                "content diverged at lba {lba} (threads={threads})"
+            );
+        }
+    }
+}
+
+#[test]
+fn ftl_one_channel_per_channel() {
+    engine_matches_oracle(LayerKind::Ftl, 1, SwlCoordination::PerChannel);
+}
+
+#[test]
+fn ftl_two_channels_per_channel() {
+    engine_matches_oracle(LayerKind::Ftl, 2, SwlCoordination::PerChannel);
+}
+
+#[test]
+fn ftl_four_channels_per_channel() {
+    engine_matches_oracle(LayerKind::Ftl, 4, SwlCoordination::PerChannel);
+}
+
+#[test]
+fn ftl_one_channel_global() {
+    // One-channel global degrades to per-channel in both implementations.
+    engine_matches_oracle(LayerKind::Ftl, 1, SwlCoordination::Global);
+}
+
+#[test]
+fn ftl_two_channels_global() {
+    engine_matches_oracle(LayerKind::Ftl, 2, SwlCoordination::Global);
+}
+
+#[test]
+fn ftl_four_channels_global() {
+    engine_matches_oracle(LayerKind::Ftl, 4, SwlCoordination::Global);
+}
+
+#[test]
+fn nftl_two_channels_per_channel() {
+    engine_matches_oracle(LayerKind::Nftl, 2, SwlCoordination::PerChannel);
+}
+
+#[test]
+fn nftl_four_channels_global() {
+    engine_matches_oracle(LayerKind::Nftl, 4, SwlCoordination::Global);
+}
+
+/// Wear-out must surface at exactly the same event with the same array-wide
+/// block attribution, and the first-failure stop must halt both runs at the
+/// same point.
+#[test]
+fn first_failure_stop_is_bit_identical() {
+    let stop = StopCondition::events(300_000).or_first_failure();
+    for channels in [2u32, 4] {
+        let seed = 0xFA11 ^ u64::from(channels);
+        let (reference_report, _) = reference(
+            LayerKind::Ftl,
+            channels,
+            SwlCoordination::PerChannel,
+            300,
+            stop,
+            seed,
+        );
+        assert!(
+            reference_report.first_failure.is_some(),
+            "endurance 300 must wear out within the horizon"
+        );
+        for threads in [1u32, 2] {
+            let run = engine(
+                LayerKind::Ftl,
+                channels,
+                SwlCoordination::PerChannel,
+                300,
+                stop,
+                seed,
+                EngineConfig::default()
+                    .with_threads(threads)
+                    .with_queue_depth(64),
+            );
+            assert_eq!(
+                run.report, reference_report,
+                "×{channels}ch threads={threads}: first-failure run diverged"
+            );
+        }
+    }
+}
