@@ -1,0 +1,637 @@
+//! `engtop` — a live, `top`-style view of the threaded execution engine:
+//! runs the 4-channel FTL + per-channel-SWL workload through
+//! [`flash_sim::Engine`] with wall-clock metrics enabled, and refreshes a
+//! per-worker / per-lane utilization table while the run is in flight by
+//! sampling the engine's [`flash_sim::EngineMetricsHandle`] from the main
+//! thread (the run itself is driven on a separate thread). Each worker row
+//! attributes wall time to **busy** (executing commands), **starved**
+//! (blocked popping the command queue), **backpressured** (blocked pushing
+//! completions), and derived **idle**; queue gauges show live occupancy
+//! against the high-water mark and capacity.
+//!
+//! With `--out FILE` every sample is also exported as JSONL (schema v1, one
+//! flat object per line: an `engtop_meta` header, then `sample` / `worker` /
+//! `lane` / `queue` lines per tick and one trailing `final` line).
+//! `engtop --check FILE` validates such an export and exits non-zero on any
+//! schema drift — the same contract style as `swlstat --check` /
+//! `swlspan --check` — so CI can gate on a golden fixture.
+//!
+//! ```text
+//! engtop [quick|scaled|paper] [--events N] [--threads N] [--depth N]
+//!        [--interval-ms N] [--out FILE]
+//! engtop --check FILE
+//! ```
+
+use std::io::{IsTerminal, Write};
+use std::process::ExitCode;
+use std::time::Duration;
+
+use flash_bench::json::{self, JsonScalar};
+use flash_sim::experiments::{ExperimentScale, CHANNEL_SPAN};
+use flash_sim::{Engine, EngineConfig, EngineRun, LayerKind, SimConfig, StopCondition, SwlCoordination};
+use flash_telemetry::{EngineSnapshot, LatencyHistogram};
+use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
+use nand::{CellKind, ChannelGeometry, Geometry};
+
+/// JSONL export schema version; bump on any line-shape change.
+const SCHEMA: u64 = 1;
+const CHANNELS: u32 = 4;
+const SWL_THRESHOLD: u64 = 100;
+
+struct Options {
+    scale: ExperimentScale,
+    events: u64,
+    threads: u32,
+    depth: usize,
+    interval_ms: u64,
+    out: Option<String>,
+    check: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut options = Options {
+        scale: ExperimentScale::scaled(),
+        events: 20_000,
+        threads: CHANNELS,
+        depth: 64,
+        interval_ms: 250,
+        out: None,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "quick" => options.scale = ExperimentScale::quick(),
+            "scaled" => options.scale = ExperimentScale::scaled(),
+            "paper" => options.scale = ExperimentScale::paper(),
+            "--events" => {
+                options.events = value(&mut args, "--events")?
+                    .parse()
+                    .map_err(|_| "--events needs a number")?;
+            }
+            "--threads" => {
+                options.threads = value(&mut args, "--threads")?
+                    .parse()
+                    .map_err(|_| "--threads needs a number")?;
+            }
+            "--depth" => {
+                options.depth = value(&mut args, "--depth")?
+                    .parse()
+                    .map_err(|_| "--depth needs a number")?;
+            }
+            "--interval-ms" => {
+                options.interval_ms = value(&mut args, "--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms needs a number")?;
+            }
+            "--out" => options.out = Some(value(&mut args, "--out")?),
+            "--check" => options.check = Some(value(&mut args, "--check")?),
+            "--help" | "-h" => {
+                return Err(
+                    "usage: engtop [quick|scaled|paper] [--events N] [--threads N] \
+                     [--depth N] [--interval-ms N] [--out FILE] | engtop --check FILE"
+                        .to_owned(),
+                )
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    Ok(options)
+}
+
+fn trace(logical_pages: u64, seed: u64) -> impl Iterator<Item = TraceEvent> {
+    SyntheticTrace::new(WorkloadSpec::paper(logical_pages).with_seed(seed))
+        .map(move |e| e.widen(CHANNEL_SPAN, logical_pages))
+}
+
+fn pct(frac: f64) -> String {
+    format!("{:5.1}%", frac * 100.0)
+}
+
+/// One refresh frame: aggregate header, per-worker rows, per-lane row, and
+/// queue gauges, as terminal lines.
+fn frame(snap: &EngineSnapshot) -> Vec<String> {
+    let mut lines = Vec::new();
+    lines.push(format!(
+        "t {:8.1} ms | ops {} submitted / {} completed | busy {} starv {} bp {} | host bp {:.1} ms",
+        snap.elapsed_ns as f64 / 1e6,
+        snap.ops_submitted,
+        snap.ops_completed,
+        pct(snap.busy_frac()),
+        pct(snap.starved_frac()),
+        pct(snap.backpressure_frac()),
+        snap.host_backpressure_ns as f64 / 1e6,
+    ));
+    lines.push(format!(
+        "{:>7}  {:>6}  {:>6}  {:>6}  {:>6}  {:>9}  {:>11}",
+        "worker", "busy", "starv", "bp", "idle", "cmds", "queue l/h/c"
+    ));
+    for (w, worker) in snap.workers.iter().enumerate() {
+        let queue = &snap.command_queues[w];
+        lines.push(format!(
+            "{:>7}  {:>6}  {:>6}  {:>6}  {:>6}  {:>9}  {:>5}/{}/{}",
+            w,
+            pct(worker.busy_frac()),
+            pct(worker.starved_frac()),
+            pct(worker.backpressure_frac()),
+            pct(worker.idle_frac()),
+            worker.commands,
+            queue.len,
+            queue.high_water,
+            queue.capacity,
+        ));
+    }
+    let lanes = snap
+        .lanes
+        .iter()
+        .enumerate()
+        .map(|(l, lane)| format!("{l}:{:.0}ms/{}p", lane.busy_wall_ns as f64 / 1e6, lane.pages))
+        .collect::<Vec<_>>()
+        .join("  ");
+    lines.push(format!("  lanes  {lanes}"));
+    lines.push(format!(
+        "  completion queue {}/{}/{}",
+        snap.completion_queue.len, snap.completion_queue.high_water, snap.completion_queue.capacity
+    ));
+    lines
+}
+
+/// Appends the JSONL lines for one sampled snapshot.
+fn export_sample(out: &mut Vec<String>, seq: u64, snap: &EngineSnapshot) {
+    let t_ms = snap.elapsed_ns as f64 / 1e6;
+    out.push(json::object(|o| {
+        o.str("kind", "sample")
+            .u64("seq", seq)
+            .f64("t_ms", t_ms, 3)
+            .u64("ops_submitted", snap.ops_submitted)
+            .u64("ops_completed", snap.ops_completed)
+            .f64("busy_frac", snap.busy_frac(), 4)
+            .f64("starved_frac", snap.starved_frac(), 4)
+            .f64("backpressure_frac", snap.backpressure_frac(), 4)
+            .f64("host_backpressure_ms", snap.host_backpressure_ns as f64 / 1e6, 3)
+            .u64("cmd_high_water", snap.command_high_water() as u64)
+            .u64("completion_high_water", snap.completion_queue.high_water as u64);
+    }));
+    for (w, worker) in snap.workers.iter().enumerate() {
+        out.push(json::object(|o| {
+            o.str("kind", "worker")
+                .u64("seq", seq)
+                .f64("t_ms", t_ms, 3)
+                .u64("worker", w as u64)
+                .f64("busy_frac", worker.busy_frac(), 4)
+                .f64("starved_frac", worker.starved_frac(), 4)
+                .f64("backpressure_frac", worker.backpressure_frac(), 4)
+                .f64("idle_frac", worker.idle_frac(), 4)
+                .u64("commands", worker.commands)
+                .u64("pages", worker.pages);
+        }));
+    }
+    for (l, lane) in snap.lanes.iter().enumerate() {
+        out.push(json::object(|o| {
+            o.str("kind", "lane")
+                .u64("seq", seq)
+                .f64("t_ms", t_ms, 3)
+                .u64("lane", l as u64)
+                .f64("busy_ms", lane.busy_wall_ns as f64 / 1e6, 3)
+                .u64("commands", lane.commands)
+                .u64("pages", lane.pages);
+        }));
+    }
+    for (w, queue) in snap.command_queues.iter().enumerate() {
+        let label = format!("cmd{w}");
+        out.push(queue_line(seq, t_ms, &label, queue));
+    }
+    out.push(queue_line(seq, t_ms, "completion", &snap.completion_queue));
+}
+
+fn queue_line(seq: u64, t_ms: f64, label: &str, q: &flash_telemetry::QueueSample) -> String {
+    json::object(|o| {
+        o.str("kind", "queue")
+            .u64("seq", seq)
+            .f64("t_ms", t_ms, 3)
+            .str("queue", label)
+            .u64("len", q.len as u64)
+            .u64("high_water", q.high_water as u64)
+            .u64("capacity", q.capacity as u64);
+    })
+}
+
+fn run(options: &Options) -> Result<(), String> {
+    let scale = &options.scale;
+    assert!(
+        scale.blocks.is_multiple_of(CHANNELS),
+        "{CHANNELS} channels must divide {} blocks",
+        scale.blocks
+    );
+    let geometry = ChannelGeometry::new(
+        CHANNELS,
+        1,
+        Geometry::new(scale.blocks / CHANNELS, scale.pages_per_block, 2048),
+    );
+    let mut engine = Engine::new(
+        LayerKind::Ftl,
+        geometry,
+        CellKind::Mlc2.spec().with_endurance(scale.endurance),
+        Some(scale.swl_config(SWL_THRESHOLD, 0)),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        EngineConfig::default()
+            .with_threads(options.threads)
+            .with_queue_depth(options.depth)
+            .with_metrics(true),
+    )
+    .map_err(|e| format!("engine build failed: {e}"))?;
+    let pages = engine.logical_pages();
+    let effective_threads = engine.threads();
+    let handle = engine.metrics_handle();
+    let events = options.events;
+    let seed = scale.seed;
+
+    println!(
+        "engtop: FTL x{CHANNELS}ch, {CHANNEL_SPAN}-page host requests, {events} events, \
+         {effective_threads} worker(s), depth {}, SWL (T={SWL_THRESHOLD}, k=0, per-channel)",
+        options.depth
+    );
+
+    let mut jsonl: Vec<String> = Vec::new();
+    jsonl.push(json::object(|o| {
+        o.str("kind", "engtop_meta")
+            .u64("schema", SCHEMA)
+            .u64("channels", u64::from(CHANNELS))
+            .u64("threads", u64::from(effective_threads))
+            .u64("queue_depth", options.depth as u64)
+            .u64("events", events)
+            .u64("interval_ms", options.interval_ms);
+    }));
+
+    let driver = std::thread::spawn(move || -> Result<EngineRun, flash_sim::SimError> {
+        engine.run(trace(pages, seed), StopCondition::events(events))?;
+        engine.finish()
+    });
+
+    let live = std::io::stdout().is_terminal();
+    let mut seq = 0u64;
+    let mut last_height = 0usize;
+    while !driver.is_finished() {
+        let snap = handle.snapshot();
+        export_sample(&mut jsonl, seq, &snap);
+        let lines = frame(&snap);
+        if live {
+            // Refresh in place: move the cursor back over the previous frame.
+            if last_height > 0 {
+                print!("\x1b[{last_height}A");
+            }
+            for line in &lines {
+                println!("\x1b[2K{line}");
+            }
+            last_height = lines.len();
+            std::io::stdout().flush().ok();
+        }
+        seq += 1;
+        std::thread::sleep(Duration::from_millis(options.interval_ms));
+    }
+    let run = driver
+        .join()
+        .map_err(|_| "engine driver thread panicked".to_owned())?
+        .map_err(|e| format!("engine run failed: {e}"))?;
+    let metrics = run.metrics.expect("metrics were enabled");
+    let snap = &metrics.snapshot;
+
+    // Final frame (printed plainly so non-TTY runs still show the summary).
+    if live && last_height > 0 {
+        print!("\x1b[{last_height}A");
+    }
+    for line in frame(snap) {
+        if live {
+            println!("\x1b[2K{line}");
+        } else {
+            println!("{line}");
+        }
+    }
+    let q = |h: &LatencyHistogram, p: f64| h.quantile(p);
+    println!(
+        "done: {} samples; cmd exec p50 {} µs p99 {} µs; op wall p50 {} µs p99 {} µs",
+        seq,
+        q(&metrics.cmd_latency, 0.5) / 1_000,
+        q(&metrics.cmd_latency, 0.99) / 1_000,
+        q(&metrics.op_write_wall, 0.5) / 1_000,
+        q(&metrics.op_write_wall, 0.99) / 1_000,
+    );
+
+    jsonl.push(json::object(|o| {
+        o.str("kind", "final")
+            .f64("t_ms", snap.elapsed_ns as f64 / 1e6, 3)
+            .u64("ops_submitted", snap.ops_submitted)
+            .u64("ops_completed", snap.ops_completed)
+            .f64("busy_frac", snap.busy_frac(), 4)
+            .f64("starved_frac", snap.starved_frac(), 4)
+            .f64("backpressure_frac", snap.backpressure_frac(), 4)
+            .f64("host_backpressure_ms", snap.host_backpressure_ns as f64 / 1e6, 3)
+            .u64("cmd_high_water", snap.command_high_water() as u64)
+            .u64("completion_high_water", snap.completion_queue.high_water as u64)
+            .u64("cmd_p50_ns", q(&metrics.cmd_latency, 0.5))
+            .u64("cmd_p99_ns", q(&metrics.cmd_latency, 0.99))
+            .u64("op_wall_p50_ns", q(&metrics.op_write_wall, 0.5))
+            .u64("op_wall_p99_ns", q(&metrics.op_write_wall, 0.99));
+    }));
+    if let Some(path) = &options.out {
+        std::fs::write(path, jsonl.join("\n") + "\n").map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {} JSONL lines to {path}", jsonl.len());
+    }
+    Ok(())
+}
+
+/// The fields every line of a kind must carry as numbers.
+fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
+    match kind {
+        "engtop_meta" => Some(&[
+            "schema", "channels", "threads", "queue_depth", "events", "interval_ms",
+        ]),
+        "sample" | "final" => Some(&[
+            "t_ms",
+            "ops_submitted",
+            "ops_completed",
+            "busy_frac",
+            "starved_frac",
+            "backpressure_frac",
+            "host_backpressure_ms",
+            "cmd_high_water",
+            "completion_high_water",
+        ]),
+        "worker" => Some(&[
+            "t_ms",
+            "worker",
+            "busy_frac",
+            "starved_frac",
+            "backpressure_frac",
+            "idle_frac",
+            "commands",
+            "pages",
+        ]),
+        "lane" => Some(&["t_ms", "lane", "busy_ms", "commands", "pages"]),
+        "queue" => Some(&["t_ms", "len", "high_water", "capacity"]),
+        _ => None,
+    }
+}
+
+fn num(fields: &[(String, JsonScalar)], key: &str) -> Option<f64> {
+    fields.iter().find(|(k, _)| k == key)?.1.as_num()
+}
+
+/// Validates a JSONL export against schema v1. Returns every violation
+/// found (empty = clean).
+fn check(text: &str) -> Result<u64, Vec<String>> {
+    let mut errors = Vec::new();
+    let mut meta: Option<(f64, f64)> = None; // (threads, channels)
+    let mut last_t_ms = f64::NEG_INFINITY;
+    let mut queue_high: Vec<(String, f64)> = Vec::new();
+    let mut finals = 0usize;
+    let mut samples = 0u64;
+    let mut lines = 0usize;
+    for (n, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        lines += 1;
+        let fields = match json::parse_flat(line) {
+            Ok(fields) => fields,
+            Err(e) => {
+                errors.push(format!("line {}: {e}", n + 1));
+                continue;
+            }
+        };
+        let Some(kind) = fields
+            .iter()
+            .find(|(k, _)| k == "kind")
+            .and_then(|(_, v)| v.as_str())
+            .map(str::to_owned)
+        else {
+            errors.push(format!("line {}: no \"kind\" field", n + 1));
+            continue;
+        };
+        let Some(required) = required_fields(&kind) else {
+            errors.push(format!("line {}: unknown kind {kind:?}", n + 1));
+            continue;
+        };
+        let mut complete = true;
+        for key in required {
+            if num(&fields, key).is_none() {
+                errors.push(format!("line {}: {kind} line missing numeric {key:?}", n + 1));
+                complete = false;
+            }
+        }
+        if !complete {
+            continue;
+        }
+        if n == 0 {
+            if kind != "engtop_meta" {
+                errors.push("line 1: export must start with an engtop_meta line".to_owned());
+            } else if num(&fields, "schema") != Some(f64::from(SCHEMA as u32)) {
+                errors.push(format!(
+                    "line 1: schema {:?}, this engtop speaks v{SCHEMA}",
+                    num(&fields, "schema")
+                ));
+            }
+        } else if kind == "engtop_meta" {
+            errors.push(format!("line {}: duplicate engtop_meta", n + 1));
+        }
+        match kind.as_str() {
+            "engtop_meta" => {
+                meta = Some((
+                    num(&fields, "threads").unwrap_or(0.0),
+                    num(&fields, "channels").unwrap_or(0.0),
+                ));
+            }
+            "final" => finals += 1,
+            "sample" => samples += 1,
+            _ => {}
+        }
+        // Time must be monotone in file order; every non-meta kind carries it.
+        if let Some(t_ms) = num(&fields, "t_ms") {
+            if t_ms < last_t_ms {
+                errors.push(format!(
+                    "line {}: t_ms {t_ms} went backwards (was {last_t_ms})",
+                    n + 1
+                ));
+            }
+            last_t_ms = t_ms;
+        }
+        for frac in ["busy_frac", "starved_frac", "backpressure_frac", "idle_frac"] {
+            if let Some(v) = num(&fields, frac) {
+                if !(0.0..=1.0).contains(&v) {
+                    errors.push(format!("line {}: {frac} {v} outside [0, 1]", n + 1));
+                }
+            }
+        }
+        if let Some((threads, channels)) = meta {
+            if let Some(w) = num(&fields, "worker") {
+                if w >= threads {
+                    errors.push(format!("line {}: worker {w} >= {threads} threads", n + 1));
+                }
+            }
+            if let Some(l) = num(&fields, "lane") {
+                if l >= channels {
+                    errors.push(format!("line {}: lane {l} >= {channels} channels", n + 1));
+                }
+            }
+        }
+        if kind == "queue" {
+            let label = fields
+                .iter()
+                .find(|(k, _)| k == "queue")
+                .and_then(|(_, v)| v.as_str())
+                .map(str::to_owned);
+            let Some(label) = label else {
+                errors.push(format!("line {}: queue line missing \"queue\" label", n + 1));
+                continue;
+            };
+            let (len, high, cap) = (
+                num(&fields, "len").unwrap_or(0.0),
+                num(&fields, "high_water").unwrap_or(0.0),
+                num(&fields, "capacity").unwrap_or(0.0),
+            );
+            if len > cap {
+                errors.push(format!("line {}: queue {label} len {len} > capacity {cap}", n + 1));
+            }
+            if high > cap {
+                errors.push(format!(
+                    "line {}: queue {label} high_water {high} > capacity {cap}",
+                    n + 1
+                ));
+            }
+            match queue_high.iter_mut().find(|(name, _)| *name == label) {
+                Some((_, prev)) => {
+                    if high < *prev {
+                        errors.push(format!(
+                            "line {}: queue {label} high_water {high} regressed from {prev}",
+                            n + 1
+                        ));
+                    }
+                    *prev = high;
+                }
+                None => queue_high.push((label, high)),
+            }
+        }
+        if finals > 0 && kind != "final" {
+            errors.push(format!("line {}: content after the final line", n + 1));
+        }
+    }
+    if lines == 0 {
+        errors.push("empty export".to_owned());
+    } else if finals == 0 {
+        errors.push("no final line".to_owned());
+    } else if finals > 1 {
+        errors.push(format!("{finals} final lines, expected exactly one"));
+    }
+    if errors.is_empty() {
+        Ok(samples)
+    } else {
+        Err(errors)
+    }
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(path) = &options.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("engtop: {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match check(&text) {
+            Ok(samples) => {
+                println!("engtop: OK — {samples} sample tick(s), schema v{SCHEMA}");
+                ExitCode::SUCCESS
+            }
+            Err(errors) => {
+                for error in &errors {
+                    eprintln!("engtop: {error}");
+                }
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Err(message) = run(&options) {
+        eprintln!("engtop: {message}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+
+    const META: &str = "{\"kind\":\"engtop_meta\",\"schema\":1,\"channels\":4,\
+                        \"threads\":2,\"queue_depth\":8,\"events\":100,\"interval_ms\":50}";
+    const FINAL: &str = "{\"kind\":\"final\",\"t_ms\":9.0,\"ops_submitted\":100,\
+                         \"ops_completed\":100,\"busy_frac\":0.5,\"starved_frac\":0.25,\
+                         \"backpressure_frac\":0.1,\"host_backpressure_ms\":1.0,\
+                         \"cmd_high_water\":4,\"completion_high_water\":2,\
+                         \"cmd_p50_ns\":100,\"cmd_p99_ns\":200,\
+                         \"op_wall_p50_ns\":300,\"op_wall_p99_ns\":400}";
+
+    fn sample(t_ms: f64) -> String {
+        format!(
+            "{{\"kind\":\"sample\",\"seq\":0,\"t_ms\":{t_ms},\"ops_submitted\":1,\
+             \"ops_completed\":0,\"busy_frac\":0.1,\"starved_frac\":0.2,\
+             \"backpressure_frac\":0.0,\"host_backpressure_ms\":0.0,\
+             \"cmd_high_water\":1,\"completion_high_water\":1}}"
+        )
+    }
+
+    #[test]
+    fn accepts_a_minimal_valid_export() {
+        let text = format!("{META}\n{}\n{FINAL}\n", sample(1.0));
+        assert_eq!(check(&text), Ok(1));
+    }
+
+    #[test]
+    fn rejects_missing_meta_and_missing_final() {
+        assert!(check(&format!("{}\n{FINAL}\n", sample(1.0))).is_err());
+        assert!(check(&format!("{META}\n{}\n", sample(1.0))).is_err());
+        assert!(check("").is_err());
+    }
+
+    #[test]
+    fn rejects_time_regression_and_bad_fractions() {
+        let back = format!("{META}\n{}\n{}\n{FINAL}\n", sample(5.0), sample(1.0));
+        assert!(check(&back).is_err());
+        let bad = sample(1.0).replace("\"busy_frac\":0.1", "\"busy_frac\":1.5");
+        assert!(check(&format!("{META}\n{bad}\n{FINAL}\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_queue_high_water_regression() {
+        let q = |t: f64, high: u64| {
+            format!(
+                "{{\"kind\":\"queue\",\"seq\":0,\"t_ms\":{t},\"queue\":\"cmd0\",\
+                 \"len\":0,\"high_water\":{high},\"capacity\":8}}"
+            )
+        };
+        let ok = format!("{META}\n{}\n{}\n{FINAL}\n", q(1.0, 2), q(2.0, 3));
+        assert_eq!(check(&ok), Ok(0));
+        let regressed = format!("{META}\n{}\n{}\n{FINAL}\n", q(1.0, 3), q(2.0, 2));
+        assert!(check(&regressed).is_err());
+        let over = q(1.0, 9);
+        assert!(check(&format!("{META}\n{over}\n{FINAL}\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kinds_and_out_of_range_indices() {
+        let unknown = "{\"kind\":\"mystery\",\"t_ms\":1.0}";
+        assert!(check(&format!("{META}\n{unknown}\n{FINAL}\n")).is_err());
+        let worker = "{\"kind\":\"worker\",\"t_ms\":1.0,\"worker\":7,\"busy_frac\":0.1,\
+                      \"starved_frac\":0.1,\"backpressure_frac\":0.1,\"idle_frac\":0.7,\
+                      \"commands\":1,\"pages\":1}";
+        assert!(check(&format!("{META}\n{worker}\n{FINAL}\n")).is_err());
+    }
+}

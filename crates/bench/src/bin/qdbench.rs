@@ -15,16 +15,26 @@
 //! the JSON records `cpus` alongside every speedup and this bench never
 //! asserts on wall-clock ratios.
 //!
+//! Every run executes with the engine's wall-clock metrics enabled, so each
+//! table row and JSON point also attributes where worker time went — busy
+//! executing commands, **starved** on the command queue (pop side), or
+//! **backpressured** on the completion queue (push side) — plus queue
+//! high-water marks and front-end (host) backpressure. That attribution is
+//! what explains the sweep's shape: at depth 1 workers starve behind a
+//! serialized host; at deep queues the host saturates the lanes and the
+//! high-water marks hit the queue bound.
+//!
 //! Usage: `qdbench [quick|scaled|paper] [--events N]`
 
 use std::time::Instant;
 
-use flash_bench::{print_table, scale_from_args};
+use flash_bench::{json, print_table, scale_from_args};
 use flash_sim::experiments::CHANNEL_SPAN;
 use flash_sim::{
     Engine, EngineConfig, LayerKind, SimConfig, Simulator, StopCondition, StripedLayer,
     StripedReport, SwlCoordination,
 };
+use flash_telemetry::EngineMetricsReport;
 use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
 use nand::{CellKind, CellSpec, ChannelGeometry, Geometry};
 use swl_core::SwlConfig;
@@ -101,6 +111,7 @@ struct Point {
     queue_depth: u32,
     wall_s: f64,
     ops_per_s: f64,
+    metrics: EngineMetricsReport,
 }
 
 fn engine_run(
@@ -119,7 +130,8 @@ fn engine_run(
         &SimConfig::default(),
         EngineConfig::default()
             .with_threads(threads)
-            .with_queue_depth(queue_depth as usize),
+            .with_queue_depth(queue_depth as usize)
+            .with_metrics(true),
     )
     .expect("engine build failed");
     let pages = engine.logical_pages();
@@ -140,7 +152,12 @@ fn engine_run(
         queue_depth,
         wall_s,
         ops_per_s: events as f64 / wall_s,
+        metrics: run.metrics.expect("metrics were enabled"),
     }
+}
+
+fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
 }
 
 fn main() {
@@ -178,6 +195,7 @@ fn main() {
     let rows: Vec<Vec<String>> = points
         .iter()
         .map(|p| {
+            let snap = &p.metrics.snapshot;
             vec![
                 p.threads.to_string(),
                 p.effective_threads.to_string(),
@@ -185,15 +203,28 @@ fn main() {
                 format!("{:.3}", p.wall_s),
                 format!("{:.0}", p.ops_per_s),
                 format!("x{:.2}", baseline(p.queue_depth) / p.wall_s),
+                pct(snap.busy_frac()),
+                pct(snap.starved_frac()),
+                pct(snap.backpressure_frac()),
+                format!(
+                    "{}/{}",
+                    snap.command_high_water(),
+                    snap.command_queues.first().map_or(0, |q| q.capacity)
+                ),
+                format!("{:.0}", snap.host_backpressure_ns as f64 / 1e6),
             ]
         })
         .collect();
     print_table(
-        &["threads", "effective", "depth", "wall s", "ops/s", "vs 1 thread"],
+        &[
+            "threads", "effective", "depth", "wall s", "ops/s", "vs 1 thread", "busy",
+            "starv", "bp", "cmd hw", "host bp ms",
+        ],
         &rows,
     );
     println!(
-        "\nall {} configurations bit-identical to the virtual-time oracle",
+        "\nall {} configurations bit-identical to the virtual-time oracle \
+         (metrics enabled in every run)",
         points.len()
     );
     println!(
@@ -204,38 +235,70 @@ fn main() {
         reference.op_write_latency.quantile(0.999),
     );
 
-    let mut json = format!(
-        "{{\"bench\":\"engine_qd_sweep\",\"layer\":\"ftl\",\"channels\":{CHANNELS},\
-         \"blocks\":{},\"pages_per_block\":{},\"endurance\":{},\"events\":{events},\
-         \"cpus\":{cpus},\
-         \"caveat\":\"wall-clock speedups are bounded by cpus; on a 1-cpu host \
-         extra threads measure scheduling overhead, not parallelism\",\
-         \"oracle_s\":{:.3},\"bit_identical\":true,\
-         \"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"points\":[",
-        scale.blocks,
-        scale.pages_per_block,
-        scale.endurance,
-        oracle_s,
-        reference.op_write_latency.quantile(0.5),
-        reference.op_write_latency.quantile(0.99),
-        reference.op_write_latency.quantile(0.999),
-    );
-    for (i, p) in points.iter().enumerate() {
-        if i > 0 {
-            json.push(',');
-        }
-        json.push_str(&format!(
-            "{{\"threads\":{},\"effective_threads\":{},\"queue_depth\":{},\
-             \"wall_s\":{:.3},\"ops_per_s\":{:.0},\"speedup_vs_1t\":{:.3}}}",
-            p.threads,
-            p.effective_threads,
-            p.queue_depth,
-            p.wall_s,
-            p.ops_per_s,
-            baseline(p.queue_depth) / p.wall_s,
-        ));
-    }
-    json.push_str("]}\n");
-    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    let json = json::object(|o| {
+        o.str("bench", "engine_qd_sweep")
+            .str("layer", "ftl")
+            .u64("channels", u64::from(CHANNELS))
+            .u64("blocks", u64::from(scale.blocks))
+            .u64("pages_per_block", u64::from(scale.pages_per_block))
+            .u64("endurance", u64::from(scale.endurance))
+            .u64("events", events)
+            .u64("cpus", cpus as u64)
+            .str(
+                "caveat",
+                "wall-clock speedups are bounded by cpus; on a 1-cpu host \
+                 extra threads measure scheduling overhead, not parallelism",
+            )
+            .f64("oracle_s", oracle_s, 3)
+            .bool("bit_identical", true)
+            .u64("p50_ns", reference.op_write_latency.quantile(0.5))
+            .u64("p99_ns", reference.op_write_latency.quantile(0.99))
+            .u64("p999_ns", reference.op_write_latency.quantile(0.999))
+            .arr("points", |a| {
+                for p in &points {
+                    let snap = &p.metrics.snapshot;
+                    a.obj(|row| {
+                        row.u64("threads", u64::from(p.threads))
+                            .u64("effective_threads", u64::from(p.effective_threads))
+                            .u64("queue_depth", u64::from(p.queue_depth))
+                            .f64("wall_s", p.wall_s, 3)
+                            .f64("ops_per_s", p.ops_per_s, 0)
+                            .f64("speedup_vs_1t", baseline(p.queue_depth) / p.wall_s, 3)
+                            .f64("busy_frac", snap.busy_frac(), 4)
+                            .f64("starved_frac", snap.starved_frac(), 4)
+                            .f64("backpressure_frac", snap.backpressure_frac(), 4)
+                            .f64("host_backpressure_ms", snap.host_backpressure_ns as f64 / 1e6, 3)
+                            .u64("cmd_queue_high_water", snap.command_high_water() as u64)
+                            .u64(
+                                "completion_queue_high_water",
+                                snap.completion_queue.high_water as u64,
+                            )
+                            .u64("op_wall_p50_ns", p.metrics.op_write_wall.quantile(0.5))
+                            .u64("op_wall_p99_ns", p.metrics.op_write_wall.quantile(0.99))
+                            .arr("worker_busy_frac", |w| {
+                                for worker in &snap.workers {
+                                    w.f64(worker.busy_frac(), 4);
+                                }
+                            })
+                            .arr("worker_idle_frac", |w| {
+                                for worker in &snap.workers {
+                                    w.f64(worker.idle_frac(), 4);
+                                }
+                            })
+                            .arr("worker_starved_frac", |w| {
+                                for worker in &snap.workers {
+                                    w.f64(worker.starved_frac(), 4);
+                                }
+                            })
+                            .arr("worker_backpressure_frac", |w| {
+                                for worker in &snap.workers {
+                                    w.f64(worker.backpressure_frac(), 4);
+                                }
+                            });
+                    });
+                }
+            });
+    });
+    std::fs::write("BENCH_engine.json", json + "\n").expect("write BENCH_engine.json");
     println!("wrote BENCH_engine.json");
 }

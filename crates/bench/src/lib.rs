@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
 pub mod timing;
 
 use flash_sim::experiments::ExperimentScale;

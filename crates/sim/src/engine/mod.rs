@@ -35,6 +35,21 @@
 //! completions — published at quiescent lane points, no locks — exactly
 //! reproducing the sequential coordination schedule. Per-channel SWL and
 //! SWL-less runs keep full run-ahead at any queue depth.
+//!
+//! # Wall-clock observability
+//!
+//! With [`EngineConfig::with_metrics`] the engine additionally accounts for
+//! where *wall-clock* time goes, without touching any simulation state:
+//! per-worker busy/starved/backpressured time from monotonic timestamps,
+//! per-lane wall busy time, queue occupancy gauges with high-water marks,
+//! and wall-clock latency histograms (per-worker command execution, and
+//! front-end submit-to-finalize per host op). Counters live in a shared
+//! [`EngineRuntime`] atomics block, so an [`EngineSnapshot`] can be read
+//! mid-run through [`Engine::metrics_handle`] while workers keep running;
+//! the final [`EngineMetricsReport`] lands on [`EngineRun::metrics`]. The
+//! disabled path is monomorphized out of the worker loop (`METRICS = false`
+//! takes no timestamps at all), and enabling metrics cannot perturb the
+//! bit-exact virtual-time results — `tests/engine_oracle.rs` pins both.
 
 pub mod queue;
 
@@ -42,9 +57,11 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use flash_telemetry::buffer::{merge_lane_buffers, LaneBuffer};
-use flash_telemetry::{Event, Sink};
+use flash_telemetry::runtime::{EngineMetricsReport, EngineRuntime, EngineSnapshot, QueueSample};
+use flash_telemetry::{Event, LatencyHistogram, Sink};
 use flash_trace::{Op, TraceEvent};
 use nand::{CellSpec, ChannelGeometry, DeviceCounters, EraseStats, FailureRecord, NandDevice};
 use swl_core::{global_over_threshold, worst_shard, ShardSnapshot, ShardView, SwlConfig};
@@ -152,15 +169,160 @@ struct WorkerLane {
     snap_epoch: u64,
 }
 
-/// What a worker hands back on shutdown: its lanes, tagged by channel.
-type ReturnedLanes = Vec<(u32, Layer<EngineSink>)>;
+/// What a worker hands back on shutdown: its lanes, tagged by channel, plus
+/// its wall-clock command-latency histogram (empty when metrics were off).
+type ReturnedLanes = (Vec<(u32, Layer<EngineSink>)>, LatencyHistogram);
 
-fn worker_loop(
+/// Signature shared by both monomorphizations of [`worker_loop`], so
+/// [`Engine::new`] can pick the instrumented or the compiled-out body at
+/// runtime while each stays a static, fully inlined function.
+type WorkerBody = fn(
+    usize,
+    Vec<WorkerLane>,
+    Arc<ShardQueue<LaneCommand>>,
+    Arc<ShardQueue<LaneCompletion>>,
+    Arc<EngineRuntime>,
+) -> ReturnedLanes;
+
+/// Saturating nanoseconds since `t` (monotonic).
+fn since_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Saturating nanoseconds from `a` to `b` (monotonic instants).
+fn ns_between(a: Instant, b: Instant) -> u64 {
+    u64::try_from(b.saturating_duration_since(a).as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Commands a worker accumulates locally before flushing its counters to
+/// the shared atomics. Snapshots taken mid-run lag by at most one window;
+/// blocking boundaries (empty command queue, full completion queue) flush
+/// eagerly so a parked worker never holds back its numbers.
+const FLUSH_EVERY: u64 = 64;
+
+/// Thread-local metrics accumulator for one worker.
+///
+/// The instrumented fast path takes exactly one `Instant::now()` per
+/// command: `mark` chains from command to command, so a command's busy
+/// span absorbs the queue handling around it and *idle* is reduced to
+/// scheduler preemption plus shutdown drain. Counter deltas stay local and
+/// hit the [`EngineRuntime`] atomics only every [`FLUSH_EVERY`] commands or
+/// when the worker is about to block — that keeps the metrics-on overhead
+/// inside the `telbench` budget even on a single hardware thread, where
+/// every clock read is serial work.
+struct WorkerMeter {
+    spawned: Instant,
+    /// When the previous command finished (or the worker last unparked).
+    mark: Instant,
+    busy_ns: u64,
+    starved_ns: u64,
+    backpressure_ns: u64,
+    commands: u64,
+    pages: u64,
+    /// Per-owned-lane `(channel, busy_ns, commands, pages)` deltas.
+    lanes: Vec<(u32, u64, u64, u64)>,
+    since_flush: u64,
+}
+
+impl WorkerMeter {
+    fn new(lanes: &[WorkerLane]) -> Self {
+        let now = Instant::now();
+        Self {
+            spawned: now,
+            mark: now,
+            busy_ns: 0,
+            starved_ns: 0,
+            backpressure_ns: 0,
+            commands: 0,
+            pages: 0,
+            lanes: lanes.iter().map(|w| (w.channel, 0, 0, 0)).collect(),
+            since_flush: 0,
+        }
+    }
+
+    fn add_command(&mut self, lane: u32, ns: u64, pages: u64) {
+        self.busy_ns += ns;
+        self.commands += 1;
+        self.pages += pages;
+        let slot = self
+            .lanes
+            .iter_mut()
+            .find(|(channel, ..)| *channel == lane)
+            .expect("metered command on a lane this worker does not own");
+        slot.1 += ns;
+        slot.2 += 1;
+        slot.3 += pages;
+        self.since_flush += 1;
+    }
+
+    /// Publishes the accumulated deltas to the shared atomics and resets.
+    fn flush(&mut self, runtime: &EngineRuntime, worker: usize) {
+        if self.commands > 0 {
+            runtime
+                .worker(worker)
+                .add_busy(self.busy_ns, self.commands, self.pages);
+        }
+        if self.starved_ns > 0 {
+            runtime.worker(worker).add_starved(self.starved_ns);
+        }
+        if self.backpressure_ns > 0 {
+            runtime.worker(worker).add_backpressure(self.backpressure_ns);
+        }
+        for (channel, ns, commands, pages) in &mut self.lanes {
+            if *commands > 0 {
+                runtime
+                    .lane(*channel as usize)
+                    .add_commands(*ns, *commands, *pages);
+            }
+            *ns = 0;
+            *commands = 0;
+            *pages = 0;
+        }
+        self.busy_ns = 0;
+        self.starved_ns = 0;
+        self.backpressure_ns = 0;
+        self.commands = 0;
+        self.pages = 0;
+        self.since_flush = 0;
+    }
+}
+
+fn worker_loop<const METRICS: bool>(
+    worker: usize,
     mut lanes: Vec<WorkerLane>,
     commands: Arc<ShardQueue<LaneCommand>>,
     completions: Arc<ShardQueue<LaneCompletion>>,
+    runtime: Arc<EngineRuntime>,
 ) -> ReturnedLanes {
-    while let Some(command) = commands.pop() {
+    let mut meter = METRICS.then(|| WorkerMeter::new(&lanes));
+    let mut cmd_latency = LatencyHistogram::new();
+    loop {
+        // Both monomorphizations take the same try-then-block queue path,
+        // so metrics-on differs from metrics-off only by the timestamp and
+        // counter arithmetic — not by locking or wakeup patterns. The clock
+        // is read only when actually about to park.
+        let command = match commands.try_pop() {
+            Some(command) => command,
+            None => {
+                let wait = meter.as_mut().map(|meter| {
+                    let wait = Instant::now();
+                    meter.busy_ns += ns_between(meter.mark, wait);
+                    meter.flush(&runtime, worker);
+                    wait
+                });
+                let Some(command) = commands.pop() else {
+                    // Closed and drained: the wait for shutdown lands in
+                    // the derived idle remainder, not starvation.
+                    break;
+                };
+                if let (Some(meter), Some(wait)) = (meter.as_mut(), wait) {
+                    let woke = Instant::now();
+                    meter.starved_ns += ns_between(wait, woke);
+                    meter.mark = woke;
+                }
+                command
+            }
+        };
         let (op_seq, lane_id) = match &command {
             LaneCommand::Exec { op_seq, lane, .. } | LaneCommand::SwlStep { op_seq, lane } => {
                 (*op_seq, *lane)
@@ -217,14 +379,47 @@ fn worker_loop(
             failure: wl.layer.device().first_failure(),
             shard,
         };
-        // A closed completion queue means the front-end is tearing down and
-        // no longer consumes acknowledgements; dropping them is fine.
-        let _ = completions.push(completion);
+        if let Some(meter) = meter.as_mut() {
+            let pages = completion.page_latencies.len() as u64;
+            let done = Instant::now();
+            let exec_ns = ns_between(meter.mark, done);
+            meter.mark = done;
+            cmd_latency.record(exec_ns);
+            meter.add_command(lane_id, exec_ns, pages);
+        }
+        // The push mirrors the pop: shared try-then-block control flow, and
+        // the instrumented build reads the clock only around an actual
+        // block. A closed queue means the front-end is tearing down and no
+        // longer consumes acknowledgements; dropping the completion is fine
+        // in both branches.
+        if let Err((completion, _)) = completions.try_push(completion) {
+            if let Some(meter) = meter.as_mut() {
+                meter.flush(&runtime, worker);
+            }
+            let _ = completions.push(completion);
+            if let Some(meter) = meter.as_mut() {
+                let woke = Instant::now();
+                meter.backpressure_ns += ns_between(meter.mark, woke);
+                meter.mark = woke;
+            }
+        }
+        if let Some(meter) = meter.as_mut() {
+            if meter.since_flush >= FLUSH_EVERY {
+                meter.flush(&runtime, worker);
+            }
+        }
     }
-    lanes
-        .into_iter()
-        .map(|w| (w.channel, w.layer))
-        .collect()
+    if let Some(meter) = meter.as_mut() {
+        meter.flush(&runtime, worker);
+        runtime.worker(worker).set_wall(since_ns(meter.spawned));
+    }
+    (
+        lanes
+            .into_iter()
+            .map(|w| (w.channel, w.layer))
+            .collect(),
+        cmd_latency,
+    )
 }
 
 /// Front-end tuning for an [`Engine`].
@@ -236,6 +431,9 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Buffer per-lane telemetry for an ordered merge at the end.
     pub telemetry: bool,
+    /// Account wall-clock worker/queue runtime metrics (see the module
+    /// docs' *Wall-clock observability* section).
+    pub metrics: bool,
 }
 
 impl Default for EngineConfig {
@@ -244,6 +442,7 @@ impl Default for EngineConfig {
             threads: 1,
             queue_depth: 1,
             telemetry: false,
+            metrics: false,
         }
     }
 }
@@ -266,12 +465,21 @@ impl EngineConfig {
         self.telemetry = enabled;
         self
     }
+
+    /// Enables wall-clock runtime metrics (worker utilization, stall
+    /// attribution, queue gauges, wall latency histograms).
+    pub fn with_metrics(mut self, enabled: bool) -> Self {
+        self.metrics = enabled;
+        self
+    }
 }
 
 /// One host op awaiting its lane completions.
 struct PendingOp {
     op: Op,
     at_ns: u64,
+    /// Wall-clock submission stamp (set only when metrics are on).
+    submitted: Option<Instant>,
     expected: u32,
     received: u32,
     /// Busy delta accumulated per channel (dense, channel-indexed).
@@ -282,6 +490,46 @@ struct PendingOp {
     failures: Vec<(u32, Option<FailureRecord>)>,
     /// Lowest-ordinal error across lanes.
     error: Option<(u32, SimError)>,
+}
+
+/// Gauge read of one bounded queue.
+fn queue_sample<T>(q: &ShardQueue<T>) -> QueueSample {
+    QueueSample {
+        len: q.len(),
+        high_water: q.high_water(),
+        capacity: q.capacity(),
+    }
+}
+
+/// Assembles an [`EngineSnapshot`] from the shared runtime block plus live
+/// queue gauges (shared by [`Engine::snapshot`] and the observer handle).
+fn snapshot_of(
+    runtime: &EngineRuntime,
+    command_queues: &[Arc<ShardQueue<LaneCommand>>],
+    completions: &ShardQueue<LaneCompletion>,
+) -> EngineSnapshot {
+    runtime.snapshot(
+        command_queues.iter().map(|q| queue_sample(q)).collect(),
+        queue_sample(completions),
+    )
+}
+
+/// A cloneable observer over a running [`Engine`]'s metrics: samples
+/// [`EngineSnapshot`]s from any thread while the engine runs elsewhere.
+/// Obtained from [`Engine::metrics_handle`]; outliving the engine is safe
+/// (the counters just stop moving).
+#[derive(Clone)]
+pub struct EngineMetricsHandle {
+    runtime: Arc<EngineRuntime>,
+    command_queues: Vec<Arc<ShardQueue<LaneCommand>>>,
+    completions: Arc<ShardQueue<LaneCompletion>>,
+}
+
+impl EngineMetricsHandle {
+    /// Reads the counters and queue gauges right now.
+    pub fn snapshot(&self) -> EngineSnapshot {
+        snapshot_of(&self.runtime, &self.command_queues, &self.completions)
+    }
 }
 
 /// The multi-threaded channel execution engine (see module docs).
@@ -299,12 +547,14 @@ pub struct Engine {
     queue_depth: usize,
     threads: u32,
     telemetry: bool,
+    metrics: bool,
     /// Global coordination with >1 channel and SWL attached runs page
     /// lockstep (see module docs).
     lockstep: bool,
     command_queues: Vec<Arc<ShardQueue<LaneCommand>>>,
     completions: Arc<ShardQueue<LaneCompletion>>,
     workers: Vec<JoinHandle<ReturnedLanes>>,
+    runtime: Arc<EngineRuntime>,
     // Front-end (submission-order) state.
     next_token: u64,
     next_seq: u64,
@@ -320,6 +570,9 @@ pub struct Engine {
     lane_read_latency: Vec<LatencyStats>,
     op_write_latency: LatencyStats,
     op_read_latency: LatencyStats,
+    /// Wall-clock submit-to-finalize histograms (metrics mode only).
+    op_write_wall: LatencyHistogram,
+    op_read_wall: LatencyHistogram,
     error: Option<SimError>,
 }
 
@@ -340,6 +593,9 @@ pub struct EngineRun {
     pub threads: u32,
     /// Configured host queue depth.
     pub queue_depth: usize,
+    /// The wall-clock runtime metrics report (`None` unless the engine was
+    /// built with [`EngineConfig::with_metrics`]).
+    pub metrics: Option<EngineMetricsReport>,
     telemetry: bool,
     geometry: ChannelGeometry,
     lanes: Vec<Layer<EngineSink>>,
@@ -438,6 +694,14 @@ impl Engine {
         let completions: Arc<ShardQueue<LaneCompletion>> = Arc::new(ShardQueue::new(
             (queue_depth + 2) * channels as usize + 8,
         ));
+        let runtime = Arc::new(EngineRuntime::new(threads as usize, channels as usize));
+        // Pick the monomorphization once: the disabled body contains no
+        // timestamp reads or counter updates at all.
+        let body: WorkerBody = if engine.metrics {
+            worker_loop::<true>
+        } else {
+            worker_loop::<false>
+        };
         let mut command_queues = Vec::with_capacity(threads as usize);
         let mut workers = Vec::with_capacity(threads as usize);
         for (w, lanes) in groups.into_iter().enumerate() {
@@ -446,9 +710,10 @@ impl Engine {
             let handle = {
                 let commands = Arc::clone(&commands);
                 let completions = Arc::clone(&completions);
+                let runtime = Arc::clone(&runtime);
                 std::thread::Builder::new()
                     .name(format!("lane-worker-{w}"))
-                    .spawn(move || worker_loop(lanes, commands, completions))
+                    .spawn(move || body(w, lanes, commands, completions, runtime))
                     .expect("failed to spawn lane worker")
             };
             command_queues.push(commands);
@@ -464,10 +729,12 @@ impl Engine {
             queue_depth,
             threads,
             telemetry: engine.telemetry,
+            metrics: engine.metrics,
             lockstep,
             command_queues,
             completions,
             workers,
+            runtime,
             next_token: 0,
             next_seq: 0,
             finalize_next: 0,
@@ -482,6 +749,8 @@ impl Engine {
             lane_read_latency: vec![LatencyStats::new(); channels as usize],
             op_write_latency: LatencyStats::new(),
             op_read_latency: LatencyStats::new(),
+            op_write_wall: LatencyHistogram::new(),
+            op_read_wall: LatencyHistogram::new(),
             error: None,
         })
     }
@@ -505,6 +774,29 @@ impl Engine {
     /// Effective worker-thread count.
     pub fn threads(&self) -> u32 {
         self.threads
+    }
+
+    /// Whether wall-clock runtime metrics are being accounted.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics
+    }
+
+    /// Reads the runtime counters and queue gauges right now, without
+    /// stopping the workers. All-zero (except queue capacities) unless the
+    /// engine was built with [`EngineConfig::with_metrics`].
+    pub fn snapshot(&self) -> EngineSnapshot {
+        snapshot_of(&self.runtime, &self.command_queues, &self.completions)
+    }
+
+    /// A cloneable observer handle for sampling [`EngineSnapshot`]s from
+    /// another thread while [`Engine::run`] holds the engine mutably — the
+    /// live-view path `engtop` uses.
+    pub fn metrics_handle(&self) -> EngineMetricsHandle {
+        EngineMetricsHandle {
+            runtime: Arc::clone(&self.runtime),
+            command_queues: self.command_queues.clone(),
+            completions: Arc::clone(&self.completions),
+        }
     }
 
     fn queue_for(&self, lane: u32) -> &ShardQueue<LaneCommand> {
@@ -534,6 +826,9 @@ impl Engine {
         }
         self.events += 1;
         self.host_span_ns = self.host_span_ns.max(event.at_ns);
+        if self.metrics {
+            self.runtime.op_submitted();
+        }
         if self.lockstep {
             self.submit_lockstep(event)
         } else {
@@ -542,6 +837,7 @@ impl Engine {
     }
 
     fn submit_pipelined(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        let submitted = self.metrics.then(Instant::now);
         let channels = self.geometry.channels() as usize;
         // Route pages to lanes, assigning write tokens in global trace
         // order (exactly as the virtual-time loop does).
@@ -564,13 +860,27 @@ impl Engine {
         let expected = batches.iter().filter(|b| !b.is_empty()).count() as u32;
 
         // Backpressure: hold the op until the in-flight window has room.
-        while self.pending.len() >= self.queue_depth {
-            let completion = self
-                .completions
-                .pop()
-                .expect("completion queue closed with ops in flight");
-            self.absorb(completion);
-            self.finalize_ready()?;
+        // The wait is attributed to the host as submit-side blocked time —
+        // the front-end mirror of worker pop-side starvation. The charge
+        // reuses the `submitted` stamp (so it also covers the page-routing
+        // prologue, which is noise next to a real block) to keep the
+        // metered path at one extra clock read per blocked op.
+        if self.pending.len() >= self.queue_depth {
+            let waited = loop {
+                let completion = self
+                    .completions
+                    .pop()
+                    .expect("completion queue closed with ops in flight");
+                self.absorb(completion);
+                let finalized = self.finalize_ready();
+                if finalized.is_err() || self.pending.len() < self.queue_depth {
+                    break finalized;
+                }
+            };
+            if let Some(submitted) = submitted {
+                self.runtime.add_host_backpressure(since_ns(submitted));
+            }
+            waited?;
         }
 
         let op_seq = self.next_seq;
@@ -578,6 +888,7 @@ impl Engine {
         self.pending.push_back(PendingOp {
             op: event.op,
             at_ns: event.at_ns,
+            submitted,
             expected,
             received: 0,
             lane_busy: vec![0; channels],
@@ -622,6 +933,10 @@ impl Engine {
     }
 
     fn finalize_ready(&mut self) -> Result<(), SimError> {
+        // One clock read shared by every op this call retires: completions
+        // arrive in bursts, and per-op precision below the burst width
+        // isn't worth a syscall-rate of timestamps.
+        let mut now: Option<Instant> = None;
         while self
             .pending
             .front()
@@ -638,6 +953,15 @@ impl Engine {
             if let Some((_, e)) = op.error {
                 self.error = Some(e);
                 return Err(e);
+            }
+            if let Some(submitted) = op.submitted {
+                let now = *now.get_or_insert_with(Instant::now);
+                let wall = ns_between(submitted, now);
+                match op.op {
+                    Op::Write => self.op_write_wall.record(wall),
+                    Op::Read => self.op_read_wall.record(wall),
+                }
+                self.runtime.op_completed();
             }
             for (lane, latencies) in &op.page_latencies {
                 let stats = match op.op {
@@ -704,6 +1028,7 @@ impl Engine {
     /// then replay the `coordinate_swl` loop against the cached shard
     /// snapshots (which are exact, since every lane is quiescent here).
     fn submit_lockstep(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        let submitted = self.metrics.then(Instant::now);
         let channels = self.geometry.channels() as usize;
         let op_seq = self.next_seq;
         self.next_seq += 1;
@@ -754,6 +1079,14 @@ impl Engine {
         match event.op {
             Op::Write => self.op_write_latency.record(op_latency),
             Op::Read => self.op_read_latency.record(op_latency),
+        }
+        if let Some(submitted) = submitted {
+            let wall = since_ns(submitted);
+            match event.op {
+                Op::Write => self.op_write_wall.record(wall),
+                Op::Read => self.op_read_wall.record(wall),
+            }
+            self.runtime.op_completed();
         }
         self.note_first_failure(event.at_ns);
         Ok(())
@@ -861,18 +1194,25 @@ impl Engine {
     }
 
     /// Closes the queues and joins the workers, returning the lanes in
-    /// channel order.
-    fn shutdown(&mut self) -> Vec<Layer<EngineSink>> {
+    /// channel order plus the per-worker wall-clock command histograms in
+    /// worker order (empty histograms when metrics were off).
+    fn shutdown(&mut self) -> (Vec<Layer<EngineSink>>, Vec<LatencyHistogram>) {
         for q in &self.command_queues {
             q.close();
         }
-        let mut lanes: ReturnedLanes = Vec::new();
+        let mut lanes: Vec<(u32, Layer<EngineSink>)> = Vec::new();
+        let mut worker_hists = Vec::with_capacity(self.workers.len());
         for handle in std::mem::take(&mut self.workers) {
-            lanes.extend(handle.join().expect("lane worker panicked"));
+            let (worker_lanes, hist) = handle.join().expect("lane worker panicked");
+            lanes.extend(worker_lanes);
+            worker_hists.push(hist);
         }
         self.completions.close();
         lanes.sort_by_key(|(channel, _)| *channel);
-        lanes.into_iter().map(|(_, layer)| layer).collect()
+        (
+            lanes.into_iter().map(|(_, layer)| layer).collect(),
+            worker_hists,
+        )
     }
 
     /// Flushes, joins the workers, and assembles the run report.
@@ -883,8 +1223,17 @@ impl Engine {
     /// either way.
     pub fn finish(mut self) -> Result<EngineRun, SimError> {
         let flushed = self.flush();
-        let lanes = self.shutdown();
+        let (lanes, worker_hists) = self.shutdown();
         flushed?;
+        // Snapshot after the join so every worker's wall time is final.
+        let metrics = self.metrics.then(|| {
+            EngineMetricsReport::new(
+                self.snapshot(),
+                worker_hists,
+                std::mem::take(&mut self.op_write_wall),
+                std::mem::take(&mut self.op_read_wall),
+            )
+        });
 
         let erase_stats =
             EraseStats::from_counts(lanes.iter().flat_map(|l| l.device().erase_counts()));
@@ -930,6 +1279,7 @@ impl Engine {
             lane_read_latency: std::mem::take(&mut self.lane_read_latency),
             threads: self.threads,
             queue_depth: self.queue_depth,
+            metrics,
             telemetry: self.telemetry,
             geometry: self.geometry,
             lanes,
@@ -942,6 +1292,7 @@ impl Engine {
     /// ready for `disarm_power_cut` / `power_cycle` / re-mount.
     pub fn into_devices(mut self) -> Vec<NandDevice<EngineSink>> {
         self.shutdown()
+            .0
             .into_iter()
             .map(Layer::into_device)
             .collect()
@@ -1099,6 +1450,103 @@ mod tests {
         assert!(matches!(one.first(), Some(Event::Meta { .. })));
         assert!(one.len() > 1);
         assert_eq!(one, two, "merged stream must not depend on thread count");
+    }
+
+    #[test]
+    fn metrics_account_for_work_and_stay_in_bounds() {
+        let run = engine_run(
+            LayerKind::Ftl,
+            2,
+            Some(SwlConfig::new(64, 0).with_seed(11)),
+            SwlCoordination::PerChannel,
+            2_000,
+            7,
+            EngineConfig::default()
+                .with_threads(2)
+                .with_queue_depth(8)
+                .with_metrics(true),
+        );
+        let metrics = run.metrics.as_ref().expect("metrics were enabled");
+        let snapshot = &metrics.snapshot;
+        assert_eq!(snapshot.ops_submitted, 2_000);
+        assert_eq!(snapshot.ops_completed, 2_000);
+        assert_eq!(snapshot.workers.len(), 2);
+        assert_eq!(snapshot.lanes.len(), 2);
+        let commands: u64 = snapshot.workers.iter().map(|w| w.commands).sum();
+        assert!(commands > 0, "workers must have executed commands");
+        assert_eq!(
+            metrics.cmd_latency.count(),
+            commands,
+            "merged command histogram must cover every command"
+        );
+        assert_eq!(
+            snapshot.lanes.iter().map(|l| l.commands).sum::<u64>(),
+            commands,
+            "lane tallies must partition worker tallies"
+        );
+        for worker in &snapshot.workers {
+            assert!(worker.busy_ns > 0, "a worker that ran must have busy time");
+            assert!(worker.wall_ns >= worker.busy_ns);
+            let fractions = worker.busy_frac()
+                + worker.starved_frac()
+                + worker.backpressure_frac()
+                + worker.idle_frac();
+            assert!((fractions - 1.0).abs() < 1e-9);
+        }
+        for queue in snapshot
+            .command_queues
+            .iter()
+            .chain(std::iter::once(&snapshot.completion_queue))
+        {
+            assert!(queue.high_water <= queue.capacity);
+        }
+        assert_eq!(
+            metrics.op_write_wall.count() + metrics.op_read_wall.count(),
+            2_000,
+            "every host op must have a wall completion latency"
+        );
+    }
+
+    #[test]
+    fn metrics_handle_reads_mid_run_and_disabled_run_reports_none() {
+        let geometry = ChannelGeometry::new(2, 1, chip());
+        let mut engine = Engine::new(
+            LayerKind::Ftl,
+            geometry,
+            spec(),
+            None,
+            SwlCoordination::PerChannel,
+            &SimConfig::default(),
+            EngineConfig::default()
+                .with_threads(2)
+                .with_queue_depth(4)
+                .with_metrics(true),
+        )
+        .unwrap();
+        let handle = engine.metrics_handle();
+        for i in 0..100u64 {
+            engine.submit(TraceEvent::write(i * 1_000, i % 64)).unwrap();
+        }
+        let mid = handle.snapshot();
+        assert_eq!(mid.ops_submitted, 100);
+        assert!(mid.ops_completed <= 100);
+        engine.flush().unwrap();
+        let after_flush = handle.snapshot();
+        assert_eq!(after_flush.ops_completed, 100);
+        drop(engine.finish().unwrap());
+        // The handle outlives the engine; counters just stop moving.
+        assert_eq!(handle.snapshot().ops_completed, 100);
+
+        let run = engine_run(
+            LayerKind::Ftl,
+            1,
+            None,
+            SwlCoordination::PerChannel,
+            200,
+            3,
+            EngineConfig::default(),
+        );
+        assert!(run.metrics.is_none(), "metrics off must report None");
     }
 
     #[test]

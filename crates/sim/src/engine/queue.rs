@@ -15,6 +15,7 @@
 //! accepted before the close are never lost.
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 
 /// Why a non-blocking push was refused.
@@ -40,6 +41,12 @@ pub struct ShardQueue<T> {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+    /// Highest occupancy ever reached, mirrored outside the mutex so
+    /// observers (engine snapshots, `engtop`) can read it without
+    /// contending with producers and consumers. Updated with `fetch_max`
+    /// while the lock is held, so it is monotone and never exceeds
+    /// `capacity`.
+    high_water: AtomicUsize,
 }
 
 impl<T> ShardQueue<T> {
@@ -60,6 +67,7 @@ impl<T> ShardQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             capacity,
+            high_water: AtomicUsize::new(0),
         }
     }
 
@@ -71,6 +79,13 @@ impl<T> ShardQueue<T> {
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.state.lock().expect("queue lock poisoned").items.len()
+    }
+
+    /// Highest occupancy the queue ever reached. Monotone over the queue's
+    /// lifetime and never exceeds [`ShardQueue::capacity`]; readable
+    /// lock-free at any time.
+    pub fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
     }
 
     /// Whether nothing is queued right now.
@@ -97,6 +112,8 @@ impl<T> ShardQueue<T> {
             }
             if state.items.len() < self.capacity {
                 state.items.push_back(item);
+                self.high_water
+                    .fetch_max(state.items.len(), Ordering::Relaxed);
                 self.not_empty.notify_one();
                 return Ok(());
             }
@@ -108,18 +125,20 @@ impl<T> ShardQueue<T> {
     ///
     /// # Errors
     ///
-    /// [`TryPushError::Full`] at capacity, [`TryPushError::Closed`] after
-    /// [`ShardQueue::close`]; the item is dropped by the caller's binding in
-    /// both cases (callers that need it back can clone before trying).
-    pub fn try_push(&self, item: T) -> Result<(), TryPushError> {
+    /// `(item, TryPushError::Full)` at capacity, `(item,
+    /// TryPushError::Closed)` after [`ShardQueue::close`]; the item comes
+    /// back so the caller can retry with the blocking [`ShardQueue::push`].
+    pub fn try_push(&self, item: T) -> Result<(), (T, TryPushError)> {
         let mut state = self.state.lock().expect("queue lock poisoned");
         if state.closed {
-            return Err(TryPushError::Closed);
+            return Err((item, TryPushError::Closed));
         }
         if state.items.len() >= self.capacity {
-            return Err(TryPushError::Full);
+            return Err((item, TryPushError::Full));
         }
         state.items.push_back(item);
+        self.high_water
+            .fetch_max(state.items.len(), Ordering::Relaxed);
         self.not_empty.notify_one();
         Ok(())
     }
@@ -184,7 +203,7 @@ mod tests {
         let q = ShardQueue::new(2);
         assert_eq!(q.try_push(1), Ok(()));
         assert_eq!(q.try_push(2), Ok(()));
-        assert_eq!(q.try_push(3), Err(TryPushError::Full));
+        assert_eq!(q.try_push(3), Err((3, TryPushError::Full)));
         assert_eq!(q.try_pop(), Some(1));
         assert_eq!(q.try_push(3), Ok(()));
         assert_eq!(q.len(), 2);
@@ -197,10 +216,25 @@ mod tests {
         q.push("b").unwrap();
         q.close();
         assert_eq!(q.push("c"), Err("c"));
-        assert_eq!(q.try_push("c"), Err(TryPushError::Closed));
+        assert_eq!(q.try_push("c"), Err(("c", TryPushError::Closed)));
         assert_eq!(q.pop(), Some("a"));
         assert_eq!(q.pop(), Some("b"));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn high_water_tracks_peak_occupancy() {
+        let q = ShardQueue::new(4);
+        assert_eq!(q.high_water(), 0);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.high_water(), 2);
+        q.try_pop();
+        q.try_pop();
+        // Draining never lowers the mark.
+        assert_eq!(q.high_water(), 2);
+        q.push(3).unwrap();
+        assert_eq!(q.high_water(), 2, "re-reaching a lower peak keeps the mark");
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod sched;
 mod simulator;
 mod striped;
 
-pub use engine::{Engine, EngineConfig, EngineRun, EngineSink};
+pub use engine::{Engine, EngineConfig, EngineMetricsHandle, EngineRun, EngineSink};
 pub use error::SimError;
 pub use latency::LatencyStats;
 pub use layer::{Layer, LayerCounters, LayerKind, SimConfig, TranslationLayer};

@@ -83,12 +83,12 @@ proptest! {
             prop_assert!(queue.try_push(i).is_ok());
         }
         prop_assert_eq!(queue.len(), capacity);
-        prop_assert_eq!(queue.try_push(999), Err(TryPushError::Full));
+        prop_assert_eq!(queue.try_push(999), Err((999, TryPushError::Full)));
         prop_assert_eq!(queue.len(), capacity, "rejected push mutated the queue");
 
         prop_assert_eq!(queue.try_pop(), Some(0));
         prop_assert!(queue.try_push(999).is_ok(), "pop must free a slot");
-        prop_assert_eq!(queue.try_push(1000), Err(TryPushError::Full));
+        prop_assert_eq!(queue.try_push(1000), Err((1000, TryPushError::Full)));
     }
 
     /// Drain-barrier completeness: concurrent producers fill the queue while
@@ -139,6 +139,63 @@ proptest! {
         prop_assert_eq!(unique.len() as u64, expected, "duplicate delivery");
     }
 
+    /// Occupancy gauges under real concurrency: while producers and a
+    /// consumer hammer the queue, an independent observer samples `len()`
+    /// and `high_water()` the way an `engtop` snapshot does. Every sampled
+    /// occupancy must stay within capacity, the high-water mark must be
+    /// monotone across samples and itself bounded by capacity, and the
+    /// final mark must dominate every occupancy the observer ever saw.
+    #[test]
+    fn occupancy_and_high_water_stay_bounded_under_concurrency(
+        producers in 1usize..4,
+        per_producer in 1u64..50,
+        capacity in 1usize..7,
+    ) {
+        let queue = Arc::new(ShardQueue::<Tagged>::new(capacity));
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let q = Arc::clone(&queue);
+                thread::spawn(move || {
+                    for seq in 0..per_producer {
+                        q.push((p, seq)).expect("queue closed under producer");
+                    }
+                })
+            })
+            .collect();
+        let consumer = {
+            let q = Arc::clone(&queue);
+            thread::spawn(move || while q.pop().is_some() {})
+        };
+
+        let mut max_seen_len = 0usize;
+        let mut last_mark = 0usize;
+        while !handles.iter().all(|h| h.is_finished()) {
+            let len = queue.len();
+            let mark = queue.high_water();
+            prop_assert!(len <= capacity, "occupancy {len} over capacity {capacity}");
+            prop_assert!(mark <= capacity, "high water {mark} over capacity {capacity}");
+            prop_assert!(mark >= last_mark, "high water went backwards: {last_mark} -> {mark}");
+            max_seen_len = max_seen_len.max(len);
+            last_mark = mark;
+            // Keep the observer from starving the workers on small hosts.
+            thread::yield_now();
+        }
+        for handle in handles {
+            handle.join().expect("producer panicked");
+        }
+        queue.close();
+        consumer.join().expect("consumer panicked");
+
+        let final_mark = queue.high_water();
+        prop_assert!(final_mark >= last_mark);
+        prop_assert!(
+            final_mark >= max_seen_len,
+            "final high water {final_mark} below an observed occupancy {max_seen_len}"
+        );
+        prop_assert!(final_mark <= capacity);
+        prop_assert!(final_mark >= 1, "items flowed, so the mark must have moved");
+    }
+
     /// A closed queue turns producers away with their item handed back —
     /// nothing is silently swallowed after the barrier.
     #[test]
@@ -146,7 +203,7 @@ proptest! {
         let queue = ShardQueue::<u64>::new(4);
         queue.close();
         prop_assert_eq!(queue.push(item), Err(item));
-        prop_assert_eq!(queue.try_push(item), Err(TryPushError::Closed));
+        prop_assert_eq!(queue.try_push(item), Err((item, TryPushError::Closed)));
         prop_assert_eq!(queue.pop(), None);
     }
 }

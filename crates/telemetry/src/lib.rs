@@ -42,6 +42,7 @@ pub mod flight;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
+pub mod runtime;
 pub mod shared;
 pub mod span;
 
@@ -52,6 +53,9 @@ pub use flight::FlightRecorder;
 pub use hist::LatencyHistogram;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
+pub use runtime::{
+    EngineMetricsReport, EngineRuntime, EngineSnapshot, LaneSample, QueueSample, WorkerSample,
+};
 pub use shared::SharedSink;
 pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};
 

@@ -36,6 +36,35 @@ proptest! {
         );
     }
 
+    /// N-way partition merge — the engine's per-worker accounting shape.
+    /// Scatter one sample stream over `workers` histograms by an arbitrary
+    /// assignment (each worker records only the commands it executed), then
+    /// merge the per-worker histograms in worker order: the result must be
+    /// indistinguishable from recording the whole stream into a single
+    /// histogram. This is what lets `EngineMetricsReport` fold worker-local
+    /// command histograms into one engine-wide view without a shared lock
+    /// on the hot path.
+    #[test]
+    fn per_worker_partition_merges_to_single_stream(
+        samples in prop::collection::vec(0u64..1_000_000_000, 0..300),
+        assignment in prop::collection::vec(0usize..8, 0..300),
+        workers in 1usize..8,
+    ) {
+        let mut shards = vec![LatencyHistogram::new(); workers];
+        for (i, &s) in samples.iter().enumerate() {
+            let w = assignment.get(i).copied().unwrap_or(0) % workers;
+            shards[w].record(s);
+        }
+        let mut merged = LatencyHistogram::new();
+        for shard in &shards {
+            merged.merge(shard);
+        }
+        let single = record_all(&samples);
+        prop_assert_eq!(&merged, &single);
+        prop_assert_eq!(merged.count(), samples.len() as u64);
+        prop_assert_eq!(merged.total_ns(), samples.iter().sum::<u64>());
+    }
+
     /// Quantiles never decrease as q grows.
     #[test]
     fn quantiles_are_monotone(

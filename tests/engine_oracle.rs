@@ -218,6 +218,100 @@ fn nftl_four_channels_global() {
     engine_matches_oracle(LayerKind::Nftl, 4, SwlCoordination::Global);
 }
 
+/// The wall-clock metrics layer observes, never perturbs: with the same
+/// workload, the metered engine must be bit-identical to the compiled-out
+/// engine and to the virtual-time oracle, and the metrics report itself
+/// must account for every host op and every lane command exactly once.
+#[test]
+fn metrics_on_is_bit_identical_to_metrics_off_and_oracle() {
+    let stop = StopCondition::events(EVENTS);
+    let seed = 0x0B5E;
+    let (reference_report, _) = reference(
+        LayerKind::Ftl,
+        4,
+        SwlCoordination::PerChannel,
+        1_000_000,
+        stop,
+        seed,
+    );
+    for threads in [1u32, 4] {
+        let config = EngineConfig::default()
+            .with_threads(threads)
+            .with_queue_depth(16);
+        let off = engine(
+            LayerKind::Ftl,
+            4,
+            SwlCoordination::PerChannel,
+            1_000_000,
+            stop,
+            seed,
+            config,
+        );
+        let on = engine(
+            LayerKind::Ftl,
+            4,
+            SwlCoordination::PerChannel,
+            1_000_000,
+            stop,
+            seed,
+            config.with_metrics(true),
+        );
+        assert_eq!(
+            off.report, reference_report,
+            "metrics-off diverged from the oracle (threads={threads})"
+        );
+        assert_eq!(
+            on.report, off.report,
+            "enabling metrics changed the simulation (threads={threads})"
+        );
+        assert!(off.metrics.is_none(), "metrics off must not report");
+        let metrics = on.metrics.expect("metrics on must report");
+        assert_eq!(metrics.snapshot.ops_submitted, EVENTS);
+        assert_eq!(metrics.snapshot.ops_completed, EVENTS);
+        let commands: u64 = metrics.snapshot.workers.iter().map(|w| w.commands).sum();
+        assert_eq!(
+            metrics.cmd_latency.count(),
+            commands,
+            "merged per-worker histograms must cover every command (threads={threads})"
+        );
+        assert_eq!(
+            metrics.snapshot.lanes.iter().map(|l| l.commands).sum::<u64>(),
+            commands,
+            "lane tallies must partition worker tallies (threads={threads})"
+        );
+    }
+}
+
+/// The metered engine is reproducible: two metrics-on runs agree bit for
+/// bit (the wall-clock numbers differ, the simulation does not).
+#[test]
+fn metered_runs_are_reproducible() {
+    let stop = StopCondition::events(EVENTS);
+    let config = EngineConfig::default()
+        .with_threads(4)
+        .with_queue_depth(32)
+        .with_metrics(true);
+    let first = engine(
+        LayerKind::Ftl,
+        4,
+        SwlCoordination::PerChannel,
+        1_000_000,
+        stop,
+        0x0B5F,
+        config,
+    );
+    let second = engine(
+        LayerKind::Ftl,
+        4,
+        SwlCoordination::PerChannel,
+        1_000_000,
+        stop,
+        0x0B5F,
+        config,
+    );
+    assert_eq!(first.report, second.report);
+}
+
 /// Wear-out must surface at exactly the same event with the same array-wide
 /// block attribution, and the first-failure stop must halt both runs at the
 /// same point.
