@@ -22,18 +22,28 @@
 //! that already acked their sub-writes must keep them across the remount,
 //! on every channel.
 //!
+//! A fourth sweep interposes the **service write cache**: host requests go
+//! through a cache-enabled `Service` whose flush is the only durability
+//! ack. Writes acked only as *accepted* live in RAM until flush-back, so
+//! the sweep checks both sides of the service's durability contract —
+//! every flush-acked write survives every cut point, and un-acked cached
+//! writes really do vanish at some cut points (counted and required, so
+//! the lossy side of the contract is asserted, not assumed).
+//!
 //! Usage: `crashmc [rounds]` (default 16; higher = more cut points)
 
 use std::collections::HashMap;
 use std::process::ExitCode;
 
 use flash_bench::print_table;
+use flash_sim::service::cache::CacheConfig;
 use flash_sim::{
-    Engine, EngineConfig, Layer, LayerKind, SimConfig, SimError, StripedLayer, SwlCoordination,
-    TranslationLayer,
+    Engine, EngineConfig, Layer, LayerKind, Service, ServiceConfig, SimConfig, SimError,
+    StripedLayer, SwlCoordination, TranslationLayer,
 };
 use flash_trace::TraceEvent;
 use ftl::FtlError;
+use hotid::HotDataConfig;
 use nand::{CellKind, ChannelGeometry, FaultPlan, Geometry, NandDevice, NandError};
 use nftl::NftlError;
 use swl_core::persist::{DualBuffer, PersistError};
@@ -60,6 +70,9 @@ const ENGINE_THREADS: u32 = 2;
 /// ack boundary: everything flushed is acked, everything after is in
 /// flight.
 const FLUSH_EVERY: u64 = 4;
+/// RAM write-cache capacity (pages) of the service sweep — small enough
+/// that capacity evictions and watermark batches fire between flushes.
+const CACHE_PAGES: usize = 8;
 
 fn device() -> NandDevice {
     NandDevice::new(
@@ -520,6 +533,192 @@ fn check_engine_cut_point(
     }
 }
 
+fn service_build(kind: LayerKind, with_swl: bool, cfg: &SimConfig) -> Service {
+    // An eager admission threshold so the small cache absorbs the
+    // workload's hot spans within a couple of rewrites.
+    let hot = HotDataConfig {
+        hot_threshold: 2,
+        ..HotDataConfig::default()
+    };
+    Service::build(
+        kind,
+        striped_geometry(),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        with_swl.then(swl_config),
+        SwlCoordination::PerChannel,
+        cfg,
+        ServiceConfig::default()
+            .with_engine(
+                EngineConfig::default()
+                    .with_threads(ENGINE_THREADS)
+                    .with_queue_depth(ENGINE_QD),
+            )
+            .with_cache(CacheConfig::sized(CACHE_PAGES).with_hot(hot)),
+    )
+    .expect("service build")
+}
+
+/// Host model of the served-with-cache run. The client supplies page
+/// values, so no token mirroring is needed: `acked` holds writes covered
+/// by a successful `flush` (these MUST survive), `pending` the writes
+/// acked only as *accepted* since then — the RAM cache makes losing those
+/// the common case, which the sweep counts to prove the lossy side of the
+/// contract is exercised.
+#[derive(Default)]
+struct ServiceModel {
+    acked: HashMap<u64, u64>,
+    pending: Vec<(u64, u64)>,
+}
+
+impl ServiceModel {
+    fn ack_pending(&mut self) {
+        for (lba, value) in self.pending.drain(..) {
+            self.acked.insert(lba, value);
+        }
+    }
+}
+
+/// Replays span-sized host writes through the cache-enabled service,
+/// flushing every [`FLUSH_EVERY`] requests; `Ok(true)` when the armed
+/// power cut surfaces. Cache-absorbed writes touch no device op, so cut
+/// points land only on real flash traffic (flush-backs, evictions, GC).
+fn service_replay(
+    service: &mut Service,
+    rounds: u64,
+    model: &mut ServiceModel,
+) -> Result<bool, SimError> {
+    let spans = (service.logical_pages() / SPAN).min(8);
+    let mut since_flush = 0u64;
+    for round in 0..rounds {
+        for i in 0..spans {
+            let base = (if i % 3 == 0 { i } else { (round + i) % 2 }) * SPAN;
+            let values: Vec<u64> = (0..SPAN)
+                .map(|off| (round << 32) | (i << 16) | (off << 8) | 0x5C)
+                .collect();
+            for (off, &value) in values.iter().enumerate() {
+                model.pending.push((base + off as u64, value));
+            }
+            match service.write(base, &values) {
+                Ok(()) => {}
+                Err(e) if is_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+            since_flush += 1;
+            if since_flush >= FLUSH_EVERY {
+                since_flush = 0;
+                match service.flush() {
+                    Ok(()) => model.ack_pending(),
+                    Err(e) if is_power_cut(&e) => return Ok(true),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    match service.flush() {
+        Ok(()) => model.ack_pending(),
+        Err(e) if is_power_cut(&e) => return Ok(true),
+        Err(e) => return Err(e),
+    }
+    Ok(false)
+}
+
+/// One service crash/remount/verify cycle: the cut lands with dirty cache
+/// entries and queued engine writes in flight. Teardown drops the RAM
+/// cache (exactly what a power cut does), the shared rail disarms every
+/// lane, and after remount every *flush-acked* write must read back —
+/// newer un-acked candidates are also legal. Un-acked writes whose value
+/// is nowhere to be found are counted in `vanished`, not as violations:
+/// the contract says they *may* vanish, and the sweep requires that some
+/// actually do.
+fn check_service_cut_point(
+    kind: LayerKind,
+    with_swl: bool,
+    rounds: u64,
+    cut_at: u64,
+    torn: bool,
+    stats: &mut SweepStats,
+    vanished: &mut u64,
+) {
+    stats.points += 1;
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let mut service = service_build(kind, with_swl, &cfg);
+    let mut model = ServiceModel::default();
+    match service_replay(&mut service, rounds, &mut model) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let mut devices = service.into_devices();
+    for device in &mut devices {
+        // Shared power rail: the cut that fired on one lane took the whole
+        // array down, so disarm the lanes it never reached.
+        device.disarm_power_cut();
+        device.power_cycle();
+    }
+    let geometry = striped_geometry();
+    let mut lanes = Vec::with_capacity(devices.len());
+    for device in devices {
+        match Layer::mount(kind, device, &SimConfig::default()) {
+            Ok(lane) => lanes.push(lane),
+            Err(_) => {
+                stats.recovery_errors += 1;
+                return;
+            }
+        }
+    }
+
+    let mut candidates: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut last_pending: HashMap<u64, u64> = HashMap::new();
+    for &(lba, value) in &model.pending {
+        candidates.entry(lba).or_default().push(value);
+        last_pending.insert(lba, value);
+    }
+    for (&lba, &value) in &model.acked {
+        let lane = geometry.channel_of(lba) as usize;
+        let got = match lanes[lane].read(geometry.lane_lba(lba)) {
+            Ok(g) => g,
+            Err(_) => {
+                stats.lost_acked += 1;
+                continue;
+            }
+        };
+        let in_flight_ok = candidates
+            .get(&lba)
+            .is_some_and(|values| values.iter().any(|&v| got == Some(v)));
+        if got != Some(value) && !in_flight_ok {
+            stats.lost_acked += 1;
+        }
+    }
+    for (&lba, &value) in &last_pending {
+        let lane = geometry.channel_of(lba) as usize;
+        if let Ok(got) = lanes[lane].read(geometry.lane_lba(lba)) {
+            if got != Some(value) {
+                *vanished += 1;
+            }
+        }
+    }
+
+    let lbas = (lanes[0].logical_pages() * u64::from(CHANNELS)).min(SPAN * 8);
+    for round in 0..2u64 {
+        for lba in 0..lbas {
+            let lane = geometry.channel_of(lba) as usize;
+            if lanes[lane]
+                .write(geometry.lane_lba(lba), 0xFACE_0000 | (round << 8) | lba)
+                .is_err()
+            {
+                stats.resume_failures += 1;
+                return;
+            }
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let rounds: u64 = std::env::args()
         .nth(1)
@@ -669,6 +868,61 @@ fn main() -> ExitCode {
         }
     }
 
+    // Service write cache: the same mid-stripe cuts with the RAM cache
+    // interposed — flush is the only durability ack, so the sweep checks
+    // flush-acked survival AND that un-acked cached writes really vanish.
+    let mut vanished_unacked = 0u64;
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        for with_swl in [false, true] {
+            let cfg = SimConfig {
+                fault: Some(FaultPlan::new(1)),
+                ..SimConfig::default()
+            };
+            let mut service = service_build(kind, with_swl, &cfg);
+            let mut model = ServiceModel::default();
+            let cut =
+                service_replay(&mut service, rounds, &mut model).expect("service baseline replay");
+            assert!(!cut, "service baseline run must not see a power cut");
+            let total = service
+                .into_devices()
+                .iter()
+                .map(|device| device.fault_ops())
+                .max()
+                .unwrap_or(0);
+
+            for torn in [false, true] {
+                let mut stats = SweepStats::default();
+                for cut_at in 0..total {
+                    check_service_cut_point(
+                        kind,
+                        with_swl,
+                        rounds,
+                        cut_at,
+                        torn,
+                        &mut stats,
+                        &mut vanished_unacked,
+                    );
+                }
+                let violations = stats.lost_acked
+                    + stats.stale_checkpoints
+                    + stats.resume_failures
+                    + stats.recovery_errors;
+                grand_points += stats.points;
+                grand_violations += violations;
+                rows.push(vec![
+                    format!("{kind}\u{d7}{CHANNELS}ch cache"),
+                    if with_swl { "on" } else { "off" }.to_owned(),
+                    if torn { "torn" } else { "clean" }.to_owned(),
+                    stats.points.to_string(),
+                    stats.lost_acked.to_string(),
+                    stats.stale_checkpoints.to_string(),
+                    stats.resume_failures.to_string(),
+                    stats.recovery_errors.to_string(),
+                ]);
+            }
+        }
+    }
+
     print_table(
         &[
             "layer", "swl", "cut", "points", "lost", "stale", "resume", "recover",
@@ -676,8 +930,17 @@ fn main() -> ExitCode {
         &rows,
     );
     println!("\n{grand_points} cut points checked, {grand_violations} violations");
+    println!(
+        "cache sweep: {vanished_unacked} un-acked cached write(s) vanished across cut points \
+         (the contract's lossy side, exercised)"
+    );
     if grand_points < 1000 {
         println!("warning: fewer than 1000 cut points — raise the rounds argument");
+    }
+    if vanished_unacked == 0 {
+        println!("crashmc: FAILED — cache sweep never lost an un-acked write; the lossy side of \
+                  the durability contract went unexercised");
+        return ExitCode::FAILURE;
     }
     if grand_violations == 0 {
         println!("crashmc: OK");

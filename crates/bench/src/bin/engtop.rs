@@ -9,12 +9,17 @@
 //! completions), and derived **idle**; queue gauges show live occupancy
 //! against the high-water mark and capacity.
 //!
-//! With `--out FILE` every sample is also exported as JSONL (schema v1, one
-//! flat object per line: an `engtop_meta` header, then `sample` / `worker` /
+//! With `--out FILE` every sample is also exported as JSONL (one flat
+//! object per line: an `engtop_meta` header, then `sample` / `worker` /
 //! `lane` / `queue` lines per tick and one trailing `final` line).
 //! `engtop --check FILE` validates such an export and exits non-zero on any
 //! schema drift — the same contract style as `swlstat --check` /
 //! `swlspan --check` — so CI can gate on a golden fixture.
+//!
+//! Schema v2 adds the `cache` line kind (the service write cache's counter
+//! block, emitted by `svcbench --out`); a v2 checker still accepts v1
+//! exports, but `cache` lines are rejected in a file whose meta declares
+//! schema 1 — engtop itself drives a bare engine and never emits them.
 //!
 //! ```text
 //! engtop [quick|scaled|paper] [--events N] [--threads N] [--depth N]
@@ -33,8 +38,11 @@ use flash_telemetry::{EngineSnapshot, LatencyHistogram};
 use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
 use nand::{CellKind, ChannelGeometry, Geometry};
 
-/// JSONL export schema version; bump on any line-shape change.
-const SCHEMA: u64 = 1;
+/// JSONL export schema version; bump on any line-shape change. v2 added
+/// the `cache` line kind for service write-cache counters.
+const SCHEMA: u64 = 2;
+/// Oldest schema version `--check` still accepts.
+const MIN_SCHEMA: u64 = 1;
 const CHANNELS: u32 = 4;
 const SWL_THRESHOLD: u64 = 100;
 
@@ -373,6 +381,20 @@ fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
         ]),
         "lane" => Some(&["t_ms", "lane", "busy_ms", "commands", "pages"]),
         "queue" => Some(&["t_ms", "len", "high_water", "capacity"]),
+        // Schema v2: the service write cache's counter block per tick.
+        "cache" => Some(&[
+            "t_ms",
+            "write_hits",
+            "read_hits",
+            "admitted",
+            "write_through",
+            "flushed_pages",
+            "flush_batches",
+            "evicted",
+            "trimmed",
+            "dirty",
+            "capacity",
+        ]),
         _ => None,
     }
 }
@@ -386,6 +408,7 @@ fn num(fields: &[(String, JsonScalar)], key: &str) -> Option<f64> {
 fn check(text: &str) -> Result<u64, Vec<String>> {
     let mut errors = Vec::new();
     let mut meta: Option<(f64, f64)> = None; // (threads, channels)
+    let mut schema = SCHEMA;
     let mut last_t_ms = f64::NEG_INFINITY;
     let mut queue_high: Vec<(String, f64)> = Vec::new();
     let mut finals = 0usize;
@@ -426,11 +449,15 @@ fn check(text: &str) -> Result<u64, Vec<String>> {
         if n == 0 {
             if kind != "engtop_meta" {
                 errors.push("line 1: export must start with an engtop_meta line".to_owned());
-            } else if num(&fields, "schema") != Some(f64::from(SCHEMA as u32)) {
-                errors.push(format!(
-                    "line 1: schema {:?}, this engtop speaks v{SCHEMA}",
-                    num(&fields, "schema")
-                ));
+            } else {
+                let declared = num(&fields, "schema").unwrap_or(0.0);
+                if declared < MIN_SCHEMA as f64 || declared > SCHEMA as f64 {
+                    errors.push(format!(
+                        "line 1: schema {declared}, this engtop speaks v{MIN_SCHEMA}..=v{SCHEMA}"
+                    ));
+                } else {
+                    schema = declared as u64;
+                }
             }
         } else if kind == "engtop_meta" {
             errors.push(format!("line {}: duplicate engtop_meta", n + 1));
@@ -510,6 +537,24 @@ fn check(text: &str) -> Result<u64, Vec<String>> {
                     *prev = high;
                 }
                 None => queue_high.push((label, high)),
+            }
+        }
+        if kind == "cache" {
+            if schema < 2 {
+                errors.push(format!(
+                    "line {}: cache lines need schema v2, file declares v{schema}",
+                    n + 1
+                ));
+            }
+            let (dirty, capacity) = (
+                num(&fields, "dirty").unwrap_or(0.0),
+                num(&fields, "capacity").unwrap_or(0.0),
+            );
+            if dirty > capacity {
+                errors.push(format!(
+                    "line {}: cache dirty {dirty} > capacity {capacity}",
+                    n + 1
+                ));
             }
         }
         if finals > 0 && kind != "final" {
@@ -623,6 +668,33 @@ mod tests {
         assert!(check(&regressed).is_err());
         let over = q(1.0, 9);
         assert!(check(&format!("{META}\n{over}\n{FINAL}\n")).is_err());
+    }
+
+    fn cache(t_ms: f64, dirty: u64, capacity: u64) -> String {
+        format!(
+            "{{\"kind\":\"cache\",\"seq\":0,\"t_ms\":{t_ms},\"write_hits\":5,\
+             \"read_hits\":2,\"admitted\":3,\"write_through\":1,\"flushed_pages\":4,\
+             \"flush_batches\":2,\"evicted\":0,\"trimmed\":0,\
+             \"dirty\":{dirty},\"capacity\":{capacity}}}"
+        )
+    }
+
+    #[test]
+    fn cache_lines_need_schema_v2() {
+        let meta_v2 = META.replace("\"schema\":1", "\"schema\":2");
+        let ok = format!("{meta_v2}\n{}\n{FINAL}\n", cache(1.0, 3, 8));
+        assert_eq!(check(&ok), Ok(0));
+        let v1 = format!("{META}\n{}\n{FINAL}\n", cache(1.0, 3, 8));
+        assert!(check(&v1).is_err(), "cache lines are not part of schema v1");
+    }
+
+    #[test]
+    fn rejects_cache_dirty_over_capacity_and_future_schema() {
+        let meta_v2 = META.replace("\"schema\":1", "\"schema\":2");
+        let over = format!("{meta_v2}\n{}\n{FINAL}\n", cache(1.0, 9, 8));
+        assert!(check(&over).is_err());
+        let future = META.replace("\"schema\":1", "\"schema\":3");
+        assert!(check(&format!("{future}\n{FINAL}\n")).is_err());
     }
 
     #[test]

@@ -153,6 +153,10 @@ struct LaneCompletion {
     /// Per-page busy deltas for the successfully executed pages, in page
     /// order (empty for SWL steps).
     page_latencies: Vec<u64>,
+    /// Values produced by successfully executed read pages, tagged with the
+    /// page's op-wide ordinal so the front-end can reassemble an op split
+    /// across lanes. Empty for writes and SWL steps.
+    read_values: Vec<(u32, Option<u64>)>,
     /// First error hit, with the ordinal of the offending page.
     error: Option<(u32, SimError)>,
     /// The lane's first wear-out as of completing this command.
@@ -335,6 +339,7 @@ fn worker_loop<const METRICS: bool>(
         wl.epoch.store(op_seq, Ordering::Relaxed);
         let busy_before = wl.layer.device().busy_ns();
         let mut page_latencies = Vec::new();
+        let mut read_values = Vec::new();
         let mut error = None;
         match command {
             LaneCommand::Exec { op, pages, .. } => {
@@ -343,7 +348,9 @@ fn worker_loop<const METRICS: bool>(
                     let page_before = wl.layer.device().busy_ns();
                     let result = match op {
                         Op::Write => wl.layer.write(page.lane_lba, page.token),
-                        Op::Read => wl.layer.read(page.lane_lba).map(|_| ()),
+                        Op::Read => wl.layer.read(page.lane_lba).map(|value| {
+                            read_values.push((page.ordinal, value));
+                        }),
                     };
                     match result {
                         Ok(()) => {
@@ -375,6 +382,7 @@ fn worker_loop<const METRICS: bool>(
             lane: lane_id,
             busy_delta: wl.layer.device().busy_ns() - busy_before,
             page_latencies,
+            read_values,
             error,
             failure: wl.layer.device().first_failure(),
             shard,
@@ -434,6 +442,11 @@ pub struct EngineConfig {
     /// Account wall-clock worker/queue runtime metrics (see the module
     /// docs' *Wall-clock observability* section).
     pub metrics: bool,
+    /// Retain read results: every finalized read op's page values are
+    /// queued for [`Engine::take_completed_reads`]. Off by default — a
+    /// closed-loop replayer has no use for the data and the queue would
+    /// grow without bound if nobody drained it.
+    pub capture_reads: bool,
 }
 
 impl Default for EngineConfig {
@@ -443,6 +456,7 @@ impl Default for EngineConfig {
             queue_depth: 1,
             telemetry: false,
             metrics: false,
+            capture_reads: false,
         }
     }
 }
@@ -472,6 +486,14 @@ impl EngineConfig {
         self.metrics = enabled;
         self
     }
+
+    /// Enables read-result capture (see [`EngineConfig::capture_reads`]).
+    /// The block-device service front-end turns this on; callers that do
+    /// must drain [`Engine::take_completed_reads`] after every flush.
+    pub fn with_read_capture(mut self, enabled: bool) -> Self {
+        self.capture_reads = enabled;
+        self
+    }
 }
 
 /// One host op awaiting its lane completions.
@@ -486,6 +508,9 @@ struct PendingOp {
     lane_busy: Vec<u64>,
     /// Per-lane page latencies, as received.
     page_latencies: Vec<(u32, Vec<u64>)>,
+    /// Read results as received from lanes, tagged with op-wide page
+    /// ordinals (collected only when read capture is on).
+    read_values: Vec<(u32, Option<u64>)>,
     /// Per-lane wear-out state as of this op, applied at finalize.
     failures: Vec<(u32, Option<FailureRecord>)>,
     /// Lowest-ordinal error across lanes.
@@ -548,6 +573,7 @@ pub struct Engine {
     threads: u32,
     telemetry: bool,
     metrics: bool,
+    capture_reads: bool,
     /// Global coordination with >1 channel and SWL attached runs page
     /// lockstep (see module docs).
     lockstep: bool,
@@ -573,6 +599,10 @@ pub struct Engine {
     /// Wall-clock submit-to-finalize histograms (metrics mode only).
     op_write_wall: LatencyHistogram,
     op_read_wall: LatencyHistogram,
+    /// Finalized read results awaiting [`Engine::take_completed_reads`],
+    /// one entry per read op in finalize (= submission) order. Populated
+    /// only with [`EngineConfig::with_read_capture`].
+    completed_reads: VecDeque<Vec<Option<u64>>>,
     error: Option<SimError>,
 }
 
@@ -730,6 +760,7 @@ impl Engine {
             threads,
             telemetry: engine.telemetry,
             metrics: engine.metrics,
+            capture_reads: engine.capture_reads,
             lockstep,
             command_queues,
             completions,
@@ -751,6 +782,7 @@ impl Engine {
             op_read_latency: LatencyStats::new(),
             op_write_wall: LatencyHistogram::new(),
             op_read_wall: LatencyHistogram::new(),
+            completed_reads: VecDeque::new(),
             error: None,
         })
     }
@@ -821,6 +853,36 @@ impl Engine {
     /// Returns the first finalized lane error, in deterministic op/page
     /// order. The error is sticky: all later calls return it too.
     pub fn submit(&mut self, event: TraceEvent) -> Result<(), SimError> {
+        self.submit_inner(event, None)
+    }
+
+    /// Accepts one host *write* carrying explicit page values instead of
+    /// front-end-assigned write tokens — the block-device service path,
+    /// where clients supply the data and expect to read it back. `data`
+    /// holds one value per page; the op spans `[lba, lba + data.len())`.
+    /// The global write-token counter does not advance, so runs must not
+    /// mix token writes and data writes on the same engine (the service
+    /// never does).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Engine::submit`]: first finalized lane error, sticky.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data` is empty or longer than `u32::MAX` pages.
+    pub fn submit_write_data(
+        &mut self,
+        at_ns: u64,
+        lba: u64,
+        data: &[u64],
+    ) -> Result<(), SimError> {
+        assert!(!data.is_empty(), "a data write must carry at least one page");
+        let len = u32::try_from(data.len()).expect("write span exceeds u32 pages");
+        self.submit_inner(TraceEvent::write_span(at_ns, lba, len), Some(data))
+    }
+
+    fn submit_inner(&mut self, event: TraceEvent, data: Option<&[u64]>) -> Result<(), SimError> {
         if let Some(e) = self.error {
             return Err(e);
         }
@@ -830,13 +892,13 @@ impl Engine {
             self.runtime.op_submitted();
         }
         if self.lockstep {
-            self.submit_lockstep(event)
+            self.submit_lockstep(event, data)
         } else {
-            self.submit_pipelined(event)
+            self.submit_pipelined(event, data)
         }
     }
 
-    fn submit_pipelined(&mut self, event: TraceEvent) -> Result<(), SimError> {
+    fn submit_pipelined(&mut self, event: TraceEvent, data: Option<&[u64]>) -> Result<(), SimError> {
         let submitted = self.metrics.then(Instant::now);
         let channels = self.geometry.channels() as usize;
         // Route pages to lanes, assigning write tokens in global trace
@@ -844,12 +906,13 @@ impl Engine {
         let mut batches: Vec<Vec<PageCmd>> = vec![Vec::new(); channels];
         for (ordinal, lba) in event.pages().enumerate() {
             let channel = self.geometry.channel_of(lba) as usize;
-            let token = match event.op {
-                Op::Write => {
+            let token = match (event.op, data) {
+                (Op::Write, Some(values)) => values[ordinal],
+                (Op::Write, None) => {
                     self.next_token += 1;
                     self.next_token
                 }
-                Op::Read => 0,
+                (Op::Read, _) => 0,
             };
             batches[channel].push(PageCmd {
                 lane_lba: self.geometry.lane_lba(lba),
@@ -893,6 +956,7 @@ impl Engine {
             received: 0,
             lane_busy: vec![0; channels],
             page_latencies: Vec::new(),
+            read_values: Vec::new(),
             failures: Vec::new(),
             error: None,
         });
@@ -923,6 +987,9 @@ impl Engine {
         op.lane_busy[completion.lane as usize] += completion.busy_delta;
         op.page_latencies
             .push((completion.lane, completion.page_latencies));
+        if self.capture_reads {
+            op.read_values.extend(completion.read_values);
+        }
         op.failures.push((completion.lane, completion.failure));
         if let Some((ordinal, e)) = completion.error {
             match op.error {
@@ -942,7 +1009,7 @@ impl Engine {
             .front()
             .is_some_and(|op| op.received == op.expected)
         {
-            let op = self.pending.pop_front().expect("front checked");
+            let mut op = self.pending.pop_front().expect("front checked");
             self.finalize_next += 1;
             // Per-lane wear-out state advances in op order, so the scan
             // below sees exactly what the virtual-time loop saw after this
@@ -953,6 +1020,13 @@ impl Engine {
             if let Some((_, e)) = op.error {
                 self.error = Some(e);
                 return Err(e);
+            }
+            if self.capture_reads && op.op == Op::Read {
+                // Lanes report pages in their own order; the op-wide
+                // ordinal restores the host's page order across lanes.
+                op.read_values.sort_unstable_by_key(|&(ordinal, _)| ordinal);
+                self.completed_reads
+                    .push_back(op.read_values.drain(..).map(|(_, v)| v).collect());
             }
             if let Some(submitted) = op.submitted {
                 let now = *now.get_or_insert_with(Instant::now);
@@ -1027,21 +1101,23 @@ impl Engine {
     /// Global coordination in page lockstep: dispatch one page, await it,
     /// then replay the `coordinate_swl` loop against the cached shard
     /// snapshots (which are exact, since every lane is quiescent here).
-    fn submit_lockstep(&mut self, event: TraceEvent) -> Result<(), SimError> {
+    fn submit_lockstep(&mut self, event: TraceEvent, data: Option<&[u64]>) -> Result<(), SimError> {
         let submitted = self.metrics.then(Instant::now);
         let channels = self.geometry.channels() as usize;
         let op_seq = self.next_seq;
         self.next_seq += 1;
         let mut lane_busy = vec![0u64; channels];
+        let mut op_reads = Vec::new();
         self.scheduler.op_begin();
         for (ordinal, lba) in event.pages().enumerate() {
             let channel = self.geometry.channel_of(lba);
-            let token = match event.op {
-                Op::Write => {
+            let token = match (event.op, data) {
+                (Op::Write, Some(values)) => values[ordinal],
+                (Op::Write, None) => {
                     self.next_token += 1;
                     self.next_token
                 }
-                Op::Read => 0,
+                (Op::Read, _) => 0,
             };
             self.dispatch(LaneCommand::Exec {
                 op_seq,
@@ -1067,8 +1143,21 @@ impl Engine {
                 }
                 Op::Read => {
                     self.lane_read_latency[channel as usize].record(page_latency);
+                    if self.capture_reads {
+                        // One page per lockstep command, so the single
+                        // captured value is this page's.
+                        op_reads.push(
+                            completion
+                                .read_values
+                                .first()
+                                .and_then(|&(_, value)| value),
+                        );
+                    }
                 }
             }
+        }
+        if self.capture_reads && event.op == Op::Read {
+            self.completed_reads.push_back(op_reads);
         }
         for (channel, &delta) in lane_busy.iter().enumerate() {
             if delta > 0 {
@@ -1157,6 +1246,15 @@ impl Engine {
             self.finalize_ready()?;
         }
         Ok(())
+    }
+
+    /// Drains the finalized read results accumulated since the last call:
+    /// one `Vec` per read op in submission order, one `Option<u64>` per
+    /// page in op order (`None` for never-written pages). Always empty
+    /// unless the engine was built with [`EngineConfig::with_read_capture`].
+    /// Call after [`Engine::flush`] to observe every submitted read.
+    pub fn take_completed_reads(&mut self) -> Vec<Vec<Option<u64>>> {
+        self.completed_reads.drain(..).collect()
     }
 
     /// Feeds `trace` through the engine with `run_striped`'s stop handling:

@@ -36,7 +36,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 mod error;
@@ -46,6 +46,7 @@ mod layer;
 pub mod parallel;
 mod report;
 pub mod sched;
+pub mod service;
 mod simulator;
 mod striped;
 
@@ -55,5 +56,6 @@ pub use latency::LatencyStats;
 pub use layer::{Layer, LayerCounters, LayerKind, SimConfig, TranslationLayer};
 pub use report::{FirstFailure, SimReport};
 pub use sched::{ChannelScheduler, Completion, EventQueue};
+pub use service::{Service, ServiceClient, ServiceConfig, ServiceRun, ServiceServer};
 pub use simulator::{Simulator, StopCondition};
 pub use striped::{StripedLayer, StripedReport, SwlCoordination};

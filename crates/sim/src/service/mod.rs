@@ -1,0 +1,709 @@
+//! Block-device service front-end over the threaded execution engine.
+//!
+//! [`Engine`] is a closed-loop replayer: one driver owns it
+//! and feeds it a trace. This module promotes it to a *served* device:
+//! [`Service`] owns the engine plus an optional admission-managed RAM
+//! write cache ([`cache::WriteCache`]), exposes the four block-device verbs
+//! — `write` / `read` / `trim` / `flush` — and can hand out in-process
+//! client handles ([`Service::serve`]) so N concurrent threads drive one
+//! array through a bounded request queue.
+//!
+//! # Ack semantics (the durability contract)
+//!
+//! - A **write** ack means *accepted*: the data is readable back through
+//!   the service, but it may still live only in the RAM cache. A power cut
+//!   before the next flush may legally lose it.
+//! - A **flush** ack means *durable*: every write accepted before the
+//!   flush has been written back to flash and survives a power cut. The
+//!   crashmc harness asserts both sides of this contract over exhaustive
+//!   cut-point sweeps.
+//! - A **trim** is advisory: it drops any cached (never-acked-durable)
+//!   data for the span and masks subsequent reads to `None`. It does not
+//!   reclaim flash space and the mask is not persisted across a crash.
+//! - A **read** ack returns one `Option<u64>` per page — cached dirty
+//!   values win over flash, trimmed/never-written pages read `None`.
+//!
+//! # Determinism
+//!
+//! The service stamps engine events from a logical clock (one fixed
+//! [`ServiceConfig::op_interval_ns`] tick per accepted op), never from
+//! wall time, so a single-client run is fully deterministic. With the
+//! cache disabled a service run is **bit-identical** to driving the engine
+//! directly with the same op sequence — report, per-lane state, and flash
+//! contents (`tests/service_oracle.rs` pins this). Cache flush-back keeps
+//! at most one dirty value per LBA and never reorders values of the same
+//! LBA around a write-through, so the virtual-time oracle still pins
+//! cache-on results (see [`cache`] module docs).
+//!
+//! ## Example
+//!
+//! ```
+//! use flash_sim::service::{cache::CacheConfig, Service, ServiceConfig};
+//! use flash_sim::{LayerKind, SimConfig, SwlCoordination};
+//! use nand::{CellKind, ChannelGeometry, Geometry};
+//!
+//! # fn main() -> Result<(), flash_sim::SimError> {
+//! let mut service = Service::build(
+//!     LayerKind::Ftl,
+//!     ChannelGeometry::new(2, 1, Geometry::new(64, 8, 2048)),
+//!     CellKind::Mlc2.spec().with_endurance(100_000),
+//!     None,
+//!     SwlCoordination::PerChannel,
+//!     &SimConfig::default(),
+//!     ServiceConfig::default().with_cache(CacheConfig::sized(64)),
+//! )?;
+//! service.write(3, &[7, 8])?;
+//! assert_eq!(service.read(3, 2)?, vec![Some(7), Some(8)]);
+//! service.flush()?; // now durable
+//! let run = service.finish()?;
+//! assert_eq!(run.ops, 2); // write + read (flush is a barrier, not an op)
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use flash_telemetry::runtime::{CacheRuntime, CacheSample};
+use flash_telemetry::LatencyHistogram;
+use flash_trace::TraceEvent;
+use nand::{CellSpec, ChannelGeometry, NandDevice};
+use swl_core::SwlConfig;
+
+use crate::engine::queue::ShardQueue;
+use crate::engine::{Engine, EngineConfig, EngineMetricsHandle, EngineRun, EngineSink};
+use crate::error::SimError;
+use crate::layer::{LayerKind, SimConfig};
+use crate::striped::SwlCoordination;
+
+use cache::{CacheConfig, WriteCache, WriteOutcome};
+
+/// Tuning for a [`Service`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceConfig {
+    /// Engine front-end tuning (threads, queue depth, telemetry, metrics).
+    /// Read capture is forced on — the service must return read data.
+    pub engine: EngineConfig,
+    /// Write-cache tuning; `None` runs cache-less (every write goes
+    /// straight to the engine — the oracle-comparable mode).
+    pub cache: Option<CacheConfig>,
+    /// Virtual nanoseconds the logical clock advances per accepted op
+    /// (must be positive; stamps engine events deterministically).
+    pub op_interval_ns: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            engine: EngineConfig::default(),
+            cache: None,
+            op_interval_ns: 1_000,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Replaces the engine tuning.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Enables the write cache with `cache` tuning.
+    pub fn with_cache(mut self, cache: CacheConfig) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disables the write cache (the default).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Replaces the logical-clock tick per accepted op.
+    pub fn with_op_interval_ns(mut self, interval: u64) -> Self {
+        self.op_interval_ns = interval.max(1);
+        self
+    }
+}
+
+/// Everything a finished [`Service`] produced: the engine run (report,
+/// lanes, metrics) plus the final cache counters.
+pub struct ServiceRun {
+    /// The underlying engine run; `run.report` is the virtual-time report.
+    pub run: EngineRun,
+    /// Final cache counters (`None` when the service ran cache-less).
+    pub cache: Option<CacheSample>,
+    /// Host ops the service accepted (writes + reads + trims).
+    pub ops: u64,
+}
+
+/// The block-device service: engine + optional write cache + logical
+/// clock. Use directly for single-driver runs, or hand out concurrent
+/// client handles with [`Service::serve`].
+pub struct Service {
+    engine: Engine,
+    cache: Option<WriteCache>,
+    /// Pages masked by a trim since their last write. Advisory and
+    /// RAM-only: not persisted across a crash.
+    trimmed: HashSet<u64>,
+    clock_ns: u64,
+    op_interval_ns: u64,
+    ops: u64,
+}
+
+impl Service {
+    /// Builds the lanes, spawns the engine workers, and (when configured)
+    /// the write cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer construction failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cache admission-filter config is invalid (zero
+    /// counter table / hash count out of range) — cache tuning is
+    /// programmer-supplied, not data-dependent.
+    pub fn build(
+        kind: LayerKind,
+        geometry: ChannelGeometry,
+        spec: CellSpec,
+        swl: Option<SwlConfig>,
+        coordination: SwlCoordination,
+        sim: &SimConfig,
+        config: ServiceConfig,
+    ) -> Result<Self, SimError> {
+        let engine = Engine::new(
+            kind,
+            geometry,
+            spec,
+            swl,
+            coordination,
+            sim,
+            config.engine.with_read_capture(true),
+        )?;
+        let cache = config
+            .cache
+            .map(|c| WriteCache::new(c).expect("invalid cache admission config"));
+        Ok(Self {
+            engine,
+            cache,
+            trimmed: HashSet::new(),
+            clock_ns: 0,
+            op_interval_ns: config.op_interval_ns.max(1),
+            ops: 0,
+        })
+    }
+
+    /// Exported logical capacity in pages (striped over all channels).
+    pub fn logical_pages(&self) -> u64 {
+        self.engine.logical_pages()
+    }
+
+    /// Host ops accepted so far.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// First block wear-out the engine has finalized so far (`None` until
+    /// one happens). Endurance studies poll this to stop at first failure
+    /// instead of driving a fixed op count.
+    pub fn first_failure(&self) -> Option<crate::report::FirstFailure> {
+        self.engine.first_failure()
+    }
+
+    /// Current cache counters (`None` when cache-less).
+    pub fn cache_sample(&self) -> Option<CacheSample> {
+        self.cache.as_ref().map(WriteCache::sample)
+    }
+
+    /// The cache's shared counter block for mid-run observers (`None`
+    /// when cache-less).
+    pub fn cache_runtime(&self) -> Option<Arc<CacheRuntime>> {
+        self.cache.as_ref().map(WriteCache::runtime)
+    }
+
+    /// The engine's metrics observer handle (all-zero counters unless the
+    /// engine was built with [`EngineConfig::with_metrics`]).
+    pub fn metrics_handle(&self) -> EngineMetricsHandle {
+        self.engine.metrics_handle()
+    }
+
+    /// Advances the logical clock by one op tick and returns the stamp.
+    fn tick(&mut self) -> u64 {
+        self.ops += 1;
+        self.clock_ns += self.op_interval_ns;
+        self.clock_ns
+    }
+
+    /// Bounds-checks `[lba, lba + len)` against the logical space.
+    fn check_span(&self, lba: u64, len: usize) -> Result<(), SimError> {
+        let logical_pages = self.engine.logical_pages();
+        let end = (len as u64).checked_add(lba).filter(|&e| {
+            e <= logical_pages && len <= u32::MAX as usize
+        });
+        if len > 0 && end.is_none() {
+            return Err(SimError::TraceOutOfRange {
+                lba: lba.saturating_add(len as u64 - 1),
+                logical_pages,
+            });
+        }
+        Ok(())
+    }
+
+    /// Accepts one write of `data.len()` pages starting at `lba`. The ack
+    /// means *accepted* (readable back), not durable — see the module
+    /// docs' durability contract. Zero-length writes are no-ops.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceOutOfRange`] for spans outside the logical space;
+    /// otherwise the engine's first finalized lane error (sticky).
+    pub fn write(&mut self, lba: u64, data: &[u64]) -> Result<(), SimError> {
+        self.check_span(lba, data.len())?;
+        if data.is_empty() {
+            return Ok(());
+        }
+        let at = self.tick();
+        for i in 0..data.len() as u64 {
+            self.trimmed.remove(&(lba + i));
+        }
+        if self.cache.is_none() {
+            return self.engine.submit_write_data(at, lba, data);
+        }
+        for (i, &value) in data.iter().enumerate() {
+            let page = lba + i as u64;
+            let outcome = self
+                .cache
+                .as_mut()
+                .expect("cache-on path")
+                .write(page, value);
+            match outcome {
+                WriteOutcome::Absorbed => {}
+                WriteOutcome::Admitted { evicted } => {
+                    if !evicted.is_empty() {
+                        self.submit_batch(at, &evicted)?;
+                    }
+                }
+                WriteOutcome::WriteThrough => {
+                    self.engine.submit_write_data(at, page, &[value])?;
+                }
+            }
+        }
+        if self.cache.as_ref().expect("cache-on path").need_sync() {
+            let batch = self
+                .cache
+                .as_mut()
+                .expect("cache-on path")
+                .take_sync_batch();
+            self.submit_batch(at, &batch)?;
+        }
+        Ok(())
+    }
+
+    /// Coalesces an LBA-sorted flush-back batch into contiguous span
+    /// writes and submits them, preserving batch order.
+    fn submit_batch(&mut self, at_ns: u64, batch: &[(u64, u64)]) -> Result<(), SimError> {
+        let mut i = 0;
+        while i < batch.len() {
+            let start = batch[i].0;
+            let mut values = vec![batch[i].1];
+            let mut j = i + 1;
+            while j < batch.len() && batch[j].0 == start + values.len() as u64 {
+                values.push(batch[j].1);
+                j += 1;
+            }
+            self.engine.submit_write_data(at_ns, start, &values)?;
+            i = j;
+        }
+        Ok(())
+    }
+
+    /// Reads `len` pages starting at `lba`: one `Option<u64>` per page.
+    /// Cached dirty values win over flash; trimmed or never-written pages
+    /// read `None`. Synchronizing — flushes the engine pipeline when any
+    /// page must come from flash.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceOutOfRange`] for spans outside the logical space;
+    /// otherwise the engine's first finalized lane error (sticky).
+    pub fn read(&mut self, lba: u64, len: usize) -> Result<Vec<Option<u64>>, SimError> {
+        self.check_span(lba, len)?;
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        let at = self.tick();
+        let mut out: Vec<Option<u64>> = vec![None; len];
+        // Contiguous runs of pages that must come from flash, as
+        // `(out index, start lba, page count)`.
+        let mut spans: Vec<(usize, u64, u32)> = Vec::new();
+        let mut run: Option<(usize, u64, u32)> = None;
+        for (i, slot) in out.iter_mut().enumerate() {
+            let page = lba + i as u64;
+            let local = if self.trimmed.contains(&page) {
+                Some(None)
+            } else {
+                self.cache.as_ref().and_then(|c| c.lookup(page)).map(Some)
+            };
+            match local {
+                Some(value) => {
+                    *slot = value;
+                    if let Some(span) = run.take() {
+                        spans.push(span);
+                    }
+                }
+                None => match run.as_mut() {
+                    Some(span) => span.2 += 1,
+                    None => run = Some((i, page, 1)),
+                },
+            }
+        }
+        if let Some(span) = run.take() {
+            spans.push(span);
+        }
+        for &(_, start, pages) in &spans {
+            self.engine.submit(TraceEvent::read_span(at, start, pages))?;
+        }
+        if !spans.is_empty() {
+            self.engine.flush()?;
+            let mut results = self.engine.take_completed_reads().into_iter();
+            for &(index, _, pages) in &spans {
+                let values = results
+                    .next()
+                    .expect("engine returns one result per read span");
+                debug_assert_eq!(values.len(), pages as usize);
+                for (k, value) in values.into_iter().enumerate() {
+                    out[index + k] = value;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Advisory trim of `len` pages starting at `lba`: drops cached dirty
+    /// data for the span (legal — it was never acked durable) and masks
+    /// subsequent reads to `None` until rewritten. RAM-only; a crash
+    /// forgets the mask. Zero-length trims are no-ops.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::TraceOutOfRange`] for spans outside the logical space.
+    pub fn trim(&mut self, lba: u64, len: usize) -> Result<(), SimError> {
+        self.check_span(lba, len)?;
+        if len == 0 {
+            return Ok(());
+        }
+        self.tick();
+        for i in 0..len as u64 {
+            let page = lba + i;
+            if let Some(cache) = self.cache.as_mut() {
+                cache.trim(page);
+            }
+            self.trimmed.insert(page);
+        }
+        Ok(())
+    }
+
+    /// Durability barrier: writes back every dirty cache entry and drains
+    /// the engine pipeline. When this returns `Ok`, every previously acked
+    /// write is on flash and survives a power cut.
+    ///
+    /// # Errors
+    ///
+    /// The engine's first finalized lane error (sticky).
+    pub fn flush(&mut self) -> Result<(), SimError> {
+        let at = self.clock_ns;
+        if let Some(cache) = self.cache.as_mut() {
+            let batch = cache.drain_all();
+            self.submit_batch(at, &batch)?;
+        }
+        self.engine.flush()
+    }
+
+    /// Flushes, tears the engine down, and assembles the run summary.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first finalized lane error; the engine is torn down
+    /// either way.
+    pub fn finish(mut self) -> Result<ServiceRun, SimError> {
+        self.flush()?;
+        let cache = self.cache_sample();
+        let run = self.engine.finish()?;
+        Ok(ServiceRun {
+            run,
+            cache,
+            ops: self.ops,
+        })
+    }
+
+    /// Crash-harness teardown: drops the cache (its dirty entries were
+    /// never acked durable, so losing them models exactly what a power
+    /// cut does to a RAM cache) and returns the raw devices in channel
+    /// order for `disarm_power_cut` / `power_cycle` / re-mount.
+    pub fn into_devices(self) -> Vec<NandDevice<EngineSink>> {
+        self.engine.into_devices()
+    }
+}
+
+/// One queued client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Write `data` starting at `lba` (ack = accepted, not durable).
+    Write {
+        /// First logical page of the span.
+        lba: u64,
+        /// One value per page.
+        data: Vec<u64>,
+    },
+    /// Read `len` pages starting at `lba`.
+    Read {
+        /// First logical page of the span.
+        lba: u64,
+        /// Pages to read.
+        len: usize,
+    },
+    /// Advisory trim of `len` pages starting at `lba`.
+    Trim {
+        /// First logical page of the span.
+        lba: u64,
+        /// Pages to trim.
+        len: usize,
+    },
+    /// Durability barrier (ack = everything prior is on flash).
+    Flush,
+}
+
+/// The service's reply to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// The write was accepted.
+    Written,
+    /// Read results, one per requested page.
+    Data(Vec<Option<u64>>),
+    /// The trim was applied.
+    Trimmed,
+    /// Everything previously accepted is durable.
+    Flushed,
+    /// The op failed (engine errors are sticky — every later op fails
+    /// with the same error).
+    Error(SimError),
+}
+
+/// A request tagged with the client it came from.
+#[derive(Debug)]
+struct Envelope {
+    client: usize,
+    request: Request,
+}
+
+/// Saturating nanoseconds since `t`.
+fn since_ns(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// A client handle onto a served [`Service`]: blocking block-device verbs
+/// plus wall-clock per-op latency histograms recorded client-side.
+/// Requests from all clients serialize through one bounded queue, so every
+/// op is linearized by the service thread.
+pub struct ServiceClient {
+    id: usize,
+    requests: Arc<ShardQueue<Envelope>>,
+    replies: Arc<ShardQueue<Response>>,
+    write_latency: LatencyHistogram,
+    read_latency: LatencyHistogram,
+    flush_latency: LatencyHistogram,
+}
+
+impl ServiceClient {
+    /// This client's index (its reply-queue slot).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Wall-clock submit-to-ack latency of this client's writes.
+    pub fn write_latency(&self) -> &LatencyHistogram {
+        &self.write_latency
+    }
+
+    /// Wall-clock submit-to-ack latency of this client's reads.
+    pub fn read_latency(&self) -> &LatencyHistogram {
+        &self.read_latency
+    }
+
+    /// Wall-clock submit-to-ack latency of this client's flushes.
+    pub fn flush_latency(&self) -> &LatencyHistogram {
+        &self.flush_latency
+    }
+
+    /// Round-trips one request.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the server was joined while this client was still
+    /// active — join the server only after its clients are done.
+    fn call(&mut self, request: Request) -> Response {
+        let envelope = Envelope {
+            client: self.id,
+            request,
+        };
+        if self.requests.push(envelope).is_err() {
+            panic!("service joined while client {} was active", self.id);
+        }
+        self.replies
+            .pop()
+            .expect("service dropped a reply before answering")
+    }
+
+    /// Writes `data` starting at `lba` (ack = accepted, not durable).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::write`].
+    pub fn write(&mut self, lba: u64, data: Vec<u64>) -> Result<(), SimError> {
+        let start = Instant::now();
+        let response = self.call(Request::Write { lba, data });
+        self.write_latency.record(since_ns(start));
+        match response {
+            Response::Written => Ok(()),
+            Response::Error(e) => Err(e),
+            other => panic!("mismatched reply to write: {other:?}"),
+        }
+    }
+
+    /// Reads `len` pages starting at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::read`].
+    pub fn read(&mut self, lba: u64, len: usize) -> Result<Vec<Option<u64>>, SimError> {
+        let start = Instant::now();
+        let response = self.call(Request::Read { lba, len });
+        self.read_latency.record(since_ns(start));
+        match response {
+            Response::Data(values) => Ok(values),
+            Response::Error(e) => Err(e),
+            other => panic!("mismatched reply to read: {other:?}"),
+        }
+    }
+
+    /// Advisory trim of `len` pages starting at `lba`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::trim`].
+    pub fn trim(&mut self, lba: u64, len: usize) -> Result<(), SimError> {
+        let response = self.call(Request::Trim { lba, len });
+        match response {
+            Response::Trimmed => Ok(()),
+            Response::Error(e) => Err(e),
+            other => panic!("mismatched reply to trim: {other:?}"),
+        }
+    }
+
+    /// Durability barrier: when this returns `Ok`, every write this (or
+    /// any) client had acked before the call survives a power cut.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::flush`].
+    pub fn flush(&mut self) -> Result<(), SimError> {
+        let start = Instant::now();
+        let response = self.call(Request::Flush);
+        self.flush_latency.record(since_ns(start));
+        match response {
+            Response::Flushed => Ok(()),
+            Response::Error(e) => Err(e),
+            other => panic!("mismatched reply to flush: {other:?}"),
+        }
+    }
+}
+
+/// Handle onto the thread running a served [`Service`]; join it to get
+/// the service back (for [`Service::finish`] or crash teardown).
+pub struct ServiceServer {
+    requests: Arc<ShardQueue<Envelope>>,
+    thread: JoinHandle<Service>,
+}
+
+impl ServiceServer {
+    /// Closes the request queue (after letting it drain) and recovers the
+    /// service. Clients must be done first: a client op racing this call
+    /// can panic on the closed queue.
+    pub fn join(self) -> Service {
+        self.requests.close();
+        self.thread.join().expect("service thread panicked")
+    }
+}
+
+impl Service {
+    /// Serves this service to `clients` concurrent in-process clients
+    /// (at least 1). All requests funnel through one bounded queue into a
+    /// dedicated service thread, so ops are linearized in arrival order;
+    /// each client gets its own single-slot reply queue.
+    pub fn serve(self, clients: usize) -> (ServiceServer, Vec<ServiceClient>) {
+        let clients = clients.max(1);
+        let requests: Arc<ShardQueue<Envelope>> = Arc::new(ShardQueue::new(clients * 2));
+        let reply_queues: Vec<Arc<ShardQueue<Response>>> =
+            (0..clients).map(|_| Arc::new(ShardQueue::new(1))).collect();
+        let thread = {
+            let requests = Arc::clone(&requests);
+            let reply_queues = reply_queues.clone();
+            std::thread::Builder::new()
+                .name("service".into())
+                .spawn(move || {
+                    let mut service = self;
+                    while let Some(Envelope { client, request }) = requests.pop() {
+                        let response = service.handle(request);
+                        // A closed reply queue means the client hung up;
+                        // its reply is moot.
+                        let _ = reply_queues[client].push(response);
+                    }
+                    service
+                })
+                .expect("failed to spawn service thread")
+        };
+        let handles = reply_queues
+            .into_iter()
+            .enumerate()
+            .map(|(id, replies)| ServiceClient {
+                id,
+                requests: Arc::clone(&requests),
+                replies,
+                write_latency: LatencyHistogram::new(),
+                read_latency: LatencyHistogram::new(),
+                flush_latency: LatencyHistogram::new(),
+            })
+            .collect();
+        (ServiceServer { requests, thread }, handles)
+    }
+
+    /// Executes one client request.
+    fn handle(&mut self, request: Request) -> Response {
+        match request {
+            Request::Write { lba, data } => match self.write(lba, &data) {
+                Ok(()) => Response::Written,
+                Err(e) => Response::Error(e),
+            },
+            Request::Read { lba, len } => match self.read(lba, len) {
+                Ok(values) => Response::Data(values),
+                Err(e) => Response::Error(e),
+            },
+            Request::Trim { lba, len } => match self.trim(lba, len) {
+                Ok(()) => Response::Trimmed,
+                Err(e) => Response::Error(e),
+            },
+            Request::Flush => match self.flush() {
+                Ok(()) => Response::Flushed,
+                Err(e) => Response::Error(e),
+            },
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Properties of the write cache's flush-back ordering.
+//!
+//! The service's crash-consistency argument leans on one cache invariant:
+//! the engine must never observe an older value of an LBA after a newer
+//! one. The cache earns that by holding exactly one dirty value per LBA
+//! (rewrites update in place), so whatever reaches the backend — immediate
+//! write-throughs, capacity evictions, watermark batches, or explicit
+//! drains — is always the newest value the cache held at that moment.
+//!
+//! These properties drive a [`WriteCache`] exactly the way the service
+//! does (forwarding every returned batch to a recording model backend) over
+//! randomized capacities, watermarks, batch sizes, and write/trim/flush
+//! mixes, and check:
+//!
+//! - **per-LBA order preservation** — the backend's value sequence for any
+//!   LBA is a subsequence of the client's write sequence for that LBA
+//!   (values are globally unique, so "subsequence" is well-defined);
+//! - **final-value correctness** — after a final drain, the backend's last
+//!   value for an LBA is the client's last write, unless a trim
+//!   intervened after it (then the dirty copy was legally dropped);
+//! - **bounded RAM** — the dirty count never exceeds capacity;
+//! - **counter conservation** — every client write is exactly one of
+//!   write-hit, admitted, or write-through, and every backend page is
+//!   exactly one write-through or flushed page.
+
+use std::collections::HashMap;
+
+use flash_sim::service::cache::{CacheConfig, WriteCache, WriteOutcome};
+use hotid::HotDataConfig;
+use proptest::prelude::*;
+use swl_core::rng::SplitMix64;
+
+/// One recorded backend submission.
+type Backend = Vec<(u64, u64)>;
+
+/// Client-side history: per-LBA write values in order, plus whether a trim
+/// happened after the last write.
+#[derive(Default)]
+struct ClientModel {
+    writes: HashMap<u64, Vec<u64>>,
+    trimmed_after_write: HashMap<u64, bool>,
+}
+
+impl ClientModel {
+    fn write(&mut self, lba: u64, value: u64) {
+        self.writes.entry(lba).or_default().push(value);
+        self.trimmed_after_write.insert(lba, false);
+    }
+
+    fn trim(&mut self, lba: u64) {
+        self.trimmed_after_write.insert(lba, true);
+    }
+}
+
+/// Drives `ops` randomized write/trim/flush ops through the cache the way
+/// the service does, recording everything the cache tells the caller to
+/// put on flash. Returns the backend log and the client history.
+fn drive(cache: &mut WriteCache, ops: usize, lbas: u64, seed: u64) -> (Backend, ClientModel) {
+    let mut rng = SplitMix64::new(seed);
+    let mut backend: Backend = Vec::new();
+    let mut client = ClientModel::default();
+    let mut next_value = 0u64;
+    for _ in 0..ops {
+        let lba = rng.next_below(lbas);
+        match rng.next_below(12) {
+            0 => {
+                cache.trim(lba);
+                client.trim(lba);
+            }
+            1 => {
+                backend.extend(cache.drain_all());
+            }
+            _ => {
+                next_value += 1;
+                client.write(lba, next_value);
+                match cache.write(lba, next_value) {
+                    WriteOutcome::Absorbed => {}
+                    WriteOutcome::Admitted { evicted } => backend.extend(evicted),
+                    WriteOutcome::WriteThrough => backend.push((lba, next_value)),
+                }
+                if cache.need_sync() {
+                    backend.extend(cache.take_sync_batch());
+                }
+            }
+        }
+        assert!(
+            cache.dirty() <= cache.capacity(),
+            "dirty {} exceeded capacity {}",
+            cache.dirty(),
+            cache.capacity()
+        );
+    }
+    backend.extend(cache.drain_all());
+    (backend, client)
+}
+
+/// Checks `sub` appears within `full` in order.
+fn is_subsequence(sub: &[u64], full: &[u64]) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|v| it.any(|f| f == v))
+}
+
+proptest! {
+    /// The flush-back stream preserves per-LBA write order, converges to
+    /// the client's last value, and conserves every counter — across
+    /// random capacities, watermarks, batch sizes, admission thresholds,
+    /// and op mixes.
+    #[test]
+    fn flush_back_preserves_per_lba_order(
+        capacity in 1usize..24,
+        watermark in 1usize..24,
+        batch in 1usize..12,
+        hot_threshold in 1u8..4,
+        lbas in 1u64..48,
+        ops in 1usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let hot = HotDataConfig {
+            hot_threshold,
+            ..HotDataConfig::default()
+        };
+        let mut cache = WriteCache::new(
+            CacheConfig {
+                capacity,
+                sync_watermark: watermark,
+                batch,
+                hot,
+            },
+        )
+        .expect("valid admission config");
+        let (backend, client) = drive(&mut cache, ops, lbas, seed);
+
+        prop_assert_eq!(cache.dirty(), 0, "final drain must empty the cache");
+
+        // Group the backend stream per LBA, preserving submission order.
+        let mut backend_per_lba: HashMap<u64, Vec<u64>> = HashMap::new();
+        for &(lba, value) in &backend {
+            backend_per_lba.entry(lba).or_default().push(value);
+        }
+
+        for (lba, written) in &client.writes {
+            let flashed = backend_per_lba.remove(lba).unwrap_or_default();
+            prop_assert!(
+                is_subsequence(&flashed, written),
+                "lba {}: backend saw {:?}, not a subsequence of client {:?}",
+                lba, flashed, written
+            );
+            let trimmed = client.trimmed_after_write.get(lba).copied().unwrap_or(false);
+            if !trimmed {
+                prop_assert_eq!(
+                    flashed.last(), written.last(),
+                    "lba {}: last flashed value must be the client's last write", lba
+                );
+            }
+        }
+        prop_assert!(
+            backend_per_lba.is_empty(),
+            "backend saw LBAs the client never wrote: {:?}",
+            backend_per_lba.keys().collect::<Vec<_>>()
+        );
+
+        // Counter conservation: every client write took exactly one path,
+        // and every backend page was exactly one write-through or flush.
+        let s = cache.sample();
+        let total_writes: u64 = client.writes.values().map(|w| w.len() as u64).sum();
+        prop_assert_eq!(s.write_hits + s.admitted + s.write_through, total_writes);
+        prop_assert_eq!(s.write_through + s.flushed_pages, backend.len() as u64);
+        prop_assert!(s.evicted <= s.flushed_pages, "evictions are flushes too");
+    }
+}

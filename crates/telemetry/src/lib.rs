@@ -33,7 +33,7 @@
 //! went (see the [`span`] module).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod aggregate;
 pub mod buffer;
@@ -54,7 +54,8 @@ pub use hist::LatencyHistogram;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
 pub use runtime::{
-    EngineMetricsReport, EngineRuntime, EngineSnapshot, LaneSample, QueueSample, WorkerSample,
+    CacheRuntime, CacheSample, EngineMetricsReport, EngineRuntime, EngineSnapshot, LaneSample,
+    QueueSample, WorkerSample,
 };
 pub use shared::SharedSink;
 pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};

@@ -426,6 +426,219 @@ fn striped_power_cuts_preserve_acked_writes_on_every_channel() {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Service write cache: power cuts with the RAM cache interposed.
+// ---------------------------------------------------------------------------
+
+use flash_sim::service::cache::CacheConfig;
+use flash_sim::{EngineConfig, Service, ServiceConfig};
+use hotid::HotDataConfig;
+
+/// Host requests between service `flush` barriers — the durability ack
+/// boundary of the cached runs.
+const SERVICE_FLUSH_EVERY: u64 = 4;
+/// RAM write-cache capacity (pages): small enough that evictions and
+/// watermark batches fire between flushes.
+const SERVICE_CACHE_PAGES: usize = 8;
+
+fn service_build(kind: LayerKind, cfg: &SimConfig) -> Service {
+    // Eager admission so the small cache absorbs the workload's hot spans
+    // within a couple of rewrites.
+    let hot = HotDataConfig {
+        hot_threshold: 2,
+        ..HotDataConfig::default()
+    };
+    Service::build(
+        kind,
+        striped_geometry(2),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+        Some(swl_config()),
+        SwlCoordination::PerChannel,
+        cfg,
+        ServiceConfig::default()
+            .with_engine(EngineConfig::default().with_threads(2).with_queue_depth(4))
+            .with_cache(CacheConfig::sized(SERVICE_CACHE_PAGES).with_hot(hot)),
+    )
+    .expect("service build")
+}
+
+/// Host model of the cached runs: `acked` holds writes covered by a
+/// successful `flush` (these MUST survive a cut), `pending` the writes
+/// acked only as *accepted* since then (these may vanish).
+#[derive(Default)]
+struct ServiceModel {
+    acked: HashMap<u64, u64>,
+    pending: Vec<(u64, u64)>,
+}
+
+impl ServiceModel {
+    fn ack_pending(&mut self) {
+        for (lba, value) in self.pending.drain(..) {
+            self.acked.insert(lba, value);
+        }
+    }
+}
+
+/// Replays the mid-stripe workload through the cache-enabled service,
+/// flushing every [`SERVICE_FLUSH_EVERY`] requests; `Ok(true)` on a cut.
+fn service_replay(service: &mut Service, model: &mut ServiceModel) -> Result<bool, SimError> {
+    let spans = (service.logical_pages() / SPAN).min(8);
+    let mut since_flush = 0u64;
+    for round in 0..ROUNDS {
+        for i in 0..spans {
+            let base = (if i % 3 == 0 { i } else { (round + i) % 2 }) * SPAN;
+            let values: Vec<u64> = (0..SPAN)
+                .map(|off| (round << 32) | (i << 16) | (off << 8) | 0x5C)
+                .collect();
+            for (off, &value) in values.iter().enumerate() {
+                model.pending.push((base + off as u64, value));
+            }
+            match service.write(base, &values) {
+                Ok(()) => {}
+                Err(e) if is_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+            since_flush += 1;
+            if since_flush >= SERVICE_FLUSH_EVERY {
+                since_flush = 0;
+                match service.flush() {
+                    Ok(()) => model.ack_pending(),
+                    Err(e) if is_power_cut(&e) => return Ok(true),
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+    }
+    match service.flush() {
+        Ok(()) => model.ack_pending(),
+        Err(e) if is_power_cut(&e) => return Ok(true),
+        Err(e) => return Err(e),
+    }
+    Ok(false)
+}
+
+/// Device-op count of the full cached workload (max over lanes). The cache
+/// absorbs hot rewrites, so this is smaller than the cache-less runs.
+fn service_total_ops(kind: LayerKind) -> u64 {
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1)),
+        ..SimConfig::default()
+    };
+    let mut service = service_build(kind, &cfg);
+    let mut model = ServiceModel::default();
+    let cut = service_replay(&mut service, &mut model).expect("service baseline");
+    assert!(!cut, "service baseline must not see a power cut");
+    service
+        .into_devices()
+        .iter()
+        .map(|device| device.fault_ops())
+        .max()
+        .unwrap_or(0)
+}
+
+/// One cached crash/remount/verify cycle. Teardown drops the RAM cache —
+/// exactly what a power cut does to one — so un-acked writes may vanish;
+/// flush-acked writes must not. Returns how many un-acked writes did
+/// vanish, so the caller can assert the lossy side of the contract was
+/// actually exercised rather than vacuously true.
+fn run_service_cut_point(kind: LayerKind, cut_at: u64, torn: bool) -> u64 {
+    let ctx = format!("{kind} cache cut_at={cut_at} torn={torn}");
+    let cfg = SimConfig {
+        fault: Some(FaultPlan::new(1).with_power_cut(cut_at, torn)),
+        ..SimConfig::default()
+    };
+    let mut service = service_build(kind, &cfg);
+    let mut model = ServiceModel::default();
+    let cut = service_replay(&mut service, &mut model)
+        .unwrap_or_else(|e| panic!("{ctx}: workload failed: {e}"));
+    assert!(cut, "{ctx}: cut point must land inside the workload");
+
+    // -- power comes back on the shared rail; the RAM cache is gone --
+    let mut devices = service.into_devices();
+    assert!(
+        devices.iter().any(|d| d.power_is_cut()),
+        "{ctx}: some lane must report the cut"
+    );
+    for device in &mut devices {
+        device.disarm_power_cut();
+        device.power_cycle();
+    }
+    let geometry = striped_geometry(2);
+    let mut lanes = Vec::with_capacity(devices.len());
+    for device in devices {
+        lanes.push(
+            Layer::mount(kind, device, &SimConfig::default())
+                .unwrap_or_else(|e| panic!("{ctx}: remount failed: {e}")),
+        );
+    }
+
+    let mut candidates: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut last_pending: HashMap<u64, u64> = HashMap::new();
+    for &(lba, value) in &model.pending {
+        candidates.entry(lba).or_default().push(value);
+        last_pending.insert(lba, value);
+    }
+    for (&lba, &value) in &model.acked {
+        let lane = geometry.channel_of(lba) as usize;
+        let got = lanes[lane]
+            .read(geometry.lane_lba(lba))
+            .unwrap_or_else(|e| panic!("{ctx}: read({lba}) failed after remount: {e}"));
+        let in_flight_ok = candidates
+            .get(&lba)
+            .is_some_and(|values| values.iter().any(|&v| got == Some(v)));
+        assert!(
+            got == Some(value) || in_flight_ok,
+            "{ctx}: lba {lba} lost flush-acked value {value:#x}, read {got:?}"
+        );
+    }
+    let mut vanished = 0u64;
+    for (&lba, &value) in &last_pending {
+        let lane = geometry.channel_of(lba) as usize;
+        if let Ok(got) = lanes[lane].read(geometry.lane_lba(lba)) {
+            if got != Some(value) {
+                vanished += 1;
+            }
+        }
+    }
+
+    let lbas = (lanes[0].logical_pages() * 2).min(SPAN * 8);
+    for round in 0..2u64 {
+        for lba in 0..lbas {
+            let lane = geometry.channel_of(lba) as usize;
+            lanes[lane]
+                .write(geometry.lane_lba(lba), 0xFACE_0000 | (round << 8) | lba)
+                .unwrap_or_else(|e| panic!("{ctx}: post-recovery write failed: {e}"));
+        }
+    }
+    vanished
+}
+
+/// Strided sweep with the write cache interposed: flush-acked writes
+/// survive every cut point on both layers, and across the sweep some
+/// un-acked cached writes really vanish (the lossy side of the ack
+/// contract, asserted rather than assumed).
+#[test]
+fn service_cache_cuts_preserve_flush_acked_writes() {
+    let mut vanished = 0u64;
+    for kind in [LayerKind::Ftl, LayerKind::Nftl] {
+        let total = service_total_ops(kind);
+        assert!(total > 50, "{kind}: cached workload too small");
+        let step = (total / 10).max(1);
+        for torn in [false, true] {
+            let mut cut_at = if torn { step / 2 } else { 0 };
+            while cut_at < total {
+                vanished += run_service_cut_point(kind, cut_at, torn);
+                cut_at += step;
+            }
+        }
+    }
+    assert!(
+        vanished > 0,
+        "no un-acked cached write vanished across the sweep — the lossy side \
+         of the durability contract went unexercised"
+    );
+}
+
 /// At one channel the striped crash cycle is the plain one: the same
 /// workload, cut point, and remount must leave bit-identical contents,
 /// counters, and wear on a standalone layer of the lane geometry.
