@@ -17,9 +17,12 @@
 //! `swlspan --check` — so CI can gate on a golden fixture.
 //!
 //! Schema v2 adds the `cache` line kind (the service write cache's counter
-//! block, emitted by `svcbench --out`); a v2 checker still accepts v1
-//! exports, but `cache` lines are rejected in a file whose meta declares
-//! schema 1 — engtop itself drives a bare engine and never emits them.
+//! block, emitted by `svcbench --out`); schema v3 adds the `health` line
+//! kind (the health plane's per-tick SMART report, also emitted from the
+//! service path by `svcbench --out`). The checker still accepts older
+//! exports, but each line kind is rejected in a file whose meta declares a
+//! schema predating it — engtop itself drives a bare engine and never
+//! emits either.
 //!
 //! ```text
 //! engtop [quick|scaled|paper] [--events N] [--threads N] [--depth N]
@@ -39,8 +42,9 @@ use flash_trace::{SyntheticTrace, TraceEvent, WorkloadSpec};
 use nand::{CellKind, ChannelGeometry, Geometry};
 
 /// JSONL export schema version; bump on any line-shape change. v2 added
-/// the `cache` line kind for service write-cache counters.
-const SCHEMA: u64 = 2;
+/// the `cache` line kind for service write-cache counters; v3 added the
+/// `health` line kind for per-tick health-plane reports.
+const SCHEMA: u64 = 3;
 /// Oldest schema version `--check` still accepts.
 const MIN_SCHEMA: u64 = 1;
 const CHANNELS: u32 = 4;
@@ -395,6 +399,21 @@ fn required_fields(kind: &str) -> Option<&'static [&'static str]> {
             "dirty",
             "capacity",
         ]),
+        // Schema v3: the health plane's per-tick SMART report (forecast
+        // fields are optional — omitted while the forecast is unbounded).
+        "health" => Some(&[
+            "t_ms",
+            "state",
+            "life_used",
+            "host_pages",
+            "wear_max",
+            "wear_p90",
+            "wear_mean",
+            "retired",
+            "tail_rate",
+            "mean_rate",
+            "unevenness",
+        ]),
         _ => None,
     }
 }
@@ -403,8 +422,8 @@ fn num(fields: &[(String, JsonScalar)], key: &str) -> Option<f64> {
     fields.iter().find(|(k, _)| k == key)?.1.as_num()
 }
 
-/// Validates a JSONL export against schema v1. Returns every violation
-/// found (empty = clean).
+/// Validates a JSONL export against the declared schema version. Returns
+/// every violation found (empty = clean).
 fn check(text: &str) -> Result<u64, Vec<String>> {
     let mut errors = Vec::new();
     let mut meta: Option<(f64, f64)> = None; // (threads, channels)
@@ -557,6 +576,43 @@ fn check(text: &str) -> Result<u64, Vec<String>> {
                 ));
             }
         }
+        if kind == "health" {
+            if schema < 3 {
+                errors.push(format!(
+                    "line {}: health lines need schema v3, file declares v{schema}",
+                    n + 1
+                ));
+            }
+            let state = num(&fields, "state").unwrap_or(0.0);
+            if state > 2.0 {
+                errors.push(format!("line {}: health state {state} not in 0..=2", n + 1));
+            }
+            if num(&fields, "life_used").unwrap_or(0.0) < 0.0 {
+                errors.push(format!("line {}: negative life_used", n + 1));
+            }
+            let (max, p90) = (
+                num(&fields, "wear_max").unwrap_or(0.0),
+                num(&fields, "wear_p90").unwrap_or(0.0),
+            );
+            if p90 > max {
+                errors.push(format!("line {}: wear_p90 {p90} > wear_max {max}", n + 1));
+            }
+            // The forecast band, when present, must bracket the central
+            // estimate (earliest ≤ central ≤ latest).
+            let band = (
+                num(&fields, "forecast_earliest"),
+                num(&fields, "forecast_central"),
+                num(&fields, "forecast_latest"),
+            );
+            if let (Some(lo), Some(mid), Some(hi)) = band {
+                if !(lo <= mid && mid <= hi) {
+                    errors.push(format!(
+                        "line {}: forecast band {lo}..{mid}..{hi} out of order",
+                        n + 1
+                    ));
+                }
+            }
+        }
         if finals > 0 && kind != "final" {
             errors.push(format!("line {}: content after the final line", n + 1));
         }
@@ -693,8 +749,52 @@ mod tests {
         let meta_v2 = META.replace("\"schema\":1", "\"schema\":2");
         let over = format!("{meta_v2}\n{}\n{FINAL}\n", cache(1.0, 9, 8));
         assert!(check(&over).is_err());
-        let future = META.replace("\"schema\":1", "\"schema\":3");
+        let future = META.replace("\"schema\":1", "\"schema\":4");
         assert!(check(&format!("{future}\n{FINAL}\n")).is_err());
+    }
+
+    fn health(t_ms: f64, state: u64, p90: u64, max: u64, band: Option<(u64, u64, u64)>) -> String {
+        let forecast = band.map_or(String::new(), |(lo, mid, hi)| {
+            format!(
+                ",\"forecast_earliest\":{lo},\"forecast_central\":{mid},\
+                 \"forecast_latest\":{hi}"
+            )
+        });
+        format!(
+            "{{\"kind\":\"health\",\"seq\":0,\"t_ms\":{t_ms},\"state\":{state},\
+             \"life_used\":0.25,\"host_pages\":100,\"wear_max\":{max},\
+             \"wear_p90\":{p90},\"wear_mean\":3.5,\"retired\":0,\
+             \"tail_rate\":0.01,\"mean_rate\":0.008,\"unevenness\":1.2{forecast}}}"
+        )
+    }
+
+    #[test]
+    fn health_lines_need_schema_v3() {
+        let meta_v3 = META.replace("\"schema\":1", "\"schema\":3");
+        let ok = format!("{meta_v3}\n{}\n{FINAL}\n", health(1.0, 1, 4, 6, None));
+        assert_eq!(check(&ok), Ok(0));
+        let v2 = META.replace("\"schema\":1", "\"schema\":2");
+        let rejected = format!("{v2}\n{}\n{FINAL}\n", health(1.0, 1, 4, 6, None));
+        assert!(check(&rejected).is_err(), "health lines are not part of schema v2");
+    }
+
+    #[test]
+    fn rejects_bad_health_state_tail_and_band() {
+        let meta_v3 = META.replace("\"schema\":1", "\"schema\":3");
+        let bad_state = format!("{meta_v3}\n{}\n{FINAL}\n", health(1.0, 5, 4, 6, None));
+        assert!(check(&bad_state).is_err());
+        let bad_tail = format!("{meta_v3}\n{}\n{FINAL}\n", health(1.0, 0, 9, 6, None));
+        assert!(check(&bad_tail).is_err());
+        let good_band = format!(
+            "{meta_v3}\n{}\n{FINAL}\n",
+            health(1.0, 0, 4, 6, Some((50, 80, 120)))
+        );
+        assert_eq!(check(&good_band), Ok(0));
+        let bad_band = format!(
+            "{meta_v3}\n{}\n{FINAL}\n",
+            health(1.0, 0, 4, 6, Some((80, 50, 120)))
+        );
+        assert!(check(&bad_band).is_err());
     }
 
     #[test]

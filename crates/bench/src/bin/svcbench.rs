@@ -29,11 +29,19 @@
 //! out, cache off vs on — the cache's endurance contribution measured the
 //! way the paper's Figure 5 measures SWL's, as time-to-first-failure.
 //!
+//! A **capacity-eviction arm** parks the write cache's sync watermark at a
+//! deliberately tiny capacity and feeds multi-page spans of fresh LBAs, so
+//! admissions hit a full cache mid-write and must evict (the watermark
+//! drain only runs between write calls) — `evicted > 0` is asserted, not
+//! just measured, and recorded in `BENCH_service.json`.
+//!
 //! With `--out FILE` the final cache-on run is re-executed with a live
-//! sampler that exports engtop-schema-v2 JSONL — `sample` / `worker` /
-//! `lane` / `queue` lines plus the v2 `cache` line per tick — so
-//! `engtop --check FILE` can gate the export (CI checks a golden fixture
-//! produced this way).
+//! sampler that exports engtop-schema-v3 JSONL — `sample` / `worker` /
+//! `lane` / `queue` lines plus the v2 `cache` and v3 `health` lines per
+//! tick (the health plane rides the served path: an observer
+//! [`flash_telemetry::HealthMonitor`] folds the engine's shared wear-table
+//! samples) — so `engtop --check FILE` can gate the export (CI checks a
+//! golden fixture produced this way).
 //!
 //! Usage: `svcbench [quick|scaled|paper] [--ops N] [--out FILE]`
 
@@ -46,7 +54,7 @@ use flash_sim::{
     Engine, EngineConfig, LayerKind, SimConfig, StripedReport, SwlCoordination,
 };
 use flash_telemetry::runtime::CacheSample;
-use flash_telemetry::LatencyHistogram;
+use flash_telemetry::{HealthMonitor, HealthReport, LatencyHistogram};
 use flash_trace::TraceEvent;
 use hotid::HotDataConfig;
 use nand::{CellKind, CellSpec, ChannelGeometry, Geometry};
@@ -215,13 +223,16 @@ impl Point {
     }
 }
 
-fn service_config(depth: u32, cache_on: bool, metrics: bool) -> ServiceConfig {
+/// `observed` turns on both observer planes (wall-clock metrics + health)
+/// for the JSONL-exporting run; the sweep arms run bare.
+fn service_config(depth: u32, cache_on: bool, observed: bool) -> ServiceConfig {
     let mut config = ServiceConfig::default()
         .with_engine(
             EngineConfig::default()
                 .with_threads(CHANNELS)
                 .with_queue_depth(depth as usize)
-                .with_metrics(metrics),
+                .with_metrics(observed)
+                .with_health(observed),
         )
         .with_op_interval_ns(INTERVAL_NS);
     if cache_on {
@@ -452,8 +463,68 @@ fn failure_run(cache_on: bool) -> FailurePoint {
     }
 }
 
+/// Write-cache capacity of the eviction arm (tiny on purpose).
+const EVICTION_CAPACITY: usize = 8;
+
+/// Drives the write cache into *capacity* eviction, the code path the
+/// sweep never reaches (its watermark drain keeps the cache ahead of
+/// capacity): the watermark is parked AT capacity so [`need_sync`]'s
+/// between-call drain cannot help mid-write, the admission filter admits
+/// everything from the first touch, and every write is a 4-page span of
+/// fresh LBAs — once the cache fills, admitting the next page of a span
+/// must push the oldest entries out. Returns the final counter sample;
+/// `evicted > 0` is asserted by the caller.
+///
+/// [`need_sync`]: flash_sim::service::cache::WriteCache::need_sync
+fn eviction_run() -> CacheSample {
+    let scale = flash_sim::experiments::ExperimentScale::quick();
+    let cache = CacheConfig {
+        capacity: EVICTION_CAPACITY,
+        sync_watermark: EVICTION_CAPACITY,
+        batch: 2,
+        hot: HotDataConfig {
+            hot_threshold: 1,
+            ..HotDataConfig::default()
+        },
+    };
+    let config = ServiceConfig::default()
+        .with_engine(
+            EngineConfig::default()
+                .with_threads(CHANNELS)
+                .with_queue_depth(FAILURE_DEPTH as usize),
+        )
+        .with_op_interval_ns(INTERVAL_NS)
+        .with_cache(cache);
+    let mut service = Service::build(
+        LayerKind::Ftl,
+        geometry(&scale),
+        spec(&scale),
+        Some(swl(&scale)),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        config,
+    )
+    .expect("service build failed");
+    let (base, span) = client_slices(service.logical_pages(), 1)[0];
+    let mut value = 0u64;
+    for start in (base..base + span - 4).step_by(4).take(64) {
+        let data: Vec<u64> = (0..4)
+            .map(|_| {
+                value += 1;
+                value
+            })
+            .collect();
+        service.write(start, &data).expect("eviction-arm write failed");
+    }
+    let sample = service.cache_sample().expect("cache was enabled");
+    service.finish().expect("eviction-arm finish failed");
+    sample
+}
+
 /// Re-runs the heaviest cache-on configuration with the live sampler and
-/// returns engtop-schema-v2 JSONL (including per-tick `cache` lines).
+/// returns engtop-schema-v3 JSONL (including per-tick `cache` and `health`
+/// lines — the latter from an observer monitor over the engine's shared
+/// wear table, the served management plane's own data source).
 fn observed_run(
     scale: &flash_sim::experiments::ExperimentScale,
     ops_per_client: usize,
@@ -465,11 +536,13 @@ fn observed_run(
     let slices = client_slices(service.logical_pages(), clients);
     let metrics = service.metrics_handle();
     let cache_runtime = service.cache_runtime().expect("cache was enabled");
+    let health_runtime = service.health_runtime().expect("health was enabled");
+    let mut monitor = HealthMonitor::new(health_runtime.config());
     let threads = CHANNELS; // one worker per lane at this depth
 
     let mut jsonl = vec![json::object(|o| {
         o.str("kind", "engtop_meta")
-            .u64("schema", 2)
+            .u64("schema", 3)
             .u64("channels", u64::from(CHANNELS))
             .u64("threads", u64::from(threads))
             .u64("queue_depth", u64::from(depth))
@@ -501,7 +574,11 @@ fn observed_run(
 
     let mut seq = 0u64;
     while !workers.iter().all(std::thread::JoinHandle::is_finished) {
-        export_tick(&mut jsonl, seq, &metrics.snapshot(), &cache_runtime.sample());
+        let snap = metrics.snapshot();
+        let cache = cache_runtime.sample();
+        export_tick(&mut jsonl, seq, &snap, &cache);
+        let report = monitor.report_on(&health_runtime.sample(), Some(cache));
+        jsonl.push(health_line(seq, snap.elapsed_ns as f64 / 1e6, &report));
         seq += 1;
         std::thread::sleep(std::time::Duration::from_millis(INTERVAL_MS));
     }
@@ -511,6 +588,8 @@ fn observed_run(
     let service = server.join();
     let snap = metrics.snapshot();
     let cache = cache_runtime.sample();
+    let report = monitor.report_on(&health_runtime.sample(), Some(cache));
+    jsonl.push(health_line(seq, snap.elapsed_ns as f64 / 1e6, &report));
     service.finish().expect("service finish failed");
 
     jsonl.push(json::object(|o| {
@@ -528,6 +607,36 @@ fn observed_run(
             .u64("cache_flushed_pages", cache.flushed_pages);
     }));
     jsonl
+}
+
+/// One engtop-schema-v3 `health` line from a mid-run report.
+fn health_line(seq: u64, t_ms: f64, report: &HealthReport) -> String {
+    json::object(|o| {
+        o.str("kind", "health")
+            .u64("seq", seq)
+            .f64("t_ms", t_ms, 3)
+            .u64("state", report.state.code())
+            .f64("life_used", report.life_used, 4)
+            .u64("host_pages", report.host_pages)
+            .u64("wear_max", report.wear.max)
+            .u64("wear_p90", report.wear.p90)
+            .f64("wear_mean", report.wear.mean, 3)
+            .u64("retired", report.retired)
+            .f64("tail_rate", report.tail_rate, 6)
+            .f64("mean_rate", report.mean_rate, 6)
+            .f64("unevenness", report.unevenness_trend, 3);
+        // The band is omitted while the forecast is unbounded — the
+        // checker treats the three fields as optional together.
+        if let (Some(lo), Some(mid), Some(hi)) = (
+            report.forecast.earliest,
+            report.forecast.central,
+            report.forecast.latest,
+        ) {
+            o.u64("forecast_earliest", lo)
+                .u64("forecast_central", mid)
+                .u64("forecast_latest", hi);
+        }
+    })
 }
 
 /// One sampler tick: the engtop v1 lines plus the v2 `cache` line.
@@ -718,6 +827,20 @@ fn main() {
         failure_on.host_pages_to_failure as f64 / failure_off.host_pages_to_failure.max(1) as f64,
     );
 
+    let eviction = eviction_run();
+    assert!(
+        eviction.evicted > 0,
+        "the {EVICTION_CAPACITY}-page watermark-at-capacity arm must capacity-evict \
+         (admitted {}, evicted {})",
+        eviction.admitted,
+        eviction.evicted,
+    );
+    println!(
+        "capacity eviction ({EVICTION_CAPACITY}-page cache, watermark at capacity): \
+         {} admitted, {} evicted, {} flushed",
+        eviction.admitted, eviction.evicted, eviction.flushed_pages,
+    );
+
     let json_text = json::object(|o| {
         o.str("bench", "service_sweep")
             .str("layer", "ftl")
@@ -738,6 +861,13 @@ fn main() {
                  virtual-time device figures — deterministic for single-client \
                  arms, arrival-interleaving-dependent when clients > 1",
             )
+            .obj("capacity_eviction", |ev| {
+                ev.u64("cache_pages", EVICTION_CAPACITY as u64)
+                    .u64("admitted", eviction.admitted)
+                    .u64("evicted", eviction.evicted)
+                    .u64("flushed_pages", eviction.flushed_pages)
+                    .bool("evicted_nonzero", eviction.evicted > 0);
+            })
             .obj("first_failure", |ff| {
                 ff.u64("endurance", u64::from(FAILURE_ENDURANCE))
                     .u64("queue_depth", u64::from(FAILURE_DEPTH))
@@ -822,6 +952,6 @@ fn main() {
         let ops_per_client = total_ops / CLIENTS.last().unwrap();
         let jsonl = observed_run(&scale, ops_per_client);
         std::fs::write(&path, jsonl.join("\n") + "\n").expect("write JSONL export");
-        println!("wrote {} JSONL lines to {path} (engtop schema v2)", jsonl.len());
+        println!("wrote {} JSONL lines to {path} (engtop schema v3)", jsonl.len());
     }
 }

@@ -105,13 +105,19 @@ impl<S: Sink> NandDevice<S> {
 
     /// Replaces the telemetry sink (builder style), discarding the previous
     /// one. Emits an [`Event::Meta`] stream header carrying the schema
-    /// version and geometry, so JSONL logs are self-describing.
+    /// version and geometry, followed by an [`Event::Endurance`] header with
+    /// the cell spec's rated endurance (schema v4), so JSONL logs are
+    /// self-describing — health replay can forecast lifetime without
+    /// out-of-band configuration.
     pub fn with_sink<S2: Sink>(self, mut sink: S2) -> NandDevice<S2> {
         if S2::ENABLED {
             sink.event(Event::Meta {
                 version: SCHEMA_VERSION,
                 blocks: self.geometry.blocks(),
                 pages_per_block: self.geometry.pages_per_block(),
+            });
+            sink.event(Event::Endurance {
+                limit: self.spec.endurance as u64,
             });
         }
         NandDevice {
@@ -270,6 +276,29 @@ impl<S: Sink> NandDevice<S> {
     /// Per-block erase counts, indexed by block.
     pub fn erase_counts(&self) -> Vec<u64> {
         self.blocks.iter().map(|b| b.erase_count()).collect()
+    }
+
+    /// Number of grown-bad blocks retired from rotation by the fault layer.
+    /// Always 0 without a fault plan (organic endurance exhaustion is
+    /// tracked by [`worn_blocks`](Self::worn_blocks) instead).
+    pub fn retired_blocks(&self) -> u32 {
+        (0..self.geometry.blocks())
+            .filter(|&b| self.is_bad_block(b))
+            .count() as u32
+    }
+
+    /// Erase cycles left on the most-worn block before it reaches the
+    /// spec's rated endurance (0 once any block is at or past its rating).
+    /// The health plane's forecast divides this headroom by the observed
+    /// tail wear rate.
+    pub fn wear_headroom(&self) -> u64 {
+        let max = self
+            .blocks
+            .iter()
+            .map(|b| b.erase_count())
+            .max()
+            .unwrap_or(0);
+        (self.spec.endurance as u64).saturating_sub(max)
     }
 
     fn check_power(&self) -> Result<(), NandError> {
@@ -674,6 +703,7 @@ mod tests {
                     blocks: 4,
                     pages_per_block: 4,
                 },
+                Event::Endurance { limit: 10 },
                 Event::Program { block: 1, page: 0 },
                 Event::Erase {
                     block: 2,
@@ -699,7 +729,7 @@ mod tests {
         }
         assert_eq!(plain.erase_counts(), probed.erase_counts());
         assert_eq!(plain.counters(), probed.counters());
-        assert_eq!(probed.sink_mut().events, 4); // meta + 3 erases
+        assert_eq!(probed.sink_mut().events, 5); // meta + endurance + 3 erases
     }
 
     #[test]

@@ -60,6 +60,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use flash_telemetry::buffer::{merge_lane_buffers, LaneBuffer};
+use flash_telemetry::health::{HealthConfig, HealthRuntime};
 use flash_telemetry::runtime::{EngineMetricsReport, EngineRuntime, EngineSnapshot, QueueSample};
 use flash_telemetry::{Event, LatencyHistogram, Sink};
 use flash_trace::{Op, TraceEvent};
@@ -91,14 +92,26 @@ pub struct EngineSink {
     enabled: bool,
     epoch: Arc<AtomicU64>,
     buffer: LaneBuffer,
+    /// Health-plane tap: the shared wear table plus this lane's flat-block
+    /// base. Rides the emission sites the device already has — no clock
+    /// reads, no locks, just relaxed stores on wear-bearing events — and is
+    /// independent of `enabled`, so health stays live with telemetry
+    /// buffering off.
+    health: Option<(Arc<HealthRuntime>, u64)>,
 }
 
 impl EngineSink {
-    fn new(lane: u32, enabled: bool, epoch: Arc<AtomicU64>) -> Self {
+    fn new(
+        lane: u32,
+        enabled: bool,
+        epoch: Arc<AtomicU64>,
+        health: Option<(Arc<HealthRuntime>, u64)>,
+    ) -> Self {
         Self {
             enabled,
             epoch,
             buffer: LaneBuffer::new(lane),
+            health,
         }
     }
 
@@ -111,6 +124,9 @@ impl EngineSink {
 impl Sink for EngineSink {
     #[inline]
     fn event(&mut self, event: Event) {
+        if let Some((health, base)) = &self.health {
+            health.observe_event(*base, &event);
+        }
         if self.enabled {
             self.buffer.set_epoch(self.epoch.load(Ordering::Relaxed));
             self.buffer.event(event);
@@ -447,6 +463,10 @@ pub struct EngineConfig {
     /// closed-loop replayer has no use for the data and the queue would
     /// grow without bound if nobody drained it.
     pub capture_reads: bool,
+    /// Maintain the shared [`HealthRuntime`] wear table for mid-run health
+    /// sampling ([`Engine::health_runtime`]). Rides the existing telemetry
+    /// emission sites: no clock reads or locks added to workers.
+    pub health: bool,
 }
 
 impl Default for EngineConfig {
@@ -457,6 +477,7 @@ impl Default for EngineConfig {
             telemetry: false,
             metrics: false,
             capture_reads: false,
+            health: false,
         }
     }
 }
@@ -492,6 +513,12 @@ impl EngineConfig {
     /// must drain [`Engine::take_completed_reads`] after every flush.
     pub fn with_read_capture(mut self, enabled: bool) -> Self {
         self.capture_reads = enabled;
+        self
+    }
+
+    /// Enables the live health plane (see [`EngineConfig::health`]).
+    pub fn with_health(mut self, enabled: bool) -> Self {
+        self.health = enabled;
         self
     }
 }
@@ -581,6 +608,8 @@ pub struct Engine {
     completions: Arc<ShardQueue<LaneCompletion>>,
     workers: Vec<JoinHandle<ReturnedLanes>>,
     runtime: Arc<EngineRuntime>,
+    health: Option<Arc<HealthRuntime>>,
+    endurance: u32,
     // Front-end (submission-order) state.
     next_token: u64,
     next_seq: u64,
@@ -628,6 +657,7 @@ pub struct EngineRun {
     pub metrics: Option<EngineMetricsReport>,
     telemetry: bool,
     geometry: ChannelGeometry,
+    endurance: u32,
     lanes: Vec<Layer<EngineSink>>,
 }
 
@@ -643,9 +673,10 @@ impl EngineRun {
     }
 
     /// Consumes the run and produces the merged telemetry stream: one
-    /// array-level [`Event::Meta`] header followed by the deterministic
-    /// `(op epoch, lane, emission index)` merge of the per-lane buffers.
-    /// Empty when telemetry was disabled.
+    /// array-level [`Event::Meta`] header and an [`Event::Endurance`]
+    /// header (schema v4) followed by the deterministic `(op epoch, lane,
+    /// emission index)` merge of the per-lane buffers. Empty when telemetry
+    /// was disabled.
     pub fn into_telemetry(self) -> Vec<Event> {
         if !self.telemetry {
             return Vec::new();
@@ -655,15 +686,20 @@ impl EngineRun {
             .into_iter()
             .map(|l| l.into_device().into_sink().into_buffer())
             .collect();
-        let mut events = vec![Event::Meta {
-            version: flash_telemetry::SCHEMA_VERSION,
-            blocks: self
-                .geometry
-                .total_blocks()
-                .try_into()
-                .expect("array block count exceeds u32"),
-            pages_per_block: self.geometry.chip().pages_per_block(),
-        }];
+        let mut events = vec![
+            Event::Meta {
+                version: flash_telemetry::SCHEMA_VERSION,
+                blocks: self
+                    .geometry
+                    .total_blocks()
+                    .try_into()
+                    .expect("array block count exceeds u32"),
+                pages_per_block: self.geometry.chip().pages_per_block(),
+            },
+            Event::Endurance {
+                limit: self.endurance as u64,
+            },
+        ];
         events.extend(merge_lane_buffers(buffers));
         events
     }
@@ -691,11 +727,31 @@ impl Engine {
         let deferred = channels > 1 && coordination == SwlCoordination::Global;
         let lockstep = deferred && swl.is_some();
 
+        // The health runtime's estimator work constant scales with expected
+        // device lifetime in host pages (~ blocks × endurance × ppb / 8 at
+        // write amplification ≈ 2), so the forecast averages over recent
+        // life, not just the last few samples.
+        let health = engine.health.then(|| {
+            let blocks = geometry.total_blocks();
+            let ppb = u64::from(geometry.chip().pages_per_block());
+            let lifetime_pages = blocks
+                .saturating_mul(u64::from(spec.endurance))
+                .saturating_mul(ppb)
+                / 2;
+            let tau = (lifetime_pages / 8).max(1024) as f64;
+            Arc::new(HealthRuntime::new(
+                blocks as usize,
+                HealthConfig::new(u64::from(spec.endurance)).with_tau_pages(tau),
+            ))
+        });
         let mut groups: Vec<Vec<WorkerLane>> = (0..threads).map(|_| Vec::new()).collect();
         let mut logical_pages = 0u64;
         for lane in 0..channels {
             let epoch = Arc::new(AtomicU64::new(0));
-            let sink = EngineSink::new(lane, engine.telemetry, Arc::clone(&epoch));
+            let lane_health = health
+                .as_ref()
+                .map(|h| (Arc::clone(h), geometry.flat_block(lane, 0)));
+            let sink = EngineSink::new(lane, engine.telemetry, Arc::clone(&epoch), lane_health);
             let device = NandDevice::new(geometry.lane_geometry(), spec).with_sink_silent(sink);
             let lane_swl = swl.map(|base| {
                 let seed = if lane == 0 {
@@ -766,6 +822,8 @@ impl Engine {
             completions,
             workers,
             runtime,
+            health,
+            endurance: spec.endurance,
             next_token: 0,
             next_seq: 0,
             finalize_next: 0,
@@ -831,6 +889,13 @@ impl Engine {
         }
     }
 
+    /// The shared health-plane wear table, sampleable from any thread while
+    /// the engine runs (the `metrics_handle` idiom for wear instead of
+    /// wall-clock). `None` unless built with [`EngineConfig::with_health`].
+    pub fn health_runtime(&self) -> Option<Arc<HealthRuntime>> {
+        self.health.as_ref().map(Arc::clone)
+    }
+
     fn queue_for(&self, lane: u32) -> &ShardQueue<LaneCommand> {
         &self.command_queues[(lane % self.threads) as usize]
     }
@@ -890,6 +955,11 @@ impl Engine {
         self.host_span_ns = self.host_span_ns.max(event.at_ns);
         if self.metrics {
             self.runtime.op_submitted();
+        }
+        if let Some(h) = &self.health {
+            if event.op == Op::Write {
+                h.add_host_pages(u64::from(event.len));
+            }
         }
         if self.lockstep {
             self.submit_lockstep(event, data)
@@ -981,6 +1051,7 @@ impl Engine {
 
     fn absorb(&mut self, completion: LaneCompletion) {
         self.shards[completion.lane as usize].absorb(completion.shard);
+        self.publish_bet_gauges();
         let index = (completion.op_seq - self.finalize_next) as usize;
         let op = &mut self.pending[index];
         op.received += 1;
@@ -1062,6 +1133,19 @@ impl Engine {
         Ok(())
     }
 
+    /// Publishes the array-wide BET interval gauges (summed over the cached
+    /// lane shard snapshots) to the health runtime. Front-end-only work on
+    /// the completion-absorb path; no-op without the health plane.
+    fn publish_bet_gauges(&self) {
+        if let Some(h) = &self.health {
+            let (ecnt, fcnt) = self
+                .shards
+                .iter()
+                .fold((0u64, 0u64), |(e, f), s| (e + s.view.ecnt, f + s.view.fcnt));
+            h.set_bet(ecnt, fcnt);
+        }
+    }
+
     fn note_first_failure(&mut self, at_ns: u64) {
         if self.first_failure.is_some() {
             return;
@@ -1090,6 +1174,7 @@ impl Engine {
             .pop()
             .expect("completion queue closed with a command in flight");
         self.shards[completion.lane as usize].absorb(completion.shard);
+        self.publish_bet_gauges();
         self.lane_failure[completion.lane as usize] = completion.failure;
         if let Some((_, e)) = completion.error {
             self.error = Some(e);
@@ -1380,6 +1465,7 @@ impl Engine {
             metrics,
             telemetry: self.telemetry,
             geometry: self.geometry,
+            endurance: self.endurance,
             lanes,
         })
     }

@@ -68,6 +68,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use flash_telemetry::health::{HealthMonitor, HealthReport, HealthRuntime};
 use flash_telemetry::runtime::{CacheRuntime, CacheSample};
 use flash_telemetry::LatencyHistogram;
 use flash_trace::TraceEvent;
@@ -139,6 +140,9 @@ pub struct ServiceRun {
     pub run: EngineRun,
     /// Final cache counters (`None` when the service ran cache-less).
     pub cache: Option<CacheSample>,
+    /// Final health report (`None` unless the engine ran with
+    /// [`EngineConfig::with_health`]).
+    pub health: Option<HealthReport>,
     /// Host ops the service accepted (writes + reads + trims).
     pub ops: u64,
 }
@@ -149,6 +153,10 @@ pub struct ServiceRun {
 pub struct Service {
     engine: Engine,
     cache: Option<WriteCache>,
+    /// Health-plane monitor folding [`HealthRuntime`] samples into wear
+    /// rates (present only when the engine runs with
+    /// [`EngineConfig::with_health`]).
+    monitor: Option<HealthMonitor>,
     /// Pages masked by a trim since their last write. Advisory and
     /// RAM-only: not persisted across a crash.
     trimmed: HashSet<u64>,
@@ -191,9 +199,13 @@ impl Service {
         let cache = config
             .cache
             .map(|c| WriteCache::new(c).expect("invalid cache admission config"));
+        let monitor = engine
+            .health_runtime()
+            .map(|rt| HealthMonitor::new(rt.config()));
         Ok(Self {
             engine,
             cache,
+            monitor,
             trimmed: HashSet::new(),
             clock_ns: 0,
             op_interval_ns: config.op_interval_ns.max(1),
@@ -233,6 +245,29 @@ impl Service {
     /// engine was built with [`EngineConfig::with_metrics`]).
     pub fn metrics_handle(&self) -> EngineMetricsHandle {
         self.engine.metrics_handle()
+    }
+
+    /// The engine's shared health-plane wear table, for out-of-band
+    /// observers (`None` unless built with [`EngineConfig::with_health`]).
+    pub fn health_runtime(&self) -> Option<Arc<HealthRuntime>> {
+        self.engine.health_runtime()
+    }
+
+    /// SMART-style health report at this instant: samples the shared wear
+    /// table, folds the delta since the previous report into the wear-rate
+    /// estimators, and attaches current cache counters. `None` unless the
+    /// engine runs with [`EngineConfig::with_health`].
+    ///
+    /// A pure read of the management plane: no engine submission, no
+    /// logical-clock tick — a cache-off service that interleaves `stats`
+    /// calls stays bit-identical to a direct engine run of the same I/O
+    /// sequence (`tests/service_oracle.rs` pins this).
+    pub fn stats(&mut self) -> Option<HealthReport> {
+        let runtime = self.engine.health_runtime()?;
+        let sample = runtime.sample();
+        let cache = self.cache_sample();
+        let monitor = self.monitor.as_mut().expect("monitor exists iff runtime");
+        Some(monitor.report_on(&sample, cache))
     }
 
     /// Advances the logical clock by one op tick and returns the stamp.
@@ -435,11 +470,13 @@ impl Service {
     /// either way.
     pub fn finish(mut self) -> Result<ServiceRun, SimError> {
         self.flush()?;
+        let health = self.stats();
         let cache = self.cache_sample();
         let run = self.engine.finish()?;
         Ok(ServiceRun {
             run,
             cache,
+            health,
             ops: self.ops,
         })
     }
@@ -479,10 +516,17 @@ pub enum Request {
     },
     /// Durability barrier (ack = everything prior is on flash).
     Flush,
+    /// Management verb: SMART-style health report (see [`Service::stats`]).
+    /// Travels the same bounded queue as I/O — a real production management
+    /// plane with no side channel and no new locks in the data path.
+    Stats,
 }
 
 /// The service's reply to one [`Request`].
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// (`PartialEq` only: [`HealthReport`] carries `f64` rates, so `Stats`
+/// replies have no total equality.)
+#[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The write was accepted.
     Written,
@@ -492,6 +536,9 @@ pub enum Response {
     Trimmed,
     /// Everything previously accepted is durable.
     Flushed,
+    /// The health report, boxed to keep reply envelopes small. `None` when
+    /// the service runs without the health plane.
+    Stats(Option<Box<HealthReport>>),
     /// The op failed (engine errors are sticky — every later op fails
     /// with the same error).
     Error(SimError),
@@ -608,6 +655,16 @@ impl ServiceClient {
         }
     }
 
+    /// Queries the service's SMART-style health report over the same
+    /// bounded queue as I/O (linearized with the data path, no side
+    /// channel). `None` when the service runs without the health plane.
+    pub fn stats(&mut self) -> Option<HealthReport> {
+        match self.call(Request::Stats) {
+            Response::Stats(report) => report.map(|b| *b),
+            other => panic!("mismatched reply to stats: {other:?}"),
+        }
+    }
+
     /// Durability barrier: when this returns `Ok`, every write this (or
     /// any) client had acked before the call survives a power cut.
     ///
@@ -704,6 +761,7 @@ impl Service {
                 Ok(()) => Response::Flushed,
                 Err(e) => Response::Error(e),
             },
+            Request::Stats => Response::Stats(self.stats().map(Box::new)),
         }
     }
 }

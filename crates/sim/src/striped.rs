@@ -126,6 +126,9 @@ impl<S: Sink> StripedLayer<S> {
                     .expect("array block count exceeds u32"),
                 pages_per_block: geometry.chip().pages_per_block(),
             });
+            shared.event(Event::Endurance {
+                limit: spec.endurance as u64,
+            });
         }
         let channels = geometry.channels();
         let deferred = channels > 1 && coordination == SwlCoordination::Global;

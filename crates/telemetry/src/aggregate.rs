@@ -54,6 +54,42 @@ pub struct WearSummary {
     pub p99: u64,
 }
 
+impl WearSummary {
+    /// Summary of an arbitrary collection of per-block erase counts.
+    /// Returns the default (all-zero) summary for an empty collection.
+    pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        let mut sorted: Vec<u64> = counts.into_iter().collect();
+        if sorted.is_empty() {
+            return WearSummary::default();
+        }
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let sum: u64 = sorted.iter().sum();
+        let mean = sum as f64 / n as f64;
+        let var = sorted
+            .iter()
+            .map(|&w| {
+                let d = w as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / n as f64;
+        let rank = |q: f64| -> u64 {
+            let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
+            sorted[idx.min(n - 1)]
+        };
+        WearSummary {
+            mean,
+            std_dev: var.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            p50: rank(0.50),
+            p90: rank(0.90),
+            p99: rank(0.99),
+        }
+    }
+}
+
 /// Erase/copy attribution for one resetting interval.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IntervalStats {
@@ -106,6 +142,7 @@ pub struct Snapshot {
 pub struct MetricsAggregator {
     counters: FlashCounters,
     meta: Option<(u32, u32, u32)>,
+    endurance: Option<u64>,
     events: u64,
     programs: u64,
     external_erases: u64,
@@ -154,6 +191,7 @@ impl MetricsAggregator {
         Self {
             counters: FlashCounters::default(),
             meta: None,
+            endurance: None,
             events: 0,
             programs: 0,
             external_erases: 0,
@@ -191,6 +229,12 @@ impl MetricsAggregator {
     /// if a [`Event::Meta`] was seen.
     pub fn meta(&self) -> Option<(u32, u32, u32)> {
         self.meta
+    }
+
+    /// Rated erase endurance from the stream's [`Event::Endurance`] header
+    /// (schema v4), if one was seen.
+    pub fn endurance(&self) -> Option<u64> {
+        self.endurance
     }
 
     /// Total events folded so far.
@@ -273,36 +317,9 @@ impl MetricsAggregator {
             Some((_, blocks, _)) => blocks as usize,
             None => self.wear.len(),
         };
-        let mut sorted: Vec<u64> = self.wear.to_vec();
-        sorted.resize(blocks.max(sorted.len()), 0);
-        if sorted.is_empty() {
-            return WearSummary::default();
-        }
-        sorted.sort_unstable();
-        let n = sorted.len();
-        let sum: u64 = sorted.iter().sum();
-        let mean = sum as f64 / n as f64;
-        let var = sorted
-            .iter()
-            .map(|&w| {
-                let d = w as f64 - mean;
-                d * d
-            })
-            .sum::<f64>()
-            / n as f64;
-        let rank = |q: f64| -> u64 {
-            let idx = ((q * n as f64).ceil() as usize).max(1) - 1;
-            sorted[idx.min(n - 1)]
-        };
-        WearSummary {
-            mean,
-            std_dev: var.sqrt(),
-            min: sorted[0],
-            max: sorted[n - 1],
-            p50: rank(0.50),
-            p90: rank(0.90),
-            p99: rank(0.99),
-        }
+        let mut padded: Vec<u64> = self.wear.to_vec();
+        padded.resize(blocks.max(padded.len()), 0);
+        WearSummary::from_counts(padded)
     }
 
     fn grow_to(&mut self, block: u32) {
@@ -420,6 +437,7 @@ impl Sink for MetricsAggregator {
                 self.meta = Some((version, blocks, pages_per_block));
                 self.grow_to(blocks.saturating_sub(1));
             }
+            Event::Endurance { limit } => self.endurance = Some(limit),
             Event::HostWrite { .. } => self.counters.host_writes += 1,
             Event::HostRead { .. } => self.counters.host_reads += 1,
             Event::HostTrim { .. } => self.counters.trims += 1,

@@ -33,6 +33,9 @@ pub fn write_line(out: &mut String, event: &Event) {
                 "{{\"e\":\"meta\",\"v\":{version},\"blocks\":{blocks},\"ppb\":{pages_per_block}}}"
             );
         }
+        Event::Endurance { limit } => {
+            let _ = write!(out, "{{\"e\":\"endurance\",\"limit\":{limit}}}");
+        }
         Event::HostWrite { lba } => {
             let _ = write!(out, "{{\"e\":\"host_write\",\"lba\":{lba}}}");
         }
@@ -320,6 +323,9 @@ pub fn parse_line(line: &str) -> Result<Event, ParseError> {
             blocks: num32(&fields, "meta", "blocks")?,
             pages_per_block: num32(&fields, "meta", "ppb")?,
         }),
+        "endurance" => Ok(Event::Endurance {
+            limit: num(&fields, "endurance", "limit")?,
+        }),
         "host_write" => Ok(Event::HostWrite {
             lba: num(&fields, "host_write", "lba")?,
         }),
@@ -403,6 +409,7 @@ mod tests {
                 blocks: 64,
                 pages_per_block: 32,
             },
+            Event::Endurance { limit: 10_000 },
             Event::HostWrite { lba: 12345 },
             Event::HostRead { lba: 0 },
             Event::HostTrim { lba: u64::MAX },

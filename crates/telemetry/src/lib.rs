@@ -39,6 +39,7 @@ pub mod aggregate;
 pub mod buffer;
 mod counters;
 pub mod flight;
+pub mod health;
 pub mod hist;
 pub mod json;
 pub mod jsonl;
@@ -50,6 +51,10 @@ pub use aggregate::{IntervalStats, MetricsAggregator, RetirementAudit, Snapshot,
 pub use buffer::{merge_lane_buffers, LaneBuffer};
 pub use counters::FlashCounters;
 pub use flight::FlightRecorder;
+pub use health::{
+    forecast, Forecast, HealthConfig, HealthMonitor, HealthReport, HealthRuntime, HealthSample,
+    HealthState, WearRateEstimator, HALF_LIFE_ERROR_BOUND,
+};
 pub use hist::LatencyHistogram;
 pub use json::{parse_line, to_line, write_line, ParseError};
 pub use jsonl::JsonlSink;
@@ -74,7 +79,12 @@ pub use span::{OpBreakdown, SpanCause, SpanCheck, SpanReplayer, SpanTracker};
 ///   additionally carry [`Event::Channel`] markers (a compatible v3
 ///   extension: markers appear only when the active lane changes, so
 ///   single-channel logs are unchanged).
-pub const SCHEMA_VERSION: u32 = 3;
+/// - 4: adds the [`Event::Endurance`] stream header carrying the device's
+///   rated erase endurance, emitted right after [`Event::Meta`] when the
+///   cell spec is known. Lets the health plane ([`health`]) forecast
+///   time-to-first-block-failure from a replayed log without out-of-band
+///   configuration. Optional: streams without it still parse.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// Why a block was erased (or a set of pages live-copied).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,6 +220,14 @@ pub enum Event {
         blocks: u32,
         /// Pages per block.
         pages_per_block: u32,
+    },
+    /// Stream header (schema v4): the device's rated erase endurance.
+    /// Emitted right after [`Event::Meta`] when the cell spec is known, so
+    /// health replay can forecast lifetime without out-of-band config.
+    /// Optional — streams without it still parse.
+    Endurance {
+        /// Rated program/erase cycles per block.
+        limit: u64,
     },
     /// A host-issued logical write was accepted.
     HostWrite {

@@ -1,0 +1,135 @@
+//! End-to-end honesty of the health plane's failure forecast: a real
+//! endurance-limited run to actual first block failure, scored against the
+//! forecast the plane gave at half of the device's realized life. A small
+//! in-tree replica of `healthbench`'s rated arm, pinned as a test so the
+//! [`HALF_LIFE_ERROR_BOUND`] documented in `flash_telemetry::health` stays
+//! an asserted contract, not a hope.
+//!
+//! Every report here is taken at a durability barrier, so the run and the
+//! resulting error figure are deterministic.
+
+use flash_sim::service::{Service, ServiceConfig};
+use flash_sim::{EngineConfig, LayerKind, SimConfig, SwlCoordination};
+use flash_telemetry::health::{HealthState, HALF_LIFE_ERROR_BOUND};
+use nand::{CellKind, ChannelGeometry, Geometry};
+use swl_core::rng::SplitMix64;
+use swl_core::SwlConfig;
+
+const CHANNELS: u32 = 4;
+/// Low rated endurance so the quick geometry fails in test time. Matches
+/// `healthbench`'s rated arm: short enough for seconds-scale runs, long
+/// enough that the wear-rate estimator is settled by half life.
+const ENDURANCE: u32 = 24;
+const RECORD_EVERY: u64 = 200;
+
+fn build_service() -> Service {
+    let geometry = ChannelGeometry::new(CHANNELS, 1, Geometry::new(16, 32, 2048));
+    Service::build(
+        LayerKind::Ftl,
+        geometry,
+        CellKind::Mlc2.spec().with_endurance(ENDURANCE),
+        Some(SwlConfig::new(100, 0).with_seed(42)),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        ServiceConfig::default().with_engine(
+            EngineConfig::default()
+                .with_threads(CHANNELS)
+                .with_queue_depth(8)
+                .with_health(true),
+        ),
+    )
+    .expect("service build failed")
+}
+
+/// The healthbench workload shape: hot-biased 1–4 page writes over 40 % of
+/// the logical space, 90 % of them inside the hot eighth.
+struct Workload {
+    rng: SplitMix64,
+    span: u64,
+    hot_set: u64,
+    next_value: u64,
+}
+
+impl Workload {
+    fn new(logical_pages: u64) -> Self {
+        let span = (logical_pages * 2 / 5).max(8);
+        Self {
+            rng: SplitMix64::new(42 ^ 0x5EA1),
+            span,
+            hot_set: (span / 8).max(4).min(span),
+            next_value: 0,
+        }
+    }
+
+    fn next(&mut self) -> (u64, Vec<u64>) {
+        let len = self.rng.range_usize(1..5).min(self.span as usize);
+        let lba = if self.rng.chance(0.9) {
+            self.rng.next_below(self.hot_set)
+        } else {
+            self.rng.next_below(self.span)
+        }
+        .min(self.span - len as u64);
+        let data = (0..len)
+            .map(|_| {
+                self.next_value += 1;
+                self.next_value
+            })
+            .collect();
+        (lba, data)
+    }
+}
+
+#[test]
+fn half_life_forecast_predicts_first_failure_within_bound() {
+    let mut service = build_service();
+    let mut workload = Workload::new(service.logical_pages());
+    // (host_pages, central forecast) at each barrier-quiesced poll.
+    let mut records: Vec<(u64, Option<u64>)> = Vec::new();
+    let mut ops = 0u64;
+    while service.first_failure().is_none() {
+        let (lba, data) = workload.next();
+        service.write(lba, &data).expect("write failed");
+        ops += 1;
+        if ops.is_multiple_of(RECORD_EVERY) {
+            service.flush().expect("flush failed");
+            let report = service.stats().expect("health was enabled");
+            records.push((report.host_pages, report.forecast.central));
+        }
+        assert!(ops < 2_000_000, "run must reach first failure");
+    }
+    service.flush().expect("post-failure flush failed");
+    let final_report = service.stats().expect("health was enabled");
+    service.finish().expect("service finish failed");
+
+    // At the realized failure the plane must say so, in every field.
+    assert_eq!(
+        final_report.state,
+        HealthState::Critical,
+        "a device at first failure must report critical"
+    );
+    assert!(
+        final_report.life_used >= 1.0,
+        "life_used {} below 1.0 at first failure",
+        final_report.life_used
+    );
+    assert_eq!(
+        final_report.forecast.central,
+        Some(0),
+        "the forecast must hit zero once a block is at its rating"
+    );
+
+    // Score the forecast taken nearest 50 % of the realized life.
+    let total = final_report.host_pages;
+    let (at_pages, central) = records
+        .iter()
+        .filter_map(|&(pages, central)| central.map(|c| (pages, c)))
+        .min_by_key(|&(pages, _)| pages.abs_diff(total / 2))
+        .expect("a failing run produces bounded forecasts");
+    let predicted = at_pages + central;
+    let error = (predicted as f64 - total as f64).abs() / total as f64;
+    assert!(
+        error <= HALF_LIFE_ERROR_BOUND,
+        "half-life forecast error {error:.3} exceeds the documented bound \
+         {HALF_LIFE_ERROR_BOUND} (at {at_pages} pages predicted {predicted}, reality {total})"
+    );
+}

@@ -249,6 +249,84 @@ fn cache_off_service_is_bit_identical_nftl() {
     cache_off_matches_engine(LayerKind::Nftl, 2);
 }
 
+/// The `Stats` management verb is a pure read: a cache-off service with
+/// the health plane enabled, polled every 97 ops, must stay bit-identical
+/// to a bare engine (health off) driving the same sequence — the observer
+/// never perturbs the device.
+#[test]
+fn stats_polling_service_stays_bit_identical() {
+    let kind = LayerKind::Ftl;
+    let channels = 2u32;
+    let probe = Engine::new(
+        kind,
+        geometry(channels),
+        spec(),
+        Some(swl()),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        EngineConfig::default(),
+    )
+    .unwrap();
+    let logical = probe.logical_pages();
+    probe.finish().unwrap();
+
+    let ops = workload(logical, 2_500, 0xD1CE);
+    let engine_config = EngineConfig::default().with_threads(2).with_queue_depth(16);
+    let (engine_report, engine_contents) = engine_reference(kind, channels, &ops, engine_config);
+
+    let mut service = Service::build(
+        kind,
+        geometry(channels),
+        spec(),
+        Some(swl()),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        ServiceConfig::default()
+            .with_engine(engine_config.with_health(true))
+            .with_op_interval_ns(INTERVAL_NS),
+    )
+    .unwrap();
+    let pages = service.logical_pages();
+    let mut next_value = 0u64;
+    let mut last_host_pages = 0u64;
+    let mut polls = 0u64;
+    for (i, op) in ops.iter().enumerate() {
+        match *op {
+            HostOp::Write { lba, len } => {
+                let values: Vec<u64> = (0..len)
+                    .map(|_| {
+                        next_value += 1;
+                        next_value
+                    })
+                    .collect();
+                service.write(lba, &values).unwrap();
+            }
+            HostOp::Read { lba, len } => {
+                service.read(lba, len).unwrap();
+            }
+        }
+        if i % 97 == 96 {
+            let report = service.stats().expect("health was enabled");
+            assert!(
+                report.host_pages >= last_host_pages,
+                "host_pages must be monotone across stats polls"
+            );
+            last_host_pages = report.host_pages;
+            polls += 1;
+        }
+    }
+    assert!(polls > 0, "the interleaving must actually poll");
+    let finished = service.finish().unwrap();
+    let health = finished.health.expect("health was enabled");
+    assert!(health.host_pages > 0, "the run wrote pages");
+    let mut run = finished.run;
+    let report = run.report.clone();
+    let geo = geometry(channels);
+    let data = contents(&mut run, &geo, pages);
+    assert_eq!(report, engine_report, "stats-polling service report diverged");
+    assert_eq!(data, engine_contents, "stats-polling service contents diverged");
+}
+
 #[test]
 fn cache_on_read_your_writes_matches_model() {
     let mut service = Service::build(
