@@ -30,6 +30,19 @@
 //! writes really do vanish at some cut points (counted and required, so
 //! the lossy side of the contract is asserted, not assumed).
 //!
+//! A fifth sweep cuts power across the **snapshot plane**: a
+//! snapshot-enabled FTL drives creates, a delete, a rollback clone, and an
+//! online merge with host writes interleaved between merge steps, with the
+//! rail dropping at every device-op boundary — including inside the
+//! dual-buffer manifest commits that are each verb's atomic point. After
+//! remount the sweep demands: every *acked* `snapshot_create` is still
+//! present with its exact frozen image; a verb that was cut mid-commit
+//! either fully happened or fully didn't (a rolled-back head must match
+//! the old head or the clone image page for page — never a mixture); a
+//! mid-merge cut resolves to the origin (snapshot intact, post-begin
+//! acked writes kept) or the merged device, never a hybrid; and the
+//! refcount identity (`Σ refs == live mappings`) holds after recovery.
+//!
 //! Usage: `crashmc [rounds]` (default 16; higher = more cut points)
 
 use std::collections::HashMap;
@@ -42,7 +55,7 @@ use flash_sim::{
     StripedLayer, SwlCoordination, TranslationLayer,
 };
 use flash_trace::TraceEvent;
-use ftl::FtlError;
+use ftl::{FtlConfig, FtlError, PageMappedFtl, SnapshotConfig};
 use hotid::HotDataConfig;
 use nand::{CellKind, ChannelGeometry, FaultPlan, Geometry, NandDevice, NandError};
 use nftl::NftlError;
@@ -719,6 +732,381 @@ fn check_service_cut_point(
     }
 }
 
+/// Blocks per manifest buffer of the snapshot sweep. Three keep the
+/// workload's epoch lists (two creates, a clone, a merge splice) and the
+/// post-recovery resume snapshot inside one buffer on the 8-page geometry.
+const SNAP_MANIFEST_BLOCKS: u32 = 3;
+/// Logical pages the snapshot sweep touches.
+const SNAP_LBAS: u64 = 24;
+
+fn snap_ftl_config() -> FtlConfig {
+    FtlConfig::new()
+        .with_overprovision_blocks(2)
+        .with_snapshots(SnapshotConfig::new().with_manifest_blocks(SNAP_MANIFEST_BLOCKS))
+}
+
+fn is_ftl_power_cut(e: &FtlError) -> bool {
+    matches!(e, FtlError::Device(NandError::PowerCut))
+}
+
+/// A snapshot verb whose atomic point (the manifest commit) the cut may
+/// have landed inside: recovery is allowed to show the verb fully done or
+/// fully undone, nothing in between.
+enum PendingVerb {
+    Create { id: u64 },
+    Delete { id: u64 },
+    Clone { id: u64, old_head: HashMap<u64, u64> },
+    /// `merge_begin` submitted — both outcomes resolve to the origin.
+    MergeBegin,
+    /// `merge_commit` submitted — origin if the snapshot survived the cut,
+    /// merged if it is gone.
+    MergeCommit,
+}
+
+/// RAM state of an acked online merge (begin acked, commit not yet).
+struct MergeModel {
+    id: u64,
+    /// Acked host writes made after `merge_begin`: they beat the snapshot
+    /// image on the merged branch and are ordinary acked writes on the
+    /// origin branch.
+    post_begin: HashMap<u64, u64>,
+}
+
+/// What the host believes across the snapshot-sweep crash.
+#[derive(Default)]
+struct SnapModel {
+    acked: HashMap<u64, u64>,
+    in_flight: Option<(u64, u64)>,
+    /// Acked snapshots in creation order: id → frozen image.
+    snaps: Vec<(u64, HashMap<u64, u64>)>,
+    pending: Option<PendingVerb>,
+    merging: Option<MergeModel>,
+}
+
+impl SnapModel {
+    fn snapshot(&self, id: u64) -> Option<&HashMap<u64, u64>> {
+        self.snaps.iter().find(|(i, _)| *i == id).map(|(_, img)| img)
+    }
+
+    /// The head image of the *merged* branch: acked overlaid with the
+    /// snapshot image, post-begin writes winning both.
+    fn merged_image(&self) -> HashMap<u64, u64> {
+        let m = self.merging.as_ref().expect("merge in flight");
+        let image = self.snapshot(m.id).expect("merge target is acked");
+        let mut merged = self.acked.clone();
+        for (&lba, &value) in image {
+            if !m.post_begin.contains_key(&lba) {
+                merged.insert(lba, value);
+            }
+        }
+        merged
+    }
+}
+
+/// One host write through the snapshot-sweep FTL; `Ok(true)` on a cut.
+fn snap_write(
+    ftl: &mut PageMappedFtl,
+    model: &mut SnapModel,
+    lba: u64,
+    value: u64,
+) -> Result<bool, FtlError> {
+    model.in_flight = Some((lba, value));
+    match ftl.write(lba, value) {
+        Ok(()) => {
+            model.acked.insert(lba, value);
+            if let Some(m) = model.merging.as_mut() {
+                m.post_begin.insert(lba, value);
+            }
+            Ok(false)
+        }
+        Err(e) if is_ftl_power_cut(&e) => Ok(true),
+        Err(e) => Err(e),
+    }
+}
+
+/// The deterministic snapshot workload: wear-building writes, two creates,
+/// a divergence, a delete, a rollback clone, an online merge with writes
+/// interleaved between merge steps, then more writes. `Ok(true)` on a cut.
+fn snapshot_replay(
+    ftl: &mut PageMappedFtl,
+    rounds: u64,
+    model: &mut SnapModel,
+) -> Result<bool, FtlError> {
+    let mut value = 0u64;
+    // Phase A: the hot/cold mix of the single-device sweep, scaled by
+    // `rounds` so GC and SWL interleave with everything that follows.
+    for round in 0..rounds.div_ceil(4).max(2) {
+        for step in 0..SNAP_LBAS {
+            let lba = if step % 3 == 0 { step } else { (round + step) % 4 };
+            value += 1;
+            if snap_write(ftl, model, lba, value)? {
+                return Ok(true);
+            }
+        }
+    }
+
+    // Helper-free verb pattern: arm `pending`, call, settle the model.
+    macro_rules! verb {
+        ($pending:expr, $call:expr, $on_ok:expr) => {{
+            model.pending = Some($pending);
+            match $call {
+                Ok(()) => {
+                    model.pending = None;
+                    #[allow(clippy::redundant_closure_call)]
+                    $on_ok(model);
+                }
+                Err(e) if is_ftl_power_cut(&e) => return Ok(true),
+                Err(e) => return Err(e),
+            }
+        }};
+    }
+
+    verb!(
+        PendingVerb::Create { id: 1 },
+        ftl.snapshot_create(1),
+        |m: &mut SnapModel| m.snaps.push((1, m.acked.clone()))
+    );
+
+    // Phase B: diverge half the space away from snapshot 1.
+    for step in 0..SNAP_LBAS / 2 {
+        value += 1;
+        if snap_write(ftl, model, step * 2, value)? {
+            return Ok(true);
+        }
+    }
+
+    verb!(
+        PendingVerb::Create { id: 2 },
+        ftl.snapshot_create(2),
+        |m: &mut SnapModel| m.snaps.push((2, m.acked.clone()))
+    );
+
+    // Phase C: diverge the other half.
+    for step in 0..SNAP_LBAS / 2 {
+        value += 1;
+        if snap_write(ftl, model, step * 2 + 1, value)? {
+            return Ok(true);
+        }
+    }
+
+    verb!(
+        PendingVerb::Delete { id: 2 },
+        ftl.snapshot_delete(2),
+        |m: &mut SnapModel| m.snaps.retain(|(i, _)| *i != 2)
+    );
+
+    verb!(
+        PendingVerb::Clone {
+            id: 1,
+            old_head: model.acked.clone(),
+        },
+        ftl.snapshot_clone(1),
+        |m: &mut SnapModel| m.acked = m.snapshot(1).expect("snapshot 1 acked").clone()
+    );
+
+    // Phase D: diverge away from the restored image again.
+    for step in 0..SNAP_LBAS {
+        if step % 3 == 1 {
+            continue;
+        }
+        value += 1;
+        if snap_write(ftl, model, step, value)? {
+            return Ok(true);
+        }
+    }
+
+    // Online merge of snapshot 1 with host writes racing the cursor.
+    verb!(PendingVerb::MergeBegin, ftl.merge_begin(1), |m: &mut SnapModel| {
+        m.merging = Some(MergeModel {
+            id: 1,
+            post_begin: HashMap::new(),
+        })
+    });
+    value += 1;
+    if snap_write(ftl, model, 2, value)? {
+        return Ok(true);
+    }
+    // Merge steps are pure RAM — no device op, so no cut can land in them.
+    ftl.merge_step(SNAP_LBAS / 3)?;
+    value += 1;
+    if snap_write(ftl, model, 9, value)? {
+        return Ok(true);
+    }
+    while !ftl.merge_step(SNAP_LBAS / 3)? {}
+    verb!(PendingVerb::MergeCommit, ftl.merge_commit(), |m: &mut SnapModel| {
+        let merged = m.merged_image();
+        let id = m.merging.take().expect("merge in flight").id;
+        m.acked = merged;
+        m.snaps.retain(|(i, _)| *i != id);
+    });
+
+    // Phase E: keep writing on the merged device.
+    for step in 0..SNAP_LBAS {
+        value += 1;
+        if snap_write(ftl, model, step, value)? {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Does the remounted head match `image` exactly (the in-flight write may
+/// read its new value instead)?
+fn head_matches(
+    ftl: &mut PageMappedFtl,
+    image: &HashMap<u64, u64>,
+    in_flight: Option<(u64, u64)>,
+) -> bool {
+    for lba in 0..SNAP_LBAS {
+        let got = match ftl.read(lba) {
+            Ok(g) => g,
+            Err(_) => return false,
+        };
+        let in_flight_ok = matches!(in_flight, Some((l, v)) if l == lba && got == Some(v));
+        if got != image.get(&lba).copied() && !in_flight_ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Does remounted snapshot `id` match its frozen image exactly?
+fn snapshot_matches(ftl: &mut PageMappedFtl, id: u64, image: &HashMap<u64, u64>) -> bool {
+    for lba in 0..SNAP_LBAS {
+        match ftl.read_snapshot(id, lba) {
+            Ok(got) if got == image.get(&lba).copied() => {}
+            _ => return false,
+        }
+    }
+    true
+}
+
+/// One snapshot-sweep crash/remount/verify cycle (see the module docs'
+/// fifth-sweep contract).
+fn check_snapshot_cut_point(
+    with_swl: bool,
+    rounds: u64,
+    cut_at: u64,
+    torn: bool,
+    stats: &mut SweepStats,
+) {
+    stats.points += 1;
+    let chip = device().with_fault_plan(FaultPlan::new(1).with_power_cut(cut_at, torn));
+    let config = snap_ftl_config();
+    let mut ftl = if with_swl {
+        PageMappedFtl::with_swl(chip, config, swl_config()).expect("snapshot build")
+    } else {
+        PageMappedFtl::new(chip, config).expect("snapshot build")
+    };
+    let mut model = SnapModel::default();
+    match snapshot_replay(&mut ftl, rounds, &mut model) {
+        Ok(true) => {}
+        Ok(false) | Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let mut chip = ftl.into_device();
+    chip.power_cycle();
+    let mut ftl = match PageMappedFtl::mount(chip, snap_ftl_config()) {
+        Ok(f) => f,
+        Err(_) => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    };
+
+    // Refcount identity after recovery: Σ refs == live mappings (no merge
+    // survives a crash, so no pending releases either).
+    match ftl.snapshot_audit() {
+        Some(audit)
+            if audit.refcount_sum == audit.mapping_count && audit.pending_merge == 0 => {}
+        _ => {
+            stats.recovery_errors += 1;
+            return;
+        }
+    }
+
+    let ids = ftl.snapshot_ids();
+
+    // Every acked snapshot must still exist with its exact frozen image —
+    // unless the cut landed inside the verb that was removing it.
+    for (id, image) in &model.snaps {
+        let removable = match &model.pending {
+            Some(PendingVerb::Delete { id: d }) => d == id,
+            Some(PendingVerb::MergeCommit) => {
+                model.merging.as_ref().is_some_and(|m| m.id == *id)
+            }
+            _ => false,
+        };
+        if !ids.contains(id) {
+            if !removable {
+                stats.lost_acked += 1;
+            }
+            continue;
+        }
+        if !snapshot_matches(&mut ftl, *id, image) {
+            stats.lost_acked += 1;
+        }
+    }
+    // No snapshot the host never acked may appear — except the one whose
+    // create was cut mid-commit, which must then carry the exact image.
+    for &id in &ids {
+        if model.snaps.iter().any(|(i, _)| *i == id) {
+            continue;
+        }
+        match &model.pending {
+            Some(PendingVerb::Create { id: c }) if *c == id => {
+                if !snapshot_matches(&mut ftl, id, &model.acked) {
+                    stats.lost_acked += 1;
+                }
+            }
+            _ => stats.recovery_errors += 1,
+        }
+    }
+
+    // The head must match exactly one legal full image — mixtures are the
+    // hybrid states the manifest commit point exists to rule out.
+    let head_ok = match (&model.pending, &model.merging) {
+        // Mid-merge (or mid-begin/mid-commit): the snapshot's survival
+        // picks the branch, and the head must match that branch wholly.
+        (_, Some(m)) => {
+            if ids.contains(&m.id) {
+                head_matches(&mut ftl, &model.acked, model.in_flight)
+            } else {
+                head_matches(&mut ftl, &model.merged_image(), model.in_flight)
+            }
+        }
+        // Mid-clone: old head or clone image, never a page-wise mixture.
+        (Some(PendingVerb::Clone { id, old_head }), None) => {
+            let image = model.snapshot(*id).expect("clone target is acked").clone();
+            head_matches(&mut ftl, old_head, model.in_flight)
+                || head_matches(&mut ftl, &image, model.in_flight)
+        }
+        _ => head_matches(&mut ftl, &model.acked, model.in_flight),
+    };
+    if !head_ok {
+        stats.lost_acked += 1;
+    }
+
+    // The device keeps serving: plain writes and a fresh snapshot cycle.
+    for round in 0..2u64 {
+        for lba in 0..SNAP_LBAS {
+            if ftl.write(lba, 0x50AC_0000 | (round << 8) | lba).is_err() {
+                stats.resume_failures += 1;
+                return;
+            }
+        }
+    }
+    let resumed = ftl.snapshot_create(99).is_ok()
+        && ftl.read_snapshot(99, 0).is_ok_and(|got| got == ftl.read(0).unwrap_or(None))
+        && ftl.snapshot_delete(99).is_ok();
+    if !resumed {
+        stats.resume_failures += 1;
+    }
+}
+
 fn main() -> ExitCode {
     let rounds: u64 = std::env::args()
         .nth(1)
@@ -920,6 +1308,47 @@ fn main() -> ExitCode {
                     stats.recovery_errors.to_string(),
                 ]);
             }
+        }
+    }
+
+    // Snapshot plane: exhaustive cuts across creates, a delete, a rollback
+    // clone, and an online merge — every manifest commit is a verb's atomic
+    // point, so recovery must land on a whole pre- or post-verb image.
+    for with_swl in [false, true] {
+        let chip = device().with_fault_plan(FaultPlan::new(1));
+        let config = snap_ftl_config();
+        let mut ftl = if with_swl {
+            PageMappedFtl::with_swl(chip, config, swl_config()).expect("snapshot baseline build")
+        } else {
+            PageMappedFtl::new(chip, config).expect("snapshot baseline build")
+        };
+        let mut model = SnapModel::default();
+        let cut =
+            snapshot_replay(&mut ftl, rounds, &mut model).expect("snapshot baseline replay");
+        assert!(!cut, "snapshot baseline run must not see a power cut");
+        let total = ftl.into_device().fault_ops();
+
+        for torn in [false, true] {
+            let mut stats = SweepStats::default();
+            for cut_at in 0..total {
+                check_snapshot_cut_point(with_swl, rounds, cut_at, torn, &mut stats);
+            }
+            let violations = stats.lost_acked
+                + stats.stale_checkpoints
+                + stats.resume_failures
+                + stats.recovery_errors;
+            grand_points += stats.points;
+            grand_violations += violations;
+            rows.push(vec![
+                "ftl snap".to_owned(),
+                if with_swl { "on" } else { "off" }.to_owned(),
+                if torn { "torn" } else { "clean" }.to_owned(),
+                stats.points.to_string(),
+                stats.lost_acked.to_string(),
+                stats.stale_checkpoints.to_string(),
+                stats.resume_failures.to_string(),
+                stats.recovery_errors.to_string(),
+            ]);
         }
     }
 

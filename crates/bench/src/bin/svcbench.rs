@@ -29,11 +29,14 @@
 //! out, cache off vs on — the cache's endurance contribution measured the
 //! way the paper's Figure 5 measures SWL's, as time-to-first-failure.
 //!
-//! A **capacity-eviction arm** parks the write cache's sync watermark at a
-//! deliberately tiny capacity and feeds multi-page spans of fresh LBAs, so
-//! admissions hit a full cache mid-write and must evict (the watermark
-//! drain only runs between write calls) — `evicted > 0` is asserted, not
-//! just measured, and recorded in `BENCH_service.json`.
+//! The sweep's cache is sized *below* the hot working set with its sync
+//! watermark parked at capacity, so every cache-on arm capacity-evicts
+//! under the paper-shaped workload itself — `evicted > 0` is asserted per
+//! arm. A separate **capacity-eviction arm** isolates the same code path
+//! at an 8-page cache with multi-page spans of fresh LBAs, so admissions
+//! hit a full cache mid-write and must evict (the watermark drain only
+//! runs between write calls) — also asserted, and recorded in
+//! `BENCH_service.json`.
 //!
 //! With `--out FILE` the final cache-on run is re-executed with a live
 //! sampler that exports engtop-schema-v3 JSONL — `sample` / `worker` /
@@ -65,8 +68,15 @@ const CHANNELS: u32 = 4;
 const SWL_THRESHOLD: u64 = 100;
 const CLIENTS: [usize; 3] = [1, 2, 4];
 const DEPTHS: [u32; 3] = [1, 8, 64];
-/// Write-cache capacity (pages) for every cache-on arm.
-const CACHE_PAGES: usize = 256;
+/// Write-cache capacity (pages) for every cache-on arm: deliberately
+/// smaller than the sweep's hot working set (a single client's hot eighth
+/// is ~100 LBAs at the quick scale), with the sync watermark parked at
+/// capacity, so the steady state overflows and must capacity-evict — the
+/// regime a bounded cache actually lives in. The old 256-page config
+/// drained at a 3/4 watermark between calls and could never reach
+/// capacity; `evicted > 0` is now asserted for every cache-on sweep arm,
+/// not just the dedicated eviction arm.
+const CACHE_PAGES: usize = 32;
 /// Logical-clock tick per accepted op (matches the service default).
 const INTERVAL_NS: u64 = 1_000;
 /// Client flush cadence: one durability barrier per this many ops.
@@ -129,7 +139,12 @@ fn hot() -> HotDataConfig {
 }
 
 fn cache_config() -> CacheConfig {
-    CacheConfig::sized(CACHE_PAGES).with_hot(hot())
+    // Watermark at capacity: the between-call drain only runs once the
+    // cache is full, so mid-span admissions against a full cache take the
+    // capacity-eviction path (see `eviction_run` for the focused arm).
+    CacheConfig::sized(CACHE_PAGES)
+        .with_hot(hot())
+        .with_watermark(CACHE_PAGES)
 }
 
 /// One deterministic client op. Flushes are part of the sequence so the
@@ -797,6 +812,22 @@ fn main() {
         "\n{oracle_arms} single-client cache-off arm(s) bit-identical to the direct engine"
     );
     for p in points.iter().filter(|p| p.cache_on) {
+        let cache = p.cache.as_ref().expect("cache-on arm samples its cache");
+        assert!(
+            cache.evicted > 0,
+            "clients={} depth={}: the {CACHE_PAGES}-page sweep cache must capacity-evict \
+             under the paper-shaped workload (admitted {}, evicted {})",
+            p.clients,
+            p.queue_depth,
+            cache.admitted,
+            cache.evicted,
+        );
+    }
+    println!(
+        "every cache-on sweep arm capacity-evicted ({CACHE_PAGES}-page cache, watermark at \
+         capacity)"
+    );
+    for p in points.iter().filter(|p| p.cache_on) {
         let off = off_wa(p.clients, p.queue_depth);
         println!(
             "clients={} depth={}: cache cut WA {:.3} -> {:.3} ({:.0}% fewer programs), \
@@ -854,6 +885,7 @@ fn main() {
             .u64("cpus", cpus as u64)
             .u64("oracle_arms", oracle_arms as u64)
             .bool("bit_identical", true)
+            .bool("sweep_arms_evicted", true)
             .str(
                 "caveat",
                 "latencies and ops/s are wall-clock figures through the served \

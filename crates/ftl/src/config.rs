@@ -2,6 +2,44 @@
 
 use hotid::HotDataConfig;
 
+/// Tunables of the copy-on-write snapshot plane (see [`crate::PageMappedFtl`]).
+///
+/// Enabling snapshots reserves `2 × manifest_blocks` physical blocks at the
+/// top of the chip for the dual-buffer snapshot manifest. Those blocks are
+/// excluded from the exported logical capacity, the free-block ladder, and
+/// GC/SWL victim selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotConfig {
+    /// Blocks per manifest buffer (two buffers are reserved). One block of
+    /// `pages_per_block` pages holds `pages_per_block` manifest words; raise
+    /// this when keeping many snapshots on a small-page geometry.
+    pub manifest_blocks: u32,
+}
+
+impl SnapshotConfig {
+    /// One block per manifest buffer (two blocks reserved in total).
+    pub fn new() -> Self {
+        Self { manifest_blocks: 1 }
+    }
+
+    /// Replaces the per-buffer manifest block count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `blocks` is zero.
+    pub fn with_manifest_blocks(mut self, blocks: u32) -> Self {
+        assert!(blocks > 0, "manifest needs at least one block per buffer");
+        self.manifest_blocks = blocks;
+        self
+    }
+}
+
+impl Default for SnapshotConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Tunables of the page-mapping FTL.
 ///
 /// # Example
@@ -31,6 +69,11 @@ pub struct FtlConfig {
     /// blocks fill with data of similar lifetime and the garbage collector
     /// copies fewer live pages.
     pub hot_data: Option<HotDataConfig>,
+    /// Enables copy-on-write snapshots and clones: physical pages become
+    /// refcounted, snapshot mappings persist in an on-flash dual-buffer
+    /// manifest, and two manifest buffers of [`SnapshotConfig::manifest_blocks`]
+    /// blocks each are reserved at the top of the chip.
+    pub snapshots: Option<SnapshotConfig>,
 }
 
 impl FtlConfig {
@@ -41,6 +84,7 @@ impl FtlConfig {
             gc_free_fraction: 0.002,
             min_free_blocks: 2,
             hot_data: None,
+            snapshots: None,
         }
     }
 
@@ -68,6 +112,18 @@ impl FtlConfig {
     pub fn with_hot_data(mut self, hot_data: HotDataConfig) -> Self {
         self.hot_data = Some(hot_data);
         self
+    }
+
+    /// Enables copy-on-write snapshots with the given manifest settings.
+    pub fn with_snapshots(mut self, snapshots: SnapshotConfig) -> Self {
+        self.snapshots = Some(snapshots);
+        self
+    }
+
+    /// Physical blocks reserved for the snapshot manifest (two buffers), or
+    /// zero when snapshots are disabled.
+    pub fn reserved_blocks(&self) -> u32 {
+        self.snapshots.map_or(0, |s| 2 * s.manifest_blocks)
     }
 
     /// Free blocks the Cleaner must maintain for a chip of `blocks` blocks.
@@ -116,5 +172,19 @@ mod tests {
     #[should_panic(expected = "gc fraction")]
     fn bad_fraction_rejected() {
         FtlConfig::default().with_gc_free_fraction(1.0);
+    }
+
+    #[test]
+    fn snapshot_reserve_counts_both_buffers() {
+        let c = FtlConfig::default();
+        assert_eq!(c.reserved_blocks(), 0);
+        let c = c.with_snapshots(SnapshotConfig::new().with_manifest_blocks(2));
+        assert_eq!(c.reserved_blocks(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one block")]
+    fn zero_manifest_blocks_rejected() {
+        SnapshotConfig::new().with_manifest_blocks(0);
     }
 }

@@ -36,6 +36,26 @@ pub enum FtlError {
         /// The doubly-claimed logical page.
         lba: u64,
     },
+    /// A snapshot verb was called on an FTL built without
+    /// [`crate::SnapshotConfig`].
+    SnapshotsDisabled,
+    /// The named snapshot does not exist.
+    UnknownSnapshot {
+        /// The snapshot id that was not found.
+        id: u64,
+    },
+    /// A snapshot with this id already exists.
+    SnapshotExists {
+        /// The duplicate snapshot id.
+        id: u64,
+    },
+    /// The snapshot manifest no longer fits in its reserved blocks; delete
+    /// or merge snapshots, or raise `manifest_blocks`.
+    ManifestFull,
+    /// An online merge is already in flight; commit or finish it first.
+    MergeInProgress,
+    /// `merge_step`/`merge_commit` was called with no merge begun.
+    NoMergeInProgress,
     /// The underlying device rejected an operation.
     Device(NandError),
     /// The attached SW Leveler rejected its configuration.
@@ -60,6 +80,16 @@ impl fmt::Display for FtlError {
             FtlError::MountConflict { lba } => {
                 write!(f, "mount found two valid pages for lba {lba}")
             }
+            FtlError::SnapshotsDisabled => {
+                f.write_str("snapshots are not enabled on this ftl")
+            }
+            FtlError::UnknownSnapshot { id } => write!(f, "no snapshot with id {id}"),
+            FtlError::SnapshotExists { id } => write!(f, "snapshot {id} already exists"),
+            FtlError::ManifestFull => {
+                f.write_str("snapshot manifest exceeds its reserved blocks")
+            }
+            FtlError::MergeInProgress => f.write_str("a snapshot merge is already in flight"),
+            FtlError::NoMergeInProgress => f.write_str("no snapshot merge is in flight"),
             FtlError::Device(e) => write!(f, "device error: {e}"),
             FtlError::Swl(e) => write!(f, "wear leveler error: {e}"),
             FtlError::HotData(e) => write!(f, "hot-data identifier error: {e}"),

@@ -43,9 +43,11 @@
 mod config;
 mod counters;
 mod error;
+pub mod merge;
+mod snapshot;
 mod translation;
 
-pub use config::FtlConfig;
+pub use config::{FtlConfig, SnapshotConfig};
 pub use counters::FtlCounters;
 pub use error::FtlError;
-pub use translation::PageMappedFtl;
+pub use translation::{PageMappedFtl, SnapshotAudit};

@@ -8,9 +8,8 @@ use swl_core::{LevelOutcome, SwLeveler, SwlCleaner, SwlConfig};
 use crate::config::FtlConfig;
 use crate::counters::FtlCounters;
 use crate::error::FtlError;
-
-/// Sentinel for "logical page unmapped" in the translation table.
-const UNMAPPED: u32 = u32::MAX;
+use crate::merge::{MappingStream, MergeSource, MergeStream, UNMAPPED};
+use crate::snapshot::{self, EpochRanks, MergeState, SnapBook, SnapEntry};
 
 /// Which active block a write is steered to under hot/cold separation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,6 +49,11 @@ pub(crate) struct Inner<S: Sink = NullSink> {
     retired: Vec<bool>,
     /// Causal-span bookkeeping (ids + open stack); dormant under `NullSink`.
     spans: SpanTracker,
+    /// First block of the snapshot-manifest reserve (`== blocks` when
+    /// snapshots are disabled, so `b >= reserved_base` is the reserve test).
+    reserved_base: u32,
+    /// Copy-on-write snapshot book, when snapshots are enabled.
+    snap: Option<SnapBook>,
 }
 
 impl<S: Sink> Inner<S> {
@@ -60,22 +64,47 @@ impl<S: Sink> Inner<S> {
             geometry.total_pages() < u64::from(u32::MAX),
             "device too large for the u32 translation table"
         );
-        let overprovision = config.overprovision_blocks.min(blocks.saturating_sub(1));
+        let reserved = config.reserved_blocks();
+        assert!(
+            reserved < blocks,
+            "snapshot manifest reserve ({reserved} blocks) exceeds the chip"
+        );
+        // Manifest blocks sit at the top of the chip, outside the data area:
+        // never in the free ladder, never GC/SWL victims, not exported.
+        let data_blocks = blocks - reserved;
+        let overprovision = config
+            .overprovision_blocks
+            .min(data_blocks.saturating_sub(1));
         let logical_pages =
-            u64::from(blocks - overprovision) * u64::from(geometry.pages_per_block());
+            u64::from(data_blocks - overprovision) * u64::from(geometry.pages_per_block());
         let free_target = config.free_target(blocks);
         let hot = match config.hot_data {
             Some(hd) => Some(MultiHashIdentifier::new(hd).map_err(FtlError::HotData)?),
             None => None,
         };
+        let snap = match config.snapshots {
+            Some(cfg) => {
+                let book = SnapBook::new(cfg, geometry.total_pages() as usize);
+                // Even an empty manifest record must fit one buffer.
+                if SnapBook::record_words(1, std::iter::empty()) > book.buffer_words(geometry.pages_per_block()) {
+                    return Err(FtlError::ManifestFull);
+                }
+                Some(book)
+            }
+            None => None,
+        };
         let mut free = FreeBlockLadder::new();
-        for b in 0..blocks {
+        let mut is_free = vec![true; blocks as usize];
+        for b in 0..data_blocks {
             free.push(b, device.block(b).erase_count());
+        }
+        for b in data_blocks..blocks {
+            is_free[b as usize] = false;
         }
         Ok(Self {
             map: vec![UNMAPPED; logical_pages as usize],
             free,
-            is_free: vec![true; blocks as usize],
+            is_free,
             victims: VictimIndex::new(blocks),
             frontier: None,
             hot_frontier: None,
@@ -89,6 +118,8 @@ impl<S: Sink> Inner<S> {
             config,
             in_swl: false,
             spans: SpanTracker::new(),
+            reserved_base: data_blocks,
+            snap,
         })
     }
 
@@ -130,8 +161,30 @@ impl<S: Sink> Inner<S> {
     fn mount(device: NandDevice<S>, config: FtlConfig) -> Result<Self, FtlError> {
         let mut inner = Self::new(device, config)?;
         inner.free.clear();
+        if inner.snap.is_some() {
+            inner.load_manifest()?;
+        }
         let geometry = inner.device.geometry();
-        for b in 0..geometry.blocks() {
+        // With snapshots, several mapping sets (the head plus every
+        // snapshot) resolve concurrently: a valid page belongs to each set
+        // whose epoch list contains the page's epoch, and within a set the
+        // earliest-ranked epoch wins an LBA. Without snapshots there is one
+        // set whose only epoch is 0, and any duplicate is a conflict.
+        let ranks: Option<(EpochRanks, Vec<EpochRanks>)> = inner.snap.as_ref().map(|book| {
+            (
+                EpochRanks::new(&book.head_epochs),
+                book.snaps.iter().map(|s| EpochRanks::new(&s.epochs)).collect(),
+            )
+        });
+        let snap_count = inner.snap.as_ref().map_or(0, |b| b.snaps.len());
+        // best[0] = head candidates, best[1..] = per-snapshot candidates:
+        // lba → (rank, flat page).
+        let mut best: Vec<Vec<Option<(u32, u32)>>> =
+            vec![vec![None; inner.logical_pages as usize]; 1 + snap_count];
+        // Spare-status epoch of every valid page, gathered during the scan
+        // so the apply phase never re-reads spares.
+        let mut epoch_scratch = vec![0u32; geometry.total_pages() as usize];
+        for b in 0..inner.reserved_base {
             let block = inner.device.block(b);
             if block.spare(0).is_bad_block_marker() {
                 // Retired in an earlier session; the marker survives on
@@ -153,17 +206,75 @@ impl<S: Sink> Inner<S> {
                     continue;
                 }
                 let addr = PageAddr::new(b, page);
-                let lba = block
-                    .spare(page)
-                    .lba()
-                    .ok_or(FtlError::CorruptSpare { addr })?;
+                let spare = block.spare(page);
+                let lba = spare.lba().ok_or(FtlError::CorruptSpare { addr })?;
                 if lba >= inner.logical_pages {
                     return Err(FtlError::CorruptSpare { addr });
                 }
-                if inner.map[lba as usize] != UNMAPPED {
-                    return Err(FtlError::MountConflict { lba });
+                let flat = addr.flat_index(&geometry) as u32;
+                let Some((head_ranks, snap_ranks)) = ranks.as_ref() else {
+                    if inner.map[lba as usize] != UNMAPPED {
+                        return Err(FtlError::MountConflict { lba });
+                    }
+                    inner.map[lba as usize] = flat;
+                    continue;
+                };
+                epoch_scratch[flat as usize] = spare.status();
+                for (mi, r) in std::iter::once(head_ranks)
+                    .chain(snap_ranks.iter())
+                    .enumerate()
+                {
+                    let Some(rank) = r.rank(spare.status()) else {
+                        continue;
+                    };
+                    let slot = &mut best[mi][lba as usize];
+                    match *slot {
+                        // Two valid pages in the same epoch claiming one
+                        // LBA: corruption, exactly like the plain conflict.
+                        Some((prev, _)) if prev == rank => {
+                            return Err(FtlError::MountConflict { lba });
+                        }
+                        Some((prev, _)) if prev < rank => {}
+                        _ => *slot = Some((rank, flat)),
+                    }
                 }
-                inner.map[lba as usize] = addr.flat_index(&geometry) as u32;
+            }
+        }
+        if inner.snap.is_some() {
+            let Self { snap, map, .. } = &mut inner;
+            let book = snap.as_mut().expect("snapshot mode");
+            book.epoch_of = epoch_scratch;
+            let mut maps = best.into_iter();
+            for (lba, slot) in maps.next().expect("head candidates").into_iter().enumerate() {
+                if let Some((_, flat)) = slot {
+                    map[lba] = flat;
+                    book.refs[flat as usize] += 1;
+                }
+            }
+            for (si, candidates) in maps.enumerate() {
+                for (lba, slot) in candidates.into_iter().enumerate() {
+                    if let Some((_, flat)) = slot {
+                        book.snaps[si].map[lba] = flat;
+                        book.refs[flat as usize] += 1;
+                    }
+                }
+            }
+            // Cleanup: a valid page no mapping set references is an orphan —
+            // an invalidation lost to a power cut (e.g. between a manifest
+            // commit and its deferred invalidations). Finish the job; the
+            // invalidate is an uncuttable spare-status program.
+            let reserved_base = inner.reserved_base;
+            for b in 0..reserved_base {
+                for page in 0..geometry.pages_per_block() {
+                    if !inner.device.block(b).page_state(page).is_valid() {
+                        continue;
+                    }
+                    let addr = PageAddr::new(b, page);
+                    let flat = addr.flat_index(&geometry) as usize;
+                    if inner.snap.as_ref().expect("snapshot mode").refs[flat] == 0 {
+                        inner.device.invalidate(addr)?;
+                    }
+                }
             }
         }
         for b in 0..geometry.blocks() {
@@ -204,14 +315,18 @@ impl<S: Sink> Inner<S> {
             }
             None => Stream::Cold,
         };
-        let dst = self.program_remap(stream, data, lba)?;
+        let epoch = self.snap.as_ref().map_or(0, SnapBook::head_epoch);
+        let dst = self.program_remap(stream, data, lba, epoch)?;
+        let flat = dst.flat_index(&self.device.geometry()) as u32;
+        if let Some(book) = self.snap.as_mut() {
+            book.refs[flat as usize] += 1;
+            book.epoch_of[flat as usize] = epoch;
+        }
         let old = self.map[lba as usize];
         if old != UNMAPPED {
-            let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(old));
-            self.device.invalidate(addr)?;
-            self.refresh_victim(addr.block);
+            self.release_page(old)?;
         }
-        self.map[lba as usize] = dst.flat_index(&self.device.geometry()) as u32;
+        self.map[lba as usize] = flat;
         self.counters.host_writes += 1;
         if S::ENABLED {
             self.device.sink_mut().event(Event::HostWrite { lba });
@@ -247,10 +362,12 @@ impl<S: Sink> Inner<S> {
         }
         let entry = self.map[lba as usize];
         if entry != UNMAPPED {
-            let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(entry));
-            self.device.invalidate(addr)?;
+            // With snapshots, a pinned page survives the trim (the snapshot
+            // still references it); only the head's reference is dropped.
+            // Trim is advisory and RAM-only either way: a crash before the
+            // page is overwritten can resurrect the mapping at mount.
+            self.release_page(entry)?;
             self.map[lba as usize] = UNMAPPED;
-            self.refresh_victim(addr.block);
         }
         self.counters.trims += 1;
         if S::ENABLED {
@@ -312,10 +429,18 @@ impl<S: Sink> Inner<S> {
     /// and its eventual erase failure retires it) and the write moves to a
     /// fresh frontier. Terminates because every retry consumes a free block
     /// and [`Self::alloc_page`] fails once the pool runs dry.
-    fn program_remap(&mut self, stream: Stream, data: u64, lba: u64) -> Result<PageAddr, FtlError> {
+    fn program_remap(
+        &mut self,
+        stream: Stream,
+        data: u64,
+        lba: u64,
+        epoch: u32,
+    ) -> Result<PageAddr, FtlError> {
         loop {
             let dst = self.alloc_page(stream)?;
-            match self.device.program(dst, data, SpareArea::valid(lba)) {
+            // Epoch 0 is `STATUS_LIVE`: without snapshots this is exactly
+            // `SpareArea::valid(lba)`.
+            match self.device.program(dst, data, SpareArea::with_status(lba, epoch)) {
                 Ok(()) => return Ok(dst),
                 Err(nand::NandError::ProgramFailed { .. }) => {
                     if self.frontier.map(|(b, _)| b) == Some(dst.block) {
@@ -345,9 +470,27 @@ impl<S: Sink> Inner<S> {
     /// Re-reports one block to the victim index. Must be called after any
     /// event that may change the block's GC stats or eligibility: page
     /// invalidation, erase, retirement, or a frontier opening/closing on it.
+    /// Drops one mapping-set reference from flat page `p`, device-
+    /// invalidating it (and re-reporting its block to the victim index)
+    /// when it becomes unreferenced. A snapshot-free FTL invalidates
+    /// unconditionally: every mapped page has exactly one reference.
+    fn release_page(&mut self, p: u32) -> Result<(), FtlError> {
+        let gone = match self.snap.as_mut() {
+            Some(book) => book.decref(p),
+            None => true,
+        };
+        if gone {
+            let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(p));
+            self.device.invalidate(addr)?;
+            self.refresh_victim(addr.block);
+        }
+        Ok(())
+    }
+
     fn refresh_victim(&mut self, block: u32) {
         let eligible = !self.is_free[block as usize]
             && !self.retired[block as usize]
+            && block < self.reserved_base
             && self.frontier.map(|(b, _)| b) != Some(block)
             && self.hot_frontier.map(|(b, _)| b) != Some(block);
         let (invalid, valid) = {
@@ -370,6 +513,7 @@ impl<S: Sink> Inner<S> {
             let b = (self.gc_scan + step) % blocks;
             if self.is_free[b as usize]
                 || self.retired[b as usize]
+                || b >= self.reserved_base
                 || Some(b) == frontier_block
                 || Some(b) == hot_frontier_block
             {
@@ -500,10 +644,41 @@ impl<S: Sink> Inner<S> {
                 .lba()
                 .ok_or(FtlError::CorruptSpare { addr: src })?;
             // GC survivors are cold by construction: they outlived their
-            // whole block.
-            let dst = self.program_remap(Stream::Cold, content.data, lba)?;
+            // whole block. The spare status (snapshot epoch) rides along, so
+            // a relocated page still resolves into the same mapping sets.
+            let epoch = content.spare.status();
+            let dst = self.program_remap(Stream::Cold, content.data, lba, epoch)?;
             self.device.invalidate(src)?;
-            self.map[lba as usize] = dst.flat_index(&geometry) as u32;
+            let src_flat = src.flat_index(&geometry) as u32;
+            let dst_flat = dst.flat_index(&geometry) as u32;
+            let Self { map, snap, .. } = self;
+            match snap.as_mut() {
+                Some(book) => {
+                    // A shared page is copied once and re-pinned: every
+                    // mapping set (head, snapshots, pending merge decrefs)
+                    // that referenced the source follows to the copy, and
+                    // the whole refcount transfers.
+                    if map[lba as usize] == src_flat {
+                        map[lba as usize] = dst_flat;
+                    }
+                    for s in &mut book.snaps {
+                        if s.map[lba as usize] == src_flat {
+                            s.map[lba as usize] = dst_flat;
+                        }
+                    }
+                    if let Some(m) = book.merge.as_mut() {
+                        for p in &mut m.pending {
+                            if *p == src_flat {
+                                *p = dst_flat;
+                            }
+                        }
+                    }
+                    book.refs[dst_flat as usize] = book.refs[src_flat as usize];
+                    book.refs[src_flat as usize] = 0;
+                    book.epoch_of[dst_flat as usize] = epoch;
+                }
+                None => map[lba as usize] = dst_flat,
+            }
             if self.in_swl {
                 self.counters.swl_live_copies += 1;
             } else {
@@ -577,6 +752,317 @@ impl<S: Sink> Inner<S> {
         self.refresh_victim(block);
     }
 
+    /// Parses both manifest buffers and restores the epoch lists of the
+    /// newest valid record. Reads go through the device (they pay bus
+    /// latency and count as reads); a torn, partial, or never-committed
+    /// buffer fails its checksum and is ignored. With no valid buffer the
+    /// book stays fresh — which is also the snapshots-never-used state.
+    fn load_manifest(&mut self) -> Result<(), FtlError> {
+        let ppb = self.device.geometry().pages_per_block();
+        let logical_pages = self.logical_pages as usize;
+        let mb = self
+            .snap
+            .as_ref()
+            .expect("snapshot mode")
+            .cfg
+            .manifest_blocks;
+        let mut newest: Option<(u32, snapshot::ManifestRecord)> = None;
+        for buf in 0..2u32 {
+            let mut words = Vec::new();
+            'record: for i in 0..mb {
+                let block = self.reserved_base + buf * mb + i;
+                for page in 0..ppb {
+                    if !self.device.block(block).page_state(page).is_valid() {
+                        break 'record;
+                    }
+                    match self.device.read(PageAddr::new(block, page)) {
+                        Ok(r) => words.push(r.data),
+                        Err(_) => break 'record,
+                    }
+                }
+            }
+            if let Some(record) = snapshot::decode(&words) {
+                if newest.as_ref().is_none_or(|(_, n)| record.seq > n.seq) {
+                    newest = Some((buf, record));
+                }
+            }
+        }
+        if let Some((buf, record)) = newest {
+            let book = self.snap.as_mut().expect("snapshot mode");
+            book.next_buffer = 1 - buf;
+            book.restore(record, logical_pages);
+        }
+        Ok(())
+    }
+
+    /// Writes the book's epoch lists to the standby manifest buffer: erase
+    /// it, program the record, and program the trailing checksum word
+    /// *last* — the checksum is the commit point, so a power cut anywhere
+    /// mid-commit leaves the other buffer's older record in force.
+    /// Manifest erases are deliberately not reported to SWL-BETUpdate (the
+    /// reserve sits outside the leveler's jurisdiction), though they do
+    /// count in the device's erase statistics.
+    fn commit_manifest(&mut self) -> Result<(), FtlError> {
+        let ppb = self.device.geometry().pages_per_block();
+        let (words, mb, next) = {
+            let book = self.snap.as_ref().expect("snapshot mode");
+            let words = book.encode();
+            debug_assert!(
+                words.len() <= book.buffer_words(ppb),
+                "snapshot verbs pre-check manifest capacity"
+            );
+            (words, book.cfg.manifest_blocks, book.next_buffer)
+        };
+        let base = self.reserved_base + next * mb;
+        for b in base..base + mb {
+            self.device.erase_as(b, Cause::External)?;
+        }
+        for (i, &w) in words.iter().enumerate() {
+            let addr = PageAddr::new(base + i as u32 / ppb, i as u32 % ppb);
+            self.device
+                .program(addr, w, SpareArea::metadata(snapshot::MANIFEST_STATUS))?;
+        }
+        let book = self.snap.as_mut().expect("snapshot mode");
+        book.seq += 1;
+        book.next_buffer = 1 - book.next_buffer;
+        Ok(())
+    }
+
+    /// Would a manifest record with these epoch-list shapes fit one buffer?
+    fn manifest_fits(&self, head_len: usize, snap_lens: impl Iterator<Item = usize>) -> bool {
+        let book = self.snap.as_ref().expect("snapshot mode");
+        SnapBook::record_words(head_len, snap_lens)
+            <= book.buffer_words(self.device.geometry().pages_per_block())
+    }
+
+    fn snapshot_create(&mut self, id: u64) -> Result<(), FtlError> {
+        let book = self.snap.as_ref().ok_or(FtlError::SnapshotsDisabled)?;
+        if book.merge.is_some() {
+            return Err(FtlError::MergeInProgress);
+        }
+        if book.snap_index(id).is_some() {
+            return Err(FtlError::SnapshotExists { id });
+        }
+        let head_len = book.head_epochs.len();
+        if !self.manifest_fits(
+            head_len + 1,
+            book.snaps.iter().map(|s| s.epochs.len()).chain([head_len]),
+        ) {
+            return Err(FtlError::ManifestFull);
+        }
+        let Self { snap, map, .. } = self;
+        let book = snap.as_mut().expect("snapshot mode");
+        let epoch = book.next_epoch();
+        // The snapshot inherits the head's exact map (one new reference per
+        // page) and its exact epoch history; the head moves to a fresh
+        // epoch, so post-snapshot writes never resolve into the snapshot.
+        for &p in map.iter() {
+            if p != UNMAPPED {
+                book.incref(p);
+            }
+        }
+        book.snaps.push(SnapEntry {
+            id,
+            epochs: book.head_epochs.clone(),
+            map: map.clone(),
+        });
+        book.head_epochs.insert(0, epoch);
+        self.commit_manifest()
+    }
+
+    fn snapshot_delete(&mut self, id: u64) -> Result<(), FtlError> {
+        let book = self.snap.as_mut().ok_or(FtlError::SnapshotsDisabled)?;
+        if book.merge.is_some() {
+            return Err(FtlError::MergeInProgress);
+        }
+        let idx = book
+            .snap_index(id)
+            .ok_or(FtlError::UnknownSnapshot { id })?;
+        let s = book.snaps.remove(idx);
+        // Commit first: past the commit point the snapshot is gone from the
+        // manifest, and a page it alone pinned is an orphan. A crash before
+        // the invalidations below is harmless — mount cleanup applies the
+        // same invalidations to every orphan it finds.
+        self.commit_manifest()?;
+        for &p in &s.map {
+            if p != UNMAPPED {
+                self.release_page(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls the head back to snapshot `id` (a writable clone of it): the
+    /// head adopts the snapshot's map and history under a fresh epoch, and
+    /// every page only the old head referenced is released.
+    fn snapshot_clone(&mut self, id: u64) -> Result<(), FtlError> {
+        let book = self.snap.as_ref().ok_or(FtlError::SnapshotsDisabled)?;
+        if book.merge.is_some() {
+            return Err(FtlError::MergeInProgress);
+        }
+        let idx = book
+            .snap_index(id)
+            .ok_or(FtlError::UnknownSnapshot { id })?;
+        if !self.manifest_fits(
+            book.snaps[idx].epochs.len() + 1,
+            book.snaps.iter().map(|s| s.epochs.len()),
+        ) {
+            return Err(FtlError::ManifestFull);
+        }
+        let Self { snap, map, .. } = self;
+        let book = snap.as_mut().expect("snapshot mode");
+        let epoch = book.next_epoch();
+        let new_map = book.snaps[idx].map.clone();
+        for &p in &new_map {
+            if p != UNMAPPED {
+                book.incref(p);
+            }
+        }
+        book.head_epochs = snapshot::prepend_epoch(epoch, &book.snaps[idx].epochs);
+        let old_map = std::mem::replace(map, new_map);
+        self.commit_manifest()?;
+        for &p in &old_map {
+            if p != UNMAPPED {
+                self.release_page(p)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Opens an online merge of snapshot `id` into the head. The manifest
+    /// commit here is the origin-side atomic point: until `merge_commit`'s
+    /// own commit lands, a crash resolves to the origin plus post-begin
+    /// acked writes (the merge steps never touch flash), afterwards to the
+    /// merged device — never a hybrid.
+    fn merge_begin(&mut self, id: u64) -> Result<(), FtlError> {
+        let book = self.snap.as_ref().ok_or(FtlError::SnapshotsDisabled)?;
+        if book.merge.is_some() {
+            return Err(FtlError::MergeInProgress);
+        }
+        if book.snap_index(id).is_none() {
+            return Err(FtlError::UnknownSnapshot { id });
+        }
+        if !self.manifest_fits(
+            book.head_epochs.len() + 1,
+            book.snaps.iter().map(|s| s.epochs.len()),
+        ) {
+            return Err(FtlError::ManifestFull);
+        }
+        let book = self.snap.as_mut().expect("snapshot mode");
+        let epoch = book.next_epoch();
+        book.head_epochs.insert(0, epoch);
+        self.commit_manifest()?;
+        let book = self.snap.as_mut().expect("snapshot mode");
+        book.merge = Some(MergeState {
+            snap_id: id,
+            epoch,
+            cursor: 0,
+            pending: Vec::new(),
+        });
+        Ok(())
+    }
+
+    /// Advances the online merge across the next `max_lbas` logical pages,
+    /// overlaying the snapshot's mappings onto the head via the streaming
+    /// dual-iterator ([`MergeStream`]). Pure RAM — no flash operation until
+    /// `merge_commit` applies the deferred releases — so host writes can be
+    /// interleaved between steps; LBAs the host rewrites after
+    /// `merge_begin` (stamped with the merge epoch) keep the live data.
+    /// Returns `true` once the cursor has covered the whole logical space.
+    fn merge_step(&mut self, max_lbas: u64) -> Result<bool, FtlError> {
+        let logical_pages = self.logical_pages;
+        let Self { snap, map, .. } = self;
+        let book = snap.as_mut().ok_or(FtlError::SnapshotsDisabled)?;
+        let Some(m) = book.merge.as_ref() else {
+            return Err(FtlError::NoMergeInProgress);
+        };
+        let (snap_id, epoch, cursor) = (m.snap_id, m.epoch, m.cursor);
+        let end = cursor.saturating_add(max_lbas.max(1)).min(logical_pages);
+        let idx = book.snap_index(snap_id).expect("merge target is delete-locked");
+        let overlays: Vec<(u64, u32)> = {
+            let epoch_of = &book.epoch_of;
+            MergeStream::new(
+                MappingStream::starting_at(map, cursor),
+                MappingStream::starting_at(&book.snaps[idx].map, cursor),
+                |_, phys| epoch_of[phys as usize] == epoch,
+            )
+            .take_while(|(mapping, _)| mapping.lba < end)
+            .filter(|&(_, source)| source == MergeSource::Snapshot)
+            .map(|(mapping, _)| (mapping.lba, mapping.phys))
+            .collect()
+        };
+        for (lba, p) in overlays {
+            let old = map[lba as usize];
+            if old == p {
+                // The head already shares this page with the snapshot.
+                continue;
+            }
+            book.incref(p);
+            map[lba as usize] = p;
+            if old != UNMAPPED {
+                // Deferred: the displaced origin page keeps its reference
+                // (and stays valid on flash) until merge_commit, so a crash
+                // mid-merge still resolves to the origin.
+                book.merge.as_mut().expect("in merge").pending.push(old);
+            }
+        }
+        book.merge.as_mut().expect("in merge").cursor = end;
+        Ok(end >= logical_pages)
+    }
+
+    /// Commits the online merge: the snapshot's epoch history is spliced
+    /// into the head's (post-begin writes ranked first, then the snapshot,
+    /// then the old head history — matching what the steps built in RAM),
+    /// the snapshot is dropped from the manifest, and the deferred page
+    /// releases are applied.
+    fn merge_commit(&mut self) -> Result<(), FtlError> {
+        let book = self.snap.as_mut().ok_or(FtlError::SnapshotsDisabled)?;
+        let m = book.merge.take().ok_or(FtlError::NoMergeInProgress)?;
+        let idx = book
+            .snap_index(m.snap_id)
+            .expect("merge target is delete-locked");
+        let s = book.snaps.remove(idx);
+        debug_assert_eq!(book.head_epochs[0], m.epoch);
+        // No capacity pre-check: dropping the snapshot's id/len/list words
+        // always outweighs the epochs spliced into the head list, so the
+        // record shrinks.
+        let merged = snapshot::splice_epochs(&[
+            &book.head_epochs[..1],
+            &s.epochs,
+            &book.head_epochs[1..],
+        ]);
+        book.head_epochs = merged;
+        self.commit_manifest()?;
+        for &p in &s.map {
+            if p != UNMAPPED {
+                self.release_page(p)?;
+            }
+        }
+        for &p in &m.pending {
+            self.release_page(p)?;
+        }
+        Ok(())
+    }
+
+    fn read_snapshot(&mut self, id: u64, lba: u64) -> Result<Option<u64>, FtlError> {
+        if lba >= self.logical_pages {
+            return Err(FtlError::LbaOutOfRange {
+                lba,
+                logical_pages: self.logical_pages,
+            });
+        }
+        let book = self.snap.as_ref().ok_or(FtlError::SnapshotsDisabled)?;
+        let idx = book
+            .snap_index(id)
+            .ok_or(FtlError::UnknownSnapshot { id })?;
+        let entry = book.snaps[idx].map[lba as usize];
+        if entry == UNMAPPED {
+            return Ok(None);
+        }
+        let addr = PageAddr::from_flat_index(&self.device.geometry(), u64::from(entry));
+        Ok(Some(self.device.read(addr)?.data))
+    }
+
     /// Debug audit: every mapped page is valid on-device with a matching
     /// spare-area LBA, and no two LBAs share a physical page.
     #[cfg(test)]
@@ -618,7 +1104,10 @@ impl<S: Sink> SwlCleaner for Inner<S> {
         let result = (|| {
             let blocks = self.device.geometry().blocks();
             for b in first_block..(first_block + count).min(blocks) {
-                if self.retired[b as usize] {
+                // Retired blocks and the snapshot-manifest reserve are out
+                // of circulation; SWL skips them like the BET's other
+                // permanently idle entries.
+                if self.retired[b as usize] || b >= self.reserved_base {
                     continue;
                 }
                 if self.frontier.map(|(fb, _)| fb) == Some(b) {
@@ -670,6 +1159,26 @@ pub struct PageMappedFtl<S: Sink = NullSink> {
     inner: Inner<S>,
     swl: Option<SwLeveler>,
     erased_buf: Vec<u32>,
+}
+
+/// Point-in-time refcount audit of the snapshot book, exposed for the
+/// invariant test suites.
+///
+/// The governing identity is `refcount_sum == mapping_count +
+/// pending_merge`: every reference a physical page holds is explained
+/// either by a mapping set (head or snapshot) pointing at it, or by the
+/// in-flight merge's deferred-release list keeping a displaced origin page
+/// alive until `merge_commit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotAudit {
+    /// Sum of the per-physical-page reference counts.
+    pub refcount_sum: u64,
+    /// Mapped entries across the head map and every snapshot map.
+    pub mapping_count: u64,
+    /// Displaced origin pages held by the in-flight merge (0 when idle).
+    pub pending_merge: u64,
+    /// Number of live snapshots.
+    pub snapshots: usize,
 }
 
 impl<S: Sink> PageMappedFtl<S> {
@@ -899,6 +1408,214 @@ impl<S: Sink> PageMappedFtl<S> {
         valid as f64 / geometry.total_pages() as f64
     }
 
+    /// Creates snapshot `id`: a durable, read-only, copy-on-write image of
+    /// the current logical contents. O(logical pages) RAM and one manifest
+    /// commit; no data pages are copied.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`] without [`SnapshotConfig`](crate::SnapshotConfig),
+    /// [`FtlError::SnapshotExists`] on a duplicate id,
+    /// [`FtlError::MergeInProgress`] while a merge is in flight,
+    /// [`FtlError::ManifestFull`] when the record would not fit, or a device
+    /// error from the manifest commit.
+    pub fn snapshot_create(&mut self, id: u64) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.snapshot_create(id);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Deletes snapshot `id`, releasing every page only it referenced.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`], [`FtlError::UnknownSnapshot`],
+    /// [`FtlError::MergeInProgress`], or a device error.
+    pub fn snapshot_delete(&mut self, id: u64) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.snapshot_delete(id);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Rolls the live image back to snapshot `id` (a writable clone of it).
+    /// The snapshot itself survives and can be cloned again.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`], [`FtlError::UnknownSnapshot`],
+    /// [`FtlError::MergeInProgress`], [`FtlError::ManifestFull`], or a
+    /// device error.
+    pub fn snapshot_clone(&mut self, id: u64) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.snapshot_clone(id);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Begins an online merge of snapshot `id` into the live image. Drive
+    /// it with [`Self::merge_step`] and seal it with [`Self::merge_commit`];
+    /// host writes may be interleaved and always beat the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`], [`FtlError::UnknownSnapshot`],
+    /// [`FtlError::MergeInProgress`], [`FtlError::ManifestFull`], or a
+    /// device error from the begin-point manifest commit.
+    pub fn merge_begin(&mut self, id: u64) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.merge_begin(id);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Advances the online merge over up to `max_lbas` logical pages.
+    /// Returns `true` once the whole logical space has been covered (then
+    /// call [`Self::merge_commit`]).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`] or [`FtlError::NoMergeInProgress`].
+    pub fn merge_step(&mut self, max_lbas: u64) -> Result<bool, FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.merge_step(max_lbas);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Seals the online merge: the snapshot is absorbed into the live image
+    /// and dropped, and the displaced origin pages are released.
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`], [`FtlError::NoMergeInProgress`], or
+    /// a device error from the commit-point manifest write.
+    pub fn merge_commit(&mut self) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = self.inner.merge_commit();
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Merges snapshot `id` into the live image in one call (begin, stream
+    /// all steps, commit).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::merge_begin`] and [`Self::merge_commit`].
+    pub fn merge_offline(&mut self, id: u64) -> Result<(), FtlError> {
+        let span = self.inner.span_begin(SpanKind::Merge);
+        let result = (|| {
+            self.inner.merge_begin(id)?;
+            while !self.inner.merge_step(1024)? {}
+            self.inner.merge_commit()
+        })();
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Reads `lba` as it looked when snapshot `id` was taken (`None` if it
+    /// was unmapped then).
+    ///
+    /// # Errors
+    ///
+    /// [`FtlError::SnapshotsDisabled`], [`FtlError::UnknownSnapshot`],
+    /// [`FtlError::LbaOutOfRange`], or a device error.
+    pub fn read_snapshot(&mut self, id: u64, lba: u64) -> Result<Option<u64>, FtlError> {
+        let span = self.inner.span_begin(SpanKind::HostRead);
+        let result = self.inner.read_snapshot(id, lba);
+        self.inner.span_end(span);
+        result
+    }
+
+    /// Ids of the live snapshots, in creation order.
+    pub fn snapshot_ids(&self) -> Vec<u64> {
+        self.inner
+            .snap
+            .as_ref()
+            .map_or_else(Vec::new, |b| b.snaps.iter().map(|s| s.id).collect())
+    }
+
+    /// Refcount audit of the snapshot book; `None` when snapshots are
+    /// disabled.
+    pub fn snapshot_audit(&self) -> Option<SnapshotAudit> {
+        let book = self.inner.snap.as_ref()?;
+        let mapped = |map: &[u32]| map.iter().filter(|&&p| p != UNMAPPED).count() as u64;
+        let mapping_count =
+            mapped(&self.inner.map) + book.snaps.iter().map(|s| mapped(&s.map)).sum::<u64>();
+        Some(SnapshotAudit {
+            refcount_sum: book.refs.iter().map(|&r| u64::from(r)).sum(),
+            mapping_count,
+            pending_merge: book.merge.as_ref().map_or(0, |m| m.pending.len() as u64),
+            snapshots: book.snaps.len(),
+        })
+    }
+
+    /// Exhaustive snapshot-invariant audit; panics on any violation. A
+    /// no-op when snapshots are disabled. Intended for tests and the
+    /// property suites — it walks every physical page.
+    ///
+    /// Checks: per-page refcounts equal the number of mapping sets (plus
+    /// pending merge releases) referencing the page; a page is valid
+    /// on-device iff it is referenced; spare LBA and epoch stamps match the
+    /// book's records.
+    pub fn check_snapshot_consistency(&self) {
+        let inner = &self.inner;
+        let Some(book) = inner.snap.as_ref() else {
+            return;
+        };
+        let geometry = inner.device.geometry();
+        let total_pages = geometry.total_pages() as usize;
+        let mut expected = vec![0u32; total_pages];
+        let mut tally = |map: &[u32]| {
+            for &p in map {
+                if p != UNMAPPED {
+                    expected[p as usize] += 1;
+                }
+            }
+        };
+        tally(&inner.map);
+        for s in &book.snaps {
+            tally(&s.map);
+        }
+        for &p in book.merge.as_ref().map_or(&[][..], |m| &m.pending[..]) {
+            expected[p as usize] += 1;
+        }
+        assert_eq!(
+            expected, book.refs,
+            "refcounts must equal references from mapping sets + pending merge"
+        );
+        for b in 0..inner.reserved_base {
+            for page in 0..geometry.pages_per_block() {
+                let addr = PageAddr::new(b, page);
+                let flat = addr.flat_index(&geometry) as usize;
+                let state = inner.device.block(b).page_state(page);
+                assert_eq!(
+                    state.is_valid(),
+                    book.refs[flat] > 0,
+                    "page {addr} validity must mirror its refcount"
+                );
+                if state.is_valid() {
+                    let spare = inner.device.block(b).spare(page);
+                    assert_eq!(
+                        spare.status(),
+                        book.epoch_of[flat],
+                        "page {addr} epoch stamp must match the book"
+                    );
+                    let lba = spare.lba().expect("valid page carries an lba") as usize;
+                    let referenced = inner.map[lba] == flat as u32
+                        || book.snaps.iter().any(|s| s.map[lba] == flat as u32)
+                        || book
+                            .merge
+                            .as_ref()
+                            .is_some_and(|m| m.pending.contains(&(flat as u32)));
+                    assert!(referenced, "page {addr} refs come from its own lba {lba}");
+                }
+            }
+        }
+    }
+
     #[cfg(test)]
     pub(crate) fn check_consistency(&mut self) {
         self.inner.check_consistency();
@@ -908,6 +1625,7 @@ impl<S: Sink> PageMappedFtl<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::SnapshotConfig;
     use nand::{CellKind, Geometry};
 
     fn device(blocks: u32, pages: u32) -> NandDevice {
@@ -1413,5 +2131,285 @@ mod tests {
             .unwrap(),
         );
         assert_eq!(plain, disarmed, "a disarmed FaultPlan must change nothing");
+    }
+
+    fn snap_ftl(blocks: u32, ppb: u32, overprovision: u32) -> PageMappedFtl {
+        let cfg = FtlConfig::default()
+            .with_overprovision_blocks(overprovision)
+            .with_snapshots(SnapshotConfig::new().with_manifest_blocks(2));
+        PageMappedFtl::new(device(blocks, ppb), cfg).unwrap()
+    }
+
+    #[test]
+    fn snapshot_reads_frozen_image() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..8u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(1).unwrap();
+        for lba in 0..4u64 {
+            ftl.write(lba, 200 + lba).unwrap();
+        }
+        ftl.trim(5).unwrap();
+        for lba in 0..4u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(200 + lba));
+            assert_eq!(ftl.read_snapshot(1, lba).unwrap(), Some(100 + lba));
+        }
+        // Trim hides the page from the head but the snapshot still pins it.
+        assert_eq!(ftl.read(5).unwrap(), None);
+        assert_eq!(ftl.read_snapshot(1, 5).unwrap(), Some(105));
+        assert_eq!(ftl.read_snapshot(1, 7).unwrap(), Some(107));
+        assert_eq!(ftl.read_snapshot(1, 40).unwrap(), None);
+        assert_eq!(ftl.snapshot_ids(), vec![1]);
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn snapshot_delete_releases_pinned_pages() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..8u64 {
+            ftl.write(lba, lba).unwrap();
+        }
+        ftl.snapshot_create(9).unwrap();
+        for lba in 0..8u64 {
+            ftl.write(lba, 50 + lba).unwrap();
+        }
+        let audit = ftl.snapshot_audit().unwrap();
+        // 8 head entries + 8 pinned snapshot entries, all distinct pages.
+        assert_eq!(audit.mapping_count, 16);
+        assert_eq!(audit.refcount_sum, 16);
+        ftl.snapshot_delete(9).unwrap();
+        let audit = ftl.snapshot_audit().unwrap();
+        assert_eq!(audit.snapshots, 0);
+        assert_eq!(audit.mapping_count, 8);
+        assert_eq!(audit.refcount_sum, 8);
+        let valid: u32 = (0..16)
+            .map(|b| ftl.device().block(b).valid_pages())
+            .sum();
+        // Only the head's 8 pages (plus the manifest's metadata pages)
+        // remain valid. The reserve is the top 4 blocks (2 buffers × 2).
+        let manifest_valid: u32 = (12..16)
+            .map(|b| ftl.device().block(b).valid_pages())
+            .sum();
+        assert_eq!(valid - manifest_valid, 8);
+        ftl.check_snapshot_consistency();
+    }
+
+    #[test]
+    fn clone_rolls_back_and_snapshot_survives() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..6u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(3).unwrap();
+        for lba in 0..6u64 {
+            ftl.write(lba, 200 + lba).unwrap();
+        }
+        ftl.write(20, 777).unwrap();
+        ftl.snapshot_clone(3).unwrap();
+        for lba in 0..6u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(100 + lba));
+        }
+        // The post-snapshot write is rolled back too.
+        assert_eq!(ftl.read(20).unwrap(), None);
+        // The clone is writable and isolated from the snapshot.
+        ftl.write(0, 999).unwrap();
+        assert_eq!(ftl.read(0).unwrap(), Some(999));
+        assert_eq!(ftl.read_snapshot(3, 0).unwrap(), Some(100));
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn offline_merge_is_origin_overlaid_with_snapshot() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        // Origin image.
+        for lba in 0..8u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(1).unwrap();
+        // Head diverges: overwrites, a fresh LBA, and a trim.
+        for lba in 0..4u64 {
+            ftl.write(lba, 200 + lba).unwrap();
+        }
+        ftl.write(30, 555).unwrap();
+        ftl.trim(6).unwrap();
+        // Expected merged image: the head overlaid with the snapshot
+        // (snapshot wins every LBA it maps; head-only LBAs survive).
+        ftl.merge_offline(1).unwrap();
+        for lba in 0..8u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(100 + lba), "lba {lba}");
+        }
+        assert_eq!(ftl.read(30).unwrap(), Some(555));
+        let audit = ftl.snapshot_audit().unwrap();
+        assert_eq!(audit.snapshots, 0);
+        assert_eq!(audit.pending_merge, 0);
+        assert_eq!(audit.refcount_sum, audit.mapping_count);
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn online_merge_host_writes_beat_the_snapshot() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..8u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(1).unwrap();
+        for lba in 0..8u64 {
+            ftl.write(lba, 200 + lba).unwrap();
+        }
+        ftl.merge_begin(1).unwrap();
+        // Interleaved live writes: stamped with the merge epoch, they must
+        // survive the overlay regardless of which side of the cursor they
+        // land on.
+        ftl.write(1, 901).unwrap();
+        let mut done = ftl.merge_step(3).unwrap();
+        ftl.write(2, 902).unwrap(); // behind the cursor
+        ftl.write(6, 906).unwrap(); // ahead of the cursor
+        while !done {
+            done = ftl.merge_step(3).unwrap();
+        }
+        ftl.merge_commit().unwrap();
+        for lba in 0..8u64 {
+            let expect = match lba {
+                1 => 901,
+                2 => 902,
+                6 => 906,
+                _ => 100 + lba,
+            };
+            assert_eq!(ftl.read(lba).unwrap(), Some(expect), "lba {lba}");
+        }
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn snapshots_survive_remount() {
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..8u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(1).unwrap();
+        for lba in 0..4u64 {
+            ftl.write(lba, 200 + lba).unwrap();
+        }
+        ftl.snapshot_create(2).unwrap();
+        ftl.write(0, 300).unwrap();
+        let config = ftl.config();
+        let device = ftl.into_device();
+        let mut ftl = PageMappedFtl::mount(device, config).unwrap();
+        assert_eq!(ftl.snapshot_ids(), vec![1, 2]);
+        assert_eq!(ftl.read(0).unwrap(), Some(300));
+        for lba in 1..4u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(200 + lba));
+        }
+        for lba in 4..8u64 {
+            assert_eq!(ftl.read(lba).unwrap(), Some(100 + lba));
+        }
+        for lba in 0..8u64 {
+            assert_eq!(ftl.read_snapshot(1, lba).unwrap(), Some(100 + lba));
+        }
+        assert_eq!(ftl.read_snapshot(2, 0).unwrap(), Some(200));
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+        // And the restored book keeps working: merge after remount.
+        ftl.merge_offline(2).unwrap();
+        assert_eq!(ftl.read(0).unwrap(), Some(200));
+        ftl.check_snapshot_consistency();
+    }
+
+    #[test]
+    fn snapshot_verbs_reject_bad_states() {
+        let mut plain = plain_ftl(8, 4);
+        assert_eq!(
+            plain.snapshot_create(1),
+            Err(FtlError::SnapshotsDisabled)
+        );
+        assert_eq!(plain.merge_step(4), Err(FtlError::SnapshotsDisabled));
+
+        let mut ftl = snap_ftl(16, 16, 4);
+        ftl.write(0, 1).unwrap();
+        assert_eq!(
+            ftl.snapshot_delete(7),
+            Err(FtlError::UnknownSnapshot { id: 7 })
+        );
+        assert_eq!(ftl.merge_commit(), Err(FtlError::NoMergeInProgress));
+        ftl.snapshot_create(1).unwrap();
+        assert_eq!(
+            ftl.snapshot_create(1),
+            Err(FtlError::SnapshotExists { id: 1 })
+        );
+        ftl.merge_begin(1).unwrap();
+        assert_eq!(ftl.snapshot_create(2), Err(FtlError::MergeInProgress));
+        assert_eq!(ftl.snapshot_delete(1), Err(FtlError::MergeInProgress));
+        assert_eq!(ftl.snapshot_clone(1), Err(FtlError::MergeInProgress));
+        assert_eq!(ftl.merge_begin(1), Err(FtlError::MergeInProgress));
+        while !ftl.merge_step(64).unwrap() {}
+        ftl.merge_commit().unwrap();
+        ftl.check_snapshot_consistency();
+    }
+
+    #[test]
+    fn manifest_capacity_is_enforced() {
+        // One manifest block of 8 pages: the empty record (6 words) fits,
+        // but the first snapshot needs record_words(2, [1]) = 4+2+3+1 = 10
+        // words > 8, so it cannot commit.
+        let cfg = FtlConfig::default()
+            .with_overprovision_blocks(2)
+            .with_snapshots(SnapshotConfig::new());
+        let mut ftl = PageMappedFtl::new(device(8, 8), cfg).unwrap();
+        ftl.write(0, 1).unwrap();
+        assert_eq!(ftl.snapshot_create(1), Err(FtlError::ManifestFull));
+        // Nothing was mutated by the rejected verb.
+        assert_eq!(ftl.snapshot_ids(), Vec::<u64>::new());
+        let audit = ftl.snapshot_audit().unwrap();
+        assert_eq!(audit.refcount_sum, 1);
+        ftl.check_snapshot_consistency();
+    }
+
+    #[test]
+    fn gc_and_swl_copy_pinned_pages_once_and_keep_them() {
+        let d = device(16, 8);
+        let cfg = FtlConfig::default()
+            .with_overprovision_blocks(4)
+            .with_snapshots(SnapshotConfig::new().with_manifest_blocks(2));
+        let mut ftl = PageMappedFtl::with_swl(d, cfg, SwlConfig::new(4, 0)).unwrap();
+        for lba in 0..8u64 {
+            ftl.write(lba, 100 + lba).unwrap();
+        }
+        ftl.snapshot_create(1).unwrap();
+        // Hammer a hot LBA long enough to force GC and SWL over the
+        // snapshot-pinned blocks.
+        for round in 0..2000u64 {
+            ftl.write(40 + (round % 2), round).unwrap();
+        }
+        assert!(ftl.counters().swl_erases > 0, "SWL must have run");
+        for lba in 0..8u64 {
+            assert_eq!(ftl.read_snapshot(1, lba).unwrap(), Some(100 + lba));
+            assert_eq!(ftl.read(lba).unwrap(), Some(100 + lba));
+        }
+        ftl.check_snapshot_consistency();
+        ftl.check_consistency();
+    }
+
+    #[test]
+    fn unused_snapshot_mode_stamps_live_status() {
+        // With snapshots enabled but never used, every data page carries
+        // epoch 0 == STATUS_LIVE: bit-identical spare bytes to a
+        // snapshot-free build.
+        let mut ftl = snap_ftl(16, 16, 4);
+        for lba in 0..8u64 {
+            ftl.write(lba, lba).unwrap();
+        }
+        let geometry = ftl.device().geometry();
+        for b in 0..12u32 {
+            for p in 0..geometry.pages_per_block() {
+                if ftl.device().block(b).page_state(p).is_valid() {
+                    assert_eq!(ftl.device().block(b).spare(p).status(), 0);
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,299 @@
+//! Snapshot and merge invariants of the page-mapping FTL under randomized
+//! workloads.
+//!
+//! Two properties anchor the copy-on-write design:
+//!
+//! 1. **Refcount conservation** — at every step, the sum of physical-page
+//!    refcounts equals the number of live mapping entries across the head
+//!    and all snapshots plus deferred merge releases
+//!    ([`SnapshotAudit`](ftl::SnapshotAudit)'s identity), and a full
+//!    device walk confirms valid-on-device ⇔ referenced.
+//! 2. **Differential oracle** — a build with snapshots enabled but never
+//!    used behaves bit-identically (counters, erase counts, contents) to a
+//!    snapshot-free build over the same data blocks, so the feature costs
+//!    nothing when off.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use ftl::{FtlConfig, FtlError, PageMappedFtl, SnapshotConfig};
+use nand::{CellKind, Geometry, NandDevice};
+
+const LBAS: u64 = 24;
+
+fn device(blocks: u32, pages: u32) -> NandDevice {
+    NandDevice::new(
+        Geometry::new(blocks, pages, 2048),
+        CellKind::Mlc2.spec().with_endurance(u32::MAX),
+    )
+}
+
+fn snap_config() -> FtlConfig {
+    FtlConfig::new()
+        .with_overprovision_blocks(4)
+        .with_snapshots(SnapshotConfig::new().with_manifest_blocks(3))
+}
+
+/// RAM model of the logical state: the head image plus one frozen image per
+/// live snapshot, in creation order.
+#[derive(Default)]
+struct Model {
+    head: HashMap<u64, u64>,
+    snaps: Vec<(u64, HashMap<u64, u64>)>,
+}
+
+impl Model {
+    fn snap_index(&self, pick: u64) -> Option<usize> {
+        if self.snaps.is_empty() {
+            None
+        } else {
+            Some((pick % self.snaps.len() as u64) as usize)
+        }
+    }
+
+    /// Merge semantics: the origin overlaid with the snapshot image, with
+    /// any host write made after `merge_begin` winning over both.
+    fn apply_merge(&mut self, idx: usize, post_writes: &[(u64, u64)]) {
+        let (_, image) = self.snaps.remove(idx);
+        for (lba, data) in image {
+            self.head.insert(lba, data);
+        }
+        for &(lba, data) in post_writes {
+            self.head.insert(lba, data);
+        }
+    }
+}
+
+/// Checks the audit identity and (full walk) device/refcount agreement.
+fn assert_refcounts(ftl: &PageMappedFtl, deep: bool) -> Result<(), TestCaseError> {
+    let audit = ftl.snapshot_audit().expect("snapshots are enabled");
+    prop_assert_eq!(
+        audit.refcount_sum,
+        audit.mapping_count + audit.pending_merge,
+        "refcount sum must equal live mappings plus deferred merge releases"
+    );
+    if deep {
+        ftl.check_snapshot_consistency();
+    }
+    Ok(())
+}
+
+/// Reads the full logical space back and compares against a model image.
+fn assert_head_matches(
+    ftl: &mut PageMappedFtl,
+    model: &HashMap<u64, u64>,
+) -> Result<(), TestCaseError> {
+    for lba in 0..LBAS {
+        prop_assert_eq!(
+            ftl.read(lba).unwrap(),
+            model.get(&lba).copied(),
+            "head diverged from model at lba {}",
+            lba
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Refcount conservation under a full op mix: writes, trims, snapshot
+    /// create/delete/clone, offline merges, and online merges with host
+    /// writes racing the merge cursor. `ManifestFull` is a legal refusal
+    /// (the verb must leave all state untouched), so the model simply skips
+    /// the op when the FTL reports it.
+    #[test]
+    fn refcounts_equal_live_mappings_at_every_step(
+        ops in prop::collection::vec((0u64..10, 0u64..LBAS, any::<u64>()), 1..90),
+    ) {
+        let mut ftl = PageMappedFtl::new(device(16, 16), snap_config()).unwrap();
+        let mut model = Model::default();
+        let mut next_id = 1u64;
+        // Trim is advisory and RAM-only: when the trimmed page is pinned by
+        // a snapshot it stays valid on device, and a later mount may
+        // legitimately resurrect the head mapping. Track whether that can
+        // happen so the post-remount check knows which LBAs are exact.
+        let mut pinned_trim = false;
+
+        for (step, (kind, lba, data)) in ops.into_iter().enumerate() {
+            match kind {
+                // Writes dominate the mix, as in any real workload.
+                0..=3 => {
+                    ftl.write(lba, data).unwrap();
+                    model.head.insert(lba, data);
+                }
+                4 => {
+                    ftl.trim(lba).unwrap();
+                    if let Some(v) = model.head.remove(&lba) {
+                        if model.snaps.iter().any(|(_, img)| img.get(&lba) == Some(&v)) {
+                            pinned_trim = true;
+                        }
+                    }
+                }
+                5 => {
+                    // Cap live snapshots so pinned pages cannot outgrow the
+                    // physical space of the small test geometry.
+                    if model.snaps.len() < 3 {
+                        match ftl.snapshot_create(next_id) {
+                            Ok(()) => {
+                                model.snaps.push((next_id, model.head.clone()));
+                                next_id += 1;
+                            }
+                            Err(FtlError::ManifestFull) => {}
+                            Err(e) => panic!("snapshot_create failed: {e}"),
+                        }
+                    }
+                }
+                6 => {
+                    if let Some(idx) = model.snap_index(data) {
+                        ftl.snapshot_delete(model.snaps[idx].0).unwrap();
+                        model.snaps.remove(idx);
+                    }
+                }
+                7 => {
+                    if let Some(idx) = model.snap_index(data) {
+                        match ftl.snapshot_clone(model.snaps[idx].0) {
+                            Ok(()) => model.head = model.snaps[idx].1.clone(),
+                            Err(FtlError::ManifestFull) => {}
+                            Err(e) => panic!("snapshot_clone failed: {e}"),
+                        }
+                    }
+                }
+                8 => {
+                    if let Some(idx) = model.snap_index(data) {
+                        match ftl.merge_offline(model.snaps[idx].0) {
+                            Ok(()) => model.apply_merge(idx, &[]),
+                            Err(FtlError::ManifestFull) => {}
+                            Err(e) => panic!("merge_offline failed: {e}"),
+                        }
+                    }
+                }
+                _ => {
+                    // Online merge: host writes land before the cursor
+                    // starts, behind it mid-merge, and the merge must still
+                    // honour all of them over the snapshot image.
+                    if let Some(idx) = model.snap_index(data) {
+                        match ftl.merge_begin(model.snaps[idx].0) {
+                            Ok(()) => {
+                                let w1 = (lba, data ^ 0xA5);
+                                let w2 = ((lba + 7) % LBAS, data ^ 0x5A);
+                                ftl.write(w1.0, w1.1).unwrap();
+                                ftl.merge_step(8).unwrap();
+                                ftl.write(w2.0, w2.1).unwrap();
+                                while !ftl.merge_step(8).unwrap() {}
+                                ftl.merge_commit().unwrap();
+                                model.apply_merge(idx, &[w1, w2]);
+                            }
+                            Err(FtlError::ManifestFull) => {}
+                            Err(e) => panic!("merge_begin failed: {e}"),
+                        }
+                    }
+                }
+            }
+            // The audit identity must hold after *every* operation; the
+            // full device walk is heavier, so it runs periodically.
+            assert_refcounts(&ftl, step % 7 == 0)?;
+        }
+
+        // Final deep check, then contents: head and every snapshot image.
+        assert_refcounts(&ftl, true)?;
+        assert_head_matches(&mut ftl, &model.head)?;
+        for (id, image) in &model.snaps {
+            for lba in 0..LBAS {
+                prop_assert_eq!(
+                    ftl.read_snapshot(*id, lba).unwrap(),
+                    image.get(&lba).copied(),
+                    "snapshot {} diverged from model at lba {}",
+                    *id,
+                    lba
+                );
+            }
+        }
+
+        // Remount from the manifest and confirm nothing was lost.
+        let config = snap_config();
+        let mut ftl = PageMappedFtl::mount(ftl.into_device(), config).unwrap();
+        assert_refcounts(&ftl, true)?;
+        for lba in 0..LBAS {
+            match model.head.get(&lba) {
+                Some(&v) => prop_assert_eq!(
+                    ftl.read(lba).unwrap(),
+                    Some(v),
+                    "mapped lba {} must survive remount",
+                    lba
+                ),
+                // A trimmed LBA whose page was snapshot-pinned may be
+                // resurrected at mount (trim is advisory, see host_trim);
+                // without such a trim the LBA must stay unmapped.
+                None if !pinned_trim => prop_assert_eq!(
+                    ftl.read(lba).unwrap(),
+                    None,
+                    "unmapped lba {} must stay unmapped across remount",
+                    lba
+                ),
+                None => {}
+            }
+        }
+        let mut ids = ftl.snapshot_ids();
+        ids.sort_unstable();
+        let mut expect: Vec<u64> = model.snaps.iter().map(|(id, _)| *id).collect();
+        expect.sort_unstable();
+        prop_assert_eq!(ids, expect, "snapshot set must survive remount");
+        for (id, image) in &model.snaps {
+            for lba in 0..LBAS {
+                prop_assert_eq!(
+                    ftl.read_snapshot(*id, lba).unwrap(),
+                    image.get(&lba).copied(),
+                    "snapshot {} image changed across remount at lba {}",
+                    *id,
+                    lba
+                );
+            }
+        }
+    }
+
+    /// A snapshot-capable build that never takes a snapshot is
+    /// bit-identical to a snapshot-free build: same counters, same per-block
+    /// erase counts, same contents. The manifest reserve sits above the data
+    /// blocks, so the enabled device carries extra blocks to keep the data
+    /// region the same size.
+    #[test]
+    fn unused_snapshot_mode_is_bit_identical_to_plain_build(
+        ops in prop::collection::vec((0u64..8, 0u64..LBAS, any::<u64>()), 1..300),
+    ) {
+        const DATA_BLOCKS: u32 = 12;
+        let mut plain = PageMappedFtl::new(
+            device(DATA_BLOCKS, 16),
+            FtlConfig::new().with_overprovision_blocks(4),
+        )
+        .unwrap();
+        let reserved = snap_config().reserved_blocks();
+        let mut snappy =
+            PageMappedFtl::new(device(DATA_BLOCKS + reserved, 16), snap_config()).unwrap();
+        prop_assert_eq!(plain.logical_pages(), snappy.logical_pages());
+
+        for (kind, lba, data) in ops {
+            if kind < 7 {
+                plain.write(lba, data).unwrap();
+                snappy.write(lba, data).unwrap();
+            } else {
+                plain.trim(lba).unwrap();
+                snappy.trim(lba).unwrap();
+            }
+        }
+
+        prop_assert_eq!(plain.counters(), snappy.counters());
+        for b in 0..DATA_BLOCKS {
+            prop_assert_eq!(
+                plain.device().block(b).erase_count(),
+                snappy.device().block(b).erase_count(),
+                "erase counts diverged at block {}",
+                b
+            );
+        }
+        for lba in 0..LBAS {
+            prop_assert_eq!(plain.read(lba).unwrap(), snappy.read(lba).unwrap());
+        }
+    }
+}

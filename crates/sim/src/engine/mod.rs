@@ -145,6 +145,19 @@ struct PageCmd {
     ordinal: u32,
 }
 
+/// A device-wide management verb executed on every lane at a barrier.
+#[derive(Debug, Clone, Copy)]
+enum AdminVerb {
+    /// Create CoW snapshot `id`.
+    Create(u64),
+    /// Delete snapshot `id`.
+    Delete(u64),
+    /// Roll the live image back to snapshot `id`.
+    Clone(u64),
+    /// Merge snapshot `id` into the live image and drop it.
+    Merge(u64),
+}
+
 /// Work shipped to a lane worker.
 #[derive(Debug)]
 enum LaneCommand {
@@ -157,6 +170,13 @@ enum LaneCommand {
     },
     /// Run one SWL-Procedure step on the lane (global coordination).
     SwlStep { op_seq: u64, lane: u32 },
+    /// Execute a management verb on the lane (snapshot plane). Dispatched
+    /// to every lane at once, after a full flush, and awaited as a barrier.
+    Admin {
+        op_seq: u64,
+        lane: u32,
+        verb: AdminVerb,
+    },
 }
 
 /// A lane's acknowledgement of one command.
@@ -344,9 +364,9 @@ fn worker_loop<const METRICS: bool>(
             }
         };
         let (op_seq, lane_id) = match &command {
-            LaneCommand::Exec { op_seq, lane, .. } | LaneCommand::SwlStep { op_seq, lane } => {
-                (*op_seq, *lane)
-            }
+            LaneCommand::Exec { op_seq, lane, .. }
+            | LaneCommand::SwlStep { op_seq, lane }
+            | LaneCommand::Admin { op_seq, lane, .. } => (*op_seq, *lane),
         };
         let wl = lanes
             .iter_mut()
@@ -381,6 +401,17 @@ fn worker_loop<const METRICS: bool>(
             }
             LaneCommand::SwlStep { .. } => {
                 if let Err(e) = wl.layer.run_swl_step() {
+                    error = Some((SWL_ORDINAL, e));
+                }
+            }
+            LaneCommand::Admin { verb, .. } => {
+                let result = match verb {
+                    AdminVerb::Create(id) => wl.layer.snapshot_create(id),
+                    AdminVerb::Delete(id) => wl.layer.snapshot_delete(id),
+                    AdminVerb::Clone(id) => wl.layer.snapshot_clone(id),
+                    AdminVerb::Merge(id) => wl.layer.snapshot_merge(id),
+                };
+                if let Err(e) = result {
                     error = Some((SWL_ORDINAL, e));
                 }
             }
@@ -902,7 +933,9 @@ impl Engine {
 
     fn dispatch(&self, command: LaneCommand) {
         let lane = match &command {
-            LaneCommand::Exec { lane, .. } | LaneCommand::SwlStep { lane, .. } => *lane,
+            LaneCommand::Exec { lane, .. }
+            | LaneCommand::SwlStep { lane, .. }
+            | LaneCommand::Admin { lane, .. } => *lane,
         };
         self.queue_for(lane)
             .push(command)
@@ -1329,6 +1362,114 @@ impl Engine {
                 .expect("completion queue closed with ops in flight");
             self.absorb(completion);
             self.finalize_ready()?;
+        }
+        Ok(())
+    }
+
+    /// Creates CoW snapshot `id` on every lane. Barrier semantics: the
+    /// engine is flushed first (so the snapshot covers every submitted
+    /// write), then every lane runs the verb and is awaited — a successful
+    /// return means the snapshot is durable on all channels.
+    ///
+    /// # Errors
+    ///
+    /// The sticky engine error if one is already set, or the failing lane's
+    /// error in deterministic (lowest-lane) order. A refusal shared by
+    /// *every* lane (duplicate id, unknown snapshot, full manifest) left
+    /// the array consistent and is not sticky; divergent per-lane outcomes
+    /// wedge the engine like any lane error.
+    pub fn snapshot_create(&mut self, id: u64) -> Result<(), SimError> {
+        self.admin(AdminVerb::Create(id))
+    }
+
+    /// Deletes snapshot `id` on every lane (barrier, like
+    /// [`Engine::snapshot_create`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::snapshot_create`].
+    pub fn snapshot_delete(&mut self, id: u64) -> Result<(), SimError> {
+        self.admin(AdminVerb::Delete(id))
+    }
+
+    /// Rolls every lane back to snapshot `id` (barrier, like
+    /// [`Engine::snapshot_create`]). The caller owns invalidating any
+    /// host-side caches of the pre-rollback image.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::snapshot_create`].
+    pub fn snapshot_clone(&mut self, id: u64) -> Result<(), SimError> {
+        self.admin(AdminVerb::Clone(id))
+    }
+
+    /// Merges snapshot `id` into the live image on every lane and drops it
+    /// (barrier, like [`Engine::snapshot_create`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Engine::snapshot_create`].
+    pub fn snapshot_merge(&mut self, id: u64) -> Result<(), SimError> {
+        self.admin(AdminVerb::Merge(id))
+    }
+
+    /// Runs a management verb on every lane at a barrier: flush, dispatch
+    /// to all lanes, await all acknowledgements. Admin device time is
+    /// charged to the lanes' busy clocks but not to the virtual-time op
+    /// scheduler — management verbs sit outside the host op stream (they
+    /// do not count as engine events), so per-op latency stats stay
+    /// comparable with admin-free runs.
+    fn admin(&mut self, verb: AdminVerb) -> Result<(), SimError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.flush()?;
+        let channels = self.geometry.channels();
+        let op_seq = self.next_seq;
+        self.next_seq += 1;
+        for lane in 0..channels {
+            self.dispatch(LaneCommand::Admin { op_seq, lane, verb });
+        }
+        let mut first: Option<(u32, SimError)> = None;
+        let mut errors = 0u32;
+        let mut uniform = true;
+        for _ in 0..channels {
+            let completion = self
+                .completions
+                .pop()
+                .expect("completion queue closed with an admin verb in flight");
+            self.shards[completion.lane as usize].absorb(completion.shard);
+            self.lane_failure[completion.lane as usize] = completion.failure;
+            if let Some((_, e)) = completion.error {
+                errors += 1;
+                match first {
+                    Some((l, prev)) => {
+                        uniform = uniform && prev == e;
+                        if l > completion.lane {
+                            first = Some((completion.lane, e));
+                        }
+                    }
+                    None => first = Some((completion.lane, e)),
+                }
+            }
+        }
+        self.publish_bet_gauges();
+        // The admin op consumed a sequence number with no pending entry;
+        // re-align the finalize cursor so the next Exec op indexes pending
+        // correctly (the queue is empty here — we just flushed and
+        // barriered).
+        self.finalize_next = self.next_seq;
+        if let Some((_, e)) = first {
+            // When every lane refused with the same error (duplicate id,
+            // unknown snapshot, full manifest), no lane mutated anything
+            // and the array is still consistent: report the refusal
+            // without wedging the engine. Divergent outcomes — some lanes
+            // applied the verb, others refused — are a real inconsistency
+            // and stick like any lane error.
+            if !(uniform && errors == channels) {
+                self.error = Some(e);
+            }
+            return Err(e);
         }
         Ok(())
     }

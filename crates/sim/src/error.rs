@@ -21,6 +21,9 @@ pub enum SimError {
         /// The layer's logical capacity.
         logical_pages: u64,
     },
+    /// A snapshot verb reached a layer that cannot serve it (the
+    /// block-mapping NFTL has no copy-on-write machinery).
+    SnapshotUnsupported,
 }
 
 impl fmt::Display for SimError {
@@ -32,6 +35,9 @@ impl fmt::Display for SimError {
                 f,
                 "trace event lba {lba} outside logical space of {logical_pages} pages"
             ),
+            SimError::SnapshotUnsupported => {
+                f.write_str("this translation layer does not support snapshots")
+            }
         }
     }
 }
@@ -41,7 +47,7 @@ impl Error for SimError {
         match self {
             SimError::Ftl(e) => Some(e),
             SimError::Nftl(e) => Some(e),
-            SimError::TraceOutOfRange { .. } => None,
+            SimError::TraceOutOfRange { .. } | SimError::SnapshotUnsupported => None,
         }
     }
 }

@@ -272,6 +272,57 @@ impl<S: Sink> Layer<S> {
             Layer::Nftl(l) => l.run_swl_step().map_err(SimError::from),
         }
     }
+
+    /// Creates copy-on-write snapshot `id` of the current logical contents.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotUnsupported`] on the NFTL; FTL failures
+    /// (disabled snapshots, duplicate id, full manifest, …) as
+    /// [`SimError::Ftl`].
+    pub fn snapshot_create(&mut self, id: u64) -> Result<(), SimError> {
+        match self {
+            Layer::Ftl(l) => l.snapshot_create(id).map_err(SimError::from),
+            Layer::Nftl(_) => Err(SimError::SnapshotUnsupported),
+        }
+    }
+
+    /// Deletes snapshot `id`, releasing the pages only it pinned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Layer::snapshot_create`].
+    pub fn snapshot_delete(&mut self, id: u64) -> Result<(), SimError> {
+        match self {
+            Layer::Ftl(l) => l.snapshot_delete(id).map_err(SimError::from),
+            Layer::Nftl(_) => Err(SimError::SnapshotUnsupported),
+        }
+    }
+
+    /// Rolls the live image back to snapshot `id` (a writable clone).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Layer::snapshot_create`].
+    pub fn snapshot_clone(&mut self, id: u64) -> Result<(), SimError> {
+        match self {
+            Layer::Ftl(l) => l.snapshot_clone(id).map_err(SimError::from),
+            Layer::Nftl(_) => Err(SimError::SnapshotUnsupported),
+        }
+    }
+
+    /// Merges snapshot `id` into the live image (streamed begin → steps →
+    /// commit) and drops it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Layer::snapshot_create`].
+    pub fn snapshot_merge(&mut self, id: u64) -> Result<(), SimError> {
+        match self {
+            Layer::Ftl(l) => l.merge_offline(id).map_err(SimError::from),
+            Layer::Nftl(_) => Err(SimError::SnapshotUnsupported),
+        }
+    }
 }
 
 macro_rules! delegate {

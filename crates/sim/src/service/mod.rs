@@ -462,6 +462,64 @@ impl Service {
         self.engine.flush()
     }
 
+    /// Creates CoW snapshot `id` of the served device. The ack is
+    /// *durable and exact*: every write accepted before this call is
+    /// flushed to flash first (same barrier as [`Service::flush`]), so the
+    /// snapshot images precisely the acked state, and the on-flash
+    /// manifest commit makes the snapshot itself survive a power cut —
+    /// crashmc sweeps assert that an acked `snapshot_create` is always
+    /// present after remount.
+    ///
+    /// # Errors
+    ///
+    /// The engine's (sticky) error, or the snapshot plane's rejection
+    /// (duplicate id, manifest full, snapshots disabled, NFTL layer).
+    pub fn snapshot_create(&mut self, id: u64) -> Result<(), SimError> {
+        self.flush()?;
+        self.engine.snapshot_create(id)
+    }
+
+    /// Deletes snapshot `id`, releasing the flash pages only it pinned.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::snapshot_create`].
+    pub fn snapshot_delete(&mut self, id: u64) -> Result<(), SimError> {
+        self.engine.snapshot_delete(id)
+    }
+
+    /// Rolls the served device back to snapshot `id`. Rollback discards
+    /// the current live image *including* accepted-but-unflushed cache
+    /// contents and trim masks — they describe the pre-rollback state the
+    /// caller is explicitly abandoning.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::snapshot_create`].
+    pub fn snapshot_clone(&mut self, id: u64) -> Result<(), SimError> {
+        if let Some(cache) = self.cache.as_mut() {
+            // Dropped, not written back: the rollback supersedes them.
+            drop(cache.drain_all());
+        }
+        self.trimmed.clear();
+        self.engine.snapshot_clone(id)
+    }
+
+    /// Merges snapshot `id` into the live image and drops it. Accepted
+    /// writes are flushed first; at the merge point the snapshot's
+    /// mappings win every page it images (that is what merging a snapshot
+    /// means), and advisory trim masks are cleared so restored pages are
+    /// readable.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Service::snapshot_create`].
+    pub fn snapshot_merge(&mut self, id: u64) -> Result<(), SimError> {
+        self.flush()?;
+        self.trimmed.clear();
+        self.engine.snapshot_merge(id)
+    }
+
     /// Flushes, tears the engine down, and assembles the run summary.
     ///
     /// # Errors
@@ -520,6 +578,26 @@ pub enum Request {
     /// Travels the same bounded queue as I/O — a real production management
     /// plane with no side channel and no new locks in the data path.
     Stats,
+    /// Create CoW snapshot `id` (ack = durable, images all acked writes).
+    Snapshot {
+        /// Snapshot id (caller-chosen, must be unused).
+        id: u64,
+    },
+    /// Delete snapshot `id`.
+    DeleteSnapshot {
+        /// Snapshot id to delete.
+        id: u64,
+    },
+    /// Roll the device back to snapshot `id` (discards the live image).
+    CloneSnapshot {
+        /// Snapshot id to roll back to.
+        id: u64,
+    },
+    /// Merge snapshot `id` into the live image and drop it.
+    MergeSnapshot {
+        /// Snapshot id to merge.
+        id: u64,
+    },
 }
 
 /// The service's reply to one [`Request`].
@@ -539,6 +617,8 @@ pub enum Response {
     /// The health report, boxed to keep reply envelopes small. `None` when
     /// the service runs without the health plane.
     Stats(Option<Box<HealthReport>>),
+    /// The snapshot verb (create / delete / clone / merge) completed.
+    SnapshotDone,
     /// The op failed (engine errors are sticky — every later op fails
     /// with the same error).
     Error(SimError),
@@ -681,6 +761,53 @@ impl ServiceClient {
             other => panic!("mismatched reply to flush: {other:?}"),
         }
     }
+
+    /// Dispatches one snapshot-plane request and decodes the shared
+    /// `SnapshotDone` ack.
+    fn snapshot_call(&mut self, request: Request) -> Result<(), SimError> {
+        match self.call(request) {
+            Response::SnapshotDone => Ok(()),
+            Response::Error(e) => Err(e),
+            other => panic!("mismatched reply to snapshot verb: {other:?}"),
+        }
+    }
+
+    /// Creates CoW snapshot `id` (ack = durable; see
+    /// [`Service::snapshot_create`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::snapshot_create`].
+    pub fn snapshot(&mut self, id: u64) -> Result<(), SimError> {
+        self.snapshot_call(Request::Snapshot { id })
+    }
+
+    /// Deletes snapshot `id`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::snapshot_delete`].
+    pub fn delete_snapshot(&mut self, id: u64) -> Result<(), SimError> {
+        self.snapshot_call(Request::DeleteSnapshot { id })
+    }
+
+    /// Rolls the device back to snapshot `id`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::snapshot_clone`].
+    pub fn clone_snapshot(&mut self, id: u64) -> Result<(), SimError> {
+        self.snapshot_call(Request::CloneSnapshot { id })
+    }
+
+    /// Merges snapshot `id` into the live image and drops it.
+    ///
+    /// # Errors
+    ///
+    /// As [`Service::snapshot_merge`].
+    pub fn merge_snapshot(&mut self, id: u64) -> Result<(), SimError> {
+        self.snapshot_call(Request::MergeSnapshot { id })
+    }
 }
 
 /// Handle onto the thread running a served [`Service`]; join it to get
@@ -762,6 +889,22 @@ impl Service {
                 Err(e) => Response::Error(e),
             },
             Request::Stats => Response::Stats(self.stats().map(Box::new)),
+            Request::Snapshot { id } => match self.snapshot_create(id) {
+                Ok(()) => Response::SnapshotDone,
+                Err(e) => Response::Error(e),
+            },
+            Request::DeleteSnapshot { id } => match self.snapshot_delete(id) {
+                Ok(()) => Response::SnapshotDone,
+                Err(e) => Response::Error(e),
+            },
+            Request::CloneSnapshot { id } => match self.snapshot_clone(id) {
+                Ok(()) => Response::SnapshotDone,
+                Err(e) => Response::Error(e),
+            },
+            Request::MergeSnapshot { id } => match self.snapshot_merge(id) {
+                Ok(()) => Response::SnapshotDone,
+                Err(e) => Response::Error(e),
+            },
         }
     }
 }

@@ -529,3 +529,187 @@ fn served_clients_keep_read_your_writes() {
     );
     service.finish().unwrap();
 }
+
+/// Trim of never-written LBAs is a pure no-op that must stay readable as
+/// `None`, never error, and never dirty the cache or reach the flash —
+/// with and without a cache attached.
+#[test]
+fn trim_of_never_written_lbas_is_harmless() {
+    for cache in [None, Some(CacheConfig::sized(32).with_hot(eager_hot()))] {
+        let cached = cache.is_some();
+        let mut service = Service::build(
+            LayerKind::Ftl,
+            geometry(2),
+            spec(),
+            None,
+            SwlCoordination::PerChannel,
+            &SimConfig::default(),
+            ServiceConfig {
+                engine: EngineConfig::default().with_threads(2).with_queue_depth(8),
+                cache,
+                op_interval_ns: INTERVAL_NS,
+            },
+        )
+        .unwrap();
+        let logical = service.logical_pages();
+
+        // Virgin device: trim spans nothing ever touched.
+        service.trim(0, 16).unwrap();
+        service.trim(logical - 4, 4).unwrap();
+        service.trim(7, 0).unwrap(); // zero-length
+        for lba in [0u64, 5, 15, logical - 1] {
+            assert_eq!(
+                service.read(lba, 1).unwrap()[0],
+                None,
+                "cached={cached}: trimmed virgin lba {lba} must read None"
+            );
+        }
+        // Out-of-range trims are rejected, not silently clipped.
+        assert!(matches!(
+            service.trim(logical, 1),
+            Err(flash_sim::SimError::TraceOutOfRange { .. })
+        ));
+        assert!(matches!(
+            service.trim(logical - 1, 2),
+            Err(flash_sim::SimError::TraceOutOfRange { .. })
+        ));
+
+        // The no-op trims must not have programmed anything.
+        service.flush().unwrap();
+        let programs_before: u64 = service.ops();
+        assert!(programs_before > 0, "ops counter tracks the verbs");
+
+        // Writes after the trim behave as on a virgin device.
+        service.write(3, &[111, 222]).unwrap();
+        assert_eq!(service.read(3, 2).unwrap(), vec![Some(111), Some(222)]);
+        // And re-trimming the now-written span masks it again.
+        service.trim(3, 2).unwrap();
+        assert_eq!(service.read(3, 2).unwrap(), vec![None, None]);
+
+        let run = service.finish().unwrap().run;
+        assert_eq!(
+            run.report.counters.trims, 0,
+            "cached={cached}: advisory service trims must never reach the FTL"
+        );
+    }
+}
+
+/// Flush on an empty (or absent) cache is an idempotent barrier: it
+/// succeeds, moves no pages, and leaves the device byte-identical — even
+/// repeated back to back.
+#[test]
+fn flush_on_empty_cache_is_an_idempotent_noop() {
+    let mut service = Service::build(
+        LayerKind::Ftl,
+        geometry(2),
+        spec(),
+        None,
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        ServiceConfig::default()
+            .with_cache(CacheConfig::sized(32).with_hot(eager_hot()))
+            .with_engine(EngineConfig::default().with_threads(2).with_queue_depth(8)),
+    )
+    .unwrap();
+    // Nothing written yet: flush must succeed and flush zero pages.
+    service.flush().unwrap();
+    service.flush().unwrap();
+    let sample = service.cache_sample().expect("cache was enabled");
+    assert_eq!(sample.flushed_pages, 0, "empty flush moved pages");
+    assert_eq!(sample.dirty, 0);
+
+    // Dirty the cache, drain it, then flush again: the second flush finds
+    // an empty cache and must not move anything further.
+    for lba in 0..8u64 {
+        service.write(lba, &[lba + 1]).unwrap();
+        service.write(lba, &[lba + 100]).unwrap(); // rewrite → cached
+    }
+    service.flush().unwrap();
+    let after_drain = service.cache_sample().expect("cache was enabled");
+    assert_eq!(after_drain.dirty, 0, "flush must drain every dirty entry");
+    service.flush().unwrap();
+    let after_noop = service.cache_sample().expect("cache was enabled");
+    assert_eq!(
+        after_noop.flushed_pages, after_drain.flushed_pages,
+        "flushing a drained cache must move nothing"
+    );
+    // Contents intact.
+    for lba in 0..8u64 {
+        assert_eq!(service.read(lba, 1).unwrap()[0], Some(lba + 100));
+    }
+    service.finish().unwrap();
+}
+
+/// Stats is a pure management verb: every served client polling it
+/// concurrently with the others' traffic gets a coherent report, and the
+/// polling never perturbs contents or read-your-writes.
+#[test]
+fn stats_polled_concurrently_from_all_clients() {
+    let service = Service::build(
+        LayerKind::Ftl,
+        geometry(2),
+        spec(),
+        Some(swl()),
+        SwlCoordination::PerChannel,
+        &SimConfig::default(),
+        ServiceConfig::default()
+            .with_engine(
+                EngineConfig::default()
+                    .with_threads(2)
+                    .with_queue_depth(8)
+                    .with_health(true),
+            )
+            .with_op_interval_ns(INTERVAL_NS),
+    )
+    .unwrap();
+    let clients = 4usize;
+    let slice = service.logical_pages() / clients as u64;
+    let (server, handles) = service.serve(clients);
+    let joined: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(c, mut client)| {
+            std::thread::spawn(move || {
+                let base = c as u64 * slice;
+                let mut model: HashMap<u64, u64> = HashMap::new();
+                let mut rng = SplitMix64::new(0x57A7 + c as u64);
+                let mut last_host_pages = 0u64;
+                let mut polls = 0u64;
+                for i in 0..300u64 {
+                    let lba = base + rng.next_below(slice.min(24));
+                    if rng.chance(0.6) {
+                        let value = ((c as u64) << 32) | (i + 1);
+                        client.write(lba, vec![value]).unwrap();
+                        model.insert(lba, value);
+                    } else if let Some(&expected) = model.get(&lba) {
+                        let got = client.read(lba, 1).unwrap()[0];
+                        assert_eq!(got, Some(expected), "client {c} lost a write at {lba}");
+                    }
+                    // Every client polls stats throughout, racing the others.
+                    if i % 19 == 0 {
+                        let report = client.stats().expect("health was enabled");
+                        assert!(
+                            report.host_pages >= last_host_pages,
+                            "client {c}: host_pages went backwards across polls"
+                        );
+                        last_host_pages = report.host_pages;
+                        polls += 1;
+                    }
+                }
+                assert!(polls > 0, "client {c} must actually have polled");
+                // Final read-your-writes sweep under continued polling.
+                for (&lba, &expected) in &model {
+                    assert_eq!(client.read(lba, 1).unwrap()[0], Some(expected));
+                }
+                polls
+            })
+        })
+        .collect();
+    let mut total_polls = 0u64;
+    for handle in joined {
+        total_polls += handle.join().unwrap();
+    }
+    assert!(total_polls >= 4 * 10, "all clients polled repeatedly");
+    let service = server.join();
+    service.finish().unwrap();
+}
